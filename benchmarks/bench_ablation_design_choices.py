@@ -1,0 +1,147 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the knobs its design sections argue
+for; each ablation exercises one claim:
+
+1. **Node-link transformation parallel rule** (Section 4.2 / Fig. 5):
+   parallel links must *not* be connected in the transformed graph.
+   The ablation verifies the structural difference and that both
+   variants train (the rule is about learning efficiency, not
+   trainability).
+2. **Warm start** (Section 3.2, long-term planning): feeding the ILP a
+   known-feasible plan as an objective cutoff never worsens the
+   optimum and often speeds up branch-and-bound.
+3. **Decomposition** (Section 3.2): per-region ILPs + greedy seams land
+   between greedy and the full ILP on cost.
+4. **Parallel failure checking** (Section 5): group-parallel stateful
+   checking returns the same verdicts as serial checking.
+"""
+
+import time
+
+import numpy as np
+
+from repro.evaluator import ParallelFailureChecker, PlanEvaluator
+from repro.planning import (
+    DecompositionPlanner,
+    GreedyPlanner,
+    ILPPlanner,
+)
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+from repro.topology import generators
+from repro.topology.transform import node_link_transform
+
+
+def test_ablation_parallel_link_rule(benchmark, save_rows):
+    """Dropping the parallel-link exception adds edges; both train."""
+
+    def run():
+        instance = generators.make_instance("A", seed=0, scale=0.7)
+        paper_graph = node_link_transform(instance.network)
+        naive_graph = node_link_transform(instance.network, connect_parallel=True)
+        config = AgentConfig(
+            max_units_per_step=2,
+            max_steps=96,
+            a2c=A2CConfig(
+                epochs=3, steps_per_epoch=128, max_trajectory_length=96, seed=0
+            ),
+        )
+        result = NeuroPlanAgent(instance, config).train()
+        return {
+            "paper_edges": int(paper_graph.adjacency.sum() // 2),
+            "naive_edges": int(naive_graph.adjacency.sum() // 2),
+            "paper_rule_trains": result.best_capacities is not None,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows("ablation_parallel_rule", [result])
+    print("\nAblation (node-link transform):", result)
+    assert result["naive_edges"] > result["paper_edges"]
+    assert result["paper_rule_trains"]
+
+
+def test_ablation_warm_start(benchmark, save_rows):
+    """A greedy warm start never worsens the pruned-ILP optimum."""
+
+    def run():
+        instance = generators.make_instance("A", seed=0, scale=0.7)
+        greedy = GreedyPlanner().plan(instance)
+        cold_start = time.perf_counter()
+        cold = ILPPlanner(time_limit=120).plan(instance)
+        cold_seconds = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        warm = ILPPlanner(time_limit=120).plan(
+            instance, warm_start=greedy.capacities
+        )
+        warm_seconds = time.perf_counter() - warm_start
+        return {
+            "cold_cost": cold.plan.cost(instance),
+            "warm_cost": warm.plan.cost(instance),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows("ablation_warm_start", [result])
+    print("\nAblation (warm start):", result)
+    assert result["warm_cost"] <= result["cold_cost"] + 1e-6
+
+
+def test_ablation_decomposition(benchmark, save_rows):
+    """Decomposition lands between greedy and the full ILP."""
+
+    def run():
+        instance = generators.make_instance("B", seed=0, scale=0.5)
+        greedy_cost = GreedyPlanner().plan(instance).cost(instance)
+        decomposed = DecompositionPlanner(num_regions=2, ilp_time_limit=60).plan(
+            instance
+        )
+        ilp = ILPPlanner(time_limit=120).plan(instance)
+        feasible = PlanEvaluator(instance, mode="sa").evaluate(
+            decomposed.capacities
+        ).feasible
+        return {
+            "greedy_cost": greedy_cost,
+            "decomposition_cost": decomposed.cost(instance),
+            "ilp_cost": ilp.plan.cost(instance) if ilp.plan else None,
+            "decomposition_feasible": feasible,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows("ablation_decomposition", [result])
+    print("\nAblation (decomposition):", result)
+    assert result["decomposition_feasible"]
+    assert result["decomposition_cost"] <= result["greedy_cost"] + 1e-6
+    if result["ilp_cost"] is not None:
+        assert result["decomposition_cost"] >= result["ilp_cost"] - 1e-6
+
+
+def test_ablation_parallel_failure_checking(benchmark, save_rows):
+    """Group-parallel checking agrees with serial on random plans."""
+
+    def run():
+        instance = generators.make_instance("B", seed=0, scale=0.5)
+        serial = PlanEvaluator(instance, mode="sa")
+        rng = np.random.default_rng(0)
+        agreements = 0
+        trials = 6
+        with ParallelFailureChecker(instance, groups=3) as parallel:
+            for _ in range(trials):
+                bump = rng.integers(0, 30, size=len(instance.network.links))
+                capacities = {
+                    lid: link.capacity + int(b) * instance.capacity_unit
+                    for (lid, link), b in zip(
+                        instance.network.links.items(), bump
+                    )
+                }
+                parallel.reset()
+                parallel_verdict = parallel.check(capacities) is None
+                serial_verdict = serial.evaluate(capacities).feasible
+                agreements += parallel_verdict == serial_verdict
+        return {"agreements": agreements, "trials": trials}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows("ablation_parallel_checking", [result])
+    print("\nAblation (parallel failure checking):", result)
+    assert result["agreements"] == result["trials"]

@@ -1,0 +1,35 @@
+"""Figure 10: impact of the number of GNN layers (0 / 2 / 4).
+
+Paper shape: the MLP-only agent (0 layers) handles only the easiest
+variant (A-1); 2 and 4 GNN layers converge on all of A-0, A-0.5, A-1
+with similar first-stage cost.
+"""
+
+from repro.experiments import fig10_gnn_layers
+
+
+def test_fig10_gnn_layers(benchmark, save_rows, profile_name):
+    rows = benchmark.pedantic(
+        fig10_gnn_layers.run,
+        kwargs={"profile": profile_name},
+        rounds=1,
+        iterations=1,
+    )
+    save_rows("fig10", rows)
+
+    problems = fig10_gnn_layers.expected_shape(rows)
+    assert problems == [], problems
+
+    # Every GNN-bearing configuration converges.
+    for row in rows:
+        if row.gnn_layers > 0:
+            assert row.converged, f"{row.variant} @ {row.gnn_layers} layers"
+
+    # 2-layer and 4-layer costs stay in the same ballpark per variant
+    # (the paper: "two or four layers of GNN have similar results").
+    by_variant = {}
+    for row in rows:
+        if row.gnn_layers in (2, 4) and row.normalized_cost is not None:
+            by_variant.setdefault(row.variant, []).append(row.normalized_cost)
+    for variant, costs in by_variant.items():
+        assert max(costs) <= min(costs) * 2.0, variant

@@ -1,0 +1,34 @@
+"""Figure 11: impact of the MLP hidden size.
+
+(a) hidden sizes from 16x16 to 512x512 converge to similar first-stage
+cost on A-0 / A-0.5 / A-1; (b) larger hidden sizes converge faster on
+A-1 (epoch-reward curves, saved alongside the cost rows).
+"""
+
+from repro.experiments import fig11_mlp_hidden
+
+HIDDEN = {
+    "quick": ((16, 16), (64, 64), (256, 256)),
+    "standard": ((16, 16), (64, 64), (256, 256), (512, 512)),
+    "full": ((16, 16), (64, 64), (256, 256), (512, 512)),
+}
+
+
+def test_fig11_mlp_hidden(benchmark, save_rows, profile_name):
+    hidden = HIDDEN.get(profile_name, HIDDEN["quick"])
+    rows = benchmark.pedantic(
+        fig11_mlp_hidden.run,
+        kwargs={"profile": profile_name, "hidden_choices": hidden},
+        rounds=1,
+        iterations=1,
+    )
+    save_rows("fig11", rows)
+
+    problems = fig11_mlp_hidden.expected_shape(rows)
+    assert problems == [], problems
+
+    # Panel (b): the A-1 reward curves exist for every hidden size.
+    a1 = [r for r in rows if r.variant.endswith("-1")]
+    assert len(a1) == len(hidden)
+    for row in a1:
+        assert len(row.epoch_rewards) >= 1

@@ -1,0 +1,26 @@
+"""Figure 12: impact of the maximum capacity units per step (1 / 4 / 16).
+
+Paper shape: the knob has nearly no influence on first-stage cost;
+larger units can converge faster in epochs on A-1 (panel b, saved as
+epoch-reward curves).
+"""
+
+from repro.experiments import fig12_capacity_units
+
+
+def test_fig12_capacity_units(benchmark, save_rows, profile_name):
+    rows = benchmark.pedantic(
+        fig12_capacity_units.run,
+        kwargs={"profile": profile_name},
+        rounds=1,
+        iterations=1,
+    )
+    save_rows("fig12", rows)
+
+    problems = fig12_capacity_units.expected_shape(rows)
+    assert problems == [], problems
+
+    # Every unit choice converges on every variant (the action space is
+    # small and masked, so exploration finds feasible plans).
+    for row in rows:
+        assert row.converged, f"{row.variant} @ {row.max_units} units"

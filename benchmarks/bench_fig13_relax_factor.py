@@ -1,0 +1,42 @@
+"""Figure 13: impact of the relax factor alpha (1 / 1.25 / 1.5).
+
+Paper shape: the second stage barely improves topology A (the RL plan
+is already near optimal) and finds up to ~46% improvements on the
+bigger bands; a larger alpha never yields a worse plan.
+"""
+
+from repro.experiments import fig13_relax_factor
+
+BANDS = {
+    "quick": ["A", "B", "C"],
+    "standard": ["A", "B", "C", "D"],
+    "full": ["A", "B", "C", "D", "E"],
+}
+
+
+def test_fig13_relax_factor(benchmark, save_rows, profile_name):
+    bands = BANDS.get(profile_name, BANDS["quick"])
+    rows = benchmark.pedantic(
+        fig13_relax_factor.run,
+        kwargs={"profile": profile_name, "bands": bands},
+        rounds=1,
+        iterations=1,
+    )
+    save_rows("fig13", rows)
+
+    problems = fig13_relax_factor.expected_shape(rows)
+    assert problems == [], problems
+
+    # Monotone in alpha per band, and never worse than the first stage.
+    by_band = {}
+    for row in rows:
+        by_band.setdefault(row.topology, []).append(row)
+    for band, group in by_band.items():
+        group.sort(key=lambda r: r.alpha)
+        costs = [r.neuroplan_cost for r in group]
+        assert costs == sorted(costs, reverse=True) or all(
+            later <= earlier + 1e-6
+            for earlier, later in zip(costs, costs[1:])
+        )
+        for row in group:
+            assert row.normalized <= 1.0 + 1e-6

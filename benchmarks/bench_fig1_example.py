@@ -1,0 +1,46 @@
+"""Figure 1: the motivating short- vs long-term planning example.
+
+Regenerates the paper's worked example end to end: short-term planning
+must build both IP links (6 fibers); long-term planning with candidate
+fiber B-F finds plan (1, 3) at 5 fibers because links 1 and 3 share
+fiber A-B.
+"""
+
+from repro.planning import ILPPlanner
+from repro.topology import datasets
+
+
+def run_figure1() -> dict:
+    short = datasets.figure1_topology(long_term=False)
+    short_plan = ILPPlanner().plan(short).plan
+    long = datasets.figure1_topology(long_term=True)
+    long_plan = ILPPlanner().plan(long).plan
+    return {
+        "short_capacities": short_plan.capacities,
+        "short_fibers": len(
+            short.cost_model.lit_fibers(short.network, short_plan.capacities)
+        ),
+        "long_capacities": long_plan.capacities,
+        "long_fibers": len(
+            long.cost_model.lit_fibers(long.network, long_plan.capacities)
+        ),
+    }
+
+
+def test_figure1_example(benchmark, save_rows):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    save_rows("fig1", [result])
+
+    print("\nFigure 1 (short-term):", result["short_capacities"],
+          f"-> {result['short_fibers']} fibers")
+    print("Figure 1 (long-term): ", result["long_capacities"],
+          f"-> {result['long_fibers']} fibers")
+
+    # Fig. 1(a): both links at 100G, six fibers.
+    assert result["short_capacities"] == {"link1": 100.0, "link2": 100.0}
+    assert result["short_fibers"] == 6
+    # Fig. 1(b): plan (1, 3), five fibers.
+    assert result["long_capacities"]["link1"] == 100.0
+    assert result["long_capacities"]["link3"] == 100.0
+    assert result["long_capacities"]["link2"] == 0.0
+    assert result["long_fibers"] == 5

@@ -1,0 +1,39 @@
+"""Figure 7: plan-evaluator implementation efficiency.
+
+Replays identical capacity trajectories through the three evaluator
+implementations (Vanilla, SA, NeuroPlan = SA + stateful checking) on
+every topology band and reports runtimes normalized to NeuroPlan --
+the paper's exact presentation, including omission crosses for
+over-budget Vanilla entries.
+
+Paper shape: SA ~2x faster than Vanilla on A and increasingly more on
+bigger bands; NeuroPlan another 7-14x over SA.
+"""
+
+from repro.experiments import fig7_efficiency
+
+
+def test_fig7_evaluator_efficiency(benchmark, save_rows, profile_name):
+    rows = benchmark.pedantic(
+        fig7_efficiency.run,
+        kwargs={"profile": profile_name, "bands": ["A", "B", "C", "D", "E"]},
+        rounds=1,
+        iterations=1,
+    )
+    save_rows("fig7", rows)
+
+    problems = fig7_efficiency.expected_shape(rows)
+    assert problems == [], problems
+
+    # The ordering vanilla >= sa >= neuroplan must hold on every band
+    # where all three completed.
+    by_key = {(r.topology, r.mode): r for r in rows}
+    for band in {r.topology for r in rows}:
+        vanilla = by_key[band, "vanilla"].seconds
+        sa = by_key[band, "sa"].seconds
+        neuroplan = by_key[band, "neuroplan"].seconds
+        assert neuroplan is not None
+        if sa is not None:
+            assert neuroplan <= sa * 1.1
+        if vanilla is not None and sa is not None:
+            assert sa <= vanilla * 1.1

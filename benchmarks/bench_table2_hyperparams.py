@@ -1,0 +1,27 @@
+"""Table 2: the NeuroPlan hyperparameters.
+
+Regenerates the paper's hyperparameter table from the code's presets,
+proving the implementation's defaults and sweep grids match what the
+paper reports.
+"""
+
+from repro.core.presets import table2_rows
+
+
+def test_table2_hyperparameters(benchmark, save_rows):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    save_rows("table2", [{"hyperparameter": n, "value": v} for n, v in rows])
+
+    print("\nTable 2: NeuroPlan hyperparameters")
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"  {name:<{width}}  {value}")
+
+    assert len(rows) == 13
+    values = dict(rows)
+    assert values["Actor learning rate"] == "0.0003"
+    assert values["Critic learning rate"] == "0.001"
+    assert values["Discount factor gamma"] == "0.99"
+    assert values["GAE Lambda lambda"] == "0.97"
+    assert values["Max capacity units per step"] == "{1, 4, 16}"
+    assert values["Relax factor alpha"] == "{1.0, 1.25, 1.5, 2.0}"

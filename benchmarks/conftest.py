@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation section at the ``quick`` experiment profile (see
+``repro.experiments.scaling``): scaled-down topologies and epoch
+budgets that finish in minutes on CPU while preserving the orderings
+the paper reports.  Every run prints the regenerated series and writes
+machine-readable rows to ``benchmarks/results/*.json`` for
+EXPERIMENTS.md.
+
+Environment knobs:
+
+- ``NEUROPLAN_BENCH_PROFILE`` -- ``quick`` (default), ``standard`` or
+  ``full``.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile_name() -> str:
+    return os.environ.get("NEUROPLAN_BENCH_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def save_rows():
+    """Persist a figure's rows for EXPERIMENTS.md."""
+
+    def _save(figure: str, rows) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = [
+            dataclasses.asdict(row) if dataclasses.is_dataclass(row) else row
+            for row in rows
+        ]
+        path = RESULTS_DIR / f"{figure}.json"
+        path.write_text(json.dumps(payload, indent=1, default=str))
+
+    return _save

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Figure 1 example, short- and long-term.
+
+The instance: a 100 Gbps flow from site A to site D that must survive
+three single-fiber failures.  Cost is approximated as the number of
+fibers used (each fiber has unit cost, capacity is a tiny tie-breaker).
+
+Short-term (Fig. 1a): with only IP links 1 (A-B-C-D) and 2 (A-E-F-D),
+both must be built at 100 Gbps -- 6 fibers.
+
+Long-term (Fig. 1b): building candidate fiber B-F enables IP link 3
+(A-B-F-D).  Plan (1, 3) shares fiber A-B between the two links, so it
+only lights 5 fibers and beats plan (1, 2).
+
+Run:  python examples/figure1_walkthrough.py
+"""
+
+from repro.evaluator import PlanEvaluator
+from repro.planning import ILPPlanner
+from repro.topology import datasets
+
+
+def check(instance, capacities) -> str:
+    evaluator = PlanEvaluator(instance, mode="sa")
+    result = evaluator.evaluate(capacities)
+    verdict = "feasible" if result.feasible else f"INFEASIBLE ({result.violated_failure})"
+    fibers = len(instance.cost_model.lit_fibers(instance.network, capacities))
+    return f"{verdict}, {fibers} fibers lit, cost {result.cost:.2f}"
+
+
+def main() -> None:
+    print("=== Short-term planning (Fig. 1a) ===")
+    short = datasets.figure1_topology(long_term=False)
+    print(short.describe())
+    print("link1 only      :", check(short, {"link1": 100.0, "link2": 0.0}))
+    print("links 1 + 2     :", check(short, {"link1": 100.0, "link2": 100.0}))
+    outcome = ILPPlanner().plan(short)
+    print("ILP optimum     :", outcome.plan.capacities)
+
+    print()
+    print("=== Long-term planning (Fig. 1b) ===")
+    long = datasets.figure1_topology(long_term=True)
+    print(long.describe())
+    plans = {
+        "plan (1,2)": {"link1": 100.0, "link2": 100.0, "link3": 0.0, "link4": 0.0},
+        "plan (1,3)": {"link1": 100.0, "link2": 0.0, "link3": 100.0, "link4": 0.0},
+        "plan (2,4)": {"link1": 0.0, "link2": 100.0, "link3": 0.0, "link4": 100.0},
+    }
+    for name, capacities in plans.items():
+        print(f"{name:<16}:", check(long, capacities))
+    outcome = ILPPlanner().plan(long)
+    print("ILP optimum     :", outcome.plan.capacities,
+          f"(cost {outcome.plan.cost(long):.2f})")
+    print()
+    print("The ILP picks plan (1,3): links 1 and 3 share fiber A-B, so the")
+    print("plan lights 5 fibers instead of 6 -- the paper's exact narrative.")
+    print()
+    print("(Note: the paper lists plan (2,4) as surviving all three failures,")
+    print("but links 2 and 4 both traverse fiber A-E, so an A-E cut kills")
+    print("both; the evaluator correctly rejects it. The headline comparison")
+    print("-- (1,3) beats (1,2) by sharing fiber A-B -- reproduces exactly.)")
+
+
+if __name__ == "__main__":
+    main()

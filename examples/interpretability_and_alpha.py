@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The operator's view: interpretability report and the alpha knob.
+
+Section 4.3 argues the two-stage design keeps NeuroPlan interpretable:
+the RL pruning strategy can be inspected before it is trusted, and the
+relax factor alpha is an explicit optimality/tractability dial.  This
+example trains one first-stage plan, prints the report, and sweeps
+alpha to show the trade-off (Fig. 13's mechanism).
+
+Run:  python examples/interpretability_and_alpha.py
+"""
+
+import time
+
+from repro import NeuroPlan, topologies
+from repro.core.report import interpretability_report
+from repro.core.results import PlanningResult
+
+
+def main() -> None:
+    instance = topologies.make_instance("B", seed=0, scale=0.5)
+    print(instance.describe())
+
+    planner = NeuroPlan(
+        epochs=8,
+        steps_per_epoch=256,
+        max_trajectory_length=96,
+        max_units_per_step=2,
+        ilp_time_limit=90,
+        seed=0,
+    )
+    first_stage, history, train_seconds = planner.first_stage(instance)
+    first_cost = first_stage.cost(instance)
+    print(f"first stage trained in {train_seconds:.1f}s, cost {first_cost:,.0f}")
+    print()
+
+    print(f"{'alpha':>6}{'final cost':>16}{'vs 1st stage':>14}{'ILP secs':>10}")
+    best = None
+    for alpha in (1.0, 1.25, 1.5, 2.0):
+        planner.config.relax_factor = alpha
+        start = time.perf_counter()
+        final, status, ilp_seconds = planner.second_stage(instance, first_stage)
+        cost = final.cost(instance)
+        print(
+            f"{alpha:>6}{cost:>16,.0f}{cost / first_cost:>13.1%}{ilp_seconds:>10.1f}"
+        )
+        if best is None or cost < best[1]:
+            best = (alpha, cost, final, ilp_seconds)
+
+    alpha, cost, final, ilp_seconds = best
+    result = PlanningResult(
+        instance_name=instance.name,
+        first_stage=first_stage,
+        final=final,
+        relax_factor=alpha,
+        first_stage_cost=first_cost,
+        final_cost=cost,
+        train_seconds=train_seconds,
+        ilp_seconds=ilp_seconds,
+        second_stage_status="optimal",
+        epoch_history=history,
+    )
+    print()
+    print(interpretability_report(instance, result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Long-term planning: deciding which candidate fibers to build.
+
+Long-term planning starts candidate IP links at zero capacity over
+*candidate fibers* that cost real money to build (the fiber fixed
+charge of Eq. 1).  The planner decides which candidates earn their
+build cost.  NeuroPlan treats candidates exactly like existing links --
+the RL agent adds capacity wherever it helps, and candidates it never
+touches are pruned out of the second-stage ILP.
+
+Run:  python examples/long_term_planning.py
+"""
+
+from repro import NeuroPlan, topologies
+from repro.evaluator import PlanEvaluator
+
+
+def main() -> None:
+    instance = topologies.make_instance("A", seed=0, scale=0.7, horizon="long")
+    print(instance.describe())
+
+    candidates = [
+        link.id for link in instance.network.links.values()
+        if link.id.endswith(":cand")
+    ]
+    print(f"candidate IP links over buildable fibers: {candidates}")
+    print()
+
+    planner = NeuroPlan(
+        epochs=8,
+        steps_per_epoch=256,
+        max_trajectory_length=96,
+        max_units_per_step=2,
+        relax_factor=1.5,
+        ilp_time_limit=90,
+        seed=0,
+    )
+    result = planner.plan(instance)
+    print(result.summary())
+    print()
+
+    built = [
+        link_id for link_id in candidates
+        if result.final.capacities[link_id] > 0
+    ]
+    skipped = [c for c in candidates if c not in built]
+    lit = instance.cost_model.lit_fibers(
+        instance.network, result.final.capacities
+    )
+    new_fibers = [
+        fiber_id for fiber_id in lit
+        if not instance.network.get_fiber(fiber_id).in_service
+    ]
+    print(f"candidates built   : {built or 'none'}")
+    print(f"candidates skipped : {skipped or 'none'}")
+    print(f"new fibers to light: {new_fibers or 'none'}")
+    build_cost = sum(
+        instance.network.get_fiber(f).cost for f in new_fibers
+    )
+    print(f"fiber build budget : {build_cost:,.0f}")
+
+    evaluator = PlanEvaluator(instance, mode="sa")
+    print(
+        "plan survives all failures:",
+        evaluator.evaluate(result.final.capacities).feasible,
+    )
+
+    # The deployable artifact: fiber builds first (long lead times),
+    # then capacity turn-ups sorted by spend.
+    from repro.planning import build_work_order, render_work_order
+
+    order = build_work_order(instance, result.final)
+    print()
+    print(render_work_order(order, top=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""NeuroPlan reproduction: network planning with deep reinforcement learning.
+
+This package reproduces the system described in *Network Planning with
+Deep Reinforcement Learning* (SIGCOMM 2021).  It is organized as a set of
+substrates plus the paper's core contribution:
+
+- :mod:`repro.nn` -- a from-scratch numpy autodiff / neural-network engine
+  (the PyTorch substitute).
+- :mod:`repro.solver` -- a Gurobi-like LP/ILP modeling layer compiled to
+  scipy's HiGHS backends.
+- :mod:`repro.topology` -- the two-layer (optical + IP) network model,
+  failures, traffic, cost model, and the node-link transformation.
+- :mod:`repro.evaluator` -- the plan evaluator with source aggregation and
+  stateful failure checking.
+- :mod:`repro.planning` -- the ILP formulation (Eq. 1-5) and the *ILP* and
+  *ILP-heur* baselines.
+- :mod:`repro.rl` -- the planning environment and the actor-critic trainer
+  (Algorithm 1).
+- :mod:`repro.core` -- the two-stage NeuroPlan pipeline.
+
+Quickstart::
+
+    from repro import NeuroPlan, topologies
+
+    instance = topologies.make_instance("A")
+    planner = NeuroPlan(epochs=32, relax_factor=1.5, seed=0)
+    result = planner.plan(instance)
+    print(result.final_cost, result.first_stage_cost)
+"""
+
+from repro.version import __version__
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.core.results import PlanningResult
+from repro.topology import generators as topologies
+from repro.planning.plan import NetworkPlan
+
+__all__ = [
+    "__version__",
+    "NeuroPlan",
+    "NeuroPlanConfig",
+    "PlanningResult",
+    "NetworkPlan",
+    "topologies",
+]

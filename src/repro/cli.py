@@ -1,0 +1,258 @@
+"""Command-line interface: ``neuroplan <command>``.
+
+Commands
+--------
+``info``      -- describe a topology band (sizes, demand, failures).
+``plan``      -- run the two-stage NeuroPlan pipeline on a topology.
+``baseline``  -- run ILP / ILP-heur / greedy on a topology.
+``table2``    -- print the paper's hyperparameter table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.core.presets import table2_rows
+from repro.core.report import interpretability_report
+from repro.topology import generators
+from repro.topology.io import save_instance
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default="A", choices=generators.list_topologies(),
+        help="topology band (A-E)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink the band proportionally (0 < scale <= 1)",
+    )
+    parser.add_argument(
+        "--horizon", default="short", choices=("short", "long"),
+        help="short-term (existing links) or long-term (candidates)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="neuroplan",
+        description="NeuroPlan reproduction: network planning with deep RL",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a topology band")
+    _add_instance_args(info)
+    info.add_argument("--save", help="also write the instance JSON here")
+
+    plan = sub.add_parser("plan", help="run the two-stage NeuroPlan pipeline")
+    _add_instance_args(plan)
+    plan.add_argument("--epochs", type=int, default=32)
+    plan.add_argument("--steps-per-epoch", type=int, default=1024)
+    plan.add_argument("--alpha", type=float, default=1.5, help="relax factor")
+    plan.add_argument("--max-units", type=int, default=4)
+    plan.add_argument("--gnn-layers", type=int, default=2)
+    plan.add_argument("--ilp-time-limit", type=float, default=600.0)
+    plan.add_argument("--report", action="store_true",
+                      help="print the interpretability report")
+
+    baseline = sub.add_parser("baseline", help="run a baseline planner")
+    _add_instance_args(baseline)
+    baseline.add_argument(
+        "--method", default="ilp-heur", choices=("ilp", "ilp-heur", "greedy")
+    )
+    baseline.add_argument("--time-limit", type=float, default=600.0)
+
+    sub.add_parser("table2", help="print the Table 2 hyperparameters")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=["fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"],
+    )
+    experiment.add_argument(
+        "--profile", default="quick", choices=("quick", "standard", "full")
+    )
+
+    render = sub.add_parser("render", help="render a topology to SVG")
+    _add_instance_args(render)
+    render.add_argument("--output", default="topology.svg")
+
+    compare = sub.add_parser(
+        "compare", help="compare baseline planners side by side"
+    )
+    _add_instance_args(compare)
+    compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=["greedy", "ilp-heur"],
+        choices=("greedy", "ilp-heur", "ilp", "decomposition", "tunnel"),
+    )
+    compare.add_argument("--time-limit", type=float, default=120.0)
+    return parser
+
+
+def _make_instance(args):
+    return generators.make_instance(
+        args.topology, seed=args.seed, scale=args.scale, horizon=args.horizon
+    )
+
+
+def _cmd_info(args) -> int:
+    instance = _make_instance(args)
+    print(instance.describe())
+    if args.save:
+        save_instance(instance, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    instance = _make_instance(args)
+    print(instance.describe())
+    config = NeuroPlanConfig(
+        relax_factor=args.alpha,
+        epochs=args.epochs,
+        steps_per_epoch=args.steps_per_epoch,
+        max_trajectory_length=args.steps_per_epoch,
+        max_units_per_step=args.max_units,
+        gnn_layers=args.gnn_layers,
+        ilp_time_limit=args.ilp_time_limit,
+        seed=args.seed,
+    )
+    result = NeuroPlan(config).plan(instance)
+    print(result.summary())
+    if args.report:
+        print()
+        print(interpretability_report(instance, result))
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.planning import GreedyPlanner, ILPHeurPlanner, ILPPlanner
+
+    instance = _make_instance(args)
+    print(instance.describe())
+    if args.method == "greedy":
+        plan = GreedyPlanner().plan(instance)
+    elif args.method == "ilp":
+        outcome = ILPPlanner(time_limit=args.time_limit).plan(instance)
+        if outcome.plan is None:
+            print(f"ILP hit the {args.time_limit}s limit with no incumbent")
+            return 1
+        plan = outcome.plan
+    else:
+        plan = ILPHeurPlanner().plan(instance).plan
+    print(
+        f"{plan.method}: cost {plan.cost(instance):,.0f} "
+        f"(+{plan.total_added_gbps(instance):,.0f} Gbps) "
+        f"in {plan.solve_seconds:.1f}s"
+    )
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    rows = table2_rows()
+    width = max(len(name) for name, _ in rows)
+    print(f"{'Hyperparameter':<{width}}  Value")
+    print("-" * (width + 30))
+    for name, value in rows:
+        print(f"{name:<{width}}  {value}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments
+
+    module = getattr(
+        experiments,
+        {
+            "fig7": "fig7_efficiency",
+            "fig8": "fig8_optimality",
+            "fig9": "fig9_scalability",
+            "fig10": "fig10_gnn_layers",
+            "fig11": "fig11_mlp_hidden",
+            "fig12": "fig12_capacity_units",
+            "fig13": "fig13_relax_factor",
+        }[args.figure],
+    )
+    rows = module.run(profile=args.profile, verbose=True)
+    problems = module.expected_shape(rows)
+    if problems:
+        print("\nshape deviations from the paper:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nshape matches the paper's qualitative claims")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from repro.topology.visualization import save_svg
+
+    instance = _make_instance(args)
+    save_svg(instance.network, args.output, title=instance.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.compare import compare_plans
+    from repro.planning import (
+        DecompositionPlanner,
+        GreedyPlanner,
+        ILPHeurPlanner,
+        ILPPlanner,
+        TunnelPlanner,
+    )
+
+    instance = _make_instance(args)
+    print(instance.describe())
+    plans = []
+    for method in args.methods:
+        if method == "greedy":
+            plans.append(GreedyPlanner().plan(instance))
+        elif method == "ilp-heur":
+            plans.append(ILPHeurPlanner().plan(instance).plan)
+        elif method == "ilp":
+            outcome = ILPPlanner(time_limit=args.time_limit).plan(instance)
+            if outcome.plan is None:
+                print(f"ilp: hit the {args.time_limit}s limit, skipped")
+                continue
+            plans.append(outcome.plan)
+        elif method == "decomposition":
+            plans.append(
+                DecompositionPlanner(ilp_time_limit=args.time_limit).plan(instance)
+            )
+        else:
+            plans.append(
+                TunnelPlanner(time_limit=args.time_limit).plan(instance)
+            )
+    if len(plans) < 2:
+        print("need at least two completed plans to compare")
+        return 1
+    print()
+    print(compare_plans(instance, plans))
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "plan": _cmd_plan,
+        "baseline": _cmd_baseline,
+        "table2": _cmd_table2,
+        "experiment": _cmd_experiment,
+        "render": _cmd_render,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""NeuroPlan: the two-stage hybrid planner (the paper's contribution).
+
+- :mod:`repro.core.neuroplan` -- the pipeline: train an RL agent (first
+  stage), prune the search space with the relax factor, solve the
+  pruned ILP (second stage).
+- :mod:`repro.core.presets` -- the Table 2 hyperparameters.
+- :mod:`repro.core.results` -- the :class:`PlanningResult` envelope.
+- :mod:`repro.core.report` -- the interpretability report of
+  Section 4.3.
+"""
+
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.core.presets import TABLE2_DEFAULTS, TABLE2_SWEEPS, table2_rows
+from repro.core.results import PlanningResult
+from repro.core.report import interpretability_report
+from repro.core.compare import compare_plans
+
+__all__ = [
+    "compare_plans",
+    "NeuroPlan",
+    "NeuroPlanConfig",
+    "PlanningResult",
+    "TABLE2_DEFAULTS",
+    "TABLE2_SWEEPS",
+    "table2_rows",
+    "interpretability_report",
+]

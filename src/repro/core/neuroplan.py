@@ -1,0 +1,197 @@
+"""The two-stage hybrid pipeline (Fig. 2 / Fig. 3 of the paper).
+
+Stage 1: train the RL agent (Algorithm 1) on the instance; the best
+feasible plan it samples becomes the *initial plan*.
+
+Stage 2: the initial plan, relaxed by the factor ``alpha``, becomes
+per-link maximum-capacity constraints for the ILP; an off-the-shelf
+MILP solver finds the optimum of the pruned search space.
+
+``alpha`` is the operator's optimality/tractability knob: larger values
+search a bigger space around the RL plan (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.results import PlanningResult
+from repro.errors import InfeasibleError
+from repro.planning.ilp_planner import ILPPlanner
+from repro.planning.plan import NetworkPlan
+from repro.planning.pruning import capacity_caps_from_plan
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+from repro.topology.instance import PlanningInstance
+from repro.topology.validation import ensure_valid
+
+
+@dataclass
+class NeuroPlanConfig:
+    """End-to-end configuration (defaults follow Table 2 where scaled)."""
+
+    relax_factor: float = 1.5
+    epochs: int = 64
+    steps_per_epoch: int = 2048
+    max_trajectory_length: int = 2048
+    max_units_per_step: int = 4
+    gnn_hidden: int = 64
+    gnn_layers: int = 2
+    gnn_type: str = "gcn"
+    mlp_hidden: tuple = (64, 64)
+    feature_set: str = "capacity"
+    evaluator_mode: str = "neuroplan"
+    actor_lr: float = 3e-4
+    critic_lr: float = 1e-3
+    gamma: float = 0.99
+    gae_lambda: float = 0.97
+    entropy_coef: float = 0.01
+    patience: int = 0
+    ilp_time_limit: "float | None" = 600.0
+    ilp_mip_gap: "float | None" = None
+    seed: int = 0
+
+    def agent_config(self) -> AgentConfig:
+        return AgentConfig(
+            max_units_per_step=self.max_units_per_step,
+            max_steps=self.max_trajectory_length,
+            gnn_hidden=self.gnn_hidden,
+            gnn_layers=self.gnn_layers,
+            gnn_type=self.gnn_type,
+            mlp_hidden=self.mlp_hidden,
+            feature_set=self.feature_set,
+            evaluator_mode=self.evaluator_mode,
+            a2c=A2CConfig(
+                epochs=self.epochs,
+                steps_per_epoch=self.steps_per_epoch,
+                max_trajectory_length=self.max_trajectory_length,
+                actor_lr=self.actor_lr,
+                critic_lr=self.critic_lr,
+                gamma=self.gamma,
+                gae_lambda=self.gae_lambda,
+                entropy_coef=self.entropy_coef,
+                patience=self.patience,
+                seed=self.seed,
+            ),
+        )
+
+
+class NeuroPlan:
+    """Train, prune, solve: the paper's planner.
+
+    Example::
+
+        planner = NeuroPlan(epochs=32, relax_factor=1.5, seed=0)
+        result = planner.plan(instance)
+        print(result.summary())
+    """
+
+    def __init__(self, config: "NeuroPlanConfig | None" = None, **overrides):
+        if config is None:
+            config = NeuroPlanConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config object or keyword overrides")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def plan(self, instance: PlanningInstance) -> PlanningResult:
+        """Run both stages on ``instance``."""
+        ensure_valid(instance)
+        first_stage, history, train_seconds = self.first_stage(instance)
+        final, status, ilp_seconds = self.second_stage(instance, first_stage)
+        return PlanningResult(
+            instance_name=instance.name,
+            first_stage=first_stage,
+            final=final,
+            relax_factor=self.config.relax_factor,
+            first_stage_cost=first_stage.cost(instance),
+            final_cost=final.cost(instance),
+            train_seconds=train_seconds,
+            ilp_seconds=ilp_seconds,
+            second_stage_status=status,
+            epoch_history=history,
+        )
+
+    def first_stage(
+        self, instance: PlanningInstance
+    ) -> tuple[NetworkPlan, list[dict], float]:
+        """Stage 1: RL training; returns (plan, epoch history, seconds)."""
+        start = time.perf_counter()
+        agent = NeuroPlanAgent(instance, self.config.agent_config())
+        result = agent.train()
+        plan = agent.first_stage_plan()
+        return plan, result.history, time.perf_counter() - start
+
+    def second_stage(
+        self,
+        instance: PlanningInstance,
+        first_stage: NetworkPlan,
+        operator_caps: "dict[str, float] | None" = None,
+    ) -> tuple[NetworkPlan, str, float]:
+        """Stage 2: ILP restricted to the relax-factor neighborhood.
+
+        ``operator_caps`` lets operators merge their own hand-designed
+        capacity restrictions into the learned pruning (Section 4.3:
+        "it is easy to incorporate additional modifications to the
+        pruned search space from other heuristics").  The tighter of
+        the two caps wins per link.
+        """
+        start = time.perf_counter()
+        caps = capacity_caps_from_plan(
+            instance, first_stage.capacities, self.config.relax_factor
+        )
+        if operator_caps:
+            for link_id, cap in operator_caps.items():
+                if link_id not in caps:
+                    continue
+                floor = instance.network.get_link(link_id).min_capacity
+                caps[link_id] = max(min(caps[link_id], cap), floor)
+        planner = ILPPlanner(
+            time_limit=self.config.ilp_time_limit,
+            mip_gap=self.config.ilp_mip_gap,
+        )
+        try:
+            outcome = planner.plan(
+                instance,
+                capacity_caps=caps,
+                warm_start=first_stage.capacities,
+                method_name="neuroplan",
+            )
+        except InfeasibleError:
+            # The pruned space somehow excludes every feasible plan
+            # (e.g. numerical rounding at alpha=1): the first-stage plan
+            # itself is feasible, so fall back to it.
+            return (
+                self._as_final(first_stage),
+                "fallback-first-stage",
+                time.perf_counter() - start,
+            )
+        if outcome.plan is None:
+            return (
+                self._as_final(first_stage),
+                "time-limit-fallback",
+                time.perf_counter() - start,
+            )
+        plan = outcome.plan
+        # The ILP optimum within the pruned space can never be worse
+        # than the first-stage plan (which lies inside it); guard against
+        # time-limited incumbents that are.
+        if plan.metadata.get("status") != "optimal":
+            if plan.cost(instance) > first_stage.cost(instance):
+                return (
+                    self._as_final(first_stage),
+                    "incumbent-worse-fallback",
+                    time.perf_counter() - start,
+                )
+        return plan, plan.metadata.get("status", "optimal"), time.perf_counter() - start
+
+    @staticmethod
+    def _as_final(first_stage: NetworkPlan) -> NetworkPlan:
+        return NetworkPlan(
+            instance_name=first_stage.instance_name,
+            capacities=dict(first_stage.capacities),
+            method="neuroplan",
+            solve_seconds=first_stage.solve_seconds,
+            metadata={**first_stage.metadata, "second_stage": "fallback"},
+        )

@@ -1,0 +1,55 @@
+"""The paper's hyperparameters (Table 2).
+
+``TABLE2_DEFAULTS`` holds the single-value settings; ``TABLE2_SWEEPS``
+holds the sets the paper sweeps over (and which the sensitivity
+benchmarks Fig. 10-13 re-sweep here).  :func:`table2_rows` renders the
+table exactly as printed in the paper, which is what
+``benchmarks/bench_table2_hyperparams.py`` regenerates.
+"""
+
+from __future__ import annotations
+
+TABLE2_DEFAULTS: dict = {
+    "max_epochs": 1024,
+    "model_nonlinearity": "ReLU",
+    "gnn_type": "GCN",
+    "actor_learning_rate": 3e-4,
+    "critic_learning_rate": 1e-3,
+    "discount_factor_gamma": 0.99,
+    "gae_lambda": 0.97,
+}
+
+TABLE2_SWEEPS: dict = {
+    "max_length_per_trajectory": (1024, 2048, 4096, 8192),
+    "max_length_per_epoch": (1024, 2048, 4096, 8192),
+    "max_capacity_units_per_step": (1, 4, 16),
+    "num_gnn_layers": (0, 2, 4),
+    "mlp_hidden_layers": ("64x64", "256x256", "512x512"),
+    "relax_factor_alpha": (1.0, 1.25, 1.5, 2.0),
+}
+
+
+def table2_rows() -> list[tuple[str, str]]:
+    """(hyperparameter, value) rows in the paper's order."""
+
+    def fmt(values) -> str:
+        return "{" + ", ".join(str(v) for v in values) + "}"
+
+    return [
+        ("Max length per trajectory", fmt(TABLE2_SWEEPS["max_length_per_trajectory"])),
+        ("Max epochs to train", str(TABLE2_DEFAULTS["max_epochs"])),
+        ("Max length per epoch", fmt(TABLE2_SWEEPS["max_length_per_epoch"])),
+        (
+            "Max capacity units per step",
+            fmt(TABLE2_SWEEPS["max_capacity_units_per_step"]),
+        ),
+        ("Model nonlinearity", TABLE2_DEFAULTS["model_nonlinearity"]),
+        ("GNN type", TABLE2_DEFAULTS["gnn_type"]),
+        ("Number of GNN layers", "0, 2, 4"),
+        ("MLP hidden layers", fmt(TABLE2_SWEEPS["mlp_hidden_layers"])),
+        ("Actor learning rate", str(TABLE2_DEFAULTS["actor_learning_rate"])),
+        ("Critic learning rate", str(TABLE2_DEFAULTS["critic_learning_rate"])),
+        ("Relax factor alpha", fmt(TABLE2_SWEEPS["relax_factor_alpha"])),
+        ("Discount factor gamma", str(TABLE2_DEFAULTS["discount_factor_gamma"])),
+        ("GAE Lambda lambda", str(TABLE2_DEFAULTS["gae_lambda"])),
+    ]

@@ -1,0 +1,43 @@
+"""The result envelope of a NeuroPlan run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.planning.plan import NetworkPlan
+
+
+@dataclass
+class PlanningResult:
+    """Everything a NeuroPlan run produced, both stages included."""
+
+    instance_name: str
+    first_stage: NetworkPlan
+    final: NetworkPlan
+    relax_factor: float
+    first_stage_cost: float
+    final_cost: float
+    train_seconds: float
+    ilp_seconds: float
+    second_stage_status: str
+    epoch_history: list[dict] = field(default_factory=list)
+
+    @property
+    def second_stage_improvement(self) -> float:
+        """Fractional cost reduction of the ILP stage over the RL plan.
+
+        The Fig. 13 quantity: 0.46 means the second stage found a plan
+        46% cheaper than the first-stage plan.
+        """
+        if self.first_stage_cost <= 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.first_stage_cost
+
+    def summary(self) -> str:
+        return (
+            f"NeuroPlan({self.instance_name}, alpha={self.relax_factor}): "
+            f"first stage {self.first_stage_cost:.0f} -> final "
+            f"{self.final_cost:.0f} "
+            f"({self.second_stage_improvement:.1%} second-stage improvement; "
+            f"train {self.train_seconds:.1f}s, ILP {self.ilp_seconds:.1f}s)"
+        )

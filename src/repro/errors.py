@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SolverError(ReproError):
+    """The LP/ILP solver failed or was used incorrectly."""
+
+
+class InfeasibleError(SolverError):
+    """A model was proven infeasible when a solution was required."""
+
+
+class UnboundedError(SolverError):
+    """A model was proven unbounded."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed or an element lookup failed."""
+
+
+class TrafficError(ReproError):
+    """The traffic specification is malformed."""
+
+
+class PlanError(ReproError):
+    """A network plan is malformed or inconsistent with its topology."""
+
+
+class EnvironmentError_(ReproError):
+    """The RL environment was driven incorrectly (e.g. step after done)."""
+
+
+class NNError(ReproError):
+    """The neural-network substrate was used incorrectly."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration or hyperparameters."""

@@ -1,0 +1,149 @@
+"""The plan evaluator facade used by the RL environment and planners.
+
+Wraps a :class:`FeasibilityChecker` (+ optional stateful sweep) and the
+cost model into the paper's plan-evaluator box (Fig. 3): feed it a
+capacity assignment, get back feasibility, the first violated failure,
+the demand shortfall, and the plan cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.evaluator.feasibility import FailureCheckResult, FeasibilityChecker
+from repro.evaluator.stateful import StatefulFailureChecker
+from repro.topology.instance import PlanningInstance
+
+MODES = ("vanilla", "sa", "neuroplan")
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one capacity assignment."""
+
+    feasible: bool
+    cost: float
+    violated_failure: str | None = None
+    shortfall: float = 0.0
+    checks: list[FailureCheckResult] = field(default_factory=list)
+
+
+class PlanEvaluator:
+    """Check plans against the service expectations; compute cost.
+
+    Parameters
+    ----------
+    mode:
+        ``"vanilla"`` (per-flow commodities, full re-check),
+        ``"sa"`` (source aggregation, full re-check), or
+        ``"neuroplan"`` (source aggregation + stateful checking).
+    """
+
+    def __init__(self, instance: PlanningInstance, mode: str = "neuroplan"):
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        self.instance = instance
+        self.mode = mode
+        self.checker = FeasibilityChecker(
+            instance, aggregate=(mode != "vanilla")
+        )
+        self._stateful: StatefulFailureChecker | None = None
+        if mode == "neuroplan":
+            # The base (no-failure) case leads the sweep: site failures
+            # and CoS policies can exempt demand, so it is not implied
+            # by the failure scenarios.
+            self._stateful = StatefulFailureChecker(
+                self.checker, [None, *instance.failures]
+            )
+        self._required_cache: dict[str, "set[int] | None"] = {}
+        self.total_check_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Reliability policy
+    # ------------------------------------------------------------------
+    def required_flow_indices(self, failure_id: str) -> "set[int] | None":
+        """Flow indices that must be satisfied under ``failure_id``.
+
+        ``None`` means "all flows" (the fast path when no per-CoS policy
+        narrows the requirement).
+        """
+        if failure_id in self._required_cache:
+            return self._required_cache[failure_id]
+        policy = self.instance.policy
+        if not policy.cos_failure_sets:
+            self._required_cache[failure_id] = None
+            return None
+        required: set[int] = set()
+        for i, flow in enumerate(self.instance.traffic):
+            failure_ids = policy.required_failures(
+                flow.cos.name, self.instance.failure_ids
+            )
+            if failure_id in failure_ids:
+                required.add(i)
+        self._required_cache[failure_id] = required
+        return required
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def cost(self, capacities: dict[str, float]) -> float:
+        """Plan cost under the instance's cost model (Eq. 1)."""
+        return self.instance.cost_model.plan_cost(self.instance.network, capacities)
+
+    def evaluate(self, capacities: dict[str, float]) -> EvaluationResult:
+        """Check ``capacities`` against every required failure.
+
+        In ``neuroplan`` mode the check resumes from the stateful
+        cursor; in the other modes every scenario is checked.
+        """
+        start = time.perf_counter()
+        try:
+            if self._stateful is not None:
+                violation = self._stateful.check(
+                    capacities, self.required_flow_indices
+                )
+                if violation is not None:
+                    return EvaluationResult(
+                        feasible=False,
+                        cost=self.cost(capacities),
+                        violated_failure=violation.failure_id,
+                        shortfall=violation.shortfall,
+                        checks=[violation],
+                    )
+                return EvaluationResult(feasible=True, cost=self.cost(capacities))
+            return self._evaluate_all(capacities)
+        finally:
+            self.total_check_time += time.perf_counter() - start
+
+    def _evaluate_all(self, capacities: dict[str, float]) -> EvaluationResult:
+        checks: list[FailureCheckResult] = []
+        scenarios: list = [None, *self.instance.failures]
+        for failure in scenarios:
+            required = (
+                self.required_flow_indices(failure.id) if failure else None
+            )
+            result = self.checker.check(capacities, failure, required)
+            checks.append(result)
+            if not result.satisfied:
+                return EvaluationResult(
+                    feasible=False,
+                    cost=self.cost(capacities),
+                    violated_failure=result.failure_id,
+                    shortfall=result.shortfall,
+                    checks=checks,
+                )
+        return EvaluationResult(
+            feasible=True, cost=self.cost(capacities), checks=checks
+        )
+
+    def reset(self) -> None:
+        """Start a fresh trajectory (forget stateful progress)."""
+        if self._stateful is not None:
+            self._stateful.reset()
+
+    @property
+    def lp_solves(self) -> int:
+        """LP solves so far (the Fig. 7 instrumentation)."""
+        return self.checker.lp_solves

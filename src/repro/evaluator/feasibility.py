@@ -1,0 +1,211 @@
+"""Per-failure feasibility LP.
+
+The check "does capacity assignment C survive failure lambda?" is a
+multi-commodity max-served-demand LP (much simpler than the full
+planning ILP): route as much of the required demand as possible over
+the surviving links; the plan survives iff everything routes.
+
+One :class:`FeasibilityChecker` compiles the LP **once** per instance;
+every subsequent check only rewrites variable bounds and capacity-row
+RHS, so the compiled sparse matrix is reused across thousands of RL
+steps (Section 5's incremental-update optimization).
+
+Commodity granularity is the Fig. 7 knob:
+
+- ``aggregate=False`` (vanilla): one commodity per flow;
+- ``aggregate=True`` (source aggregation): one commodity per source.
+
+Both keep one *served* variable per flow so per-CoS reliability policies
+and site-failure exemptions stay expressible after aggregation.
+
+Site-failure semantics: flows whose source or destination site failed
+are exempt from the requirement (they cannot possibly be served), which
+matches production plan evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.solver import Model, Status, quicksum
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+
+_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class FailureCheckResult:
+    """Outcome of checking one failure scenario."""
+
+    failure_id: str
+    satisfied: bool
+    required_demand: float
+    served_demand: float
+
+    @property
+    def shortfall(self) -> float:
+        return max(0.0, self.required_demand - self.served_demand)
+
+
+class FeasibilityChecker:
+    """Reusable LP for checking a capacity assignment under failures."""
+
+    def __init__(self, instance: PlanningInstance, aggregate: bool = True):
+        self.instance = instance
+        self.aggregate = aggregate
+        self._lp_solves = 0
+        self._build_model()
+
+    # ------------------------------------------------------------------
+    # Model construction (once per instance)
+    # ------------------------------------------------------------------
+    def _build_model(self) -> None:
+        network = self.instance.network
+        flows = list(self.instance.traffic)
+        if self.aggregate:
+            commodity_of = {i: flow.src for i, flow in enumerate(flows)}
+            commodities = list(dict.fromkeys(commodity_of.values()))
+        else:
+            commodity_of = {i: i for i in range(len(flows))}
+            commodities = list(range(len(flows)))
+
+        model = Model(f"feasibility:{self.instance.name}")
+        link_ids = network.link_ids()
+
+        # Directed flow variables y[link, direction, commodity].
+        self._flow_vars = {}
+        for link_id in link_ids:
+            for direction in (0, 1):
+                for commodity in commodities:
+                    self._flow_vars[link_id, direction, commodity] = model.add_var(
+                        name=f"y:{link_id}:{direction}:{commodity}"
+                    )
+
+        # Served-demand variables, one per flow.
+        self._served_vars = [
+            model.add_var(ub=flow.demand, name=f"z:{i}")
+            for i, flow in enumerate(flows)
+        ]
+
+        # Flow conservation per (node, commodity).
+        out_terms: dict[tuple, list] = {}
+        in_terms: dict[tuple, list] = {}
+        for (link_id, direction, commodity), var in self._flow_vars.items():
+            link = network.get_link(link_id)
+            src, dst = (link.src, link.dst) if direction == 0 else (link.dst, link.src)
+            out_terms.setdefault((src, commodity), []).append(var)
+            in_terms.setdefault((dst, commodity), []).append(var)
+
+        for commodity in commodities:
+            source = (
+                commodity if self.aggregate else flows[commodity].src
+            )
+            for node in network.nodes:
+                balance = quicksum(out_terms.get((node, commodity), [])) - quicksum(
+                    in_terms.get((node, commodity), [])
+                )
+                generated = quicksum(
+                    self._served_vars[i]
+                    for i, flow in enumerate(flows)
+                    if commodity_of[i] == commodity and flow.src == node == source
+                )
+                absorbed = quicksum(
+                    self._served_vars[i]
+                    for i, flow in enumerate(flows)
+                    if commodity_of[i] == commodity and flow.dst == node
+                )
+                model.add_constr(
+                    balance == generated - absorbed,
+                    name=f"cons:{node}:{commodity}",
+                )
+
+        # Capacity per (link, direction): sum of commodities <= C_l.
+        self._capacity_constrs = {}
+        for link_id in link_ids:
+            for direction in (0, 1):
+                total = quicksum(
+                    self._flow_vars[link_id, direction, commodity]
+                    for commodity in commodities
+                )
+                self._capacity_constrs[link_id, direction] = model.add_constr(
+                    total <= network.get_link(link_id).capacity,
+                    name=f"cap:{link_id}:{direction}",
+                )
+
+        model.set_objective(quicksum(self._served_vars), sense="max")
+        self._model = model
+        self._flows = flows
+        self._commodities = commodities
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return self._model.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self._model.num_constraints
+
+    @property
+    def lp_solves(self) -> int:
+        """Total LP solves performed by this checker (instrumentation)."""
+        return self._lp_solves
+
+    def check(
+        self,
+        capacities: dict[str, float],
+        failure: FailureScenario | None = None,
+        required_flow_indices: "set[int] | None" = None,
+    ) -> FailureCheckResult:
+        """Check one failure (or the no-failure base case).
+
+        ``required_flow_indices`` restricts the requirement to a subset
+        of flows (reliability-policy filtering); flows outside it are
+        dropped entirely (served forced to 0), matching the policy's
+        "may be dropped under this failure" semantics.
+        """
+        network = self.instance.network
+        failed_links = (
+            failure.failed_link_ids(network) if failure is not None else frozenset()
+        )
+        failed_nodes = failure.nodes if failure is not None else frozenset()
+
+        # Capacity rows reflect surviving capacity.
+        for (link_id, direction), constr in self._capacity_constrs.items():
+            capacity = 0.0 if link_id in failed_links else capacities[link_id]
+            constr.set_rhs(ub=capacity)
+
+        # Serve bounds reflect exemptions.
+        required_demand = 0.0
+        for i, flow in enumerate(self._flows):
+            exempt = (
+                flow.src in failed_nodes
+                or flow.dst in failed_nodes
+                or (
+                    required_flow_indices is not None
+                    and i not in required_flow_indices
+                )
+            )
+            self._served_vars[i].set_bounds(ub=0.0 if exempt else flow.demand)
+            if not exempt:
+                required_demand += flow.demand
+
+        status = self._model.optimize()
+        self._lp_solves += 1
+        if status is not Status.OPTIMAL:
+            raise SolverError(
+                f"feasibility LP ended with {status} for failure "
+                f"{failure.id if failure else 'none'}"
+            )
+        served = self._model.objective_value
+        satisfied = served >= required_demand - _TOLERANCE
+        return FailureCheckResult(
+            failure_id=failure.id if failure is not None else "none",
+            satisfied=satisfied,
+            required_demand=required_demand,
+            served_demand=min(served, required_demand),
+        )

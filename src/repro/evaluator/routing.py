@@ -1,0 +1,183 @@
+"""Routing extraction: how the evaluator's LP actually carries traffic.
+
+The feasibility LP produces per-link, per-commodity flow values; this
+module decomposes them into explicit paths so operators can inspect a
+plan the way they inspect production routing (which links carry a flow,
+how traffic splits, utilization under a chosen failure).  It is the
+plan-verification half of the interpretability story: the report in
+:mod:`repro.core.report` explains the *capacities*, this explains the
+*traffic*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.evaluator.feasibility import FeasibilityChecker
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+
+_EPS = 1e-6
+
+
+@dataclass
+class PathFlow:
+    """One extracted path carrying part of a commodity."""
+
+    source: str
+    sink: str
+    gbps: float
+    nodes: tuple[str, ...]  # site sequence, source..sink
+    links: tuple[str, ...]  # link ids along the path
+
+
+@dataclass
+class RoutingSolution:
+    """All extracted paths plus per-link utilization."""
+
+    failure_id: str
+    paths: list[PathFlow] = field(default_factory=list)
+    link_utilization: dict = field(default_factory=dict)  # id -> (used, cap)
+
+    def paths_between(self, source: str, sink: str) -> list[PathFlow]:
+        return [p for p in self.paths if p.source == source and p.sink == sink]
+
+    def max_utilization(self) -> float:
+        """Highest used/capacity ratio across carrying links."""
+        worst = 0.0
+        for used, capacity in self.link_utilization.values():
+            if capacity > _EPS:
+                worst = max(worst, used / capacity)
+        return worst
+
+
+def extract_routing(
+    instance: PlanningInstance,
+    capacities: dict[str, float],
+    failure: FailureScenario | None = None,
+) -> RoutingSolution:
+    """Solve the feasibility LP and decompose flows into paths.
+
+    Raises :class:`SolverError` if the plan does not fully serve the
+    required demand under ``failure`` (routing an infeasible plan is
+    ambiguous; check feasibility first).
+    """
+    checker = FeasibilityChecker(instance, aggregate=True)
+    result = checker.check(capacities, failure)
+    if not result.satisfied:
+        raise SolverError(
+            f"plan does not satisfy demand under "
+            f"{failure.id if failure else 'no failure'} "
+            f"(shortfall {result.shortfall:.1f} Gbps); cannot extract routing"
+        )
+
+    network = instance.network
+    solution = RoutingSolution(failure_id=failure.id if failure else "none")
+
+    # Residual per-commodity directed link flows from the LP solution.
+    residual: dict[str, dict[tuple, float]] = {}
+    for (link_id, direction, commodity), var in checker._flow_vars.items():
+        value = var.x
+        if value <= _EPS:
+            continue
+        link = network.get_link(link_id)
+        a, b = (link.src, link.dst) if direction == 0 else (link.dst, link.src)
+        residual.setdefault(commodity, {})[(a, b, link_id)] = value
+
+    # Served demand per (source, sink).
+    served: dict[tuple, float] = {}
+    for i, flow in enumerate(checker._flows):
+        value = checker._served_vars[i].x
+        if value > _EPS:
+            key = (flow.src, flow.dst)
+            served[key] = served.get(key, 0.0) + value
+
+    # Standard flow-path decomposition, per commodity and sink.
+    for (source, sink), demand in sorted(served.items()):
+        remaining = demand
+        edges = residual.get(source, {})
+        guard = 0
+        while remaining > _EPS and guard < 10_000:
+            guard += 1
+            path = _find_path(edges, source, sink)
+            if path is None:
+                break
+            bottleneck = min(edges[e] for e in path)
+            amount = min(bottleneck, remaining)
+            for edge in path:
+                edges[edge] -= amount
+                if edges[edge] <= _EPS:
+                    del edges[edge]
+            solution.paths.append(
+                PathFlow(
+                    source=source,
+                    sink=sink,
+                    gbps=amount,
+                    nodes=(source, *(e[1] for e in path)),
+                    links=tuple(e[2] for e in path),
+                )
+            )
+            remaining -= amount
+
+    # Per-link utilization (both directions summed against one capacity
+    # per direction; report the max direction).
+    usage: dict[str, dict[int, float]] = {}
+    for (link_id, direction, _), var in checker._flow_vars.items():
+        value = var.x
+        if value > _EPS:
+            usage.setdefault(link_id, {0: 0.0, 1: 0.0})[direction] += value
+    failed = failure.failed_link_ids(network) if failure else frozenset()
+    for link_id, directions in usage.items():
+        capacity = 0.0 if link_id in failed else capacities[link_id]
+        solution.link_utilization[link_id] = (
+            max(directions.values()),
+            capacity,
+        )
+    return solution
+
+
+def _find_path(edges: dict, source: str, sink: str):
+    """BFS a directed path from source to sink over residual edges."""
+    adjacency: dict[str, list[tuple]] = {}
+    for (a, b, link_id), value in edges.items():
+        if value > _EPS:
+            adjacency.setdefault(a, []).append((a, b, link_id))
+    parents: dict[str, tuple] = {}
+    frontier = [source]
+    visited = {source}
+    while frontier:
+        node = frontier.pop(0)
+        if node == sink:
+            break
+        for edge in adjacency.get(node, []):
+            if edge[1] not in visited:
+                visited.add(edge[1])
+                parents[edge[1]] = edge
+                frontier.append(edge[1])
+    if sink not in visited:
+        return None
+    path = []
+    node = sink
+    while node != source:
+        edge = parents[node]
+        path.append(edge)
+        node = edge[0]
+    path.reverse()
+    return path
+
+
+def routing_report(solution: RoutingSolution, top: int = 10) -> str:
+    """Human-readable routing summary."""
+    lines = [
+        f"Routing under failure: {solution.failure_id}",
+        f"paths: {len(solution.paths)}, "
+        f"max link utilization: {solution.max_utilization():.0%}",
+        "",
+        f"{'flow':<30}{'Gbps':>9}  path",
+    ]
+    biggest = sorted(solution.paths, key=lambda p: -p.gbps)[:top]
+    for path in biggest:
+        route = "-".join(path.nodes)
+        lines.append(f"{path.source}->{path.sink:<25}{path.gbps:>9,.0f}  {route}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The experiment harness: one module per table/figure in the paper.
+
+Every evaluation artifact of Section 6 has a ``run_*`` function here
+that returns structured rows and can print the same series the paper
+plots.  The ``benchmarks/`` directory wraps these with pytest-benchmark;
+the CLI and examples reuse them directly.
+
+Scaling: the paper trains for 1024 epochs on GPU instances; the
+``quick`` profile (default for benchmarks) shrinks topologies and epoch
+budgets so every figure regenerates in minutes on CPU while preserving
+orderings.  The ``full`` profile approaches paper scale and is exposed
+through each ``run_*`` function's ``profile`` argument.
+"""
+
+from repro.experiments.scaling import PROFILES, ExperimentProfile, get_profile
+from repro.experiments import (
+    fig7_efficiency,
+    fig8_optimality,
+    fig9_scalability,
+    fig10_gnn_layers,
+    fig11_mlp_hidden,
+    fig12_capacity_units,
+    fig13_relax_factor,
+    summary,
+)
+
+__all__ = [
+    "summary",
+    "PROFILES",
+    "ExperimentProfile",
+    "get_profile",
+    "fig7_efficiency",
+    "fig8_optimality",
+    "fig9_scalability",
+    "fig10_gnn_layers",
+    "fig11_mlp_hidden",
+    "fig12_capacity_units",
+    "fig13_relax_factor",
+]

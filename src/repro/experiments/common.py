@@ -1,0 +1,59 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from repro.core.neuroplan import NeuroPlanConfig
+from repro.experiments.scaling import ExperimentProfile
+from repro.topology import generators
+from repro.topology.instance import PlanningInstance
+
+
+def make_band_instance(
+    band: str, profile: ExperimentProfile, horizon: str = "short"
+) -> PlanningInstance:
+    """Build one topology band at the profile's scale."""
+    return generators.make_instance(
+        band, seed=profile.seed, scale=profile.scale_of(band), horizon=horizon
+    )
+
+
+def neuroplan_config(
+    profile: ExperimentProfile,
+    relax_factor: float = 1.5,
+    **overrides,
+) -> NeuroPlanConfig:
+    """A NeuroPlan config derived from a profile (override freely)."""
+    base = dict(
+        relax_factor=relax_factor,
+        epochs=profile.epochs,
+        steps_per_epoch=profile.steps_per_epoch,
+        max_trajectory_length=profile.max_trajectory_length,
+        max_units_per_step=profile.max_units_per_step,
+        ilp_time_limit=profile.ilp_time_limit,
+        seed=profile.seed,
+    )
+    base.update(overrides)
+    return NeuroPlanConfig(**base)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a fixed-width table (the harness's figure output)."""
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(col[i])) for col in columns) for i in range(len(headers))
+    ]
+    print(f"\n{title}")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    if cell is None:
+        return "x"  # the paper's cross marker
+    return str(cell)

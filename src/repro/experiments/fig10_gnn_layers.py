@@ -1,0 +1,96 @@
+"""Figure 10: impact of the number of GNN layers on First-stage cost.
+
+On A-0, A-0.5 and A-1 the paper sweeps 0/2/4 GNN layers.  Expected
+shape: with 0 layers (MLP on unpropagated features) the agent converges
+only on the easiest variant (A-1, which starts at full production
+capacity); 2 and 4 layers converge everywhere with similar cost.
+Crosses mark non-convergence -- here, "no feasible plan sampled" or a
+first-stage cost drastically worse than the converged runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import make_band_instance, print_table
+from repro.experiments.scaling import get_profile
+from repro.planning.ilp_planner import ILPPlanner
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+
+LAYER_CHOICES = (0, 2, 4)
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+@dataclass
+class Fig10Row:
+    variant: str
+    gnn_layers: int
+    converged: bool
+    first_stage_cost: "float | None"
+    normalized_cost: "float | None"  # vs the ILP optimum
+
+
+def run(
+    profile="quick",
+    layer_choices=LAYER_CHOICES,
+    fractions=FRACTIONS,
+    verbose: bool = True,
+) -> list[Fig10Row]:
+    """Regenerate Fig. 10's series."""
+    profile = get_profile(profile)
+    base = make_band_instance("A", profile)
+    ilp = ILPPlanner(time_limit=profile.ilp_time_limit * 2)
+    rows: list[Fig10Row] = []
+    for fraction in fractions:
+        instance = base.scaled_initial_capacity(fraction)
+        optimum = ilp.plan(instance).plan.cost(instance)
+        for layers in layer_choices:
+            config = AgentConfig(
+                max_units_per_step=profile.max_units_per_step,
+                max_steps=profile.max_trajectory_length,
+                gnn_layers=layers,
+                a2c=A2CConfig(
+                    epochs=profile.epochs,
+                    steps_per_epoch=profile.steps_per_epoch,
+                    max_trajectory_length=profile.max_trajectory_length,
+                    seed=profile.seed,
+                ),
+            )
+            agent = NeuroPlanAgent(instance, config)
+            result = agent.train()
+            converged = result.best_capacities is not None
+            cost = result.best_cost if converged else None
+            rows.append(
+                Fig10Row(
+                    variant=instance.name,
+                    gnn_layers=layers,
+                    converged=converged,
+                    first_stage_cost=cost,
+                    normalized_cost=None if cost is None else cost / optimum,
+                )
+            )
+    if verbose:
+        print_table(
+            "Figure 10: First-stage cost vs GNN layers "
+            "(normalized to optimum; x = no convergence)",
+            ["variant", "layers", "converged", "normalized"],
+            [
+                [r.variant, r.gnn_layers, r.converged, r.normalized_cost]
+                for r in rows
+            ],
+        )
+    return rows
+
+
+def expected_shape(rows: list[Fig10Row]) -> list[str]:
+    """GNN-bearing agents must converge on every variant."""
+    problems = []
+    for row in rows:
+        if row.gnn_layers > 0 and not row.converged:
+            problems.append(
+                f"{row.variant}: {row.gnn_layers}-layer agent did not converge"
+            )
+        if row.normalized_cost is not None and row.normalized_cost < 1.0 - 1e-6:
+            problems.append(f"{row.variant}: first stage beat the optimum")
+    return problems

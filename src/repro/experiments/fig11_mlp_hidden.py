@@ -1,0 +1,114 @@
+"""Figure 11: impact of the MLP hidden size.
+
+(a) First-stage cost on A-0 / A-0.5 / A-1 for hidden sizes 16x16 up to
+512x512 -- the paper finds all sizes converge to similar cost.
+(b) epoch reward vs epochs on A-1 -- larger MLPs converge faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import make_band_instance, print_table
+from repro.experiments.scaling import get_profile
+from repro.planning.ilp_planner import ILPPlanner
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+
+HIDDEN_CHOICES = ((16, 16), (64, 64), (256, 256), (512, 512))
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+@dataclass
+class Fig11Row:
+    variant: str
+    hidden: tuple
+    converged: bool
+    normalized_cost: "float | None"
+    epoch_rewards: list  # the Fig. 11(b) curve
+
+
+def _train(instance, profile, hidden) -> tuple:
+    config = AgentConfig(
+        max_units_per_step=profile.max_units_per_step,
+        max_steps=profile.max_trajectory_length,
+        mlp_hidden=hidden,
+        a2c=A2CConfig(
+            epochs=profile.epochs,
+            steps_per_epoch=profile.steps_per_epoch,
+            max_trajectory_length=profile.max_trajectory_length,
+            seed=profile.seed,
+        ),
+    )
+    agent = NeuroPlanAgent(instance, config)
+    result = agent.train()
+    return result.best_capacities is not None, result
+
+
+def run(
+    profile="quick",
+    hidden_choices=HIDDEN_CHOICES,
+    fractions=FRACTIONS,
+    verbose: bool = True,
+) -> list[Fig11Row]:
+    """Regenerate Fig. 11 (both panels)."""
+    profile = get_profile(profile)
+    base = make_band_instance("A", profile)
+    ilp = ILPPlanner(time_limit=profile.ilp_time_limit * 2)
+    rows: list[Fig11Row] = []
+    for fraction in fractions:
+        instance = base.scaled_initial_capacity(fraction)
+        optimum = ilp.plan(instance).plan.cost(instance)
+        for hidden in hidden_choices:
+            converged, result = _train(instance, profile, hidden)
+            cost = result.best_cost if converged else None
+            rows.append(
+                Fig11Row(
+                    variant=instance.name,
+                    hidden=hidden,
+                    converged=converged,
+                    normalized_cost=None if cost is None else cost / optimum,
+                    epoch_rewards=result.epoch_rewards,
+                )
+            )
+    if verbose:
+        print_table(
+            "Figure 11(a): First-stage cost vs MLP hidden size "
+            "(normalized to optimum)",
+            ["variant", "hidden", "converged", "normalized"],
+            [
+                [r.variant, "x".join(map(str, r.hidden)), r.converged,
+                 r.normalized_cost]
+                for r in rows
+            ],
+        )
+        a1_rows = [r for r in rows if r.variant.endswith("-1")]
+        if a1_rows:
+            print_table(
+                "Figure 11(b): epoch reward vs epochs on A-1",
+                ["hidden", *[f"ep{i}" for i in range(len(a1_rows[0].epoch_rewards))]],
+                [
+                    ["x".join(map(str, r.hidden)), *r.epoch_rewards]
+                    for r in a1_rows
+                ],
+            )
+    return rows
+
+
+def expected_shape(rows: list[Fig11Row]) -> list[str]:
+    """All hidden sizes converge to similar (near-optimal-ish) cost."""
+    problems = []
+    by_variant: dict[str, list[Fig11Row]] = {}
+    for row in rows:
+        by_variant.setdefault(row.variant, []).append(row)
+    for variant, group in by_variant.items():
+        costs = [r.normalized_cost for r in group if r.normalized_cost]
+        if not costs:
+            problems.append(f"{variant}: nothing converged")
+            continue
+        if max(costs) > min(costs) * 2.0:
+            problems.append(
+                f"{variant}: hidden sizes disagree wildly "
+                f"({min(costs):.2f}..{max(costs):.2f})"
+            )
+    return problems

@@ -1,0 +1,107 @@
+"""Figure 13: impact of the relax factor alpha.
+
+Per topology A-E and alpha in {1, 1.25, 1.5}, report the NeuroPlan
+(second stage) cost normalized to the First-stage cost.  Expected
+shape: the second stage barely helps on A (the RL plan is already near
+optimal there) and finds up to ~46% improvements on bigger topologies;
+larger alpha never hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.neuroplan import NeuroPlan
+from repro.experiments.common import (
+    make_band_instance,
+    neuroplan_config,
+    print_table,
+)
+from repro.experiments.scaling import get_profile
+
+ALPHAS = (1.0, 1.25, 1.5)
+
+
+@dataclass
+class Fig13Row:
+    topology: str
+    alpha: float
+    first_stage_cost: float
+    neuroplan_cost: float
+
+    @property
+    def normalized(self) -> float:
+        """NeuroPlan cost / First-stage cost (the Fig. 13 y-axis)."""
+        return self.neuroplan_cost / self.first_stage_cost
+
+
+def run(
+    profile="quick",
+    bands: "list[str] | None" = None,
+    alphas=ALPHAS,
+    verbose: bool = True,
+) -> list[Fig13Row]:
+    """Regenerate Fig. 13's series.
+
+    The first stage is trained once per topology; each alpha re-runs
+    only the second stage against the same first-stage plan (exactly how
+    the knob is used operationally).
+    """
+    profile = get_profile(profile)
+    bands = bands or ["A", "B", "C", "D", "E"]
+    rows: list[Fig13Row] = []
+    for band in bands:
+        instance = make_band_instance(band, profile)
+        planner = NeuroPlan(neuroplan_config(profile))
+        first_stage, _, _ = planner.first_stage(instance)
+        first_cost = first_stage.cost(instance)
+        for alpha in alphas:
+            planner.config.relax_factor = alpha
+            final, _, _ = planner.second_stage(instance, first_stage)
+            rows.append(
+                Fig13Row(
+                    topology=band,
+                    alpha=alpha,
+                    first_stage_cost=first_cost,
+                    neuroplan_cost=final.cost(instance),
+                )
+            )
+    if verbose:
+        print_table(
+            "Figure 13: NeuroPlan cost normalized to First-stage, per alpha",
+            ["topology", *[f"alpha={a:g}" for a in alphas]],
+            [
+                [band]
+                + [
+                    next(
+                        r.normalized
+                        for r in rows
+                        if r.topology == band and r.alpha == alpha
+                    )
+                    for alpha in alphas
+                ]
+                for band in bands
+            ],
+        )
+    return rows
+
+
+def expected_shape(rows: list[Fig13Row]) -> list[str]:
+    """Second stage never hurts; larger alpha never hurts."""
+    problems = []
+    by_band: dict[str, list[Fig13Row]] = {}
+    for row in rows:
+        by_band.setdefault(row.topology, []).append(row)
+    for band, group in by_band.items():
+        group.sort(key=lambda r: r.alpha)
+        for row in group:
+            if row.normalized > 1.0 + 1e-6:
+                problems.append(
+                    f"{band} alpha={row.alpha}: second stage made it worse"
+                )
+        for earlier, later in zip(group, group[1:]):
+            if later.neuroplan_cost > earlier.neuroplan_cost + 1e-6:
+                problems.append(
+                    f"{band}: alpha={later.alpha} worse than {earlier.alpha}"
+                )
+    return problems

@@ -1,0 +1,151 @@
+"""Figure 7: plan-evaluator efficiency (Vanilla vs SA vs NeuroPlan).
+
+The paper measures the average evaluator running time over 10 training
+epochs per topology and normalizes by NeuroPlan's time; Vanilla entries
+beyond 2 hours are omitted (crosses).  Here the evaluator workload is
+replayed deterministically: a fixed capacity-growth trajectory (greedy
+additions toward feasibility) is evaluated step by step with each
+implementation, which is exactly the evaluator call pattern of
+training, minus the (identical across modes) neural-network time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluator import PlanEvaluator
+from repro.experiments.common import make_band_instance, print_table
+from repro.experiments.scaling import get_profile
+from repro.seeding import as_generator
+from repro.topology.instance import PlanningInstance
+
+MODES = ("vanilla", "sa", "neuroplan")
+
+
+@dataclass
+class Fig7Row:
+    topology: str
+    mode: str
+    seconds: "float | None"  # None = omitted (over budget)
+    normalized: "float | None"
+    lp_solves: int
+
+
+def capacity_trajectory(
+    instance: PlanningInstance, rng_seed: int = 0, max_steps: int = 200
+) -> list[dict]:
+    """A deterministic add-capacity trajectory toward feasibility.
+
+    Uses one (stateful, aggregated) evaluator to find each violated
+    failure and a simple rule -- add one unit to every failed/loaded
+    link incident to the shortfall -- so the trajectory terminates
+    feasible; all three modes then replay identical capacity sequences.
+    """
+    rng = as_generator(rng_seed)
+    evaluator = PlanEvaluator(instance, mode="neuroplan")
+    capacities = instance.network.capacities()
+    trajectory = [dict(capacities)]
+    link_ids = list(instance.network.links)
+    for _ in range(max_steps):
+        result = evaluator.evaluate(capacities)
+        if result.feasible:
+            break
+        # Add a unit to a few random links plus every link that survived
+        # the violated failure (helps reroute around it).
+        picks = set(rng.choice(len(link_ids), size=3, replace=False))
+        for index in picks:
+            link_id = link_ids[index]
+            headroom = instance.network.link_capacity_headroom(
+                link_id, capacities
+            )
+            if headroom >= instance.capacity_unit:
+                capacities[link_id] += instance.capacity_unit
+        trajectory.append(dict(capacities))
+    return trajectory
+
+
+def replay(
+    instance: PlanningInstance,
+    trajectory: list[dict],
+    mode: str,
+    time_budget: float,
+) -> "tuple[float | None, int]":
+    """Evaluate every trajectory step with one mode; None if over budget."""
+    evaluator = PlanEvaluator(instance, mode=mode)
+    start = time.perf_counter()
+    for capacities in trajectory:
+        evaluator.evaluate(capacities)
+        if time.perf_counter() - start > time_budget:
+            return None, evaluator.lp_solves
+    return time.perf_counter() - start, evaluator.lp_solves
+
+
+def run(
+    profile="quick",
+    bands: "list[str] | None" = None,
+    verbose: bool = True,
+) -> list[Fig7Row]:
+    """Regenerate Fig. 7's series."""
+    profile = get_profile(profile)
+    bands = bands or ["A", "B", "C", "D", "E"]
+    rows: list[Fig7Row] = []
+    for band in bands:
+        instance = make_band_instance(band, profile)
+        trajectory = capacity_trajectory(instance, rng_seed=profile.seed)
+        results: dict[str, "float | None"] = {}
+        solves: dict[str, int] = {}
+        for mode in MODES:
+            seconds, lp_solves = replay(
+                instance, trajectory, mode, profile.vanilla_time_budget
+            )
+            results[mode] = seconds
+            solves[mode] = lp_solves
+        baseline = results["neuroplan"]
+        for mode in MODES:
+            seconds = results[mode]
+            normalized = (
+                seconds / baseline
+                if seconds is not None and baseline
+                else None
+            )
+            rows.append(
+                Fig7Row(
+                    topology=band,
+                    mode=mode,
+                    seconds=seconds,
+                    normalized=normalized,
+                    lp_solves=solves[mode],
+                )
+            )
+    if verbose:
+        print_table(
+            "Figure 7: evaluator running time (normalized to NeuroPlan; x = omitted)",
+            ["topology", "mode", "seconds", "normalized", "lp_solves"],
+            [[r.topology, r.mode, r.seconds, r.normalized, r.lp_solves] for r in rows],
+        )
+    return rows
+
+
+def expected_shape(rows: list[Fig7Row]) -> list[str]:
+    """Check the paper's qualitative claims; return violations (empty = ok)."""
+    problems = []
+    by_key = {(r.topology, r.mode): r for r in rows}
+    for band in {r.topology for r in rows}:
+        vanilla = by_key[band, "vanilla"]
+        sa = by_key[band, "sa"]
+        neuroplan = by_key[band, "neuroplan"]
+        if neuroplan.seconds is None:
+            problems.append(f"{band}: neuroplan over budget")
+            continue
+        if sa.seconds is not None and sa.seconds < neuroplan.seconds * 0.9:
+            problems.append(f"{band}: stateful checking did not help")
+        if (
+            vanilla.seconds is not None
+            and sa.seconds is not None
+            and vanilla.seconds < sa.seconds * 0.9
+        ):
+            problems.append(f"{band}: source aggregation did not help")
+    return problems

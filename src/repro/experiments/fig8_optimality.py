@@ -1,0 +1,93 @@
+"""Figure 8: optimality for small-scale problems.
+
+The paper varies topology A's starting capacities (A-0, A-0.25, A-0.5,
+A-0.75, A-1 -- the fraction of the production capacity each link starts
+with), sets the relax factor to 2, and compares *First-stage* and
+*NeuroPlan* costs normalized to the *ILP* optimum (1.0).  Expected
+shape: First-stage within ~1.3x of optimal even from scratch (A-0), and
+NeuroPlan within ~1.02x after the second stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.neuroplan import NeuroPlan
+from repro.experiments.common import (
+    make_band_instance,
+    neuroplan_config,
+    print_table,
+)
+from repro.experiments.scaling import get_profile
+from repro.planning.ilp_planner import ILPPlanner
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+RELAX_FACTOR = 2.0
+
+
+@dataclass
+class Fig8Row:
+    variant: str
+    ilp_cost: float
+    first_stage_cost: float
+    neuroplan_cost: float
+
+    @property
+    def first_stage_normalized(self) -> float:
+        return self.first_stage_cost / self.ilp_cost
+
+    @property
+    def neuroplan_normalized(self) -> float:
+        return self.neuroplan_cost / self.ilp_cost
+
+
+def run(
+    profile="quick",
+    fractions=FRACTIONS,
+    verbose: bool = True,
+) -> list[Fig8Row]:
+    """Regenerate Fig. 8's series."""
+    profile = get_profile(profile)
+    base = make_band_instance("A", profile)
+    planner = NeuroPlan(neuroplan_config(profile, relax_factor=RELAX_FACTOR))
+    ilp = ILPPlanner(time_limit=profile.ilp_time_limit * 2)
+
+    rows: list[Fig8Row] = []
+    for fraction in fractions:
+        instance = base.scaled_initial_capacity(fraction)
+        optimum = ilp.plan(instance).plan.cost(instance)
+        result = planner.plan(instance)
+        rows.append(
+            Fig8Row(
+                variant=instance.name,
+                ilp_cost=optimum,
+                first_stage_cost=result.first_stage_cost,
+                neuroplan_cost=result.final_cost,
+            )
+        )
+    if verbose:
+        print_table(
+            "Figure 8: cost normalized to ILP optimum (alpha=2)",
+            ["variant", "ILP", "First-stage", "NeuroPlan"],
+            [
+                [r.variant, 1.0, r.first_stage_normalized, r.neuroplan_normalized]
+                for r in rows
+            ],
+        )
+    return rows
+
+
+def expected_shape(rows: list[Fig8Row]) -> list[str]:
+    """The paper's qualitative claims for Fig. 8."""
+    problems = []
+    for row in rows:
+        if row.neuroplan_normalized < 1.0 - 1e-6:
+            problems.append(f"{row.variant}: beat the ILP optimum (impossible)")
+        if row.neuroplan_normalized > row.first_stage_normalized + 1e-6:
+            problems.append(f"{row.variant}: second stage made things worse")
+        if row.neuroplan_normalized > 1.25:
+            problems.append(
+                f"{row.variant}: NeuroPlan {row.neuroplan_normalized:.2f}x "
+                "is far from optimal"
+            )
+    return problems

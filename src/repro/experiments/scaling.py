@@ -1,0 +1,77 @@
+"""Scale profiles for the experiment harness.
+
+``quick`` keeps every figure regenerable in minutes on a CPU-only
+machine; ``full`` approaches the paper's scale (hours).  Both use the
+same code paths -- only topology scale factors, epoch budgets, and time
+limits differ, so the quick profile preserves orderings and approximate
+ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Knobs shared by all experiments at one fidelity level."""
+
+    name: str
+    topology_scale: dict = field(default_factory=dict)  # band -> scale
+    epochs: int = 8
+    steps_per_epoch: int = 256
+    max_trajectory_length: int = 96
+    max_units_per_step: int = 2
+    ilp_time_limit: float = 90.0
+    vanilla_time_budget: float = 60.0  # Fig. 7 omission threshold
+    seed: int = 0
+
+    def scale_of(self, band: str) -> float:
+        return self.topology_scale.get(band, 1.0)
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick",
+        topology_scale={"A": 0.7, "B": 0.5, "C": 0.35, "D": 0.25, "E": 0.2},
+        epochs=6,
+        steps_per_epoch=256,
+        max_trajectory_length=128,
+        max_units_per_step=2,
+        ilp_time_limit=60.0,
+        vanilla_time_budget=45.0,
+    ),
+    "standard": ExperimentProfile(
+        name="standard",
+        topology_scale={"A": 1.0, "B": 0.8, "C": 0.6, "D": 0.45, "E": 0.35},
+        epochs=48,
+        steps_per_epoch=1024,
+        max_trajectory_length=512,
+        max_units_per_step=4,
+        ilp_time_limit=300.0,
+        vanilla_time_budget=600.0,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        topology_scale={},  # paper-scale bands
+        epochs=1024,
+        steps_per_epoch=4096,
+        max_trajectory_length=4096,
+        max_units_per_step=4,
+        ilp_time_limit=3600.0 * 4,
+        vanilla_time_budget=7200.0,
+    ),
+}
+
+
+def get_profile(profile: "str | ExperimentProfile") -> ExperimentProfile:
+    if isinstance(profile, ExperimentProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise ConfigError(
+            f"unknown profile {profile!r}; options: {sorted(PROFILES)}"
+        ) from None

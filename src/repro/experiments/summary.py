@@ -1,0 +1,150 @@
+"""Render saved benchmark results into paper-vs-measured tables.
+
+Every ``benchmarks/bench_*.py`` run saves machine-readable rows under
+``benchmarks/results/``.  :func:`summarize_results` turns that
+directory into the markdown tables EXPERIMENTS.md embeds, so the
+document can be refreshed from a fresh benchmark run instead of being
+edited by hand::
+
+    python -c "from repro.experiments.summary import summarize_results; \
+               print(summarize_results('benchmarks/results'))"
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+def _load(results_dir: "str | pathlib.Path", figure: str):
+    path = pathlib.Path(results_dir) / f"{figure}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _markdown_table(headers: list[str], rows: list[list]) -> str:
+    def fmt(cell) -> str:
+        if cell is None:
+            return "x"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def fig7_table(rows: list[dict]) -> str:
+    bands = list(dict.fromkeys(r["topology"] for r in rows))
+    by_key = {(r["topology"], r["mode"]): r for r in rows}
+    body = [
+        [
+            band,
+            by_key[band, "vanilla"]["normalized"],
+            by_key[band, "sa"]["normalized"],
+            by_key[band, "neuroplan"]["normalized"],
+        ]
+        for band in bands
+    ]
+    return _markdown_table(["topology", "Vanilla", "SA", "NeuroPlan"], body)
+
+
+def fig8_table(rows: list[dict]) -> str:
+    body = [
+        [
+            r["variant"],
+            r["first_stage_cost"] / r["ilp_cost"],
+            r["neuroplan_cost"] / r["ilp_cost"],
+        ]
+        for r in rows
+    ]
+    return _markdown_table(["variant", "First-stage", "NeuroPlan"], body)
+
+
+def fig9_table(rows: list[dict]) -> str:
+    body = []
+    for r in rows:
+        norm = r["ilp_heur_cost"]
+        ilp = r["ilp_cost"] / norm if r["ilp_cost"] is not None else None
+        body.append(
+            [
+                r["topology"],
+                r["first_stage_cost"] / norm,
+                r["neuroplan_cost"] / norm,
+                1.0,
+                ilp,
+            ]
+        )
+    return _markdown_table(
+        ["topology", "First-stage", "NeuroPlan", "ILP-heur", "ILP"], body
+    )
+
+
+def _sweep_table(rows: list[dict], key: str, label: str) -> str:
+    variants = list(dict.fromkeys(r["variant"] for r in rows))
+    choices = list(dict.fromkeys(str(r[key]) for r in rows))
+    by_key = {(r["variant"], str(r[key])): r for r in rows}
+    body = [
+        [variant]
+        + [by_key[variant, choice].get("normalized_cost") for choice in choices]
+        for variant in variants
+    ]
+    return _markdown_table(["variant", *[f"{label}={c}" for c in choices]], body)
+
+
+def fig13_table(rows: list[dict]) -> str:
+    bands = list(dict.fromkeys(r["topology"] for r in rows))
+    alphas = list(dict.fromkeys(r["alpha"] for r in rows))
+    by_key = {(r["topology"], r["alpha"]): r for r in rows}
+    body = [
+        [band]
+        + [
+            by_key[band, alpha]["neuroplan_cost"]
+            / by_key[band, alpha]["first_stage_cost"]
+            for alpha in alphas
+        ]
+        for band in bands
+    ]
+    return _markdown_table(
+        ["topology", *[f"alpha={a:g}" for a in alphas]], body
+    )
+
+
+def summarize_results(results_dir: "str | pathlib.Path") -> str:
+    """One markdown document covering every saved figure."""
+    sections: list[str] = ["# Measured results\n"]
+    renderers = [
+        ("fig7", "Figure 7 (runtime normalized to NeuroPlan)", fig7_table),
+        ("fig8", "Figure 8 (cost normalized to ILP optimum)", fig8_table),
+        ("fig9", "Figure 9 (cost normalized to ILP-heur)", fig9_table),
+        (
+            "fig10",
+            "Figure 10 (First-stage cost vs GNN layers)",
+            lambda rows: _sweep_table(rows, "gnn_layers", "layers"),
+        ),
+        (
+            "fig11",
+            "Figure 11 (First-stage cost vs MLP hidden size)",
+            lambda rows: _sweep_table(rows, "hidden", "hidden"),
+        ),
+        (
+            "fig12",
+            "Figure 12 (First-stage cost vs max units/step)",
+            lambda rows: _sweep_table(rows, "max_units", "units"),
+        ),
+        ("fig13", "Figure 13 (NeuroPlan / First-stage per alpha)", fig13_table),
+    ]
+    for figure, title, renderer in renderers:
+        rows = _load(results_dir, figure)
+        if rows is None:
+            continue
+        sections.append(f"## {title}\n")
+        sections.append(renderer(rows))
+        sections.append("")
+    return "\n".join(sections)

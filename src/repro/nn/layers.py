@@ -1,0 +1,164 @@
+"""Dense layers: Linear, activation modules, Sequential and MLP.
+
+The paper's actor and critic are plain MLPs over the pooled graph
+embedding (Fig. 6); :class:`MLP` reproduces the SpinningUp convention of
+a hidden-size tuple plus output size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NNError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.seeding import as_generator
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    ``x`` may be 1-D (a single example) or 2-D (a batch of rows).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise NNError("Linear features must be positive")
+        rng = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        if features <= 0:
+            raise NNError("LayerNorm features must be positive")
+        self.features = features
+        self.eps = eps
+        self.scale = Parameter(np.ones(features))
+        self.shift = Parameter(np.zeros(features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / ((variance + self.eps) ** 0.5)
+        return normalized * self.scale + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: "int | np.random.Generator | None" = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise NNError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._ordered.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh, "identity": Identity}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise NNError(f"unknown activation {name!r}; options: {sorted(_ACTIVATIONS)}")
+
+
+class MLP(Module):
+    """Multilayer perceptron with a configurable hidden-size tuple.
+
+    ``MLP(in, (64, 64), out)`` builds ``in -> 64 -> 64 -> out`` with the
+    chosen hidden activation and a linear output layer, matching the
+    actor/critic heads in the paper (Table 2 sweeps 64x64 .. 512x512).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        rng = as_generator(rng)
+        sizes = [in_features, *hidden_sizes, out_features]
+        layers: list[Module] = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+            if i < len(sizes) - 2:
+                layers.append(make_activation(activation))
+        self.body = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden_sizes = tuple(hidden_sizes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)

@@ -1,0 +1,25 @@
+"""Checkpointing: save/load a Module's state dict as a ``.npz`` file."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import NNError
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: "str | os.PathLike") -> None:
+    """Write ``module``'s parameters to ``path`` (numpy ``.npz``)."""
+    state = module.state_dict()
+    if not state:
+        raise NNError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_state_dict(module: Module, path: "str | os.PathLike") -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,51 @@
+"""Planning formulation and baselines.
+
+- :mod:`repro.planning.plan` -- the :class:`NetworkPlan` result object.
+- :mod:`repro.planning.formulation` -- the Eq. 1-5 ILP builder (shared
+  by every ILP-based planner).
+- :mod:`repro.planning.ilp_planner` -- the *ILP* baseline: solve the
+  full formulation directly.
+- :mod:`repro.planning.greedy` -- the worst-case shortest-path greedy
+  planner (warm starts + a sanity baseline).
+- :mod:`repro.planning.heuristics` / :mod:`repro.planning.ilp_heur_planner`
+  -- the *ILP-heur* baseline: the hand-tuned heuristic families of
+  Section 3.2 (failure selection, topology transformation,
+  decomposition, warm start) wrapped around the ILP.
+- :mod:`repro.planning.pruning` -- the relax-factor capacity caps that
+  NeuroPlan's second stage feeds to the ILP (Section 4.3).
+"""
+
+from repro.planning.plan import NetworkPlan
+from repro.planning.formulation import PlanningILP, effective_demands
+from repro.planning.ilp_planner import ILPPlanner, PlannerOutcome
+from repro.planning.greedy import GreedyPlanner, worst_case_load
+from repro.planning.ilp_heur_planner import ILPHeurPlanner, HeuristicConfig
+from repro.planning.decomposition_planner import DecompositionPlanner
+from repro.planning.tunnel_formulation import (
+    TunnelPlanner,
+    TunnelPlanningILP,
+    candidate_tunnels,
+)
+from repro.planning.pruning import capacity_caps_from_plan
+from repro.planning.workorder import WorkItem, WorkOrder, build_work_order, render_work_order
+
+__all__ = [
+    "NetworkPlan",
+    "PlanningILP",
+    "effective_demands",
+    "ILPPlanner",
+    "PlannerOutcome",
+    "GreedyPlanner",
+    "worst_case_load",
+    "ILPHeurPlanner",
+    "HeuristicConfig",
+    "DecompositionPlanner",
+    "TunnelPlanner",
+    "TunnelPlanningILP",
+    "candidate_tunnels",
+    "capacity_caps_from_plan",
+    "WorkItem",
+    "WorkOrder",
+    "build_work_order",
+    "render_work_order",
+]

@@ -1,0 +1,290 @@
+"""The planning ILP (Section 3.1, Eq. 1-5).
+
+Variables
+---------
+- ``u_l`` (integer): capacity units on IP link ``l``; ``C_l = unit * u_l``.
+- ``y_{l,dir,s,lambda}`` (continuous): traffic of source-commodity ``s``
+  on link ``l`` in direction ``dir`` under failure ``lambda``.  Source
+  aggregation is applied in the ILP as well (it preserves the optimum --
+  Tornatore et al., which the paper cites for the same trick).
+- ``b_f`` (binary, only when the cost model charges fiber builds):
+  whether candidate fiber ``f`` is lit.
+
+Constraints
+-----------
+- flow conservation per (node, source, failure) -- Eq. 2;
+- link capacity per (link, direction, failure), with failed links pinned
+  to zero -- Eq. 3;
+- spectrum per fiber -- Eq. 4;
+- existing-topology floor ``C_l >= C_l^min`` -- Eq. 5 (as a lower bound
+  on ``u_l``);
+- optional pruning caps ``C_l <= cap_l`` (NeuroPlan's second stage);
+- optional fiber fixed charge ``C_l <= M b_f``.
+
+Objective: Eq. 1 -- capacity cost plus (optionally) fiber build cost.
+
+Failure semantics match the plan evaluator exactly (shared
+:func:`effective_demands`): flows whose endpoint site failed, or whose
+CoS does not require a failure, are exempt under that failure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.solver import Model, Variable, quicksum
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+
+
+def effective_demands(
+    instance: PlanningInstance, failure: FailureScenario | None
+) -> dict[str, dict[str, float]]:
+    """Source-aggregated demand that must be satisfied under ``failure``.
+
+    Applies site-failure exemptions and the reliability policy; the
+    same rules the plan evaluator uses, so ILP feasibility and evaluator
+    verdicts agree.
+    """
+    failed_nodes = failure.nodes if failure is not None else frozenset()
+    policy = instance.policy
+    all_ids = instance.failure_ids
+    demands: dict[str, dict[str, float]] = {}
+    for flow in instance.traffic:
+        if flow.src in failed_nodes or flow.dst in failed_nodes:
+            continue
+        if failure is not None and policy.cos_failure_sets:
+            required = policy.required_failures(flow.cos.name, all_ids)
+            if failure.id not in required:
+                continue
+        sinks = demands.setdefault(flow.src, {})
+        sinks[flow.dst] = sinks.get(flow.dst, 0.0) + flow.demand
+    return demands
+
+
+class PlanningILP:
+    """Builder for the planning ILP over a :class:`PlanningInstance`.
+
+    Parameters
+    ----------
+    capacity_unit:
+        Override the instance's unit (the *topology transformation*
+        heuristic enlarges it to shrink the integer search space).
+    failures:
+        Restrict to a failure subset (the *failure selection* heuristic);
+        default is every scenario in the instance.
+    capacity_caps:
+        Per-link maximum capacity in Gbps (NeuroPlan's pruned search
+        space, or heuristic capacity restrictions).
+    latency_weight:
+        Optional cost per Gbps-km of *routed traffic* in the no-failure
+        scenario.  Section 3.1 notes "other metrics such as flow latency
+        can also be included in the objective"; a positive weight makes
+        the optimizer prefer plans whose normal-case routing stays on
+        short paths, at the expense of capacity cost.
+    """
+
+    def __init__(
+        self,
+        instance: PlanningInstance,
+        capacity_unit: float | None = None,
+        failures: "list[FailureScenario] | None" = None,
+        capacity_caps: "dict[str, float] | None" = None,
+        latency_weight: float = 0.0,
+    ):
+        self.instance = instance
+        self.unit = capacity_unit or instance.capacity_unit
+        if self.unit <= 0:
+            raise ConfigError("capacity unit must be positive")
+        if latency_weight < 0:
+            raise ConfigError("latency weight must be >= 0")
+        self.failures = list(instance.failures) if failures is None else list(failures)
+        self.capacity_caps = capacity_caps or {}
+        self.latency_weight = latency_weight
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        instance = self.instance
+        network = instance.network
+        model = Model(f"planning:{instance.name}")
+        unit = self.unit
+
+        # Scenario list: the no-failure base case is checked explicitly.
+        # (It is implied by fiber-cut scenarios, but site failures and
+        # per-CoS policies can *exempt* demand, so it is not implied in
+        # general.)
+        scenarios: list = [None, *self.failures]
+
+        # -- capacity unit variables (Eq. 3 integrality + Eq. 5 floor) --
+        self.unit_vars: dict[str, Variable] = {}
+        for link_id, link in network.links.items():
+            lower = math.ceil(round(link.min_capacity / unit, 9))
+            cap = self.capacity_caps.get(link_id)
+            if cap is None:
+                # Spectrum ceiling: capacity can never exceed the most
+                # constrained fiber's full spectrum.
+                cap = min(
+                    network.get_fiber(f).max_spectrum / link.spectral_efficiency
+                    for f in link.fiber_path
+                )
+            upper = math.floor(round(cap / unit, 9))
+            if upper < lower:
+                upper = lower  # floors win over caps (Eq. 5 dominates)
+            self.unit_vars[link_id] = model.add_var(
+                lb=lower, ub=upper, vtype=Variable.INTEGER, name=f"u:{link_id}"
+            )
+
+        def capacity_expr(link_id: str):
+            return self.unit_vars[link_id] * unit
+
+        # -- fiber fixed-charge variables --
+        self.fiber_vars: dict[str, Variable] = {}
+        charged_fibers = [
+            f
+            for f in network.fibers.values()
+            if instance.cost_model.fiber_fixed_charge
+            and not f.in_service
+            and f.cost > 0
+        ]
+        for fiber in charged_fibers:
+            self.fiber_vars[fiber.id] = model.add_var(
+                vtype=Variable.BINARY, name=f"b:{fiber.id}"
+            )
+            for link in network.links_over_fiber(fiber.id):
+                big_m = fiber.max_spectrum / link.spectral_efficiency
+                model.add_constr(
+                    capacity_expr(link.id) <= big_m * self.fiber_vars[fiber.id],
+                    name=f"light:{fiber.id}:{link.id}",
+                )
+
+        # -- per-failure routing --
+        sources = instance.traffic.sources()
+        self.flow_vars: dict[tuple, Variable] = {}
+        for scenario_index, failure in enumerate(scenarios):
+            failed_links = (
+                failure.failed_link_ids(network)
+                if failure is not None
+                else frozenset()
+            )
+            demands = effective_demands(instance, failure)
+            active_sources = [s for s in sources if s in demands]
+            # Flow variables for surviving links only.
+            for link_id in network.links:
+                failed = link_id in failed_links
+                for direction in (0, 1):
+                    for source in active_sources:
+                        ub = 0.0 if failed else math.inf
+                        self.flow_vars[
+                            link_id, direction, source, scenario_index
+                        ] = model.add_var(
+                            ub=ub,
+                            name=f"y:{link_id}:{direction}:{source}:{scenario_index}",
+                        )
+            # Conservation (Eq. 2).
+            for source in active_sources:
+                sinks = demands[source]
+                for node in network.nodes:
+                    out_terms, in_terms = [], []
+                    for link in network.links_at_node(node):
+                        direction = 0 if link.src == node else 1
+                        out_terms.append(
+                            self.flow_vars[link.id, direction, source, scenario_index]
+                        )
+                        in_terms.append(
+                            self.flow_vars[
+                                link.id, 1 - direction, source, scenario_index
+                            ]
+                        )
+                    if node == source:
+                        rhs = sum(sinks.values())
+                    else:
+                        rhs = -sinks.get(node, 0.0)
+                    model.add_constr(
+                        quicksum(out_terms) - quicksum(in_terms) == rhs,
+                        name=f"cons:{node}:{source}:{scenario_index}",
+                    )
+            # Capacity (Eq. 3), both directions.
+            for link_id in network.links:
+                if link_id in failed_links:
+                    continue
+                for direction in (0, 1):
+                    total = quicksum(
+                        self.flow_vars[link_id, direction, source, scenario_index]
+                        for source in active_sources
+                    )
+                    model.add_constr(
+                        total - capacity_expr(link_id) <= 0,
+                        name=f"cap:{link_id}:{direction}:{scenario_index}",
+                    )
+
+        # -- spectrum (Eq. 4) --
+        for fiber_id, fiber in network.fibers.items():
+            riders = network.links_over_fiber(fiber_id)
+            if not riders:
+                continue
+            model.add_constr(
+                quicksum(
+                    capacity_expr(link.id) * link.spectral_efficiency
+                    for link in riders
+                )
+                <= fiber.max_spectrum,
+                name=f"spec:{fiber_id}",
+            )
+
+        # -- objective (Eq. 1) --
+        cost_terms = [
+            capacity_expr(link_id)
+            * instance.cost_model.link_unit_cost(network, link_id)
+            for link_id in network.links
+        ]
+        for fiber in charged_fibers:
+            cost_terms.append(self.fiber_vars[fiber.id] * fiber.cost)
+        if self.latency_weight > 0:
+            # Latency term: routed Gbps-km in the no-failure scenario
+            # (scenario index 0 is always the base case).
+            base_demands = effective_demands(instance, None)
+            for link_id in network.links:
+                length = network.link_length_km(link_id)
+                for direction in (0, 1):
+                    for source in base_demands:
+                        var = self.flow_vars.get((link_id, direction, source, 0))
+                        if var is not None:
+                            cost_terms.append(
+                                var * (self.latency_weight * length)
+                            )
+        model.set_objective(quicksum(cost_terms), sense="min")
+
+        self.model = model
+        self.scenarios = scenarios
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return self.model.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.model.num_constraints
+
+    def extract_capacities(self) -> dict[str, float]:
+        """Read the solved capacity assignment (call after optimize)."""
+        return {
+            link_id: round(var.x) * self.unit
+            for link_id, var in self.unit_vars.items()
+        }
+
+    def warm_start_hint(self, capacities: dict[str, float]) -> dict:
+        """Convert a capacity assignment into a variable-value hint."""
+        hint = {
+            self.unit_vars[link_id]: capacities[link_id] / self.unit
+            for link_id in self.unit_vars
+        }
+        for fiber_id, var in self.fiber_vars.items():
+            lit = any(
+                capacities[link.id] > 0
+                for link in self.instance.network.links_over_fiber(fiber_id)
+            )
+            hint[var] = 1.0 if lit else 0.0
+        return hint

@@ -1,0 +1,96 @@
+"""Worst-case shortest-path greedy planner.
+
+The simplest credible hand heuristic: for every failure scenario, route
+each (source-aggregated) demand on the shortest surviving IP path, track
+the per-link worst-case load across scenarios, and provision that load
+rounded up to the capacity unit.  It is fast, always feasible on
+survivable topologies, and deliberately wasteful (no flow splitting, no
+global optimization) -- exactly the kind of plan operators feed ILP
+solvers as a warm start.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import networkx as nx
+
+from repro.errors import PlanError
+from repro.planning.formulation import effective_demands
+from repro.planning.plan import NetworkPlan
+from repro.topology.instance import PlanningInstance
+from repro.topology.validation import ensure_valid
+
+
+def worst_case_load(
+    instance: PlanningInstance,
+    flow_filter=None,
+) -> dict[str, float]:
+    """Per-link worst-case shortest-path load across all failure scenarios.
+
+    ``flow_filter(flow) -> bool`` optionally restricts which flows are
+    routed (the decomposition planner sizes cross-region flows alone).
+    """
+    network = instance.network
+    worst: dict[str, float] = {link_id: 0.0 for link_id in network.links}
+    scenarios = [None, *instance.failures]
+    traffic = instance.traffic
+    if flow_filter is not None:
+        from repro.topology.traffic import TrafficMatrix
+
+        traffic = TrafficMatrix([f for f in traffic if flow_filter(f)])
+    restricted = instance.with_network(network)  # shallow copy container
+    restricted.traffic = traffic
+    for failure in scenarios:
+        failed = failure.failed_link_ids(network) if failure else frozenset()
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(network.nodes)
+        for link in network.links.values():
+            if link.id in failed:
+                continue
+            graph.add_edge(
+                link.src,
+                link.dst,
+                key=link.id,
+                length=network.link_length_km(link.id),
+            )
+        load = {link_id: 0.0 for link_id in network.links}
+        for source, sinks in effective_demands(restricted, failure).items():
+            for sink, demand in sinks.items():
+                try:
+                    path = nx.shortest_path(graph, source, sink, weight="length")
+                except nx.NetworkXNoPath:
+                    raise PlanError(
+                        f"greedy routing failed: no path {source}->{sink} "
+                        f"under {failure.id if failure else 'no failure'}"
+                    ) from None
+                for a, b in zip(path, path[1:]):
+                    edges = graph.get_edge_data(a, b)
+                    best = min(edges, key=lambda k: edges[k]["length"])
+                    load[best] += demand
+        for link_id in worst:
+            worst[link_id] = max(worst[link_id], load[link_id])
+    return worst
+
+
+class GreedyPlanner:
+    """Provision worst-case shortest-path load per link."""
+
+    def plan(self, instance: PlanningInstance) -> NetworkPlan:
+        ensure_valid(instance)
+        start = time.perf_counter()
+        network = instance.network
+        unit = instance.capacity_unit
+        worst_load = worst_case_load(instance)
+        capacities = {}
+        for link_id, link in network.links.items():
+            needed = max(worst_load[link_id], link.min_capacity, link.capacity)
+            capacities[link_id] = math.ceil(round(needed / unit, 9)) * unit
+
+        return NetworkPlan(
+            instance_name=instance.name,
+            capacities=capacities,
+            method="greedy",
+            solve_seconds=time.perf_counter() - start,
+        )

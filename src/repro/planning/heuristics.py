@@ -1,0 +1,199 @@
+"""The hand-tuned heuristic families of Section 3.2.
+
+Each function implements one production heuristic; the *ILP-heur*
+baseline (:mod:`repro.planning.ilp_heur_planner`) composes them the way
+operators do.  All of them trade optimality for tractability -- the
+trade-off NeuroPlan's learned pruning replaces.
+
+- :func:`rank_failures_by_impact` / failure selection: solve against a
+  small, impactful failure subset first and grow it on violations.
+- :func:`coarsen_capacity_unit` / topology transformation: enlarge the
+  capacity increment so the integer search space shrinks.
+- :func:`capacity_caps_from_reference` / topology transformation:
+  restrict capacity additions to a corridor around a reference plan.
+- :func:`decompose_regions` / topology decomposition: split sites into
+  geographic regions (k-means on coordinates), yielding per-region
+  sub-instances plus the cross-region flow remainder.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.seeding import as_generator
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+
+
+def rank_failures_by_impact(instance: PlanningInstance) -> list[FailureScenario]:
+    """Order failures by how much IP capacity they take down.
+
+    Impact is the sum of current capacities of failed links (falling
+    back to link count when the topology starts from zero), which is how
+    operators prioritize scenarios to protect first.
+    """
+    network = instance.network
+
+    def impact(failure: FailureScenario) -> tuple:
+        failed = failure.failed_link_ids(network)
+        capacity = sum(network.get_link(l).capacity for l in failed)
+        return (capacity, len(failed))
+
+    return sorted(instance.failures, key=impact, reverse=True)
+
+
+def select_initial_failures(
+    instance: PlanningInstance, fraction: float
+) -> list[FailureScenario]:
+    """The most impactful ``fraction`` of failures (at least one)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError("fraction must be in (0, 1]")
+    ranked = rank_failures_by_impact(instance)
+    count = max(1, int(round(len(ranked) * fraction))) if ranked else 0
+    return ranked[:count]
+
+
+def coarsen_capacity_unit(instance: PlanningInstance, factor: int) -> float:
+    """Enlarge the capacity unit by an integer ``factor``.
+
+    Coarser units keep plans valid for the original unit (every multiple
+    of ``factor * unit`` is a multiple of ``unit``) while dividing the
+    integer decision range per link by ``factor``.
+    """
+    if factor < 1 or int(factor) != factor:
+        raise ConfigError("unit factor must be a positive integer")
+    return instance.capacity_unit * factor
+
+
+def capacity_caps_from_reference(
+    instance: PlanningInstance,
+    reference_capacities: dict[str, float],
+    headroom_factor: float,
+) -> dict[str, float]:
+    """Cap each link at ``headroom_factor`` times a reference plan.
+
+    The reference is typically a greedy plan or last planning cycle's
+    design.  Caps never drop below the reference itself (so the
+    reference stays feasible inside the restricted space) nor below the
+    link's floor.
+    """
+    if headroom_factor < 1.0:
+        raise ConfigError("headroom factor must be >= 1")
+    unit = instance.capacity_unit
+    caps = {}
+    for link_id, link in instance.network.links.items():
+        reference = reference_capacities.get(link_id, 0.0)
+        cap = math.ceil(round(reference * headroom_factor / unit, 9)) * unit
+        caps[link_id] = max(cap, reference, link.min_capacity)
+    return caps
+
+
+def decompose_regions(
+    instance: PlanningInstance,
+    num_regions: int,
+    seed: int = 0,
+    iterations: int = 25,
+) -> dict[str, int]:
+    """Assign each site to a geographic region via k-means on coordinates.
+
+    Returns ``node name -> region index``.  Used by the decomposition
+    heuristic: per-region sub-problems are solved independently and
+    inter-region links sized separately.
+    """
+    if num_regions < 1:
+        raise ConfigError("num_regions must be >= 1")
+    nodes = list(instance.network.nodes.values())
+    if num_regions >= len(nodes):
+        return {node.name: i for i, node in enumerate(nodes)}
+    rng = as_generator(seed)
+    points = np.array([[n.longitude, n.latitude] for n in nodes])
+    centers = points[rng.choice(len(points), size=num_regions, replace=False)]
+    assignment = np.zeros(len(points), dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for region in range(num_regions):
+            members = points[assignment == region]
+            if len(members):
+                centers[region] = members.mean(axis=0)
+    return {node.name: int(assignment[i]) for i, node in enumerate(nodes)}
+
+
+def split_instance_by_region(
+    instance: PlanningInstance, regions: dict[str, int]
+) -> tuple[list[PlanningInstance], list]:
+    """Build per-region sub-instances; return them plus cross-region flows.
+
+    A sub-instance keeps the region's nodes, the links and fibers fully
+    inside it, the failures that touch only the region, and the flows
+    whose endpoints are both inside.  Cross-region flows are returned
+    for separate (greedy) sizing, matching how operators stitch regions
+    manually.
+    """
+    from repro.topology.instance import PlanningInstance as PI
+    from repro.topology.network import Network
+    from repro.topology.traffic import TrafficMatrix
+
+    region_ids = sorted(set(regions.values()))
+    sub_instances = []
+    cross_flows = []
+    for flow in instance.traffic:
+        if regions[flow.src] != regions[flow.dst]:
+            cross_flows.append(flow)
+
+    for region in region_ids:
+        members = {name for name, r in regions.items() if r == region}
+        network = instance.network
+        nodes = [network.nodes[name] for name in network.nodes if name in members]
+        fibers = [
+            f
+            for f in network.fibers.values()
+            if f.endpoint_a in members and f.endpoint_b in members
+        ]
+        fiber_ids = {f.id for f in fibers}
+        links = [
+            l
+            for l in network.links.values()
+            if l.src in members
+            and l.dst in members
+            and all(fid in fiber_ids for fid in l.fiber_path)
+        ]
+        link_ids = {l.id for l in links}
+        sub_network = Network(nodes, fibers, links)
+        flows = [
+            f
+            for f in instance.traffic
+            if regions[f.src] == region and regions[f.dst] == region
+        ]
+        failures = []
+        for failure in instance.failures:
+            if failure.nodes and not failure.nodes <= members:
+                continue
+            if failure.fibers and not failure.fibers <= fiber_ids:
+                continue
+            # Keep only failures that actually touch this region.
+            if failure.failed_link_ids(network) & link_ids or (
+                failure.nodes & members
+            ):
+                failures.append(failure)
+        if not links:
+            continue
+        sub_instances.append(
+            PI(
+                name=f"{instance.name}-region{region}",
+                network=sub_network,
+                traffic=TrafficMatrix(flows),
+                failures=failures,
+                cost_model=instance.cost_model,
+                policy=instance.policy,
+                capacity_unit=instance.capacity_unit,
+                horizon=instance.horizon,
+            )
+        )
+    return sub_instances, cross_flows

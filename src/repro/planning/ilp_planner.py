@@ -1,0 +1,118 @@
+"""The *ILP* baseline: solve the full Eq. 1-5 formulation directly.
+
+This is the approach whose scalability wall motivates the whole paper:
+it finds the true optimum on small topologies and times out beyond them
+(the crosses in Fig. 9).  :class:`PlannerOutcome` therefore carries an
+explicit ``timed_out`` flag instead of pretending a plan exists.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleError, SolverError
+from repro.planning.formulation import PlanningILP
+from repro.planning.plan import NetworkPlan
+from repro.solver import Status
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+from repro.topology.validation import ensure_valid
+
+
+@dataclass
+class PlannerOutcome:
+    """Result envelope: a plan, or a documented failure to produce one."""
+
+    plan: "NetworkPlan | None"
+    status: Status
+    solve_seconds: float
+    num_variables: int
+    num_constraints: int
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status is Status.TIME_LIMIT and self.plan is None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.plan is not None
+
+
+class ILPPlanner:
+    """Solve the planning problem with an off-the-shelf MILP solver."""
+
+    def __init__(
+        self,
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+    ):
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+
+    def plan(
+        self,
+        instance: PlanningInstance,
+        capacity_unit: float | None = None,
+        failures: "list[FailureScenario] | None" = None,
+        capacity_caps: "dict[str, float] | None" = None,
+        warm_start: "dict[str, float] | None" = None,
+        method_name: str = "ilp",
+    ) -> PlannerOutcome:
+        """Build and solve the ILP; return a :class:`PlannerOutcome`.
+
+        ``capacity_caps`` and ``failures`` are the hooks the heuristics
+        and NeuroPlan's second stage use to shrink the search space.
+        ``warm_start`` (a capacity assignment) is emulated as an
+        objective cutoff.
+        """
+        ensure_valid(instance)
+        start = time.perf_counter()
+        ilp = PlanningILP(
+            instance,
+            capacity_unit=capacity_unit,
+            failures=failures,
+            capacity_caps=capacity_caps,
+        )
+        hint = ilp.warm_start_hint(warm_start) if warm_start is not None else None
+        status = ilp.model.optimize(
+            time_limit=self.time_limit, mip_gap=self.mip_gap, warm_start=hint
+        )
+        elapsed = time.perf_counter() - start
+
+        if status is Status.INFEASIBLE:
+            raise InfeasibleError(
+                f"planning ILP infeasible for {instance.name}; the pruned "
+                "search space may be too tight (try a larger relax factor)"
+            )
+        if status is Status.OPTIMAL or (
+            status is Status.TIME_LIMIT and ilp.model.has_incumbent
+        ):
+            plan = NetworkPlan(
+                instance_name=instance.name,
+                capacities=ilp.extract_capacities(),
+                method=method_name,
+                solve_seconds=elapsed,
+                metadata={
+                    "status": status.value,
+                    "objective": ilp.model.objective_value,
+                    "num_variables": ilp.num_variables,
+                    "num_constraints": ilp.num_constraints,
+                },
+            )
+            return PlannerOutcome(
+                plan=plan,
+                status=status,
+                solve_seconds=elapsed,
+                num_variables=ilp.num_variables,
+                num_constraints=ilp.num_constraints,
+            )
+        if status is Status.TIME_LIMIT:
+            return PlannerOutcome(
+                plan=None,
+                status=status,
+                solve_seconds=elapsed,
+                num_variables=ilp.num_variables,
+                num_constraints=ilp.num_constraints,
+            )
+        raise SolverError(f"planning ILP ended with status {status}")

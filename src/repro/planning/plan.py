@@ -1,0 +1,86 @@
+"""The result of planning: a capacity assignment with provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.topology.instance import PlanningInstance
+
+
+@dataclass
+class NetworkPlan:
+    """A capacity assignment produced by a planner.
+
+    Attributes
+    ----------
+    capacities:
+        Total capacity (Gbps) per IP link id.
+    method:
+        Which planner produced it ("ilp", "ilp-heur", "rl-first-stage",
+        "neuroplan", "greedy", ...).
+    """
+
+    instance_name: str
+    capacities: dict[str, float]
+    method: str = "unknown"
+    solve_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def cost(self, instance: PlanningInstance) -> float:
+        """Eq. 1 cost of this plan under the instance's cost model."""
+        self._check_instance(instance)
+        return instance.cost_model.plan_cost(instance.network, self.capacities)
+
+    def added_capacity(self, instance: PlanningInstance) -> dict[str, float]:
+        """Capacity added over the instance's starting topology."""
+        self._check_instance(instance)
+        initial = instance.network.capacities()
+        return {
+            link_id: self.capacities[link_id] - initial[link_id]
+            for link_id in self.capacities
+        }
+
+    def total_added_gbps(self, instance: PlanningInstance) -> float:
+        return sum(max(0.0, v) for v in self.added_capacity(instance).values())
+
+    def validate(self, instance: PlanningInstance) -> list[str]:
+        """Structural problems with this plan (empty = sound).
+
+        Checks: covers exactly the instance's links, respects C_min
+        floors, capacities are unit multiples, spectrum is feasible.
+        Feasibility under failures is the evaluator's job, not this.
+        """
+        self._check_instance(instance)
+        problems = []
+        expected = set(instance.network.links)
+        actual = set(self.capacities)
+        if expected != actual:
+            problems.append(
+                f"link mismatch: missing={sorted(expected - actual)[:3]}, "
+                f"extra={sorted(actual - expected)[:3]}"
+            )
+            return problems
+        unit = instance.capacity_unit
+        for link_id, capacity in self.capacities.items():
+            link = instance.network.get_link(link_id)
+            if capacity < link.min_capacity - 1e-6:
+                problems.append(
+                    f"{link_id}: capacity {capacity} below floor {link.min_capacity}"
+                )
+            remainder = capacity % unit
+            if min(remainder, unit - remainder) > 1e-6:
+                problems.append(
+                    f"{link_id}: capacity {capacity} not a multiple of {unit}"
+                )
+        if not instance.network.spectrum_feasible(self.capacities):
+            problems.append("spectrum constraints violated")
+        return problems
+
+    def _check_instance(self, instance: PlanningInstance) -> None:
+        base_name = instance.name.split("-")[0]
+        plan_base = self.instance_name.split("-")[0]
+        if base_name != plan_base:
+            raise PlanError(
+                f"plan for {self.instance_name!r} applied to {instance.name!r}"
+            )

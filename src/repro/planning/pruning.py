@@ -1,0 +1,38 @@
+"""Search-space pruning from a first-stage plan (Section 4.3).
+
+NeuroPlan's second stage encodes the RL plan as per-link *maximum
+capacity* constraints, relaxed by the factor ``alpha``: the ILP may use
+up to ``alpha * C_l^RL`` on each link.  ``alpha`` is the paper's tunable
+optimality/tractability knob (Fig. 2, Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.topology.instance import PlanningInstance
+
+
+def capacity_caps_from_plan(
+    instance: PlanningInstance,
+    first_stage_capacities: dict[str, float],
+    relax_factor: float,
+) -> dict[str, float]:
+    """Per-link capacity caps for the second-stage ILP.
+
+    ``cap_l = ceil(alpha * C_l^RL / unit) * unit``, floored at the
+    link's ``C_min`` (Eq. 5 always dominates).  Links the RL agent left
+    at zero stay pruned out entirely (cap 0) unless their floor says
+    otherwise -- that is how the first stage shrinks the search space.
+    """
+    if relax_factor < 1.0:
+        raise ConfigError("relax factor must be >= 1 (alpha relaxes, never cuts)")
+    unit = instance.capacity_unit
+    caps = {}
+    for link_id, link in instance.network.links.items():
+        first_stage = first_stage_capacities.get(link_id, 0.0)
+        relaxed = relax_factor * first_stage
+        cap = math.ceil(round(relaxed / unit, 9)) * unit
+        caps[link_id] = max(cap, link.min_capacity)
+    return caps

@@ -1,0 +1,333 @@
+"""Path-based (tunnel) planning formulation.
+
+Section 3.1 notes that "different routing protocols and traffic
+engineering system requirements (e.g., MPLS tunneling selection)" can
+be incorporated into the formulation.  This module provides that
+variant: instead of free multi-commodity flow over links (the base
+formulation), traffic may only ride a candidate set of pre-computed
+*tunnels* (simple IP paths), the way MPLS/SR backbones are actually
+operated.
+
+Structure:
+
+- :func:`candidate_tunnels` enumerates the ``k`` shortest simple IP
+  paths per traffic pair (the TE system's tunnel catalog);
+- :class:`TunnelPlanningILP` sizes link capacities such that, under
+  every failure scenario, the demand of each pair fits on its
+  *surviving* tunnels (a tunnel dies with any link on it);
+- :class:`TunnelPlanner` wraps it like the other planners.
+
+The tunnel optimum is lower-bounded by the base ILP optimum (fewer
+routing choices can only cost more) -- property-tested in the suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+
+import networkx as nx
+
+from repro.errors import ConfigError, InfeasibleError, SolverError
+from repro.planning.formulation import effective_demands
+from repro.planning.plan import NetworkPlan
+from repro.solver import Model, Status, Variable, quicksum
+from repro.topology.instance import PlanningInstance
+from repro.topology.validation import ensure_valid
+
+
+def candidate_tunnels(
+    instance: PlanningInstance, k: int = 3
+) -> dict[tuple, list[tuple]]:
+    """``(src, dst) -> list of tunnels``; a tunnel is a tuple of
+    (link id, direction) hops.
+
+    Tunnels are the ``k`` shortest simple paths by fiber length.  Pairs
+    are the distinct (source, sink) pairs of the traffic matrix.
+    """
+    if k < 1:
+        raise ConfigError("k must be >= 1")
+    network = instance.network
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(network.nodes)
+    for link in network.links.values():
+        graph.add_edge(
+            link.src, link.dst, key=link.id,
+            length=network.link_length_km(link.id),
+        )
+    # Simple-path enumeration works on the simple graph; each node-path
+    # then expands to the cheapest parallel link per hop (plus the other
+    # parallels as extra tunnels when k allows).
+    simple = nx.Graph()
+    simple.add_nodes_from(network.nodes)
+    for a, b in graph.edges():
+        simple.add_edge(a, b)
+
+    catalog: dict[tuple, list[tuple]] = {}
+    pairs = sorted({(f.src, f.dst) for f in instance.traffic})
+    for src, dst in pairs:
+        tunnels: list[tuple] = []
+        paths = itertools.islice(
+            nx.shortest_simple_paths(simple, src, dst), k * 2
+        )
+        for node_path in paths:
+            if len(tunnels) >= k:
+                break
+            # Every parallel link on a hop yields its own tunnel (a
+            # parallel link rides different fibers, so it survives
+            # different failures); expand the per-hop choices, shortest
+            # combinations first.
+            per_hop: list[list[tuple]] = []
+            for a, b in zip(node_path, node_path[1:]):
+                edges = graph.get_edge_data(a, b)
+                options = []
+                for link_id in sorted(
+                    edges, key=lambda key: edges[key]["length"]
+                ):
+                    link = network.get_link(link_id)
+                    direction = 0 if link.src == a else 1
+                    options.append((link_id, direction, edges[link_id]["length"]))
+                per_hop.append(options)
+            combos = sorted(
+                itertools.islice(itertools.product(*per_hop), 4 * k),
+                key=lambda combo: sum(hop[2] for hop in combo),
+            )
+            for combo in combos:
+                if len(tunnels) >= k:
+                    break
+                tunnel = tuple((link_id, direction) for link_id, direction, _ in combo)
+                if tunnel not in tunnels:
+                    tunnels.append(tunnel)
+        if not tunnels:
+            raise InfeasibleError(f"no tunnel candidates for {src}->{dst}")
+        _diversify(instance, simple, graph, src, dst, tunnels)
+        catalog[(src, dst)] = tunnels
+    return catalog
+
+
+def _tunnel_fibers(instance: PlanningInstance, tunnel: tuple) -> set:
+    fibers: set = set()
+    for link_id, _ in tunnel:
+        fibers.update(instance.network.get_link(link_id).fiber_path)
+    return fibers
+
+
+def _tunnel_transit_nodes(instance: PlanningInstance, tunnel: tuple, src, dst) -> set:
+    nodes: set = set()
+    for link_id, _ in tunnel:
+        nodes.update(instance.network.get_link(link_id).endpoints)
+    return nodes - {src, dst}
+
+
+def _diversify(instance, simple, graph, src, dst, tunnels: list) -> None:
+    """Add tunnels that break single points of failure when possible.
+
+    Production TE systems require tunnel diversity: if every candidate
+    rides one fiber (or transits one site), a single failure kills the
+    whole catalog.  For each such shared resource, add the shortest
+    tunnel avoiding it (when the topology allows one).
+    """
+    network = instance.network
+
+    def add_avoiding(excluded_fibers: set, excluded_nodes: set) -> bool:
+        trimmed = nx.Graph()
+        trimmed.add_nodes_from(n for n in simple.nodes if n not in excluded_nodes)
+        for a, b in simple.edges():
+            if a in excluded_nodes or b in excluded_nodes:
+                continue
+            options = [
+                key
+                for key in graph.get_edge_data(a, b)
+                if not excluded_fibers.intersection(
+                    network.get_link(key).fiber_path
+                )
+            ]
+            if options:
+                trimmed.add_edge(a, b)
+        try:
+            node_path = nx.shortest_path(trimmed, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return False
+        tunnel = []
+        for a, b in zip(node_path, node_path[1:]):
+            edges = graph.get_edge_data(a, b)
+            options = [
+                key
+                for key in edges
+                if not excluded_fibers.intersection(
+                    network.get_link(key).fiber_path
+                )
+            ]
+            best = min(options, key=lambda key: edges[key]["length"])
+            link = network.get_link(best)
+            tunnel.append((best, 0 if link.src == a else 1))
+        tunnel = tuple(tunnel)
+        if tunnel not in tunnels:
+            tunnels.append(tunnel)
+            return True
+        return False
+
+    for _ in range(8):  # bounded repair rounds
+        shared_fibers = set.intersection(
+            *(_tunnel_fibers(instance, t) for t in tunnels)
+        )
+        shared_nodes = set.intersection(
+            *(_tunnel_transit_nodes(instance, t, src, dst) for t in tunnels)
+        )
+        progressed = False
+        for fiber_id in sorted(shared_fibers):
+            if add_avoiding({fiber_id}, set()):
+                progressed = True
+                break
+        else:
+            for node in sorted(shared_nodes):
+                if add_avoiding(set(), {node}):
+                    progressed = True
+                    break
+        if not progressed:
+            break
+
+
+class TunnelPlanningILP:
+    """Size link capacities for tunnel-restricted routing."""
+
+    def __init__(
+        self,
+        instance: PlanningInstance,
+        tunnels: "dict[tuple, list[tuple]] | None" = None,
+        k: int = 3,
+        capacity_caps: "dict[str, float] | None" = None,
+    ):
+        self.instance = instance
+        self.tunnels = tunnels if tunnels is not None else candidate_tunnels(
+            instance, k
+        )
+        self.capacity_caps = capacity_caps or {}
+        self._build()
+
+    def _build(self) -> None:
+        instance = self.instance
+        network = instance.network
+        unit = instance.capacity_unit
+        model = Model(f"tunnel-planning:{instance.name}")
+
+        self.unit_vars: dict[str, Variable] = {}
+        for link_id, link in network.links.items():
+            lower = math.ceil(round(link.min_capacity / unit, 9))
+            cap = self.capacity_caps.get(link_id)
+            if cap is None:
+                cap = min(
+                    network.get_fiber(f).max_spectrum / link.spectral_efficiency
+                    for f in link.fiber_path
+                )
+            upper = max(math.floor(round(cap / unit, 9)), lower)
+            self.unit_vars[link_id] = model.add_var(
+                lb=lower, ub=upper, vtype=Variable.INTEGER, name=f"u:{link_id}"
+            )
+
+        scenarios = [None, *instance.failures]
+        self.tunnel_vars: dict[tuple, Variable] = {}
+        for scenario_index, failure in enumerate(scenarios):
+            failed_links = (
+                failure.failed_link_ids(network) if failure else frozenset()
+            )
+            demands = effective_demands(instance, failure)
+            pair_demands: dict[tuple, float] = {}
+            for source, sinks in demands.items():
+                for sink, demand in sinks.items():
+                    pair_demands[(source, sink)] = demand
+
+            usage: dict[tuple, list] = {}
+            for pair, demand in sorted(pair_demands.items()):
+                if pair not in self.tunnels:
+                    raise SolverError(f"no tunnel catalog entry for {pair}")
+                surviving = []
+                for t_index, tunnel in enumerate(self.tunnels[pair]):
+                    if any(link_id in failed_links for link_id, _ in tunnel):
+                        continue
+                    var = model.add_var(
+                        name=f"t:{pair[0]}-{pair[1]}:{t_index}:{scenario_index}"
+                    )
+                    self.tunnel_vars[pair, t_index, scenario_index] = var
+                    surviving.append((tunnel, var))
+                if not surviving:
+                    raise InfeasibleError(
+                        f"every tunnel for {pair[0]}->{pair[1]} dies under "
+                        f"{failure.id if failure else 'no failure'}; "
+                        "enlarge k in candidate_tunnels"
+                    )
+                model.add_constr(
+                    quicksum(var for _, var in surviving) == demand,
+                    name=f"demand:{pair[0]}-{pair[1]}:{scenario_index}",
+                )
+                for tunnel, var in surviving:
+                    for link_id, direction in tunnel:
+                        usage.setdefault((link_id, direction), []).append(var)
+
+            for (link_id, _direction), vars_ in usage.items():
+                model.add_constr(
+                    quicksum(vars_) - self.unit_vars[link_id] * unit <= 0,
+                    name=f"cap:{link_id}:{_direction}:{scenario_index}",
+                )
+
+        for fiber_id, fiber in network.fibers.items():
+            riders = network.links_over_fiber(fiber_id)
+            if not riders:
+                continue
+            model.add_constr(
+                quicksum(
+                    self.unit_vars[link.id] * (unit * link.spectral_efficiency)
+                    for link in riders
+                )
+                <= fiber.max_spectrum,
+                name=f"spec:{fiber_id}",
+            )
+
+        model.set_objective(
+            quicksum(
+                self.unit_vars[link_id]
+                * (unit * instance.cost_model.link_unit_cost(network, link_id))
+                for link_id in network.links
+            ),
+            sense="min",
+        )
+        self.model = model
+
+    def extract_capacities(self) -> dict[str, float]:
+        return {
+            link_id: round(var.x) * self.instance.capacity_unit
+            for link_id, var in self.unit_vars.items()
+        }
+
+
+class TunnelPlanner:
+    """Plan with tunnel-restricted routing (the MPLS-style variant)."""
+
+    def __init__(self, k: int = 3, time_limit: "float | None" = 300.0):
+        self.k = k
+        self.time_limit = time_limit
+
+    def plan(self, instance: PlanningInstance) -> NetworkPlan:
+        ensure_valid(instance)
+        start = time.perf_counter()
+        ilp = TunnelPlanningILP(instance, k=self.k)
+        status = ilp.model.optimize(time_limit=self.time_limit)
+        if status is Status.INFEASIBLE:
+            raise InfeasibleError(
+                f"tunnel planning infeasible for {instance.name} with "
+                f"k={self.k}; enlarge the tunnel catalog"
+            )
+        if status is not Status.OPTIMAL and not ilp.model.has_incumbent:
+            raise SolverError(f"tunnel planning ended with {status}")
+        return NetworkPlan(
+            instance_name=instance.name,
+            capacities=ilp.extract_capacities(),
+            method="tunnel-ilp",
+            solve_seconds=time.perf_counter() - start,
+            metadata={
+                "k": self.k,
+                "status": status.value,
+                "num_variables": ilp.model.num_variables,
+            },
+        )

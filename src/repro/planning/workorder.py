@@ -1,0 +1,149 @@
+"""Work orders: the actionable signal a plan turns into.
+
+The paper frames planning output as "actionable signals for operational
+teams" (Section 2): concrete capacity turn-ups and fiber builds that
+procurement and deployment execute over months.  This module converts a
+:class:`NetworkPlan` into that artifact -- an ordered list of actions
+with quantities and costs -- plus a text rendering for review meetings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.planning.plan import NetworkPlan
+from repro.topology.instance import PlanningInstance
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One deployable action."""
+
+    kind: str  # "add-capacity" | "build-fiber"
+    target: str  # link id or fiber id
+    quantity: float  # Gbps for capacity, km for fiber
+    cost: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.kind} {self.target}: {self.detail}"
+
+
+@dataclass
+class WorkOrder:
+    """The full deployment package for one planning cycle."""
+
+    instance_name: str
+    method: str
+    items: list[WorkItem]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(item.cost for item in self.items)
+
+    @property
+    def total_added_gbps(self) -> float:
+        return sum(
+            item.quantity for item in self.items if item.kind == "add-capacity"
+        )
+
+    @property
+    def fiber_builds(self) -> list[WorkItem]:
+        return [item for item in self.items if item.kind == "build-fiber"]
+
+
+def build_work_order(
+    instance: PlanningInstance, plan: NetworkPlan
+) -> WorkOrder:
+    """Diff ``plan`` against the instance's current state into actions.
+
+    Capacity *reductions* are rejected: planners in this repo only add
+    (Eq. 5 floors), so a reduction signals a plan/instance mismatch.
+    """
+    network = instance.network
+    initial = network.capacities()
+    items: list[WorkItem] = []
+
+    # Fiber builds first (procurement lead times dominate, Section 2).
+    if instance.cost_model.fiber_fixed_charge:
+        lit_before = instance.cost_model.lit_fibers(network, initial)
+        lit_after = instance.cost_model.lit_fibers(network, plan.capacities)
+        for fiber_id in sorted(lit_after - lit_before):
+            fiber = network.get_fiber(fiber_id)
+            if fiber.in_service:
+                continue  # already built; lighting it is free here
+            items.append(
+                WorkItem(
+                    kind="build-fiber",
+                    target=fiber_id,
+                    quantity=fiber.length_km,
+                    cost=fiber.cost,
+                    detail=(
+                        f"build {fiber.length_km:,.0f} km "
+                        f"{fiber.endpoint_a}--{fiber.endpoint_b} "
+                        f"({fiber.cost:,.0f})"
+                    ),
+                )
+            )
+
+    capacity_items = []
+    for link_id in sorted(network.links):
+        before = initial[link_id]
+        after = plan.capacities[link_id]
+        if after < before - 1e-6:
+            raise PlanError(
+                f"plan reduces {link_id} from {before} to {after}; "
+                "work orders only deploy additions"
+            )
+        added = after - before
+        if added <= 1e-9:
+            continue
+        unit_cost = instance.cost_model.link_unit_cost(network, link_id)
+        capacity_items.append(
+            WorkItem(
+                kind="add-capacity",
+                target=link_id,
+                quantity=added,
+                cost=added * unit_cost,
+                detail=(
+                    f"turn up {added:,.0f} Gbps "
+                    f"({before:,.0f} -> {after:,.0f}) "
+                    f"at {unit_cost:,.0f}/Gbps"
+                ),
+            )
+        )
+    # Biggest spend first: that is what reviews scrutinize.
+    capacity_items.sort(key=lambda item: -item.cost)
+    items.extend(capacity_items)
+
+    return WorkOrder(
+        instance_name=instance.name, method=plan.method, items=items
+    )
+
+
+def render_work_order(order: WorkOrder, top: "int | None" = None) -> str:
+    """Text rendering for operational review."""
+    lines = [
+        f"Work order -- {order.instance_name} (planner: {order.method})",
+        "=" * 60,
+        f"actions: {len(order.items)}  |  "
+        f"capacity to deploy: {order.total_added_gbps:,.0f} Gbps  |  "
+        f"total cost: {order.total_cost:,.0f}",
+    ]
+    builds = order.fiber_builds
+    if builds:
+        lines.append("")
+        lines.append(f"fiber builds ({len(builds)}) -- order first, long lead times:")
+        for item in builds:
+            lines.append(f"  {item.detail}")
+    lines.append("")
+    lines.append("capacity turn-ups:")
+    shown = order.items if top is None else order.items[: top + len(builds)]
+    for item in shown:
+        if item.kind == "add-capacity":
+            lines.append(f"  {item.target:<32} {item.detail}")
+    remaining = len(order.items) - len(shown)
+    if remaining > 0:
+        lines.append(f"  ... and {remaining} more")
+    return "\n".join(lines)

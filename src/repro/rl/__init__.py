@@ -1,0 +1,40 @@
+"""Deep RL for network planning (Section 4.2, Algorithm 1).
+
+- :mod:`repro.rl.env` -- the planning environment: states are
+  node-link-transformed topologies, actions add capacity units to an IP
+  link (spectrum-masked), rewards are scaled negative incremental costs.
+- :mod:`repro.rl.state` -- feature extraction + normalization.
+- :mod:`repro.rl.policy` -- the GCN/GAT encoder with actor and critic
+  heads (Fig. 6).
+- :mod:`repro.rl.gae` -- GAE(lambda) advantages (Eq. 6) and
+  rewards-to-go.
+- :mod:`repro.rl.buffer` -- the epoch buffer of Algorithm 1.
+- :mod:`repro.rl.a2c` -- the actor-critic trainer.
+- :mod:`repro.rl.agent` -- the train/rollout facade that produces the
+  first-stage plan.
+"""
+
+from repro.rl.env import PlanningEnv, StepResult
+from repro.rl.state import StateEncoder
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.gae import discounted_returns, gae_advantages
+from repro.rl.buffer import EpochBuffer
+from repro.rl.a2c import A2CConfig, A2CTrainer, TrainingResult
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.agent import NeuroPlanAgent
+
+__all__ = [
+    "PlanningEnv",
+    "StepResult",
+    "StateEncoder",
+    "ActorCriticPolicy",
+    "gae_advantages",
+    "discounted_returns",
+    "EpochBuffer",
+    "A2CConfig",
+    "A2CTrainer",
+    "TrainingResult",
+    "PPOConfig",
+    "PPOTrainer",
+    "NeuroPlanAgent",
+]

@@ -1,0 +1,255 @@
+"""The actor-critic trainer (Algorithm 1 of the paper).
+
+Per epoch: sample trajectories with the current actor into the epoch
+buffer; compute the policy-gradient loss from GAE(lambda) advantages and
+update the actor (and shared GNN); compute the value loss from
+rewards-to-go and update the critic (and shared GNN) -- exactly the
+ComputePLoss / ComputeVLoss split of the pseudocode, including the two
+optimizers both flowing into theta_g.
+
+The trainer tracks the best feasible plan seen across all sampled
+trajectories; that plan is the *first stage* output handed to the ILP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.buffer import EpochBuffer
+from repro.rl.env import PlanningEnv
+from repro.rl.gae import discounted_returns, gae_advantages
+from repro.rl.policy import ActorCriticPolicy
+from repro.seeding import as_generator
+
+
+@dataclass
+class A2CConfig:
+    """Training hyperparameters (defaults follow Table 2)."""
+
+    epochs: int = 64
+    steps_per_epoch: int = 2048
+    max_trajectory_length: int = 2048
+    actor_lr: float = 3e-4
+    critic_lr: float = 1e-3
+    gamma: float = 0.99
+    gae_lambda: float = 0.97
+    entropy_coef: float = 0.01
+    max_grad_norm: float = 10.0
+    normalize_advantages: bool = True
+    patience: int = 0  # early stop after N stagnant epochs (0 = off)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1 or self.steps_per_epoch < 1:
+            raise ConfigError("epochs and steps_per_epoch must be >= 1")
+        if self.max_trajectory_length < 1:
+            raise ConfigError("max_trajectory_length must be >= 1")
+
+
+@dataclass
+class TrainingResult:
+    """What training produced."""
+
+    best_capacities: "dict[str, float] | None"
+    best_cost: float
+    epochs_run: int
+    converged: bool
+    history: list[dict] = field(default_factory=list)
+    train_seconds: float = 0.0
+    already_feasible: bool = False
+
+    @property
+    def epoch_rewards(self) -> list[float]:
+        return [entry["epoch_reward"] for entry in self.history]
+
+
+class A2CTrainer:
+    """Runs Algorithm 1 on a :class:`PlanningEnv`."""
+
+    def __init__(
+        self,
+        env: PlanningEnv,
+        policy: ActorCriticPolicy,
+        config: "A2CConfig | None" = None,
+    ):
+        self.env = env
+        self.policy = policy
+        self.config = config or A2CConfig()
+        groups = policy.parameter_groups()
+        self.actor_optimizer = Adam(groups["actor"], lr=self.config.actor_lr)
+        self.critic_optimizer = Adam(groups["critic"], lr=self.config.critic_lr)
+        self.rng = as_generator(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingResult:
+        config = self.config
+        env = self.env
+        start = time.perf_counter()
+
+        observation = env.reset()
+        if env.done:
+            # The starting topology already satisfies the expectations.
+            return TrainingResult(
+                best_capacities=env.capacities(),
+                best_cost=env.plan_cost(),
+                epochs_run=0,
+                converged=True,
+                already_feasible=True,
+                train_seconds=time.perf_counter() - start,
+            )
+
+        best_capacities: "dict[str, float] | None" = None
+        best_cost = float("inf")
+        history: list[dict] = []
+        stagnant = 0
+
+        for epoch in range(config.epochs):
+            buffer = EpochBuffer()
+            observation = env.reset()
+            buffer.start_trajectory()
+            trajectory_steps = 0
+
+            for _ in range(config.steps_per_epoch):
+                mask = env.action_mask()
+                if not mask.any():
+                    # Spectrum exhausted everywhere: nothing to add.
+                    break
+                distribution, value = self.policy(
+                    observation, env.adjacency_norm, mask
+                )
+                action = distribution.sample(self.rng)
+                step = env.step(action)
+                buffer.append(
+                    distribution.log_prob(action),
+                    distribution.entropy(),
+                    value,
+                    step.reward,
+                )
+                trajectory_steps += 1
+                observation = step.observation
+
+                trajectory_over = step.done or (
+                    trajectory_steps >= config.max_trajectory_length
+                )
+                if trajectory_over:
+                    if step.feasible:
+                        cost = env.plan_cost()
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_capacities = env.capacities()
+                    buffer.finish_trajectory(completed=step.feasible)
+                    observation = env.reset()
+                    buffer.start_trajectory()
+                    trajectory_steps = 0
+
+            # Cut off the in-progress trajectory at the epoch boundary,
+            # bootstrapping with the critic's estimate of the last state.
+            if trajectory_steps > 0:
+                with no_grad():
+                    bootstrap = self.policy.value(
+                        observation, env.adjacency_norm
+                    ).item()
+                buffer.finish_trajectory(completed=False, bootstrap_value=bootstrap)
+            else:
+                buffer.finish_trajectory(completed=False)
+
+            metrics = self._update(buffer)
+            entry = {
+                "epoch": epoch,
+                "epoch_reward": buffer.epoch_reward,
+                "completion_rate": buffer.completion_rate,
+                "num_trajectories": buffer.num_trajectories,
+                "best_cost": best_cost if best_capacities else None,
+                **metrics,
+            }
+            history.append(entry)
+
+            # Early stopping on stagnation of the best plan.
+            if config.patience:
+                improved = entry["best_cost"] is not None and (
+                    len(history) < 2
+                    or history[-2]["best_cost"] is None
+                    or entry["best_cost"] < history[-2]["best_cost"] - 1e-9
+                )
+                stagnant = 0 if improved else stagnant + 1
+                if stagnant >= config.patience:
+                    break
+
+        return TrainingResult(
+            best_capacities=best_capacities,
+            best_cost=best_cost,
+            epochs_run=len(history),
+            converged=best_capacities is not None,
+            history=history,
+            train_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _update(self, buffer: EpochBuffer) -> dict:
+        """One ComputePLoss/ComputeVLoss update pair (Algorithm 1)."""
+        config = self.config
+        if buffer.num_steps == 0:
+            return {"policy_loss": 0.0, "value_loss": 0.0}
+
+        all_log_probs, all_entropies, all_values = [], [], []
+        all_advantages, all_returns = [], []
+        for trajectory in buffer.trajectories:
+            values = np.array([v.item() for v in trajectory.values])
+            rewards = np.array(trajectory.rewards)
+            advantages = gae_advantages(
+                rewards,
+                values,
+                config.gamma,
+                config.gae_lambda,
+                bootstrap_value=trajectory.bootstrap_value,
+            )
+            returns = discounted_returns(
+                rewards, config.gamma, bootstrap_value=trajectory.bootstrap_value
+            )
+            all_log_probs.extend(trajectory.log_probs)
+            all_entropies.extend(trajectory.entropies)
+            all_values.extend(trajectory.values)
+            all_advantages.append(advantages)
+            all_returns.append(returns)
+
+        advantages = np.concatenate(all_advantages)
+        returns = np.concatenate(all_returns)
+        if config.normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+
+        log_probs = Tensor.stack(all_log_probs)
+        entropies = Tensor.stack(all_entropies)
+        values = Tensor.stack(all_values)
+
+        # -- ComputePLoss: update actor + shared GNN --
+        policy_loss = -(log_probs * Tensor(advantages)).mean()
+        entropy_bonus = entropies.mean()
+        actor_objective = policy_loss - config.entropy_coef * entropy_bonus
+        self.actor_optimizer.zero_grad()
+        self.critic_optimizer.zero_grad()
+        actor_objective.backward()
+        self.actor_optimizer.clip_grad_norm(config.max_grad_norm)
+        self.actor_optimizer.step()
+
+        # -- ComputeVLoss: update critic + shared GNN --
+        value_loss = F.mse_loss(values, returns)
+        self.actor_optimizer.zero_grad()
+        self.critic_optimizer.zero_grad()
+        value_loss.backward()
+        self.critic_optimizer.clip_grad_norm(config.max_grad_norm)
+        self.critic_optimizer.step()
+
+        return {
+            "policy_loss": policy_loss.item(),
+            "value_loss": value_loss.item(),
+            "entropy": entropy_bonus.item(),
+        }

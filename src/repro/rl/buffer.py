@@ -1,0 +1,104 @@
+"""The epoch buffer of Algorithm 1.
+
+Stores per-step log-probabilities and values (as live autodiff tensors)
+plus rewards, grouped into trajectories.  At the end of an epoch the
+trainer asks for per-trajectory (log_probs, values, rewards, bootstrap)
+tuples to compute the two losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class Trajectory:
+    """One plan-generation attempt."""
+
+    log_probs: list = field(default_factory=list)
+    entropies: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+    rewards: list = field(default_factory=list)
+    completed: bool = False  # reached a feasible plan
+    bootstrap_value: float = 0.0  # critic estimate when cut off
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(self.rewards))
+
+
+class EpochBuffer:
+    """Collects trajectories for one epoch."""
+
+    def __init__(self):
+        self.trajectories: list[Trajectory] = []
+        self._current: "Trajectory | None" = None
+
+    def start_trajectory(self) -> None:
+        if self._current is not None and len(self._current):
+            raise ConfigError("previous trajectory was not finished")
+        self._current = Trajectory()
+
+    def append(
+        self,
+        log_prob: Tensor,
+        entropy: Tensor,
+        value: Tensor,
+        reward: float,
+    ) -> None:
+        if self._current is None:
+            raise ConfigError("start_trajectory() must be called first")
+        self._current.log_probs.append(log_prob)
+        self._current.entropies.append(entropy)
+        self._current.values.append(value)
+        self._current.rewards.append(float(reward))
+
+    def finish_trajectory(
+        self, completed: bool, bootstrap_value: float = 0.0
+    ) -> None:
+        """Seal the current trajectory.
+
+        ``bootstrap_value`` should be the critic's estimate of the final
+        state when the trajectory was cut off (by the step limit or the
+        epoch boundary); it is 0 for genuinely terminal states.
+        """
+        if self._current is None:
+            raise ConfigError("no trajectory in progress")
+        if len(self._current):
+            self._current.completed = completed
+            self._current.bootstrap_value = float(bootstrap_value)
+            self.trajectories.append(self._current)
+        self._current = None
+
+    def clear(self) -> None:
+        self.trajectories = []
+        self._current = None
+
+    @property
+    def num_steps(self) -> int:
+        return sum(len(t) for t in self.trajectories)
+
+    @property
+    def num_trajectories(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def epoch_reward(self) -> float:
+        """Mean total reward per trajectory (the Fig. 11/12 y-axis)."""
+        if not self.trajectories:
+            return 0.0
+        return float(np.mean([t.total_reward for t in self.trajectories]))
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.trajectories:
+            return 0.0
+        return float(np.mean([t.completed for t in self.trajectories]))

@@ -1,0 +1,208 @@
+"""The planning environment (Fig. 4 of the paper).
+
+A trajectory starts from the instance's original capacities and
+repeatedly *adds* capacity (add-only actions: half the action space,
+stable termination, and stateful failure checking stay sound -- the
+three benefits Section 4.2 lists).  The action space is
+``num_links * max_units_per_step``: pick a transformed node (an IP
+link) and how many capacity units to add.  An action mask disables
+(link, units) pairs that would violate a fiber's spectrum budget
+(Eq. 4), so the stochastic policy only samples valid actions.
+
+Rewards are dense: each step earns the negative incremental cost of the
+added capacity, scaled so a whole trajectory lands in roughly [-1, 0];
+hitting the step limit without a feasible plan costs an extra -1
+(Section 4.2, "Reward representation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, EnvironmentError_
+from repro.evaluator import PlanEvaluator
+from repro.nn.gnn import normalized_adjacency
+from repro.planning.greedy import GreedyPlanner
+from repro.rl.state import StateEncoder
+from repro.topology.instance import PlanningInstance
+from repro.topology.transform import node_link_transform
+
+TERMINAL_PENALTY = -1.0
+
+
+@dataclass
+class StepResult:
+    """What :meth:`PlanningEnv.step` returns."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    feasible: bool
+    info: dict
+
+
+class PlanningEnv:
+    """Add-capacity planning environment over one instance."""
+
+    def __init__(
+        self,
+        instance: PlanningInstance,
+        max_units_per_step: int = 4,
+        max_steps: int = 1024,
+        evaluator_mode: str = "neuroplan",
+        feature_set: str = "capacity",
+        reward_scale: float | None = None,
+    ):
+        if max_units_per_step < 1:
+            raise ConfigError("max_units_per_step must be >= 1")
+        if max_steps < 1:
+            raise ConfigError("max_steps must be >= 1")
+        self.instance = instance
+        self.max_units = max_units_per_step
+        self.max_steps = max_steps
+        self.link_graph = node_link_transform(instance.network)
+        self.adjacency_norm = normalized_adjacency(self.link_graph.adjacency)
+        self.encoder = StateEncoder(instance, self.link_graph, feature_set)
+        self.evaluator = PlanEvaluator(instance, mode=evaluator_mode)
+        self.unit = instance.capacity_unit
+        self.reward_scale = (
+            reward_scale
+            if reward_scale is not None
+            else self._default_reward_scale()
+        )
+        self._capacities: dict[str, float] = {}
+        self._steps = 0
+        self._done = True
+        self._feasible = False
+
+    # ------------------------------------------------------------------
+    def _default_reward_scale(self) -> float:
+        """Scale rewards by the greedy plan's incremental cost.
+
+        A reasonable trajectory then accumulates roughly -1..0 total
+        reward, the range the paper targets.
+        """
+        initial = self.instance.network.capacities()
+        greedy = GreedyPlanner().plan(self.instance)
+        added_cost = self.instance.cost_model.incremental_cost(
+            self.instance.network, initial, greedy.capacities
+        )
+        return max(added_cost, 1.0)
+
+    # ------------------------------------------------------------------
+    # Spaces
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return self.link_graph.num_nodes
+
+    @property
+    def num_actions(self) -> int:
+        return self.num_links * self.max_units
+
+    def decode_action(self, action: int) -> tuple[str, int]:
+        """Map a flat action index to (link id, units to add)."""
+        if not 0 <= action < self.num_actions:
+            raise EnvironmentError_(f"action {action} out of range")
+        link_index, units_index = divmod(action, self.max_units)
+        return self.link_graph.link_ids[link_index], units_index + 1
+
+    def action_mask(self) -> np.ndarray:
+        """Valid-action mask from the spectrum constraints (Eq. 4)."""
+        mask = np.zeros(self.num_actions, dtype=bool)
+        for link_index, link_id in enumerate(self.link_graph.link_ids):
+            headroom_units = int(
+                np.floor(
+                    round(
+                        self.instance.network.link_capacity_headroom(
+                            link_id, self._capacities
+                        )
+                        / self.unit,
+                        9,
+                    )
+                )
+            )
+            allowed = min(headroom_units, self.max_units)
+            base = link_index * self.max_units
+            mask[base : base + allowed] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Episode control
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Start a trajectory from the original capacities."""
+        self._capacities = self.instance.network.capacities()
+        self._steps = 0
+        self.evaluator.reset()
+        result = self.evaluator.evaluate(self._capacities)
+        self._feasible = result.feasible
+        self._done = result.feasible  # nothing to plan
+        return self.observation()
+
+    def observation(self) -> np.ndarray:
+        return self.encoder.encode(self._capacities)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def feasible(self) -> bool:
+        return self._feasible
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def capacities(self) -> dict[str, float]:
+        return dict(self._capacities)
+
+    def step(self, action: int) -> StepResult:
+        """Apply an action; return the dense reward and termination."""
+        if self._done:
+            raise EnvironmentError_("step() called on a finished trajectory")
+        link_id, units = self.decode_action(action)
+        amount = units * self.unit
+        before = dict(self._capacities)
+        self._capacities[link_id] = self._capacities[link_id] + amount
+        if not self.instance.network.spectrum_feasible(self._capacities):
+            raise EnvironmentError_(
+                f"action on {link_id} violates spectrum; the action mask "
+                "must be applied before sampling"
+            )
+        added_cost = self.instance.cost_model.incremental_cost(
+            self.instance.network, before, self._capacities
+        )
+        reward = -added_cost / self.reward_scale
+        self._steps += 1
+
+        result = self.evaluator.evaluate(self._capacities)
+        self._feasible = result.feasible
+        if result.feasible:
+            self._done = True
+        elif self._steps >= self.max_steps:
+            self._done = True
+            reward += TERMINAL_PENALTY
+        return StepResult(
+            observation=self.observation(),
+            reward=reward,
+            done=self._done,
+            feasible=self._feasible,
+            info={
+                "violated_failure": result.violated_failure,
+                "shortfall": result.shortfall,
+                "added_cost": added_cost,
+                "link": link_id,
+                "units": units,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def plan_cost(self) -> float:
+        """Eq. 1 cost of the current capacity assignment."""
+        return self.instance.cost_model.plan_cost(
+            self.instance.network, self._capacities
+        )

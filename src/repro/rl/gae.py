@@ -1,0 +1,59 @@
+"""Generalized advantage estimation (Eq. 6) and rewards-to-go.
+
+``GAE_i = r_i + gamma * v_{i+1} - v_i + gamma * lambda * GAE_{i+1}``,
+computed backward over one trajectory.  ``bootstrap_value`` stands in
+for ``v_{T}`` when a trajectory was cut off by the epoch boundary
+rather than genuinely terminating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def gae_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float,
+    lam: float,
+    bootstrap_value: float = 0.0,
+) -> np.ndarray:
+    """GAE(lambda) advantages for one trajectory."""
+    _check(gamma, lam)
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ConfigError("rewards and values must have equal length")
+    steps = len(rewards)
+    advantages = np.zeros(steps)
+    next_value = bootstrap_value
+    running = 0.0
+    for i in reversed(range(steps)):
+        delta = rewards[i] + gamma * next_value - values[i]
+        running = delta + gamma * lam * running
+        advantages[i] = running
+        next_value = values[i]
+    return advantages
+
+
+def discounted_returns(
+    rewards: np.ndarray, gamma: float, bootstrap_value: float = 0.0
+) -> np.ndarray:
+    """Rewards-to-go (the critic regression target)."""
+    _check(gamma, 1.0)
+    rewards = np.asarray(rewards, dtype=np.float64)
+    returns = np.zeros(len(rewards))
+    running = bootstrap_value
+    for i in reversed(range(len(rewards))):
+        running = rewards[i] + gamma * running
+        returns[i] = running
+    return returns
+
+
+def _check(gamma: float, lam: float) -> None:
+    if not 0.0 <= gamma <= 1.0:
+        raise ConfigError("gamma must be in [0, 1]")
+    if not 0.0 <= lam <= 1.0:
+        raise ConfigError("lambda must be in [0, 1]")

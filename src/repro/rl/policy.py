@@ -1,0 +1,107 @@
+"""The actor-critic network (Fig. 6 of the paper).
+
+A shared :class:`GraphEncoder` (GCN by default, GAT optional) embeds the
+transformed topology.  The actor scores every (transformed node, units)
+action: each node embedding, concatenated with the pooled graph
+embedding, passes through an MLP producing ``max_units`` logits, so the
+architecture is size-agnostic -- the same parameters work on any number
+of links.  The critic pools node embeddings into a graph embedding and
+maps it to a scalar value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn.distributions import Categorical
+from repro.nn.gnn import GraphEncoder
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.seeding import as_generator
+
+
+class ActorCriticPolicy(Module):
+    """GCN/GAT encoder + per-node actor head + pooled critic head."""
+
+    def __init__(
+        self,
+        feature_dim: int,
+        max_units: int,
+        gnn_hidden: int = 64,
+        gnn_layers: int = 2,
+        gnn_type: str = "gcn",
+        mlp_hidden: tuple = (64, 64),
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if max_units < 1:
+            raise NNError("max_units must be >= 1")
+        rng = as_generator(rng)
+        self.max_units = max_units
+        self.encoder = GraphEncoder(
+            feature_dim, gnn_hidden, gnn_layers, gnn_type=gnn_type, rng=rng
+        )
+        embed = self.encoder.out_features
+        # Actor sees [node embedding || graph embedding] per node.
+        self.actor = MLP(embed * 2, mlp_hidden, max_units, rng=rng)
+        self.critic = MLP(embed, mlp_hidden, 1, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _embed(self, features: np.ndarray, adjacency_norm: np.ndarray) -> tuple:
+        node_embeddings = self.encoder(Tensor(features), adjacency_norm)
+        graph_embedding = F.global_mean_pool(node_embeddings)
+        return node_embeddings, graph_embedding
+
+    def action_logits(
+        self, features: np.ndarray, adjacency_norm: np.ndarray
+    ) -> Tensor:
+        """Flat logits over (node, units) actions, shape (n * max_units,)."""
+        node_embeddings, graph_embedding = self._embed(features, adjacency_norm)
+        n = node_embeddings.shape[0]
+        tiled = Tensor.stack([graph_embedding] * n, axis=0)
+        actor_in = Tensor.concatenate([node_embeddings, tiled], axis=1)
+        return self.actor(actor_in).flatten()
+
+    def value(self, features: np.ndarray, adjacency_norm: np.ndarray) -> Tensor:
+        """Scalar state value."""
+        _, graph_embedding = self._embed(features, adjacency_norm)
+        return self.critic(graph_embedding).sum()
+
+    def distribution(
+        self,
+        features: np.ndarray,
+        adjacency_norm: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Categorical:
+        """Masked categorical over actions."""
+        return Categorical(self.action_logits(features, adjacency_norm), mask=mask)
+
+    def forward(
+        self,
+        features: np.ndarray,
+        adjacency_norm: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> tuple:
+        """(distribution, value) with a single shared embedding pass."""
+        node_embeddings, graph_embedding = self._embed(features, adjacency_norm)
+        n = node_embeddings.shape[0]
+        tiled = Tensor.stack([graph_embedding] * n, axis=0)
+        actor_in = Tensor.concatenate([node_embeddings, tiled], axis=1)
+        logits = self.actor(actor_in).flatten()
+        value = self.critic(graph_embedding).sum()
+        return Categorical(logits, mask=mask), value
+
+    # ------------------------------------------------------------------
+    def parameter_groups(self) -> dict:
+        """Parameters per optimizer group (Algorithm 1 lines 18-22).
+
+        Both the actor and the critic updates also flow into the shared
+        GNN parameters, mirroring the paper's theta_g.
+        """
+        return {
+            "actor": list(self.actor.parameters()) + list(self.encoder.parameters()),
+            "critic": list(self.critic.parameters()) + list(self.encoder.parameters()),
+        }

@@ -1,0 +1,294 @@
+"""PPO trainer: a drop-in alternative to the A2C trainer.
+
+The paper builds on SpinningUp, whose flagship algorithms are VPG/A2C
+and PPO.  NeuroPlan uses the actor-critic update of Algorithm 1; this
+module provides the PPO-clip variant as a documented extension -- same
+environment, same policy network, same GAE machinery, but the actor
+update maximizes the clipped surrogate over several minibatch epochs,
+which tolerates larger steps from the same samples.
+
+Differences from :class:`repro.rl.a2c.A2CTrainer`:
+
+- per-step states and actions are retained so the policy can be
+  re-evaluated under new parameters (the ratio
+  ``pi_new(a|s) / pi_old(a|s)``);
+- the actor/critic heads and the shared GNN update together per PPO
+  epoch (one optimizer), with early stopping on a KL estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.a2c import TrainingResult
+from repro.rl.env import PlanningEnv
+from repro.rl.gae import discounted_returns, gae_advantages
+from repro.rl.policy import ActorCriticPolicy
+from repro.seeding import as_generator
+
+
+@dataclass
+class PPOConfig:
+    """PPO hyperparameters (SpinningUp-style defaults)."""
+
+    epochs: int = 32
+    steps_per_epoch: int = 1024
+    max_trajectory_length: int = 512
+    lr: float = 3e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.97
+    clip_ratio: float = 0.2
+    update_iterations: int = 4
+    target_kl: float = 0.02
+    entropy_coef: float = 0.01
+    value_coef: float = 0.5
+    max_grad_norm: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1 or self.steps_per_epoch < 1:
+            raise ConfigError("epochs and steps_per_epoch must be >= 1")
+        if not 0.0 < self.clip_ratio < 1.0:
+            raise ConfigError("clip_ratio must be in (0, 1)")
+        if self.update_iterations < 1:
+            raise ConfigError("update_iterations must be >= 1")
+
+
+@dataclass
+class _Step:
+    """One transition retained for re-evaluation."""
+
+    observation: np.ndarray
+    mask: np.ndarray
+    action: int
+    reward: float
+    value: float
+    log_prob: float
+
+
+class PPOTrainer:
+    """Proximal policy optimization over a :class:`PlanningEnv`."""
+
+    def __init__(
+        self,
+        env: PlanningEnv,
+        policy: ActorCriticPolicy,
+        config: "PPOConfig | None" = None,
+    ):
+        self.env = env
+        self.policy = policy
+        self.config = config or PPOConfig()
+        # Deduplicate shared GNN parameters by identity (one optimizer
+        # covers actor, critic and the shared encoder).
+        seen: dict[int, object] = {}
+        for group in policy.parameter_groups().values():
+            for param in group:
+                seen.setdefault(id(param), param)
+        self.optimizer = Adam(list(seen.values()), lr=self.config.lr)
+        self.rng = as_generator(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingResult:
+        config = self.config
+        env = self.env
+        start = time.perf_counter()
+
+        observation = env.reset()
+        if env.done:
+            return TrainingResult(
+                best_capacities=env.capacities(),
+                best_cost=env.plan_cost(),
+                epochs_run=0,
+                converged=True,
+                already_feasible=True,
+                train_seconds=time.perf_counter() - start,
+            )
+
+        best_capacities = None
+        best_cost = float("inf")
+        history: list[dict] = []
+
+        for epoch in range(config.epochs):
+            steps, trajectory_bounds, completion = self._collect(env)
+            if not steps:
+                break
+            advantages, returns = self._estimate(steps, trajectory_bounds)
+            metrics = self._update(steps, advantages, returns)
+
+            epoch_reward = float(
+                np.sum([s.reward for s in steps]) / max(1, len(trajectory_bounds))
+            )
+            if completion["best_cost"] < best_cost:
+                best_cost = completion["best_cost"]
+                best_capacities = completion["best_capacities"]
+            history.append(
+                {
+                    "epoch": epoch,
+                    "epoch_reward": epoch_reward,
+                    "completion_rate": completion["rate"],
+                    "num_trajectories": len(trajectory_bounds),
+                    "best_cost": best_cost if best_capacities else None,
+                    **metrics,
+                }
+            )
+
+        return TrainingResult(
+            best_capacities=best_capacities,
+            best_cost=best_cost,
+            epochs_run=len(history),
+            converged=best_capacities is not None,
+            history=history,
+            train_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect(self, env: PlanningEnv):
+        """Roll out one epoch of transitions with the current policy."""
+        config = self.config
+        steps: list[_Step] = []
+        bounds: list[tuple[int, int, bool, float]] = []  # start, end, done, bootstrap
+        completed_costs: list[tuple[float, dict]] = []
+        observation = env.reset()
+        trajectory_start = 0
+        trajectory_len = 0
+        completions = 0
+
+        for _ in range(config.steps_per_epoch):
+            mask = env.action_mask()
+            if not mask.any():
+                break
+            with no_grad():
+                distribution, value = self.policy(
+                    observation, env.adjacency_norm, mask
+                )
+                action = distribution.sample(self.rng)
+                log_prob = distribution.log_prob(action).item()
+                value_estimate = value.item()
+            result = env.step(action)
+            steps.append(
+                _Step(
+                    observation=observation,
+                    mask=mask,
+                    action=action,
+                    reward=result.reward,
+                    value=value_estimate,
+                    log_prob=log_prob,
+                )
+            )
+            observation = result.observation
+            trajectory_len += 1
+
+            over = result.done or trajectory_len >= config.max_trajectory_length
+            if over:
+                if result.feasible:
+                    completions += 1
+                    completed_costs.append((env.plan_cost(), env.capacities()))
+                bounds.append((trajectory_start, len(steps), True, 0.0))
+                observation = env.reset()
+                trajectory_start = len(steps)
+                trajectory_len = 0
+
+        if trajectory_len > 0:
+            with no_grad():
+                bootstrap = self.policy.value(observation, env.adjacency_norm).item()
+            bounds.append((trajectory_start, len(steps), False, bootstrap))
+
+        best_cost = float("inf")
+        best_capacities = None
+        for cost, capacities in completed_costs:
+            if cost < best_cost:
+                best_cost, best_capacities = cost, capacities
+        completion = {
+            "rate": completions / max(1, len(bounds)),
+            "best_cost": best_cost,
+            "best_capacities": best_capacities,
+        }
+        return steps, bounds, completion
+
+    def _estimate(self, steps, bounds):
+        """Per-step GAE advantages and returns across trajectories."""
+        config = self.config
+        advantages = np.zeros(len(steps))
+        returns = np.zeros(len(steps))
+        for start, end, _done, bootstrap in bounds:
+            rewards = np.array([s.reward for s in steps[start:end]])
+            values = np.array([s.value for s in steps[start:end]])
+            advantages[start:end] = gae_advantages(
+                rewards, values, config.gamma, config.gae_lambda,
+                bootstrap_value=bootstrap,
+            )
+            returns[start:end] = discounted_returns(
+                rewards, config.gamma, bootstrap_value=bootstrap
+            )
+        if len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+        return advantages, returns
+
+    def _update(self, steps, advantages, returns) -> dict:
+        """Clipped-surrogate updates with KL early stopping."""
+        config = self.config
+        last_policy_loss = 0.0
+        last_value_loss = 0.0
+        kl = 0.0
+        for iteration in range(config.update_iterations):
+            log_probs, entropies, values = [], [], []
+            for step in steps:
+                distribution, value = self.policy(
+                    step.observation, self.env.adjacency_norm, step.mask
+                )
+                log_probs.append(distribution.log_prob(step.action))
+                entropies.append(distribution.entropy())
+                values.append(value)
+            log_probs_t = Tensor.stack(log_probs)
+            old_log_probs = np.array([s.log_prob for s in steps])
+
+            kl = float(np.mean(old_log_probs - log_probs_t.data))
+            if iteration > 0 and kl > config.target_kl:
+                break
+
+            ratio = (log_probs_t - Tensor(old_log_probs)).exp()
+            adv = Tensor(advantages)
+            unclipped = ratio * adv
+            clip_low = 1.0 - config.clip_ratio
+            clip_high = 1.0 + config.clip_ratio
+            clipped_ratio = Tensor.where(
+                ratio.data < clip_low,
+                Tensor(np.full(ratio.shape, clip_low)),
+                Tensor.where(
+                    ratio.data > clip_high,
+                    Tensor(np.full(ratio.shape, clip_high)),
+                    ratio,
+                ),
+            )
+            clipped = clipped_ratio * adv
+            surrogate = Tensor.where(
+                unclipped.data < clipped.data, unclipped, clipped
+            )
+            policy_loss = -surrogate.mean()
+            value_loss = F.mse_loss(Tensor.stack(values), returns)
+            entropy_bonus = Tensor.stack(entropies).mean()
+            loss = (
+                policy_loss
+                + config.value_coef * value_loss
+                - config.entropy_coef * entropy_bonus
+            )
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.clip_grad_norm(config.max_grad_norm)
+            self.optimizer.step()
+            last_policy_loss = policy_loss.item()
+            last_value_loss = value_loss.item()
+        return {
+            "policy_loss": last_policy_loss,
+            "value_loss": last_value_loss,
+            "approx_kl": kl,
+        }

@@ -1,0 +1,29 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the package takes either a seed or a
+:class:`numpy.random.Generator`.  This module centralizes the coercion so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a freshly seeded generator; an ``int`` yields a
+    deterministic generator; an existing generator is passed through.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

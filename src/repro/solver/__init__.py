@@ -1,0 +1,27 @@
+"""A Gurobi-like LP/ILP modeling layer on scipy's HiGHS backends.
+
+The paper formulates planning as an ILP and solves it with Gurobi; the
+plan evaluator solves per-failure LPs with Gurobi as well.  Gurobi is
+proprietary and unavailable here, so this package provides the same
+modeling surface -- variables, linear expressions, constraints, a
+minimization objective, ``optimize()`` -- compiled to
+``scipy.optimize.linprog`` (LP) and ``scipy.optimize.milp`` (MILP), both
+backed by the open-source HiGHS solver.
+
+Key features used elsewhere in the repo:
+
+- constraint matrices are compiled once and cached; variable-bound and
+  constraint-RHS updates do *not* trigger recompilation, which implements
+  the paper's "only update the constraints that are influenced by the
+  failure" optimization (Section 5);
+- a warm-start hint is emulated with an objective cutoff constraint
+  (HiGHS via scipy takes no MIP start);
+- time limits map to HiGHS time limits and surface as
+  :data:`Status.TIME_LIMIT`.
+"""
+
+from repro.solver.expression import LinExpr, Variable, quicksum
+from repro.solver.model import Constraint, Model
+from repro.solver.status import Status
+
+__all__ = ["LinExpr", "Variable", "quicksum", "Model", "Constraint", "Status"]

@@ -1,0 +1,187 @@
+"""Linear expressions over model variables.
+
+:class:`LinExpr` is an immutable-ish sparse linear form
+``sum_i coeff_i * var_i + constant`` supporting ``+ - *`` with scalars,
+variables and other expressions, plus comparison operators that produce
+constraint specifications consumed by :meth:`Model.add_constr` -- the
+same ergonomics as ``gurobipy``::
+
+    model.add_constr(2 * x + y <= 10, name="cap")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SolverError
+
+
+class Variable:
+    """A decision variable; created only through :meth:`Model.add_var`."""
+
+    __slots__ = ("index", "name", "lb", "ub", "vtype", "_model")
+
+    CONTINUOUS = "C"
+    INTEGER = "I"
+    BINARY = "B"
+
+    def __init__(self, index: int, name: str, lb: float, ub: float, vtype: str, model):
+        self.index = index
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+        self._model = model
+
+    # -- value access ---------------------------------------------------
+    @property
+    def x(self) -> float:
+        """Solution value (after a successful optimize)."""
+        return self._model._value_of(self)
+
+    def set_bounds(self, lb: float | None = None, ub: float | None = None) -> None:
+        """Update bounds without invalidating the compiled matrices."""
+        if lb is not None:
+            self.lb = float(lb)
+        if ub is not None:
+            self.ub = float(ub)
+        if self.lb > self.ub + 1e-12:
+            raise SolverError(
+                f"variable {self.name}: lb {self.lb} exceeds ub {self.ub}"
+            )
+        self._model._mark_solution_stale()
+
+    # -- expression algebra ---------------------------------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other):
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._as_expr() - other
+
+    def __rsub__(self, other):
+        return (-1.0) * self._as_expr() + other
+
+    def __mul__(self, scalar):
+        return self._as_expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self._as_expr() * -1.0
+
+    def __le__(self, other):
+        return self._as_expr() <= other
+
+    def __ge__(self, other):
+        return self._as_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._as_expr() == other
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Variable({self.name})"
+
+
+class LinExpr:
+    """Sparse linear expression: ``coeffs`` maps variable index -> coeff."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: dict[int, float] | None = None, constant: float = 0.0):
+        self.coeffs = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._as_expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, float(other))
+        raise SolverError(f"cannot use {type(other).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    def __add__(self, other):
+        other = LinExpr._coerce(other)
+        out = self.copy()
+        for idx, coeff in other.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + coeff
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + LinExpr._coerce(other) * -1.0
+
+    def __rsub__(self, other):
+        return LinExpr._coerce(other) + self * -1.0
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, (int, float)):
+            raise SolverError("expressions can only be scaled by numbers")
+        return LinExpr(
+            {idx: coeff * scalar for idx, coeff in self.coeffs.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1.0
+
+    # -- constraint construction -----------------------------------------
+    def __le__(self, other):
+        return ConstraintSpec(self - LinExpr._coerce(other), "<=")
+
+    def __ge__(self, other):
+        return ConstraintSpec(self - LinExpr._coerce(other), ">=")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return ConstraintSpec(self - LinExpr._coerce(other), "==")
+
+    def __hash__(self):
+        return id(self)
+
+    def value(self, values) -> float:
+        """Evaluate the expression against an indexable of variable values."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * values[idx]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms} + {self.constant:g})"
+
+
+class ConstraintSpec:
+    """``expr sense 0`` produced by comparison operators, pre-normalization."""
+
+    __slots__ = ("expr", "sense")
+
+    def __init__(self, expr: LinExpr, sense: str):
+        self.expr = expr
+        self.sense = sense
+
+
+def quicksum(terms: Iterable) -> LinExpr:
+    """Sum variables/expressions/constants efficiently (like gurobipy)."""
+    out = LinExpr()
+    for term in terms:
+        term = LinExpr._coerce(term)
+        for idx, coeff in term.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + coeff
+        out.constant += term.constant
+    return out

@@ -1,0 +1,439 @@
+"""The optimization model: variables, constraints, objective, optimize().
+
+Compilation strategy
+--------------------
+Constraints are normalized to rows of a single sparse matrix ``A`` with
+per-row bounds ``row_lb <= A x <= row_ub`` (equalities have
+``row_lb == row_ub``).  The matrix is compiled lazily and cached;
+*adding* variables or constraints invalidates the cache, while updating
+variable bounds or a constraint's RHS does not.  That asymmetry is what
+makes the plan evaluator's stateful failure checking cheap: toggling a
+failure only rewrites bounds, and re-solving reuses the compiled matrix
+(the paper's "only update the constraints that are influenced by the
+failure" optimization).
+
+Backends
+--------
+Pure-continuous models solve with ``scipy.optimize.linprog`` and models
+with integer variables with ``scipy.optimize.milp``; both run HiGHS.
+``optimize(relax=True)`` solves the LP relaxation of a MILP.  A
+warm-start hint is emulated with an objective cutoff (see
+:meth:`Model.optimize`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from repro.errors import SolverError
+from repro.solver.expression import ConstraintSpec, LinExpr, Variable, quicksum
+from repro.solver.status import Status
+
+_INF = math.inf
+
+
+class Constraint:
+    """A normalized row ``lb <= expr <= ub`` (without the constant term)."""
+
+    __slots__ = ("index", "name", "coeffs", "lb", "ub", "_model")
+
+    def __init__(self, index, name, coeffs, lb, ub, model):
+        self.index = index
+        self.name = name
+        self.coeffs = coeffs  # dict var_index -> coefficient
+        self.lb = lb
+        self.ub = ub
+        self._model = model
+
+    def set_rhs(self, lb: float | None = None, ub: float | None = None) -> None:
+        """Update the row bounds without recompiling the matrix."""
+        if lb is not None:
+            self.lb = float(lb)
+        if ub is not None:
+            self.ub = float(ub)
+        if self.lb > self.ub + 1e-12:
+            raise SolverError(f"constraint {self.name}: lb exceeds ub")
+        self._model._mark_solution_stale()
+
+    @property
+    def slack(self) -> float:
+        """ub - activity at the current solution (inf if ub is inf)."""
+        activity = self._model._row_activity(self)
+        return self.ub - activity
+
+    @property
+    def activity(self) -> float:
+        """Row value at the current solution."""
+        return self._model._row_activity(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Constraint({self.name}, [{self.lb}, {self.ub}])"
+
+
+class Model:
+    """An LP/MILP model with a Gurobi-like API.
+
+    Example::
+
+        m = Model("diet")
+        x = m.add_var(lb=0, name="x")
+        y = m.add_var(lb=0, vtype=Variable.INTEGER, name="y")
+        m.add_constr(x + 2 * y >= 3)
+        m.set_objective(x + y)
+        status = m.optimize()
+        assert status is Status.OPTIMAL
+        print(m.objective_value, x.x, y.x)
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self._objective = LinExpr()
+        self._sense = 1  # 1 = minimize, -1 = maximize
+        self._matrix: sp.csr_matrix | None = None
+        self._lp_split: tuple | None = None
+        self._solution: np.ndarray | None = None
+        self._objective_value: float | None = None
+        self._status = Status.NOT_SOLVED
+        self._solve_time = 0.0
+        self._solve_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        lb: float = 0.0,
+        ub: float = _INF,
+        vtype: str = Variable.CONTINUOUS,
+        name: str | None = None,
+    ) -> Variable:
+        """Create a decision variable."""
+        if vtype not in (Variable.CONTINUOUS, Variable.INTEGER, Variable.BINARY):
+            raise SolverError(f"unknown vtype {vtype!r}")
+        if vtype == Variable.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        if lb > ub:
+            raise SolverError(f"variable lb {lb} exceeds ub {ub}")
+        index = len(self.variables)
+        var = Variable(index, name or f"x{index}", lb, ub, vtype, self)
+        self.variables.append(var)
+        self._invalidate()
+        return var
+
+    def add_vars(
+        self,
+        count: int,
+        lb: float = 0.0,
+        ub: float = _INF,
+        vtype: str = Variable.CONTINUOUS,
+        prefix: str = "x",
+    ) -> list[Variable]:
+        """Create ``count`` homogeneous variables."""
+        return [
+            self.add_var(lb=lb, ub=ub, vtype=vtype, name=f"{prefix}{i}")
+            for i in range(count)
+        ]
+
+    def add_constr(self, spec: ConstraintSpec, name: str | None = None) -> Constraint:
+        """Add a constraint built from a comparison, e.g. ``x + y <= 3``."""
+        if not isinstance(spec, ConstraintSpec):
+            raise SolverError(
+                "add_constr expects a comparison like `expr <= rhs`, got "
+                f"{type(spec).__name__}"
+            )
+        rhs = -spec.expr.constant
+        coeffs = {i: c for i, c in spec.expr.coeffs.items() if c != 0.0}
+        if spec.sense == "<=":
+            lb, ub = -_INF, rhs
+        elif spec.sense == ">=":
+            lb, ub = rhs, _INF
+        else:
+            lb = ub = rhs
+        index = len(self.constraints)
+        constr = Constraint(index, name or f"c{index}", coeffs, lb, ub, self)
+        self.constraints.append(constr)
+        self._invalidate()
+        return constr
+
+    def set_objective(self, expr: "LinExpr | Variable", sense: str = "min") -> None:
+        """Set the (linear) objective; ``sense`` is ``"min"`` or ``"max"``."""
+        expr = LinExpr._coerce(expr)
+        if sense not in ("min", "max"):
+            raise SolverError("sense must be 'min' or 'max'")
+        self._objective = expr
+        self._sense = 1 if sense == "min" else -1
+        self._mark_solution_stale()
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self.variables if v.vtype != Variable.CONTINUOUS)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._matrix = None
+        self._lp_split = None
+        self._mark_solution_stale()
+
+    def _mark_solution_stale(self) -> None:
+        self._solution = None
+        self._objective_value = None
+        self._status = Status.NOT_SOLVED
+
+    def _compiled_matrix(self) -> sp.csr_matrix:
+        if self._matrix is None:
+            rows, cols, data = [], [], []
+            for constr in self.constraints:
+                for var_index, coeff in constr.coeffs.items():
+                    rows.append(constr.index)
+                    cols.append(var_index)
+                    data.append(coeff)
+            self._matrix = sp.csr_matrix(
+                (data, (rows, cols)),
+                shape=(len(self.constraints), len(self.variables)),
+            )
+        return self._matrix
+
+    def _row_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        lb = np.array([c.lb for c in self.constraints])
+        ub = np.array([c.ub for c in self.constraints])
+        return lb, ub
+
+    def _var_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        lb = np.array([v.lb for v in self.variables])
+        ub = np.array([v.ub for v in self.variables])
+        return lb, ub
+
+    def _objective_vector(self) -> np.ndarray:
+        c = np.zeros(len(self.variables))
+        for index, coeff in self._objective.coeffs.items():
+            c[index] = coeff
+        return c * self._sense
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        relax: bool = False,
+        warm_start: "dict[Variable, float] | None" = None,
+        cutoff_tolerance: float = 1e-6,
+    ) -> Status:
+        """Solve the model and return a :class:`Status`.
+
+        Parameters
+        ----------
+        time_limit:
+            Wall-clock limit in seconds, mapped to HiGHS.
+        mip_gap:
+            Relative MIP gap at which to stop (MILP only).
+        relax:
+            Solve the LP relaxation, ignoring integrality.
+        warm_start:
+            Emulated MIP start: the hint's objective value (plus
+            ``cutoff_tolerance``) becomes a temporary objective cutoff
+            constraint, which prunes branch-and-bound the way an
+            incumbent would.  The hint itself is not installed as a
+            solution, so an infeasible hint merely makes the cutoff
+            loose/void rather than corrupting the solve.
+        """
+        if not self.variables:
+            raise SolverError("cannot optimize a model with no variables")
+        use_milp = not relax and self.num_integer_variables > 0
+        start = time.perf_counter()
+
+        cutoff_constraint: Constraint | None = None
+        if warm_start is not None and use_milp:
+            hint_values = np.zeros(len(self.variables))
+            for var, value in warm_start.items():
+                hint_values[var.index] = value
+            hint_objective = float(self._objective_vector() @ hint_values)
+            signed_objective = LinExpr(dict(self._objective.coeffs), 0.0) * self._sense
+            cutoff_constraint = self.add_constr(
+                signed_objective <= hint_objective + cutoff_tolerance,
+                name="_warm_start_cutoff",
+            )
+
+        try:
+            if use_milp:
+                status = self._solve_milp(time_limit, mip_gap)
+            else:
+                status = self._solve_lp(time_limit)
+        finally:
+            if cutoff_constraint is not None:
+                removed = self.constraints.pop()
+                assert removed is cutoff_constraint
+                self._matrix = None
+        self._solve_time = time.perf_counter() - start
+        self._solve_count += 1
+        self._status = status
+        return status
+
+    def _lp_matrices(self, row_lb: np.ndarray, row_ub: np.ndarray):
+        """Split A into equality/inequality blocks; cache across RHS updates.
+
+        The split depends only on which row bounds are finite/equal.  RHS
+        updates in the evaluator keep those patterns stable, so the
+        sliced sparse matrices are reused and only the b vectors are
+        rebuilt per solve.
+        """
+        matrix = self._compiled_matrix()
+        eq_mask = np.isclose(row_lb, row_ub) & np.isfinite(row_lb)
+        ub_mask = np.isfinite(row_ub) & ~eq_mask
+        lb_mask = np.isfinite(row_lb) & ~eq_mask
+        if self._lp_split is not None:
+            cached_eq, cached_ub, cached_lb, a_eq, a_ub = self._lp_split
+            if (
+                np.array_equal(cached_eq, eq_mask)
+                and np.array_equal(cached_ub, ub_mask)
+                and np.array_equal(cached_lb, lb_mask)
+            ):
+                return eq_mask, ub_mask, lb_mask, a_eq, a_ub
+        a_eq = matrix[eq_mask] if eq_mask.any() else None
+        a_ub_parts = []
+        if ub_mask.any():
+            a_ub_parts.append(matrix[ub_mask])
+        if lb_mask.any():
+            a_ub_parts.append(-matrix[lb_mask])
+        a_ub = sp.vstack(a_ub_parts, format="csr") if a_ub_parts else None
+        self._lp_split = (eq_mask, ub_mask, lb_mask, a_eq, a_ub)
+        return eq_mask, ub_mask, lb_mask, a_eq, a_ub
+
+    def _solve_lp(self, time_limit: float | None) -> Status:
+        row_lb, row_ub = self._row_bounds()
+        var_lb, var_ub = self._var_bounds()
+        eq_mask, ub_mask, lb_mask, a_eq, a_ub = self._lp_matrices(row_lb, row_ub)
+        b_eq = row_ub[eq_mask] if eq_mask.any() else None
+        b_ub_parts = []
+        if ub_mask.any():
+            b_ub_parts.append(row_ub[ub_mask])
+        if lb_mask.any():
+            b_ub_parts.append(-row_lb[lb_mask])
+        b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+
+        options = {"presolve": True}
+        if time_limit is not None:
+            options["time_limit"] = time_limit
+        result = linprog(
+            self._objective_vector(),
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([var_lb, var_ub]),
+            method="highs",
+            options=options,
+        )
+        if result.status == 0:
+            self._solution = np.asarray(result.x)
+            self._objective_value = float(result.fun) * self._sense
+            return Status.OPTIMAL
+        if result.status == 1:
+            return Status.TIME_LIMIT
+        if result.status == 2:
+            return Status.INFEASIBLE
+        if result.status == 3:
+            return Status.UNBOUNDED
+        return Status.ERROR
+
+    def _solve_milp(self, time_limit: float | None, mip_gap: float | None) -> Status:
+        matrix = self._compiled_matrix()
+        row_lb, row_ub = self._row_bounds()
+        var_lb, var_ub = self._var_bounds()
+        integrality = np.array(
+            [0 if v.vtype == Variable.CONTINUOUS else 1 for v in self.variables]
+        )
+        options: dict = {}
+        if time_limit is not None:
+            options["time_limit"] = time_limit
+        if mip_gap is not None:
+            options["mip_rel_gap"] = mip_gap
+        constraints = (
+            LinearConstraint(matrix, row_lb, row_ub) if self.constraints else None
+        )
+        result = milp(
+            self._objective_vector(),
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(var_lb, var_ub),
+            options=options,
+        )
+        if result.status == 0:
+            self._solution = np.asarray(result.x)
+            self._objective_value = float(result.fun) * self._sense
+            return Status.OPTIMAL
+        if result.status == 1:
+            # Iteration/time limit; HiGHS may still return an incumbent.
+            if result.x is not None:
+                self._solution = np.asarray(result.x)
+                self._objective_value = float(result.fun) * self._sense
+            return Status.TIME_LIMIT
+        if result.status == 2:
+            return Status.INFEASIBLE
+        if result.status == 3:
+            return Status.UNBOUNDED
+        return Status.ERROR
+
+    # ------------------------------------------------------------------
+    # Solution access
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> Status:
+        return self._status
+
+    @property
+    def has_incumbent(self) -> bool:
+        return self._solution is not None
+
+    @property
+    def objective_value(self) -> float:
+        if self._objective_value is None:
+            raise SolverError("no solution available; call optimize() first")
+        return self._objective_value + self._objective.constant
+
+    @property
+    def solve_time(self) -> float:
+        """Wall-clock seconds spent in the last optimize call."""
+        return self._solve_time
+
+    @property
+    def solve_count(self) -> int:
+        """Number of optimize calls on this model (for instrumentation)."""
+        return self._solve_count
+
+    def _value_of(self, var: Variable) -> float:
+        if self._solution is None:
+            raise SolverError("no solution available; call optimize() first")
+        return float(self._solution[var.index])
+
+    def _row_activity(self, constr: Constraint) -> float:
+        if self._solution is None:
+            raise SolverError("no solution available; call optimize() first")
+        return sum(
+            coeff * self._solution[idx] for idx, coeff in constr.coeffs.items()
+        )
+
+    def values(self, variables: Sequence[Variable]) -> np.ndarray:
+        """Vectorized solution access for a list of variables."""
+        if self._solution is None:
+            raise SolverError("no solution available; call optimize() first")
+        return self._solution[[v.index for v in variables]]

@@ -1,0 +1,25 @@
+"""Solver termination statuses."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.Enum):
+    """Outcome of :meth:`repro.solver.model.Model.optimize`."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+    NOT_SOLVED = "not_solved"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether variable values are available after this status.
+
+        ``TIME_LIMIT`` may carry an incumbent for MILPs; callers must
+        check :attr:`Model.has_incumbent` in that case.
+        """
+        return self is Status.OPTIMAL

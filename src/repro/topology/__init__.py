@@ -1,0 +1,47 @@
+"""The two-layer (optical L1 + IP L3) network model.
+
+This package models everything Section 2-3 of the paper describes:
+sites, optical fibers, IP links mapped to fiber paths (parallel links are
+first-class), failure scenarios that cross layers, traffic matrices with
+classes of service, the cost model of Eq. 1, and the node-link
+transformation of Section 4.2.
+
+The unit of work for planners is a :class:`PlanningInstance`, which
+bundles the five inputs of Fig. 3: traffic demand, network topology,
+failure scenarios, reliability policy, and cost model.
+"""
+
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.network import Network
+from repro.topology.failures import (
+    FailureScenario,
+    all_single_fiber_failures,
+    all_single_node_failures,
+    srlg_failures,
+)
+from repro.topology.traffic import ClassOfService, Flow, ReliabilityPolicy, TrafficMatrix
+from repro.topology.cost import CostModel
+from repro.topology.transform import LinkGraph, node_link_transform
+from repro.topology.instance import PlanningInstance
+from repro.topology import generators, datasets
+
+__all__ = [
+    "Node",
+    "Fiber",
+    "IPLink",
+    "Network",
+    "FailureScenario",
+    "all_single_fiber_failures",
+    "all_single_node_failures",
+    "srlg_failures",
+    "Flow",
+    "ClassOfService",
+    "ReliabilityPolicy",
+    "TrafficMatrix",
+    "CostModel",
+    "LinkGraph",
+    "node_link_transform",
+    "PlanningInstance",
+    "generators",
+    "datasets",
+]

@@ -1,0 +1,93 @@
+"""The network cost model (Eq. 1).
+
+Eq. 1 charges each IP link for (a) its capacity, at ``cost_IP`` per Gbps
+per km of underlying fiber, and (b) the fibers underneath it.  Two fiber
+accounting modes are provided:
+
+- ``fiber_fixed_charge=True`` (faithful to Eq. 1's one-time procurement
+  term): a fiber's build cost ``cost_f`` is paid once if *any* IP
+  capacity crosses a not-yet-in-service fiber.  The ILP models this with
+  binary light-up variables; the RL reward charges it on the step that
+  first lights the fiber.
+- ``fiber_fixed_charge=False``: fibers are already paid for (typical
+  short-term planning), so only the capacity term remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices for IP capacity and fiber builds."""
+
+    cost_per_gbps_km: float = 1.0
+    fiber_fixed_charge: bool = True
+
+    def __post_init__(self):
+        if self.cost_per_gbps_km < 0:
+            raise ConfigError("cost_per_gbps_km must be >= 0")
+
+    # ------------------------------------------------------------------
+    def link_unit_cost(self, network: Network, link_id: str) -> float:
+        """Cost of one Gbps of capacity on ``link_id`` (the C_l term)."""
+        return self.cost_per_gbps_km * network.link_length_km(link_id)
+
+    def lit_fibers(
+        self, network: Network, capacities: Mapping[str, float]
+    ) -> set[str]:
+        """Fibers carrying any IP capacity under ``capacities``."""
+        lit: set[str] = set()
+        for link_id, capacity in capacities.items():
+            if capacity > 0:
+                lit.update(network.get_link(link_id).fiber_path)
+        return lit
+
+    def fiber_build_cost(
+        self, network: Network, capacities: Mapping[str, float]
+    ) -> float:
+        """One-time cost of lighting fibers that are not yet in service."""
+        if not self.fiber_fixed_charge:
+            return 0.0
+        return sum(
+            network.fibers[f].cost
+            for f in self.lit_fibers(network, capacities)
+            if not network.fibers[f].in_service
+        )
+
+    def capacity_cost(
+        self, network: Network, capacities: Mapping[str, float]
+    ) -> float:
+        """The Sum_l C_l * cost_IP * length_l term."""
+        return sum(
+            capacity * self.link_unit_cost(network, link_id)
+            for link_id, capacity in capacities.items()
+        )
+
+    def plan_cost(
+        self, network: Network, capacities: Mapping[str, float] | None = None
+    ) -> float:
+        """Total network cost of a capacity assignment (Eq. 1)."""
+        if capacities is None:
+            capacities = network.capacities()
+        return self.capacity_cost(network, capacities) + self.fiber_build_cost(
+            network, capacities
+        )
+
+    def incremental_cost(
+        self,
+        network: Network,
+        before: Mapping[str, float],
+        after: Mapping[str, float],
+    ) -> float:
+        """Cost added by moving from capacities ``before`` to ``after``.
+
+        Used for the RL dense reward: the step reward is the negated,
+        scaled incremental cost.
+        """
+        return self.plan_cost(network, after) - self.plan_cost(network, before)

@@ -1,0 +1,204 @@
+"""Embedded reference topologies.
+
+Production topologies A-E are confidential; these public/synthetic
+datasets stand in for them:
+
+- :func:`figure1_topology` -- the paper's own 6-site worked example
+  (Fig. 1), including the long-term candidate fiber B-F and candidate IP
+  links 3 and 4.  Used by tests and the walkthrough example.
+- :func:`abilene` -- the 11-node Abilene research backbone (public
+  dataset), a realistic small WAN.
+- :func:`uscarrier26` -- a 26-node continental-US carrier backbone laid
+  out from public carrier maps.
+"""
+
+from __future__ import annotations
+
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import FailureScenario, all_single_fiber_failures
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import Flow, TrafficMatrix, gravity_traffic
+
+
+def figure1_topology(long_term: bool = False) -> PlanningInstance:
+    """The Fig. 1 example: 100 Gbps A->D surviving three single-fiber cuts.
+
+    Short-term (``long_term=False``): only IP links 1 (A-B-C-D) and
+    2 (A-E-F-D) exist; the failures are fiber cuts on A-E and B-C.
+
+    Long-term (``long_term=True``): candidate fiber B-F can be built,
+    adding candidate IP links 3 (A-B-F-D) and 4 (A-E-F-B-C-D), plus the
+    B-F fiber-cut failure.  The paper shows plan (1, 3) is cheapest
+    because links 1 and 3 share fiber A-B (5 fibers total).
+    """
+    nodes = [Node(n) for n in "ABCDEF"]
+    # The paper approximates cost as "the number of fibers used", so
+    # every fiber is a unit-cost candidate to light and the capacity
+    # price is a tiny tie-breaker.
+    fibers = [
+        Fiber("AB", "A", "B", length_km=1.0, in_service=False, cost=1.0),
+        Fiber("BC", "B", "C", length_km=1.0, in_service=False, cost=1.0),
+        Fiber("CD", "C", "D", length_km=1.0, in_service=False, cost=1.0),
+        Fiber("AE", "A", "E", length_km=1.0, in_service=False, cost=1.0),
+        Fiber("EF", "E", "F", length_km=1.0, in_service=False, cost=1.0),
+        Fiber("FD", "F", "D", length_km=1.0, in_service=False, cost=1.0),
+    ]
+    links = [
+        IPLink("link1", "A", "D", ("AB", "BC", "CD"), capacity=0.0),
+        IPLink("link2", "A", "D", ("AE", "EF", "FD"), capacity=0.0),
+    ]
+    if long_term:
+        fibers.append(Fiber("BF", "B", "F", length_km=1.0, in_service=False, cost=1.0))
+        links.append(IPLink("link3", "A", "D", ("AB", "BF", "FD"), capacity=0.0))
+        links.append(
+            IPLink("link4", "A", "D", ("AE", "EF", "BF", "BC", "CD"), capacity=0.0)
+        )
+    network = Network(nodes, fibers, links)
+    failures = [
+        FailureScenario("fiber:AE", fibers=frozenset({"AE"})),
+        FailureScenario("fiber:BC", fibers=frozenset({"BC"})),
+    ]
+    if long_term:
+        failures.append(FailureScenario("fiber:BF", fibers=frozenset({"BF"})))
+    traffic = TrafficMatrix([Flow("A", "D", 100.0)])
+    cost_model = CostModel(cost_per_gbps_km=1e-4, fiber_fixed_charge=True)
+    return PlanningInstance(
+        name="figure1-long" if long_term else "figure1-short",
+        network=network,
+        traffic=traffic,
+        failures=failures,
+        cost_model=cost_model,
+        capacity_unit=100.0,
+        horizon="long" if long_term else "short",
+    )
+
+
+_ABILENE_NODES = [
+    ("Seattle", 47.6, -122.3),
+    ("Sunnyvale", 37.4, -122.0),
+    ("LosAngeles", 34.1, -118.2),
+    ("Denver", 39.7, -105.0),
+    ("KansasCity", 39.1, -94.6),
+    ("Houston", 29.8, -95.4),
+    ("Chicago", 41.9, -87.6),
+    ("Indianapolis", 39.8, -86.2),
+    ("Atlanta", 33.7, -84.4),
+    ("WashingtonDC", 38.9, -77.0),
+    ("NewYork", 40.7, -74.0),
+]
+
+_ABILENE_EDGES = [
+    ("Seattle", "Sunnyvale", 1100.0),
+    ("Seattle", "Denver", 2100.0),
+    ("Sunnyvale", "LosAngeles", 600.0),
+    ("Sunnyvale", "Denver", 1500.0),
+    ("LosAngeles", "Houston", 2500.0),
+    ("Denver", "KansasCity", 900.0),
+    ("Houston", "KansasCity", 1200.0),
+    ("Houston", "Atlanta", 1300.0),
+    ("KansasCity", "Indianapolis", 700.0),
+    ("Chicago", "Indianapolis", 300.0),
+    ("Indianapolis", "Atlanta", 800.0),
+    ("Chicago", "NewYork", 1300.0),
+    ("Atlanta", "WashingtonDC", 1000.0),
+    ("WashingtonDC", "NewYork", 400.0),
+]
+
+
+def abilene(
+    total_demand: float = 2000.0,
+    seed: int = 0,
+    capacity_unit: float = 100.0,
+) -> PlanningInstance:
+    """The Abilene backbone with gravity traffic and fiber-cut failures."""
+    nodes = [Node(n, latitude=lat, longitude=lon) for n, lat, lon in _ABILENE_NODES]
+    fibers = [
+        Fiber(f"{a}--{b}", a, b, length_km=km) for a, b, km in _ABILENE_EDGES
+    ]
+    links = [
+        IPLink(f"ip:{a}--{b}", a, b, (f"{a}--{b}",), capacity=0.0)
+        for a, b, _ in _ABILENE_EDGES
+    ]
+    network = Network(nodes, fibers, links)
+    traffic = gravity_traffic(
+        [n.name for n in nodes], total_demand, rng=seed, sparsity=0.5
+    )
+    return PlanningInstance(
+        name="abilene",
+        network=network,
+        traffic=traffic,
+        failures=all_single_fiber_failures(network),
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=capacity_unit,
+        horizon="short",
+    )
+
+
+_USCARRIER_NODES = [
+    ("Seattle", 47.6, -122.3), ("Portland", 45.5, -122.7),
+    ("Sacramento", 38.6, -121.5), ("SanFrancisco", 37.8, -122.4),
+    ("LosAngeles", 34.1, -118.2), ("SanDiego", 32.7, -117.2),
+    ("Phoenix", 33.4, -112.1), ("LasVegas", 36.2, -115.1),
+    ("SaltLake", 40.8, -111.9), ("Denver", 39.7, -105.0),
+    ("Albuquerque", 35.1, -106.6), ("ElPaso", 31.8, -106.4),
+    ("Dallas", 32.8, -96.8), ("Houston", 29.8, -95.4),
+    ("NewOrleans", 30.0, -90.1), ("KansasCity", 39.1, -94.6),
+    ("Minneapolis", 45.0, -93.3), ("Chicago", 41.9, -87.6),
+    ("StLouis", 38.6, -90.2), ("Nashville", 36.2, -86.8),
+    ("Atlanta", 33.7, -84.4), ("Miami", 25.8, -80.2),
+    ("Charlotte", 35.2, -80.8), ("WashingtonDC", 38.9, -77.0),
+    ("NewYork", 40.7, -74.0), ("Boston", 42.4, -71.1),
+]
+
+_USCARRIER_EDGES = [
+    ("Seattle", "Portland", 280), ("Portland", "Sacramento", 830),
+    ("Sacramento", "SanFrancisco", 140), ("SanFrancisco", "LosAngeles", 610),
+    ("LosAngeles", "SanDiego", 190), ("SanDiego", "Phoenix", 570),
+    ("LosAngeles", "LasVegas", 430), ("LasVegas", "SaltLake", 680),
+    ("Seattle", "SaltLake", 1130), ("SaltLake", "Denver", 600),
+    ("Phoenix", "Albuquerque", 670), ("Albuquerque", "ElPaso", 430),
+    ("ElPaso", "Dallas", 990), ("Albuquerque", "Denver", 720),
+    ("Denver", "KansasCity", 900), ("Dallas", "Houston", 390),
+    ("Houston", "NewOrleans", 560), ("Dallas", "KansasCity", 730),
+    ("KansasCity", "StLouis", 400), ("KansasCity", "Minneapolis", 660),
+    ("Minneapolis", "Chicago", 660), ("Chicago", "StLouis", 480),
+    ("StLouis", "Nashville", 500), ("NewOrleans", "Atlanta", 760),
+    ("Nashville", "Atlanta", 400), ("Atlanta", "Miami", 970),
+    ("Atlanta", "Charlotte", 390), ("Charlotte", "WashingtonDC", 640),
+    ("WashingtonDC", "NewYork", 400), ("NewYork", "Boston", 350),
+    ("Chicago", "NewYork", 1300), ("Chicago", "Boston", 1600),
+    ("Miami", "Charlotte", 1050),
+    ("Sacramento", "SaltLake", 870), ("Phoenix", "ElPaso", 700),
+]
+
+
+def uscarrier26(
+    total_demand: float = 8000.0,
+    seed: int = 0,
+    capacity_unit: float = 100.0,
+) -> PlanningInstance:
+    """A 26-node continental-US carrier backbone."""
+    nodes = [Node(n, latitude=lat, longitude=lon) for n, lat, lon in _USCARRIER_NODES]
+    fibers = [
+        Fiber(f"{a}--{b}", a, b, length_km=float(km))
+        for a, b, km in _USCARRIER_EDGES
+    ]
+    links = [
+        IPLink(f"ip:{a}--{b}", a, b, (f"{a}--{b}",), capacity=0.0)
+        for a, b, _ in _USCARRIER_EDGES
+    ]
+    network = Network(nodes, fibers, links)
+    traffic = gravity_traffic(
+        [n.name for n in nodes], total_demand, rng=seed, sparsity=0.7
+    )
+    return PlanningInstance(
+        name="uscarrier26",
+        network=network,
+        traffic=traffic,
+        failures=all_single_fiber_failures(network),
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=capacity_unit,
+        horizon="short",
+    )

@@ -1,0 +1,132 @@
+"""Primitive topology elements: sites, fibers, IP links.
+
+Terminology follows Table 1 of the paper:
+
+- a :class:`Node` is an IP/optical site (datacenter or PoP);
+- a :class:`Fiber` is an optical fiber pair between two sites with a
+  maximum usable spectrum ``S_f`` and a one-time build cost ``cost_f``;
+- an :class:`IPLink` is a layer-3 adjacency riding a *path of fibers*
+  (``Psi_l``), with a capacity ``C_l`` in Gbps, a floor ``C_l^min``, and
+  a spectral efficiency ``phi_lf`` (GHz of spectrum consumed per Gbps).
+
+Multiple IP links may connect the same node pair over different fiber
+paths (parallel links); they are distinct objects with distinct ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Node:
+    """An IP/optical site."""
+
+    name: str
+    region: str = "default"
+    latitude: float = 0.0
+    longitude: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise TopologyError("node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Fiber:
+    """An optical fiber pair between two sites.
+
+    Attributes
+    ----------
+    max_spectrum:
+        ``S_f`` -- usable spectrum in GHz.
+    cost:
+        ``cost_f`` -- one-time procurement + light-up cost (arbitrary
+        money units).
+    in_service:
+        Existing fiber (True) vs a *candidate* fiber that long-term
+        planning may decide to build (False).
+    """
+
+    id: str
+    endpoint_a: str
+    endpoint_b: str
+    length_km: float
+    max_spectrum: float = 4800.0
+    cost: float = 0.0
+    in_service: bool = True
+
+    def __post_init__(self):
+        if self.endpoint_a == self.endpoint_b:
+            raise TopologyError(f"fiber {self.id}: endpoints must differ")
+        if self.length_km <= 0:
+            raise TopologyError(f"fiber {self.id}: length must be positive")
+        if self.max_spectrum <= 0:
+            raise TopologyError(f"fiber {self.id}: max_spectrum must be positive")
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.endpoint_a, self.endpoint_b))
+
+    def touches(self, node_name: str) -> bool:
+        return node_name in (self.endpoint_a, self.endpoint_b)
+
+
+@dataclass(frozen=True)
+class IPLink:
+    """A layer-3 link riding a fiber path.
+
+    Attributes
+    ----------
+    capacity:
+        ``C_l`` -- current capacity in Gbps, per direction.
+    min_capacity:
+        ``C_l^min`` -- short-term planning floor (0 for long-term
+        candidates).
+    fiber_path:
+        ``Psi_l`` -- ordered fiber ids from ``src`` to ``dst``.
+    spectral_efficiency:
+        ``phi_lf`` -- GHz of fiber spectrum consumed per Gbps of IP
+        capacity (identical across the path's fibers, which matches how
+        the formulation uses a single modulation per link).
+    """
+
+    id: str
+    src: str
+    dst: str
+    fiber_path: tuple[str, ...]
+    capacity: float = 0.0
+    min_capacity: float = 0.0
+    spectral_efficiency: float = 0.4
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise TopologyError(f"ip link {self.id}: endpoints must differ")
+        if not self.fiber_path:
+            raise TopologyError(f"ip link {self.id}: fiber path must be non-empty")
+        if self.capacity < 0 or self.min_capacity < 0:
+            raise TopologyError(f"ip link {self.id}: capacities must be >= 0")
+        if self.spectral_efficiency <= 0:
+            raise TopologyError(
+                f"ip link {self.id}: spectral efficiency must be positive"
+            )
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.src, self.dst))
+
+    def with_capacity(self, capacity: float) -> "IPLink":
+        """Return a copy with a different current capacity."""
+        if capacity < 0:
+            raise TopologyError(f"ip link {self.id}: capacity must be >= 0")
+        return replace(self, capacity=capacity)
+
+    def is_parallel_to(self, other: "IPLink") -> bool:
+        """True when both links join the same (unordered) node pair."""
+        return self.id != other.id and self.endpoints == other.endpoints
+
+    def shares_endpoint_with(self, other: "IPLink") -> bool:
+        return bool(self.endpoints & other.endpoints)

@@ -1,0 +1,69 @@
+"""Multi-period network evolution.
+
+Section 2: planning is "a multi-phased, iterative process", and the
+production topology "grows at a rate of 20% per year".  This module
+models one planning cycle feeding the next: the deployed plan becomes
+the new starting topology (deployed capacity is the new Eq. 5 floor --
+operators do not rip out installed hardware), and the demand forecast
+grows.
+
+Example::
+
+    instance = generators.make_instance("A")
+    for year in range(3):
+        result = planner.plan(instance)
+        instance = evolve_instance(instance, result.final.capacities,
+                                   traffic_growth=1.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import PlanError
+from repro.topology.instance import PlanningInstance
+
+
+def evolve_instance(
+    instance: PlanningInstance,
+    deployed_capacities: dict[str, float],
+    traffic_growth: float = 1.2,
+    cycle_label: str | None = None,
+) -> PlanningInstance:
+    """Produce the next planning cycle's instance.
+
+    - every link's capacity *and* ``min_capacity`` become the deployed
+      capacity (installed hardware stays);
+    - demand scales by ``traffic_growth`` (the paper's 20%/year default);
+    - candidate fibers that the deployed plan lit become in-service
+      (their build cost was paid this cycle).
+    """
+    if traffic_growth <= 0:
+        raise PlanError("traffic growth must be positive")
+    missing = set(instance.network.links) - set(deployed_capacities)
+    if missing:
+        raise PlanError(f"deployed plan missing links: {sorted(missing)[:3]}")
+
+    network = instance.network.copy()
+    for link_id, link in list(network.links.items()):
+        deployed = deployed_capacities[link_id]
+        if deployed < link.min_capacity - 1e-9:
+            raise PlanError(
+                f"deployed capacity on {link_id} below the current floor"
+            )
+        network.links[link_id] = replace(
+            link, capacity=deployed, min_capacity=deployed
+        )
+
+    lit = instance.cost_model.lit_fibers(instance.network, deployed_capacities)
+    for fiber_id, fiber in list(network.fibers.items()):
+        if not fiber.in_service and fiber_id in lit:
+            network.fibers[fiber_id] = replace(fiber, in_service=True)
+
+    name = cycle_label or f"{instance.name}+1"
+    return replace(
+        instance,
+        name=name,
+        network=network,
+        traffic=instance.traffic.scaled(traffic_growth),
+    )

@@ -1,0 +1,90 @@
+"""Failure scenarios and their cross-layer expansion.
+
+A failure lives in the optical layer (fiber cuts), the site layer (node
+outages), or a shared-risk link group (SRLG: several fibers in one
+conduit).  Because IP links ride fiber paths, a single optical failure
+typically takes down several IP links at once -- the cross-layer coupling
+the paper highlights in Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of simultaneously failed fibers and/or sites."""
+
+    id: str
+    fibers: frozenset[str] = field(default_factory=frozenset)
+    nodes: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if not self.fibers and not self.nodes:
+            raise TopologyError(f"failure {self.id}: must fail something")
+
+    def failed_link_ids(self, network: Network) -> frozenset[str]:
+        """IP links taken down by this failure.
+
+        A link fails when any fiber on its path fails or either endpoint
+        site fails.
+        """
+        for fiber_id in self.fibers:
+            if fiber_id not in network.fibers:
+                raise TopologyError(
+                    f"failure {self.id}: unknown fiber {fiber_id}"
+                )
+        for node in self.nodes:
+            if node not in network.nodes:
+                raise TopologyError(f"failure {self.id}: unknown node {node}")
+        failed = set()
+        for link in network.links.values():
+            if self.nodes & {link.src, link.dst}:
+                failed.add(link.id)
+                continue
+            if self.fibers.intersection(link.fiber_path):
+                failed.add(link.id)
+        return frozenset(failed)
+
+    @property
+    def is_site_failure(self) -> bool:
+        return bool(self.nodes)
+
+
+def all_single_fiber_failures(network: Network) -> list[FailureScenario]:
+    """One scenario per in-service or candidate fiber (single fiber cut)."""
+    return [
+        FailureScenario(id=f"fiber:{fiber_id}", fibers=frozenset({fiber_id}))
+        for fiber_id in network.fibers
+    ]
+
+
+def all_single_node_failures(
+    network: Network, exclude: frozenset[str] = frozenset()
+) -> list[FailureScenario]:
+    """One scenario per site, excluding ``exclude`` (e.g. sources that
+    cannot be protected against their own failure)."""
+    return [
+        FailureScenario(id=f"site:{name}", nodes=frozenset({name}))
+        for name in network.nodes
+        if name not in exclude
+    ]
+
+
+def srlg_failures(
+    network: Network, groups: dict[str, frozenset[str]]
+) -> list[FailureScenario]:
+    """Shared-risk link groups: each group of fibers fails together."""
+    scenarios = []
+    for group_id, fiber_ids in groups.items():
+        for fiber_id in fiber_ids:
+            if fiber_id not in network.fibers:
+                raise TopologyError(f"srlg {group_id}: unknown fiber {fiber_id}")
+        scenarios.append(
+            FailureScenario(id=f"srlg:{group_id}", fibers=frozenset(fiber_ids))
+        )
+    return scenarios

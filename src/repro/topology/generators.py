@@ -1,0 +1,473 @@
+"""Synthetic WAN generator and the A-E topology family.
+
+The paper evaluates on five production topologies (A-E) of which only
+size bands are published: A has tens of IP links / failures / flows and
+needs a few Tbps; E has hundreds of IP links / failures, ~1000 flows and
+needs a few hundred Tbps.  :data:`TOPOLOGY_SPECS` encodes one spec per
+band and :func:`make_instance` deterministically expands a spec into a
+full :class:`PlanningInstance`:
+
+1. sites are placed in a continental-scale plane;
+2. the fiber graph is a Euclidean minimum spanning tree plus
+   distance-biased (Waxman) shortcut fibers, so it is connected with
+   realistic redundancy;
+3. each fiber carries a direct IP link; *express* IP links ride
+   multi-hop fiber paths between distant site pairs; a fraction of busy
+   adjacencies get *parallel* IP links over alternate fiber paths;
+4. gravity-model traffic with per-spec sparsity sets the flow count;
+5. initial ("production") capacities come from shortest-path routing of
+   the no-failure demand at a target fill, rounded to the capacity unit;
+6. failures are all single-fiber cuts plus site failures at the
+   highest-degree sites;
+7. long-horizon variants add candidate fibers (with build costs) and
+   candidate IP links starting at zero capacity.
+
+Use ``scale`` to shrink a band proportionally for fast CI/benchmarks
+while preserving its structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.seeding import as_generator
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import (
+    FailureScenario,
+    all_single_fiber_failures,
+)
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import TrafficMatrix, gravity_traffic
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Size knobs for one topology band."""
+
+    num_nodes: int
+    extra_fiber_factor: float  # shortcut fibers as a fraction of nodes
+    express_links: int  # multi-hop IP links
+    parallel_fraction: float  # fraction of direct links duplicated
+    demand_gbps: float
+    flow_sparsity: float  # fraction of node pairs with no flow
+    site_failures: int
+    candidate_fibers: int  # long-horizon candidates
+    initial_fill: float  # production capacity = fill * no-failure load
+
+
+TOPOLOGY_SPECS: dict[str, TopologySpec] = {
+    # A: tens of links/failures/flows, a few Tbps.
+    "A": TopologySpec(
+        num_nodes=10, extra_fiber_factor=0.5, express_links=4,
+        parallel_fraction=0.2, demand_gbps=4_000.0, flow_sparsity=0.55,
+        site_failures=2, candidate_fibers=3, initial_fill=0.6,
+    ),
+    "B": TopologySpec(
+        num_nodes=18, extra_fiber_factor=0.6, express_links=8,
+        parallel_fraction=0.2, demand_gbps=15_000.0, flow_sparsity=0.55,
+        site_failures=4, candidate_fibers=6, initial_fill=0.6,
+    ),
+    "C": TopologySpec(
+        num_nodes=30, extra_fiber_factor=0.6, express_links=14,
+        parallel_fraction=0.25, demand_gbps=40_000.0, flow_sparsity=0.6,
+        site_failures=6, candidate_fibers=10, initial_fill=0.6,
+    ),
+    "D": TopologySpec(
+        num_nodes=46, extra_fiber_factor=0.7, express_links=22,
+        parallel_fraction=0.25, demand_gbps=100_000.0, flow_sparsity=0.65,
+        site_failures=8, candidate_fibers=16, initial_fill=0.6,
+    ),
+    # E: hundreds of links, hundreds of failures, ~1000 flows.
+    "E": TopologySpec(
+        num_nodes=64, extra_fiber_factor=0.8, express_links=32,
+        parallel_fraction=0.3, demand_gbps=250_000.0, flow_sparsity=0.75,
+        site_failures=12, candidate_fibers=24, initial_fill=0.6,
+    ),
+}
+
+_PLANE_KM = 4000.0  # continental scale
+_DEFAULT_SPECTRUM = 4800.0  # GHz per fiber
+_SPECTRAL_EFFICIENCY = 0.4  # GHz per Gbps
+
+
+def list_topologies() -> list[str]:
+    """Names of the built-in topology bands."""
+    return list(TOPOLOGY_SPECS)
+
+
+def make_instance(
+    name: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    horizon: str = "short",
+    capacity_unit: float = 100.0,
+) -> PlanningInstance:
+    """Build topology band ``name`` (A-E) deterministically from ``seed``.
+
+    ``scale`` in (0, 1] shrinks node count, demand, express/parallel
+    links and failures proportionally -- used by benchmarks to keep
+    figure regeneration fast while preserving problem geometry.
+    """
+    if name not in TOPOLOGY_SPECS:
+        raise ConfigError(
+            f"unknown topology {name!r}; options: {list_topologies()}"
+        )
+    if not 0.0 < scale <= 1.0:
+        raise ConfigError("scale must be in (0, 1]")
+    spec = TOPOLOGY_SPECS[name]
+    num_nodes = max(6, int(round(spec.num_nodes * scale)))
+    rng = as_generator(seed + sum(ord(c) for c in name) * 7919)
+
+    positions = rng.random((num_nodes, 2)) * _PLANE_KM
+    node_names = [f"{name}{i:02d}" for i in range(num_nodes)]
+    nodes = [
+        Node(node_names[i], latitude=positions[i, 1], longitude=positions[i, 0])
+        for i in range(num_nodes)
+    ]
+
+    fiber_graph = _build_fiber_graph(node_names, positions, spec, rng)
+    fibers = [
+        Fiber(
+            id=f"f:{a}--{b}",
+            endpoint_a=a,
+            endpoint_b=b,
+            length_km=fiber_graph.edges[a, b]["length"],
+            max_spectrum=_DEFAULT_SPECTRUM,
+            cost=0.0,
+            in_service=True,
+        )
+        for a, b in sorted(fiber_graph.edges)
+    ]
+    fiber_id = {frozenset((f.endpoint_a, f.endpoint_b)): f.id for f in fibers}
+
+    links = _build_ip_links(fiber_graph, fiber_id, spec, scale, rng)
+
+    candidate_fibers: list[Fiber] = []
+    if horizon == "long":
+        candidate_fibers, candidate_links = _build_candidates(
+            node_names, positions, fiber_graph, fiber_id, spec, scale, rng
+        )
+        fibers.extend(candidate_fibers)
+        links.extend(candidate_links)
+
+    network = Network(nodes, fibers, links)
+
+    traffic = gravity_traffic(
+        node_names,
+        spec.demand_gbps * scale,
+        rng=rng,
+        sparsity=spec.flow_sparsity,
+    )
+
+    _assign_initial_capacities(
+        network, traffic, spec.initial_fill, capacity_unit
+    )
+    _provision_spectrum(network)
+
+    failures = all_single_fiber_failures(network)
+    failures.extend(_site_failures(network, spec, scale))
+
+    fixed_charge = horizon == "long"
+    return PlanningInstance(
+        name=name,
+        network=network,
+        traffic=traffic,
+        failures=failures,
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=fixed_charge),
+        capacity_unit=capacity_unit,
+        horizon=horizon,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generation stages
+# ----------------------------------------------------------------------
+def _distance(positions: np.ndarray, i: int, j: int) -> float:
+    return float(np.hypot(*(positions[i] - positions[j]))) + 50.0
+
+
+def _build_fiber_graph(
+    node_names: list[str],
+    positions: np.ndarray,
+    spec: TopologySpec,
+    rng: np.random.Generator,
+) -> nx.Graph:
+    """Euclidean MST plus Waxman shortcuts; edges carry ``length`` km."""
+    n = len(node_names)
+    complete = nx.Graph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            complete.add_edge(
+                node_names[i], node_names[j], length=_distance(positions, i, j)
+            )
+    graph = nx.minimum_spanning_tree(complete, weight="length")
+    target_extra = max(2, int(round(n * spec.extra_fiber_factor)))
+    # Waxman: prefer shorter shortcuts, never duplicate.
+    candidates = [
+        (a, b, data["length"])
+        for a, b, data in complete.edges(data=True)
+        if not graph.has_edge(a, b)
+    ]
+    lengths = np.array([c[2] for c in candidates])
+    weights = np.exp(-lengths / (0.3 * _PLANE_KM))
+    weights = weights / weights.sum()
+    chosen = rng.choice(
+        len(candidates), size=min(target_extra, len(candidates)),
+        replace=False, p=weights,
+    )
+    for index in chosen:
+        a, b, length = candidates[index]
+        graph.add_edge(a, b, length=length)
+    # Real backbones survive any single fiber cut: augment to
+    # 2-edge-connectivity with the shortest available extra fibers.
+    augmentation = nx.k_edge_augmentation(
+        graph, k=2, avail=[(a, b, d["length"]) for a, b, d in complete.edges(data=True)],
+        weight="length",
+    )
+    for a, b in augmentation:
+        graph.add_edge(a, b, length=complete.edges[a, b]["length"])
+    return graph
+
+
+def _shortest_fiber_path(
+    fiber_graph: nx.Graph, fiber_id: dict, src: str, dst: str
+) -> tuple[str, ...]:
+    path = nx.shortest_path(fiber_graph, src, dst, weight="length")
+    return tuple(
+        fiber_id[frozenset((path[k], path[k + 1]))] for k in range(len(path) - 1)
+    )
+
+
+def _build_ip_links(
+    fiber_graph: nx.Graph,
+    fiber_id: dict,
+    spec: TopologySpec,
+    scale: float,
+    rng: np.random.Generator,
+) -> list[IPLink]:
+    links: list[IPLink] = []
+    # Direct links, one per fiber.
+    for a, b in sorted(fiber_graph.edges):
+        links.append(
+            IPLink(
+                id=f"ip:{a}--{b}",
+                src=a,
+                dst=b,
+                fiber_path=(fiber_id[frozenset((a, b))],),
+                spectral_efficiency=_SPECTRAL_EFFICIENCY,
+            )
+        )
+    # Express links between distant pairs.
+    node_list = sorted(fiber_graph.nodes)
+    num_express = max(1, int(round(spec.express_links * scale)))
+    non_adjacent = [
+        (a, b)
+        for i, a in enumerate(node_list)
+        for b in node_list[i + 1 :]
+        if not fiber_graph.has_edge(a, b)
+    ]
+    if non_adjacent:
+        picks = rng.choice(
+            len(non_adjacent), size=min(num_express, len(non_adjacent)), replace=False
+        )
+        for index in picks:
+            a, b = non_adjacent[index]
+            path = _shortest_fiber_path(fiber_graph, fiber_id, a, b)
+            links.append(
+                IPLink(
+                    id=f"ip:{a}--{b}:express",
+                    src=a,
+                    dst=b,
+                    fiber_path=path,
+                    spectral_efficiency=_SPECTRAL_EFFICIENCY,
+                )
+            )
+    # Parallel links over alternate fiber paths where one exists.
+    num_parallel = int(round(len(fiber_graph.edges) * spec.parallel_fraction))
+    direct_edges = sorted(fiber_graph.edges)
+    if num_parallel and direct_edges:
+        picks = rng.choice(
+            len(direct_edges), size=min(num_parallel, len(direct_edges)),
+            replace=False,
+        )
+        for index in picks:
+            a, b = direct_edges[index]
+            detour = _alternate_path(fiber_graph, fiber_id, a, b)
+            links.append(
+                IPLink(
+                    id=f"ip:{a}--{b}:par",
+                    src=a,
+                    dst=b,
+                    fiber_path=detour,
+                    spectral_efficiency=_SPECTRAL_EFFICIENCY,
+                )
+            )
+    return links
+
+
+def _alternate_path(
+    fiber_graph: nx.Graph, fiber_id: dict, a: str, b: str
+) -> tuple[str, ...]:
+    """Cheapest fiber path from a to b avoiding the direct fiber if possible."""
+    trimmed = fiber_graph.copy()
+    trimmed.remove_edge(a, b)
+    try:
+        path = nx.shortest_path(trimmed, a, b, weight="length")
+        return tuple(
+            fiber_id[frozenset((path[k], path[k + 1]))]
+            for k in range(len(path) - 1)
+        )
+    except nx.NetworkXNoPath:
+        # Bridge edge: the parallel link rides the same fiber.
+        return (fiber_id[frozenset((a, b))],)
+
+
+def _build_candidates(
+    node_names: list[str],
+    positions: np.ndarray,
+    fiber_graph: nx.Graph,
+    fiber_id: dict,
+    spec: TopologySpec,
+    scale: float,
+    rng: np.random.Generator,
+) -> tuple[list[Fiber], list[IPLink]]:
+    """Candidate fibers (buildable, with cost) and IP links over them."""
+    num_candidates = max(1, int(round(spec.candidate_fibers * scale)))
+    index_of = {name: i for i, name in enumerate(node_names)}
+    non_adjacent = [
+        (a, b)
+        for i, a in enumerate(sorted(node_names))
+        for b in sorted(node_names)[i + 1 :]
+        if not fiber_graph.has_edge(a, b)
+    ]
+    fibers: list[Fiber] = []
+    links: list[IPLink] = []
+    if not non_adjacent:
+        return fibers, links
+    picks = rng.choice(
+        len(non_adjacent), size=min(num_candidates, len(non_adjacent)), replace=False
+    )
+    for index in picks:
+        a, b = non_adjacent[index]
+        length = _distance(positions, index_of[a], index_of[b])
+        fiber = Fiber(
+            id=f"f:{a}--{b}:cand",
+            endpoint_a=a,
+            endpoint_b=b,
+            length_km=length,
+            max_spectrum=_DEFAULT_SPECTRUM,
+            cost=length * 150.0,  # build cost scales with distance
+            in_service=False,
+        )
+        fibers.append(fiber)
+        links.append(
+            IPLink(
+                id=f"ip:{a}--{b}:cand",
+                src=a,
+                dst=b,
+                fiber_path=(fiber.id,),
+                capacity=0.0,
+                min_capacity=0.0,
+                spectral_efficiency=_SPECTRAL_EFFICIENCY,
+            )
+        )
+    return fibers, links
+
+
+def _assign_initial_capacities(
+    network: Network,
+    traffic: TrafficMatrix,
+    fill: float,
+    capacity_unit: float,
+) -> None:
+    """Route no-failure demand on shortest paths; set production capacities.
+
+    Candidate links (long horizon) stay at zero with a zero floor (the
+    paper: "C_min is set to 0 for the candidate links to be added").
+    Every *existing* link gets ``min_capacity`` equal to its production
+    capacity (Eq. 5's floor) in both horizons -- deployed hardware is
+    never ripped out.
+    """
+    routing = nx.MultiGraph()
+    for link in network.links.values():
+        if link.id.endswith(":cand"):
+            continue
+        routing.add_edge(
+            link.src, link.dst, key=link.id, length=network.link_length_km(link.id)
+        )
+    load: dict[str, float] = {lid: 0.0 for lid in network.links}
+    for src, sinks in traffic.by_source().items():
+        for dst, demand in sinks.items():
+            path = nx.shortest_path(routing, src, dst, weight="length")
+            for a, b in zip(path, path[1:]):
+                # Cheapest parallel edge on this hop.
+                edge_data = routing.get_edge_data(a, b)
+                best = min(edge_data, key=lambda k: edge_data[k]["length"])
+                load[best] += demand
+    for link_id, link in list(network.links.items()):
+        if link.id.endswith(":cand"):
+            continue
+        capacity = math.ceil(load[link_id] * fill / capacity_unit) * capacity_unit
+        floor = capacity
+        network.links[link_id] = IPLink(
+            id=link.id,
+            src=link.src,
+            dst=link.dst,
+            fiber_path=link.fiber_path,
+            capacity=capacity,
+            min_capacity=floor,
+            spectral_efficiency=link.spectral_efficiency,
+        )
+
+
+def _provision_spectrum(network: Network) -> None:
+    """Ensure every fiber has headroom over the production load.
+
+    Operators provision spectrum (or extra fiber pairs, abstracted here
+    as a larger ``max_spectrum``) ahead of demand; we size each fiber to
+    at least 2.5x its initial consumption, rounded up to a half-band,
+    so planning has realistic room to add capacity.
+    """
+    from dataclasses import replace
+
+    band = _DEFAULT_SPECTRUM / 2.0
+    for fiber_id, fiber in list(network.fibers.items()):
+        used = network.spectrum_used(fiber_id)
+        needed = max(_DEFAULT_SPECTRUM, math.ceil(used * 2.5 / band) * band)
+        if needed > fiber.max_spectrum:
+            network.fibers[fiber_id] = replace(fiber, max_spectrum=needed)
+
+
+def _site_failures(
+    network: Network, spec: TopologySpec, scale: float
+) -> list[FailureScenario]:
+    """Fail the highest-degree sites (most impactful outages)."""
+    count = int(round(spec.site_failures * scale))
+    if count <= 0:
+        return []
+    # A site failure must leave the rest of the network connected, or no
+    # capacity assignment could ever satisfy the surviving flows; skip
+    # articulation points of the fiber graph.
+    fiber_graph = nx.Graph()
+    fiber_graph.add_nodes_from(network.nodes)
+    for fiber in network.fibers.values():
+        if fiber.in_service:
+            fiber_graph.add_edge(fiber.endpoint_a, fiber.endpoint_b)
+    cut_vertices = set(nx.articulation_points(fiber_graph))
+    degree = {
+        name: len(network.links_at_node(name))
+        for name in network.nodes
+        if name not in cut_vertices
+    }
+    busiest = sorted(degree, key=degree.get, reverse=True)[:count]
+    return [
+        FailureScenario(id=f"site:{name}", nodes=frozenset({name}))
+        for name in busiest
+    ]

@@ -1,0 +1,95 @@
+"""The planning instance: the five inputs of Fig. 3 in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError, TopologyError
+from repro.topology.cost import CostModel
+from repro.topology.failures import FailureScenario
+from repro.topology.network import Network
+from repro.topology.traffic import ReliabilityPolicy, TrafficMatrix
+
+
+@dataclass
+class PlanningInstance:
+    """Everything a planner needs: topology, demand, failures, policy, cost.
+
+    Attributes
+    ----------
+    capacity_unit:
+        Gbps per capacity increment (links can only be turned up in fixed
+        units; Eq. 3's integrality).
+    horizon:
+        ``"short"`` -- capacities on existing links only (C_min floors
+        from the production topology); ``"long"`` -- candidate links with
+        zero starting capacity and candidate fibers with build costs.
+    """
+
+    name: str
+    network: Network
+    traffic: TrafficMatrix
+    failures: list[FailureScenario]
+    cost_model: CostModel = field(default_factory=CostModel)
+    policy: ReliabilityPolicy = field(default_factory=ReliabilityPolicy)
+    capacity_unit: float = 100.0
+    horizon: str = "short"
+
+    def __post_init__(self):
+        if self.capacity_unit <= 0:
+            raise ConfigError("capacity_unit must be positive")
+        if self.horizon not in ("short", "long"):
+            raise ConfigError("horizon must be 'short' or 'long'")
+        seen = set()
+        for failure in self.failures:
+            if failure.id in seen:
+                raise TopologyError(f"duplicate failure id {failure.id}")
+            seen.add(failure.id)
+        for flow in self.traffic:
+            for endpoint in (flow.src, flow.dst):
+                if endpoint not in self.network.nodes:
+                    raise TopologyError(f"flow endpoint {endpoint} not in network")
+
+    @property
+    def failure_ids(self) -> list[str]:
+        return [f.id for f in self.failures]
+
+    def describe(self) -> str:
+        """One-line size summary (paper-style scale description)."""
+        return (
+            f"{self.name}: {self.network.num_nodes} nodes, "
+            f"{self.network.num_links} IP links, "
+            f"{self.network.num_fibers} fibers, "
+            f"{len(self.failures)} failures, {len(self.traffic)} flows, "
+            f"{self.traffic.total_demand:.0f} Gbps demand ({self.horizon}-term)"
+        )
+
+    def scaled_initial_capacity(self, fraction: float) -> "PlanningInstance":
+        """Scale every link's starting capacity (the paper's A-0 .. A-1).
+
+        ``fraction=0`` plans from scratch; ``fraction=1`` keeps the
+        original capacities.  ``min_capacity`` floors scale with the
+        capacities so short-term constraints stay consistent.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError("fraction must be in [0, 1]")
+        network = self.network.copy()
+        for link_id, link in list(network.links.items()):
+            scaled = _round_to_unit(link.capacity * fraction, self.capacity_unit)
+            network.links[link_id] = replace(
+                link,
+                capacity=scaled,
+                min_capacity=min(link.min_capacity, scaled),
+            )
+        return replace(
+            self,
+            name=f"{self.name}-{fraction:g}",
+            network=network,
+        )
+
+    def with_network(self, network: Network) -> "PlanningInstance":
+        return replace(self, network=network)
+
+
+def _round_to_unit(value: float, unit: float) -> float:
+    return round(value / unit) * unit

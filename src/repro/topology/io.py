@@ -1,0 +1,189 @@
+"""JSON serialization for planning instances.
+
+The on-disk format is a single JSON document with five sections
+(network, traffic, failures, policy, cost) so instances can be shared,
+versioned, and diffed.  Round-tripping is exact for everything except
+flow ordering inside the traffic matrix, which is preserved anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import TopologyError
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import (
+    ClassOfService,
+    Flow,
+    ReliabilityPolicy,
+    TrafficMatrix,
+)
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: PlanningInstance) -> dict:
+    """Convert a planning instance to a JSON-serializable dict."""
+    network = instance.network
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": instance.name,
+        "horizon": instance.horizon,
+        "capacity_unit": instance.capacity_unit,
+        "nodes": [
+            {
+                "name": n.name,
+                "region": n.region,
+                "latitude": n.latitude,
+                "longitude": n.longitude,
+            }
+            for n in network.nodes.values()
+        ],
+        "fibers": [
+            {
+                "id": f.id,
+                "a": f.endpoint_a,
+                "b": f.endpoint_b,
+                "length_km": f.length_km,
+                "max_spectrum": f.max_spectrum,
+                "cost": f.cost,
+                "in_service": f.in_service,
+            }
+            for f in network.fibers.values()
+        ],
+        "links": [
+            {
+                "id": l.id,
+                "src": l.src,
+                "dst": l.dst,
+                "fiber_path": list(l.fiber_path),
+                "capacity": l.capacity,
+                "min_capacity": l.min_capacity,
+                "spectral_efficiency": l.spectral_efficiency,
+            }
+            for l in network.links.values()
+        ],
+        "flows": [
+            {
+                "src": f.src,
+                "dst": f.dst,
+                "demand": f.demand,
+                "cos": f.cos.name,
+                "priority": f.cos.priority,
+            }
+            for f in instance.traffic
+        ],
+        "failures": [
+            {
+                "id": f.id,
+                "fibers": sorted(f.fibers),
+                "nodes": sorted(f.nodes),
+            }
+            for f in instance.failures
+        ],
+        "policy": {
+            cos: (sorted(fids) if fids is not None else None)
+            for cos, fids in instance.policy.cos_failure_sets.items()
+        },
+        "cost_model": {
+            "cost_per_gbps_km": instance.cost_model.cost_per_gbps_km,
+            "fiber_fixed_charge": instance.cost_model.fiber_fixed_charge,
+        },
+    }
+
+
+def instance_from_dict(payload: dict) -> PlanningInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TopologyError(f"unsupported format version {version!r}")
+    network = Network(
+        nodes=[
+            Node(
+                name=n["name"],
+                region=n.get("region", "default"),
+                latitude=n.get("latitude", 0.0),
+                longitude=n.get("longitude", 0.0),
+            )
+            for n in payload["nodes"]
+        ],
+        fibers=[
+            Fiber(
+                id=f["id"],
+                endpoint_a=f["a"],
+                endpoint_b=f["b"],
+                length_km=f["length_km"],
+                max_spectrum=f["max_spectrum"],
+                cost=f["cost"],
+                in_service=f["in_service"],
+            )
+            for f in payload["fibers"]
+        ],
+        links=[
+            IPLink(
+                id=l["id"],
+                src=l["src"],
+                dst=l["dst"],
+                fiber_path=tuple(l["fiber_path"]),
+                capacity=l["capacity"],
+                min_capacity=l["min_capacity"],
+                spectral_efficiency=l["spectral_efficiency"],
+            )
+            for l in payload["links"]
+        ],
+    )
+    traffic = TrafficMatrix(
+        Flow(
+            src=f["src"],
+            dst=f["dst"],
+            demand=f["demand"],
+            cos=ClassOfService(f.get("cos", "protected"), f.get("priority", 1)),
+        )
+        for f in payload["flows"]
+    )
+    failures = [
+        FailureScenario(
+            id=f["id"],
+            fibers=frozenset(f["fibers"]),
+            nodes=frozenset(f["nodes"]),
+        )
+        for f in payload["failures"]
+    ]
+    policy = ReliabilityPolicy(
+        {
+            cos: (set(fids) if fids is not None else None)
+            for cos, fids in payload.get("policy", {}).items()
+        }
+    )
+    cost = payload["cost_model"]
+    return PlanningInstance(
+        name=payload["name"],
+        network=network,
+        traffic=traffic,
+        failures=failures,
+        cost_model=CostModel(
+            cost_per_gbps_km=cost["cost_per_gbps_km"],
+            fiber_fixed_charge=cost["fiber_fixed_charge"],
+        ),
+        policy=policy,
+        capacity_unit=payload["capacity_unit"],
+        horizon=payload["horizon"],
+    )
+
+
+def save_instance(instance: PlanningInstance, path: "str | os.PathLike") -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(instance_to_dict(instance), handle, indent=1)
+
+
+def load_instance(path: "str | os.PathLike") -> PlanningInstance:
+    """Read an instance written by :func:`save_instance`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return instance_from_dict(payload)

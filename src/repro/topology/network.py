@@ -1,0 +1,233 @@
+"""The two-layer network: sites + fibers (L1) and IP links (L3).
+
+A :class:`Network` is a mutable container with integrity checks: IP
+links must ride a contiguous path of known fibers connecting their
+endpoints.  Capacities are the only routinely mutated state (planning
+adds capacity); everything else is structural.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.elements import Fiber, IPLink, Node
+
+
+class Network:
+    """A cross-layer network topology."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        fibers: Iterable[Fiber] = (),
+        links: Iterable[IPLink] = (),
+    ):
+        self.nodes: dict[str, Node] = {}
+        self.fibers: dict[str, Fiber] = {}
+        self.links: dict[str, IPLink] = {}
+        for node in nodes:
+            self.add_node(node)
+        for fiber in fibers:
+            self.add_fiber(fiber)
+        for link in links:
+            self.add_link(link)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node {node.name}")
+        self.nodes[node.name] = node
+
+    def add_fiber(self, fiber: Fiber) -> None:
+        if fiber.id in self.fibers:
+            raise TopologyError(f"duplicate fiber {fiber.id}")
+        for endpoint in (fiber.endpoint_a, fiber.endpoint_b):
+            if endpoint not in self.nodes:
+                raise TopologyError(f"fiber {fiber.id}: unknown node {endpoint}")
+        self.fibers[fiber.id] = fiber
+
+    def add_link(self, link: IPLink) -> None:
+        if link.id in self.links:
+            raise TopologyError(f"duplicate ip link {link.id}")
+        for endpoint in (link.src, link.dst):
+            if endpoint not in self.nodes:
+                raise TopologyError(f"ip link {link.id}: unknown node {endpoint}")
+        self._check_fiber_path(link)
+        self.links[link.id] = link
+
+    def _check_fiber_path(self, link: IPLink) -> None:
+        """Verify the fiber path is contiguous from link.src to link.dst."""
+        position = link.src
+        for fiber_id in link.fiber_path:
+            fiber = self.fibers.get(fiber_id)
+            if fiber is None:
+                raise TopologyError(f"ip link {link.id}: unknown fiber {fiber_id}")
+            if not fiber.touches(position):
+                raise TopologyError(
+                    f"ip link {link.id}: fiber path breaks at {position} "
+                    f"(fiber {fiber_id} joins {fiber.endpoint_a}-{fiber.endpoint_b})"
+                )
+            position = (
+                fiber.endpoint_b if fiber.endpoint_a == position else fiber.endpoint_a
+            )
+        if position != link.dst:
+            raise TopologyError(
+                f"ip link {link.id}: fiber path ends at {position}, not {link.dst}"
+            )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_fibers(self) -> int:
+        return len(self.fibers)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    # ------------------------------------------------------------------
+    # Cross-layer queries
+    # ------------------------------------------------------------------
+    def link_ids(self) -> list[str]:
+        """IP link ids in insertion order (the canonical ordering)."""
+        return list(self.links)
+
+    def links_over_fiber(self, fiber_id: str) -> list[IPLink]:
+        """``Delta_f`` -- IP links whose path traverses ``fiber_id``."""
+        if fiber_id not in self.fibers:
+            raise TopologyError(f"unknown fiber {fiber_id}")
+        return [l for l in self.links.values() if fiber_id in l.fiber_path]
+
+    def fibers_of_link(self, link_id: str) -> list[Fiber]:
+        """``Psi_l`` -- fibers traversed by ``link_id``."""
+        link = self.get_link(link_id)
+        return [self.fibers[f] for f in link.fiber_path]
+
+    def link_length_km(self, link_id: str) -> float:
+        """Total fiber length under an IP link."""
+        return sum(f.length_km for f in self.fibers_of_link(link_id))
+
+    def links_at_node(self, node_name: str) -> list[IPLink]:
+        if node_name not in self.nodes:
+            raise TopologyError(f"unknown node {node_name}")
+        return [l for l in self.links.values() if node_name in l.endpoints]
+
+    def parallel_groups(self) -> dict[frozenset, list[IPLink]]:
+        """Group links by unordered endpoint pair."""
+        groups: dict[frozenset, list[IPLink]] = {}
+        for link in self.links.values():
+            groups.setdefault(link.endpoints, []).append(link)
+        return groups
+
+    def get_link(self, link_id: str) -> IPLink:
+        try:
+            return self.links[link_id]
+        except KeyError:
+            raise TopologyError(f"unknown ip link {link_id}") from None
+
+    def get_fiber(self, fiber_id: str) -> Fiber:
+        try:
+            return self.fibers[fiber_id]
+        except KeyError:
+            raise TopologyError(f"unknown fiber {fiber_id}") from None
+
+    def get_node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name}") from None
+
+    # ------------------------------------------------------------------
+    # Spectrum accounting (Eq. 4)
+    # ------------------------------------------------------------------
+    def spectrum_used(
+        self, fiber_id: str, capacities: Mapping[str, float] | None = None
+    ) -> float:
+        """Spectrum consumed on a fiber: sum over links of C_l * phi_lf."""
+        used = 0.0
+        for link in self.links_over_fiber(fiber_id):
+            capacity = (
+                capacities[link.id] if capacities is not None else link.capacity
+            )
+            used += capacity * link.spectral_efficiency
+        return used
+
+    def spectrum_headroom(
+        self, fiber_id: str, capacities: Mapping[str, float] | None = None
+    ) -> float:
+        """Remaining spectrum on a fiber (may be negative if violated)."""
+        fiber = self.get_fiber(fiber_id)
+        return fiber.max_spectrum - self.spectrum_used(fiber_id, capacities)
+
+    def link_capacity_headroom(
+        self, link_id: str, capacities: Mapping[str, float] | None = None
+    ) -> float:
+        """Max additional Gbps the link's fiber path can still carry.
+
+        The binding fiber is the one with the least remaining spectrum;
+        dividing by the link's spectral efficiency converts GHz to Gbps.
+        """
+        link = self.get_link(link_id)
+        headroom = min(
+            self.spectrum_headroom(f, capacities) for f in link.fiber_path
+        )
+        return max(headroom, 0.0) / link.spectral_efficiency
+
+    def spectrum_feasible(
+        self, capacities: Mapping[str, float] | None = None, tol: float = 1e-9
+    ) -> bool:
+        """Whether every fiber satisfies Eq. 4 under the given capacities."""
+        return all(
+            self.spectrum_headroom(f, capacities) >= -tol for f in self.fibers
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity state
+    # ------------------------------------------------------------------
+    def capacities(self) -> dict[str, float]:
+        """Current capacity per link id."""
+        return {link_id: link.capacity for link_id, link in self.links.items()}
+
+    def capacity_vector(self) -> np.ndarray:
+        """Capacities in canonical link order."""
+        return np.array([l.capacity for l in self.links.values()])
+
+    def set_capacity(self, link_id: str, capacity: float) -> None:
+        self.links[link_id] = self.get_link(link_id).with_capacity(capacity)
+
+    def add_capacity(self, link_id: str, amount: float) -> None:
+        if amount < 0:
+            raise TopologyError("use set_capacity to lower a capacity")
+        link = self.get_link(link_id)
+        self.links[link_id] = link.with_capacity(link.capacity + amount)
+
+    def with_capacities(self, capacities: Mapping[str, float]) -> "Network":
+        """Return a copy whose link capacities follow ``capacities``."""
+        clone = self.copy()
+        for link_id, capacity in capacities.items():
+            clone.set_capacity(link_id, capacity)
+        return clone
+
+    def copy(self) -> "Network":
+        """Structural copy (elements are immutable, so sharing is safe)."""
+        clone = Network()
+        clone.nodes = dict(self.nodes)
+        clone.fibers = dict(self.fibers)
+        clone.links = dict(self.links)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Network(nodes={self.num_nodes}, fibers={self.num_fibers}, "
+            f"links={self.num_links})"
+        )

@@ -1,0 +1,154 @@
+"""Traffic demand: flows, classes of service, reliability policy.
+
+The paper's reliability policy "specifies the demand of flows with which
+Classes of Service (CoS) has to be satisfied under which subset of
+failure scenarios".  :class:`ReliabilityPolicy` maps each CoS to the
+failure subset it must survive; the plan evaluator and the ILP both
+consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.seeding import as_generator
+
+
+@dataclass(frozen=True)
+class ClassOfService:
+    """A service class with a protection requirement."""
+
+    name: str
+    priority: int = 0
+
+
+BEST_EFFORT = ClassOfService("best-effort", priority=0)
+PROTECTED = ClassOfService("protected", priority=1)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A site-to-site demand in Gbps."""
+
+    src: str
+    dst: str
+    demand: float
+    cos: ClassOfService = PROTECTED
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise TrafficError("flow endpoints must differ")
+        if self.demand < 0:
+            raise TrafficError("flow demand must be >= 0")
+
+
+class TrafficMatrix:
+    """A collection of flows with aggregation helpers."""
+
+    def __init__(self, flows: Iterable[Flow] = ()):
+        self.flows: list[Flow] = list(flows)
+        pairs = {(f.src, f.dst, f.cos.name) for f in self.flows}
+        if len(pairs) != len(self.flows):
+            raise TrafficError("duplicate (src, dst, cos) flow entries")
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self):
+        return iter(self.flows)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(f.demand for f in self.flows)
+
+    def sources(self) -> list[str]:
+        """Distinct sources in first-appearance order."""
+        seen: dict[str, None] = {}
+        for flow in self.flows:
+            seen.setdefault(flow.src, None)
+        return list(seen)
+
+    def by_source(self) -> dict[str, dict[str, float]]:
+        """Source aggregation (Section 5): src -> {dst: total demand}.
+
+        Flows sharing a source merge into one multi-sink commodity,
+        shrinking the per-failure LP from O(f*m) to O(m^2) constraints.
+        """
+        aggregated: dict[str, dict[str, float]] = {}
+        for flow in self.flows:
+            sinks = aggregated.setdefault(flow.src, {})
+            sinks[flow.dst] = sinks.get(flow.dst, 0.0) + flow.demand
+        return aggregated
+
+    def filter_cos(self, cos_names: "set[str] | None") -> "TrafficMatrix":
+        """Restrict to the given CoS names (None keeps everything)."""
+        if cos_names is None:
+            return self
+        return TrafficMatrix([f for f in self.flows if f.cos.name in cos_names])
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """Uniformly scale all demands (demand-forecast what-ifs)."""
+        if factor < 0:
+            raise TrafficError("scale factor must be >= 0")
+        return TrafficMatrix(
+            Flow(f.src, f.dst, f.demand * factor, f.cos) for f in self.flows
+        )
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """Which failures each class of service must survive.
+
+    ``cos_failure_sets`` maps a CoS name to the set of failure-scenario
+    ids its flows must survive; ``None`` means *all* scenarios (the
+    default posture for protected traffic).
+    """
+
+    cos_failure_sets: dict = field(default_factory=dict)
+
+    def required_failures(self, cos_name: str, all_failure_ids: list[str]) -> list[str]:
+        subset = self.cos_failure_sets.get(cos_name)
+        if subset is None:
+            return list(all_failure_ids)
+        return [fid for fid in all_failure_ids if fid in subset]
+
+
+def gravity_traffic(
+    node_names: list[str],
+    total_demand: float,
+    rng: "int | np.random.Generator | None" = None,
+    sparsity: float = 0.0,
+    cos: ClassOfService = PROTECTED,
+) -> TrafficMatrix:
+    """Generate a gravity-model traffic matrix.
+
+    Each node gets a random mass; demand between (i, j) is proportional
+    to ``mass_i * mass_j``.  ``sparsity`` drops that fraction of pairs,
+    which reproduces the site-to-site flow counts of the paper's
+    production matrices without their (confidential) values.
+    """
+    if total_demand < 0:
+        raise TrafficError("total demand must be >= 0")
+    if not 0.0 <= sparsity < 1.0:
+        raise TrafficError("sparsity must be in [0, 1)")
+    rng = as_generator(rng)
+    masses = rng.lognormal(mean=0.0, sigma=0.7, size=len(node_names))
+    weights = {}
+    for i, a in enumerate(node_names):
+        for j, b in enumerate(node_names):
+            if i == j:
+                continue
+            if sparsity and rng.random() < sparsity:
+                continue
+            weights[(a, b)] = masses[i] * masses[j]
+    if not weights:
+        return TrafficMatrix()
+    norm = total_demand / sum(weights.values())
+    flows = [
+        Flow(a, b, weight * norm, cos) for (a, b), weight in weights.items()
+    ]
+    return TrafficMatrix(flows)

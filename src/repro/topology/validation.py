@@ -1,0 +1,82 @@
+"""Whole-instance consistency checks.
+
+:func:`validate_instance` runs every structural invariant a planner
+relies on and returns a list of human-readable problems (empty when the
+instance is sound).  Planners call :func:`ensure_valid` at their entry
+points so malformed inputs fail fast with a clear message instead of a
+mysterious infeasibility.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.instance import PlanningInstance
+
+
+def validate_instance(instance: PlanningInstance) -> list[str]:
+    """Return a list of problems with ``instance`` (empty = valid)."""
+    problems: list[str] = []
+    network = instance.network
+
+    # Fiber-path continuity is enforced on construction; re-check anyway
+    # since networks are mutable.
+    for link in network.links.values():
+        try:
+            network._check_fiber_path(link)
+        except TopologyError as exc:
+            problems.append(str(exc))
+        if link.capacity < link.min_capacity:
+            problems.append(
+                f"link {link.id}: capacity {link.capacity} below floor "
+                f"{link.min_capacity}"
+            )
+
+    # The IP topology must connect every flow's endpoints (ignoring
+    # failures; per-failure reachability is the evaluator's job).
+    ip_graph = nx.Graph()
+    ip_graph.add_nodes_from(network.nodes)
+    for link in network.links.values():
+        ip_graph.add_edge(link.src, link.dst)
+    for flow in instance.traffic:
+        if not nx.has_path(ip_graph, flow.src, flow.dst):
+            problems.append(
+                f"flow {flow.src}->{flow.dst}: no IP path even without failures"
+            )
+
+    # Failures must reference known elements (raises inside).
+    for failure in instance.failures:
+        try:
+            failure.failed_link_ids(network)
+        except TopologyError as exc:
+            problems.append(str(exc))
+
+    # Spectrum must be feasible at the starting capacities.
+    for fiber_id in network.fibers:
+        headroom = network.spectrum_headroom(fiber_id)
+        if headroom < -1e-9:
+            problems.append(
+                f"fiber {fiber_id}: starting capacities violate spectrum "
+                f"by {-headroom:.1f} GHz"
+            )
+
+    # Policy must reference known failure ids.
+    known = set(instance.failure_ids)
+    for cos, failure_ids in instance.policy.cos_failure_sets.items():
+        if failure_ids is None:
+            continue
+        for fid in failure_ids:
+            if fid not in known:
+                problems.append(f"policy for {cos}: unknown failure {fid}")
+
+    return problems
+
+
+def ensure_valid(instance: PlanningInstance) -> None:
+    """Raise :class:`TopologyError` when the instance is malformed."""
+    problems = validate_instance(instance)
+    if problems:
+        summary = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise TopologyError(f"invalid instance {instance.name}: {summary}{more}")

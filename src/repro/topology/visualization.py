@@ -1,0 +1,150 @@
+"""Plan visualization: render a topology + capacity assignment to SVG.
+
+Planning reviews are visual: operators look at maps.  This module
+renders the two-layer topology as a standalone SVG (no plotting
+dependencies): sites are positioned by their coordinates, IP links are
+drawn with width proportional to capacity, capacity *additions* over a
+baseline are highlighted, and parallel links are offset so both are
+visible.  The output opens in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import os
+
+from repro.errors import TopologyError
+from repro.topology.network import Network
+
+_WIDTH = 900.0
+_HEIGHT = 620.0
+_MARGIN = 60.0
+_PALETTE = {
+    "background": "#ffffff",
+    "node": "#1f2a44",
+    "node_label": "#1f2a44",
+    "link": "#8a93a6",
+    "added": "#c2410c",
+    "candidate": "#94a3b8",
+}
+
+
+def _positions(network: Network) -> dict[str, tuple[float, float]]:
+    """Scale node coordinates into the SVG viewport."""
+    xs = [n.longitude for n in network.nodes.values()]
+    ys = [n.latitude for n in network.nodes.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    def place(node):
+        x = _MARGIN + (node.longitude - min_x) / span_x * (_WIDTH - 2 * _MARGIN)
+        # SVG y grows downward; latitude grows upward.
+        y = _HEIGHT - _MARGIN - (node.latitude - min_y) / span_y * (
+            _HEIGHT - 2 * _MARGIN
+        )
+        return (x, y)
+
+    return {name: place(node) for name, node in network.nodes.items()}
+
+
+def _offset_point(ax, ay, bx, by, offset):
+    """Shift a segment perpendicular to itself (parallel-link fan-out)."""
+    dx, dy = bx - ax, by - ay
+    norm = math.hypot(dx, dy) or 1.0
+    px, py = -dy / norm, dx / norm
+    return (ax + px * offset, ay + py * offset, bx + px * offset, by + py * offset)
+
+
+def render_svg(
+    network: Network,
+    capacities: "dict[str, float] | None" = None,
+    baseline: "dict[str, float] | None" = None,
+    title: str = "",
+) -> str:
+    """Render the network to an SVG string.
+
+    ``capacities`` defaults to the network's current state; ``baseline``
+    (when given) highlights links whose capacity grew over it.
+    """
+    if network.num_nodes == 0:
+        raise TopologyError("cannot render an empty network")
+    capacities = capacities if capacities is not None else network.capacities()
+    positions = _positions(network)
+    max_capacity = max(max(capacities.values(), default=0.0), 1.0)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH:.0f}" '
+        f'height="{_HEIGHT:.0f}" viewBox="0 0 {_WIDTH:.0f} {_HEIGHT:.0f}">',
+        f'<rect width="100%" height="100%" fill="{_PALETTE["background"]}"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2:.0f}" y="28" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="18" '
+            f'fill="{_PALETTE["node"]}">{html.escape(title)}</text>'
+        )
+
+    # Links, parallel groups fanned out.
+    for endpoints, group in sorted(
+        network.parallel_groups().items(), key=lambda kv: sorted(kv[0])
+    ):
+        a, b = sorted(endpoints)
+        ax, ay = positions[a]
+        bx, by = positions[b]
+        fan = len(group)
+        for index, link in enumerate(sorted(group, key=lambda l: l.id)):
+            offset = (index - (fan - 1) / 2.0) * 6.0
+            x1, y1, x2, y2 = _offset_point(ax, ay, bx, by, offset)
+            capacity = capacities.get(link.id, link.capacity)
+            width = 1.0 + 6.0 * (capacity / max_capacity)
+            added = (
+                baseline is not None
+                and capacity > baseline.get(link.id, 0.0) + 1e-9
+            )
+            if capacity <= 0:
+                color = _PALETTE["candidate"]
+                dash = ' stroke-dasharray="5,4"'
+                width = 1.0
+            else:
+                color = _PALETTE["added"] if added else _PALETTE["link"]
+                dash = ""
+            label = html.escape(
+                f"{link.id}: {capacity:,.0f} Gbps over {len(link.fiber_path)} fiber(s)"
+            )
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+                f'stroke="{color}" stroke-width="{width:.1f}"{dash}>'
+                f"<title>{label}</title></line>"
+            )
+
+    # Nodes on top.
+    for name, (x, y) in sorted(positions.items()):
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="7" fill="{_PALETTE["node"]}">'
+            f"<title>{html.escape(name)}</title></circle>"
+        )
+        parts.append(
+            f'<text x="{x + 9:.1f}" y="{y - 7:.1f}" font-family="sans-serif" '
+            f'font-size="11" fill="{_PALETTE["node_label"]}">'
+            f"{html.escape(name)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    network: Network,
+    path: "str | os.PathLike",
+    capacities: "dict[str, float] | None" = None,
+    baseline: "dict[str, float] | None" = None,
+    title: str = "",
+) -> None:
+    """Render and write the SVG to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(
+            render_svg(network, capacities=capacities, baseline=baseline, title=title)
+        )

@@ -1,0 +1,90 @@
+"""Tests for plan comparison and operator-supplied caps."""
+
+import pytest
+
+from repro.core.compare import compare_plans
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.errors import PlanError
+from repro.evaluator import PlanEvaluator
+from repro.planning import GreedyPlanner, ILPPlanner, NetworkPlan
+from repro.topology import generators
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generators.make_instance("A", seed=0, scale=0.7)
+
+
+@pytest.fixture(scope="module")
+def two_plans(instance):
+    greedy = GreedyPlanner().plan(instance)
+    ilp = ILPPlanner(time_limit=90).plan(instance).plan
+    return greedy, ilp
+
+
+class TestComparePlans:
+    def test_renders_both_plans(self, instance, two_plans):
+        text = compare_plans(instance, list(two_plans))
+        assert "greedy" in text
+        assert "ilp" in text
+        assert "cheapest feasible plan: ilp" in text
+        assert "disagreements" in text
+
+    def test_requires_two_plans(self, instance, two_plans):
+        with pytest.raises(PlanError):
+            compare_plans(instance, [two_plans[0]])
+
+    def test_infeasible_plan_flagged(self, instance, two_plans):
+        zero = NetworkPlan(
+            instance.name,
+            {lid: l.capacity for lid, l in instance.network.links.items()},
+            method="status-quo",
+        )
+        text = compare_plans(instance, [two_plans[1], zero])
+        assert "False" in text  # the status-quo plan is infeasible
+
+
+class TestOperatorCaps:
+    def test_operator_caps_tighten_search_space(self, instance):
+        config = NeuroPlanConfig(
+            epochs=3, steps_per_epoch=128, max_trajectory_length=96,
+            max_units_per_step=2, relax_factor=2.0, ilp_time_limit=60, seed=0,
+        )
+        planner = NeuroPlan(config)
+        first_stage, _, _ = planner.first_stage(instance)
+
+        unrestricted, _, _ = planner.second_stage(instance, first_stage)
+
+        # Operator pins one heavily-used link to its current capacity.
+        target = max(
+            unrestricted.capacities, key=lambda l: unrestricted.capacities[l]
+        )
+        floor = instance.network.get_link(target).min_capacity
+        operator_caps = {target: floor}
+        restricted, _, _ = planner.second_stage(
+            instance, first_stage, operator_caps=operator_caps
+        )
+        assert restricted.capacities[target] <= max(
+            floor, instance.network.get_link(target).capacity
+        )
+        # Tighter space can only cost more (or equal).
+        assert restricted.cost(instance) >= unrestricted.cost(instance) - 1e-6
+        # And it must still be feasible.
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(restricted.capacities).feasible
+
+    def test_operator_caps_never_cut_below_floor(self, instance):
+        config = NeuroPlanConfig(
+            epochs=2, steps_per_epoch=96, max_trajectory_length=96,
+            max_units_per_step=2, relax_factor=1.5, ilp_time_limit=60, seed=0,
+        )
+        planner = NeuroPlan(config)
+        first_stage, _, _ = planner.first_stage(instance)
+        # Operator asks for 0 everywhere; Eq. 5 floors must survive.
+        operator_caps = {lid: 0.0 for lid in instance.network.links}
+        final, _, _ = planner.second_stage(
+            instance, first_stage, operator_caps=operator_caps
+        )
+        for link_id, value in final.capacities.items():
+            floor = instance.network.get_link(link_id).min_capacity
+            assert value >= floor - 1e-9

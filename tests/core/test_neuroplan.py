@@ -1,0 +1,121 @@
+"""Integration tests for the two-stage NeuroPlan pipeline."""
+
+import pytest
+
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.core.report import interpretability_report
+from repro.evaluator import PlanEvaluator
+from repro.planning import ILPPlanner
+from repro.topology import datasets, generators
+
+
+def fast_config(**overrides) -> NeuroPlanConfig:
+    defaults = dict(
+        epochs=6,
+        steps_per_epoch=128,
+        max_trajectory_length=48,
+        max_units_per_step=2,
+        relax_factor=1.5,
+        ilp_time_limit=60.0,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return NeuroPlanConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result_a():
+    instance = generators.make_instance("A", seed=0, scale=0.7)
+    return instance, NeuroPlan(fast_config()).plan(instance)
+
+
+class TestPipeline:
+    def test_final_plan_feasible(self, result_a):
+        instance, result = result_a
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(result.final.capacities).feasible
+        assert result.final.validate(instance) == []
+
+    def test_second_stage_never_hurts(self, result_a):
+        _, result = result_a
+        assert result.final_cost <= result.first_stage_cost + 1e-6
+        assert result.second_stage_improvement >= -1e-9
+
+    def test_close_to_true_optimum(self, result_a):
+        """With alpha=1.5 the final cost lands near the full-ILP optimum."""
+        instance, result = result_a
+        optimum = ILPPlanner(time_limit=120).plan(instance).plan.cost(instance)
+        assert result.final_cost <= optimum * 1.35
+        assert result.final_cost >= optimum - 1e-6
+
+    def test_history_and_timings_recorded(self, result_a):
+        _, result = result_a
+        assert result.train_seconds > 0
+        assert result.ilp_seconds > 0
+        assert len(result.epoch_history) >= 1
+
+    def test_summary_readable(self, result_a):
+        _, result = result_a
+        text = result.summary()
+        assert "first stage" in text
+        assert "alpha=1.5" in str(text)
+
+    def test_figure1_pipeline_finds_optimum(self):
+        instance = datasets.figure1_topology()
+        config = fast_config(max_units_per_step=1, max_trajectory_length=12)
+        result = NeuroPlan(config).plan(instance)
+        # Two 100G links, 6 fibers lit, tiny capacity tie-breaker.
+        assert result.final_cost == pytest.approx(6.06)
+
+    def test_alpha_one_stays_within_first_stage(self):
+        instance = datasets.figure1_topology()
+        config = fast_config(
+            max_units_per_step=1, max_trajectory_length=12, relax_factor=1.0
+        )
+        result = NeuroPlan(config).plan(instance)
+        for link_id, final in result.final.capacities.items():
+            assert final <= result.first_stage.capacities[link_id] + 1e-9
+
+    def test_config_or_kwargs_not_both(self):
+        with pytest.raises(TypeError):
+            NeuroPlan(NeuroPlanConfig(), epochs=3)
+
+    def test_kwargs_constructor(self):
+        planner = NeuroPlan(epochs=3, relax_factor=2.0)
+        assert planner.config.epochs == 3
+        assert planner.config.relax_factor == 2.0
+
+
+class TestInterpretabilityReport:
+    def test_report_contains_key_sections(self, result_a):
+        instance, result = result_a
+        text = interpretability_report(instance, result)
+        assert "interpretability report" in text
+        assert "Relax factor alpha: 1.5" in text
+        assert "Top capacity additions" in text
+        assert "pruned out of the second stage" in text
+
+    def test_report_lists_changed_links(self, result_a):
+        instance, result = result_a
+        text = interpretability_report(instance, result, top=3)
+        added = {
+            lid
+            for lid, cap in result.final.capacities.items()
+            if cap > instance.network.get_link(lid).capacity
+        }
+        assert any(lid in text for lid in added)
+
+
+class TestRelaxFactorKnob:
+    def test_larger_alpha_never_worse(self):
+        """Fig. 13's monotonicity: bigger alpha -> bigger space -> <= cost."""
+        instance = generators.make_instance("A", seed=0, scale=0.7)
+        planner = NeuroPlan(fast_config())
+        first_stage, _, _ = planner.first_stage(instance)
+        costs = []
+        for alpha in (1.0, 1.5, 2.0):
+            planner.config.relax_factor = alpha
+            final, _, _ = planner.second_stage(instance, first_stage)
+            costs.append(final.cost(instance))
+        assert costs[1] <= costs[0] + 1e-6
+        assert costs[2] <= costs[1] + 1e-6

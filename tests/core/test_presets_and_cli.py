@@ -1,0 +1,108 @@
+"""Tests for Table 2 presets and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.presets import TABLE2_DEFAULTS, TABLE2_SWEEPS, table2_rows
+
+
+class TestTable2:
+    def test_defaults_match_paper(self):
+        assert TABLE2_DEFAULTS["actor_learning_rate"] == 3e-4
+        assert TABLE2_DEFAULTS["critic_learning_rate"] == 1e-3
+        assert TABLE2_DEFAULTS["discount_factor_gamma"] == 0.99
+        assert TABLE2_DEFAULTS["gae_lambda"] == 0.97
+        assert TABLE2_DEFAULTS["max_epochs"] == 1024
+        assert TABLE2_DEFAULTS["gnn_type"] == "GCN"
+
+    def test_sweeps_match_paper(self):
+        assert TABLE2_SWEEPS["max_capacity_units_per_step"] == (1, 4, 16)
+        assert TABLE2_SWEEPS["num_gnn_layers"] == (0, 2, 4)
+        assert TABLE2_SWEEPS["relax_factor_alpha"] == (1.0, 1.25, 1.5, 2.0)
+        assert TABLE2_SWEEPS["mlp_hidden_layers"] == (
+            "64x64",
+            "256x256",
+            "512x512",
+        )
+
+    def test_rows_cover_all_thirteen_hyperparameters(self):
+        rows = table2_rows()
+        assert len(rows) == 13
+        names = [name for name, _ in rows]
+        assert "Relax factor alpha" in names
+        assert "GAE Lambda lambda" in names
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info", "--topology", "A", "--scale", "0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "A:" in out and "failures" in out
+
+    def test_info_save(self, tmp_path, capsys):
+        path = tmp_path / "a.json"
+        assert main(["info", "--topology", "A", "--scale", "0.6",
+                     "--save", str(path)]) == 0
+        assert path.exists()
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Actor learning rate" in out
+        assert "0.0003" in out
+
+    def test_baseline_greedy(self, capsys):
+        assert main([
+            "baseline", "--topology", "A", "--scale", "0.6",
+            "--method", "greedy",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "greedy: cost" in out
+
+    def test_baseline_ilp(self, capsys):
+        assert main([
+            "baseline", "--topology", "A", "--scale", "0.6",
+            "--method", "ilp", "--time-limit", "60",
+        ]) == 0
+        assert "ilp: cost" in capsys.readouterr().out
+
+    def test_plan_small(self, capsys):
+        assert main([
+            "plan", "--topology", "A", "--scale", "0.6", "--epochs", "2",
+            "--steps-per-epoch", "64", "--max-units", "2",
+            "--ilp-time-limit", "30", "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NeuroPlan(A" in out
+        assert "interpretability report" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_render(self, tmp_path, capsys):
+        path = tmp_path / "topo.svg"
+        assert main([
+            "render", "--topology", "A", "--scale", "0.6",
+            "--output", str(path),
+        ]) == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "--topology", "A", "--scale", "0.6",
+            "--methods", "greedy", "ilp", "--time-limit", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Plan comparison" in out
+        assert "cheapest feasible plan" in out
+
+    def test_compare_needs_two_plans(self, capsys):
+        assert main([
+            "compare", "--topology", "A", "--scale", "0.6",
+            "--methods", "greedy",
+        ]) == 1
+
+    def test_experiment_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

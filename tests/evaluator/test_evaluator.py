@@ -1,0 +1,119 @@
+"""Tests for the PlanEvaluator facade."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator import PlanEvaluator
+from repro.topology import datasets, generators
+from repro.topology.traffic import (
+    BEST_EFFORT,
+    Flow,
+    ReliabilityPolicy,
+    TrafficMatrix,
+)
+from repro.topology.instance import PlanningInstance
+
+
+@pytest.fixture
+def figure1():
+    return datasets.figure1_topology()
+
+
+class TestModes:
+    def test_invalid_mode(self, figure1):
+        with pytest.raises(ConfigError):
+            PlanEvaluator(figure1, mode="turbo")
+
+    @pytest.mark.parametrize("mode", ["vanilla", "sa", "neuroplan"])
+    def test_feasibility_verdicts_agree(self, mode, figure1):
+        evaluator = PlanEvaluator(figure1, mode=mode)
+        infeasible = evaluator.evaluate({"link1": 100.0, "link2": 0.0})
+        assert not infeasible.feasible
+        assert infeasible.violated_failure == "fiber:BC"
+        evaluator.reset()
+        feasible = evaluator.evaluate({"link1": 100.0, "link2": 100.0})
+        assert feasible.feasible
+        assert feasible.violated_failure is None
+
+    def test_modes_agree_on_generated_instance(self):
+        instance = generators.make_instance("A", seed=2, scale=0.7)
+        caps = {k: v + 1000.0 for k, v in instance.network.capacities().items()}
+        verdicts = set()
+        for mode in ("vanilla", "sa", "neuroplan"):
+            evaluator = PlanEvaluator(instance, mode=mode)
+            verdicts.add(evaluator.evaluate(caps).feasible)
+        assert len(verdicts) == 1
+
+    def test_cost_matches_cost_model(self, figure1):
+        evaluator = PlanEvaluator(figure1)
+        caps = {"link1": 100.0, "link2": 100.0}
+        assert evaluator.evaluate(caps).cost == pytest.approx(
+            figure1.cost_model.plan_cost(figure1.network, caps)
+        )
+
+    def test_check_time_accumulates(self, figure1):
+        evaluator = PlanEvaluator(figure1)
+        evaluator.evaluate({"link1": 100.0, "link2": 100.0})
+        assert evaluator.total_check_time > 0.0
+        assert evaluator.lp_solves >= 1
+
+
+class TestReliabilityPolicy:
+    def make_policy_instance(self) -> PlanningInstance:
+        """figure1 with an extra best-effort flow exempt from failures."""
+        base = datasets.figure1_topology()
+        traffic = TrafficMatrix(
+            [
+                Flow("A", "D", 100.0),
+                Flow("A", "D", 50.0, BEST_EFFORT),
+            ]
+        )
+        return PlanningInstance(
+            name="policy-test",
+            network=base.network,
+            traffic=traffic,
+            failures=base.failures,
+            cost_model=base.cost_model,
+            policy=ReliabilityPolicy({"best-effort": set()}),
+            capacity_unit=base.capacity_unit,
+            horizon=base.horizon,
+        )
+
+    def test_best_effort_not_required_under_failures(self):
+        instance = self.make_policy_instance()
+        evaluator = PlanEvaluator(instance, mode="sa")
+        # 100G on each link satisfies the protected flow under failures;
+        # the best-effort flow (total 150 > 100 capacity) is exempt.
+        result = evaluator.evaluate({"link1": 100.0, "link2": 100.0})
+        assert result.feasible
+
+    def test_protected_still_required(self):
+        instance = self.make_policy_instance()
+        evaluator = PlanEvaluator(instance, mode="sa")
+        result = evaluator.evaluate({"link1": 100.0, "link2": 0.0})
+        assert not result.feasible
+
+    def test_required_indices_cached(self):
+        instance = self.make_policy_instance()
+        evaluator = PlanEvaluator(instance, mode="sa")
+        first = evaluator.required_flow_indices("fiber:AE")
+        second = evaluator.required_flow_indices("fiber:AE")
+        assert first is second
+        assert first == {0}
+
+    def test_no_policy_fast_path(self, figure1):
+        evaluator = PlanEvaluator(figure1)
+        assert evaluator.required_flow_indices("fiber:AE") is None
+
+
+class TestEvaluationResult:
+    def test_shortfall_reported(self, figure1):
+        evaluator = PlanEvaluator(figure1, mode="sa")
+        result = evaluator.evaluate({"link1": 0.0, "link2": 0.0})
+        assert result.shortfall == pytest.approx(100.0)
+
+    def test_checks_recorded_in_full_mode(self, figure1):
+        evaluator = PlanEvaluator(figure1, mode="sa")
+        result = evaluator.evaluate({"link1": 100.0, "link2": 100.0})
+        # Base (no-failure) case + every failure scenario.
+        assert len(result.checks) == len(figure1.failures) + 1

@@ -1,0 +1,157 @@
+"""Tests for the per-failure feasibility LP."""
+
+import pytest
+
+from repro.evaluator.feasibility import FeasibilityChecker
+from repro.topology import datasets
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import Flow, TrafficMatrix
+
+
+@pytest.fixture
+def triangle() -> PlanningInstance:
+    """A-B-C triangle; demand A->C of 10; single-fiber failures."""
+    network = Network(
+        nodes=[Node(n) for n in "ABC"],
+        fibers=[
+            Fiber("AB", "A", "B", 1.0),
+            Fiber("BC", "B", "C", 1.0),
+            Fiber("AC", "A", "C", 1.0),
+        ],
+        links=[
+            IPLink("ab", "A", "B", ("AB",), capacity=10.0),
+            IPLink("bc", "B", "C", ("BC",), capacity=10.0),
+            IPLink("ac", "A", "C", ("AC",), capacity=10.0),
+        ],
+    )
+    return PlanningInstance(
+        name="triangle",
+        network=network,
+        traffic=TrafficMatrix([Flow("A", "C", 10.0)]),
+        failures=[
+            FailureScenario("fiber:AC", fibers=frozenset({"AC"})),
+            FailureScenario("fiber:AB", fibers=frozenset({"AB"})),
+        ],
+    )
+
+
+class TestBaseCase:
+    def test_no_failure_feasible(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        result = checker.check(triangle.network.capacities(), None)
+        assert result.satisfied
+        assert result.failure_id == "none"
+        assert result.served_demand == pytest.approx(10.0)
+        assert result.shortfall == 0.0
+
+    def test_zero_capacity_infeasible(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        result = checker.check({"ab": 0.0, "bc": 0.0, "ac": 0.0}, None)
+        assert not result.satisfied
+        assert result.shortfall == pytest.approx(10.0)
+
+    def test_partial_serving_reported(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        result = checker.check({"ab": 0.0, "bc": 0.0, "ac": 4.0}, None)
+        assert not result.satisfied
+        assert result.served_demand == pytest.approx(4.0)
+        assert result.shortfall == pytest.approx(6.0)
+
+
+class TestFailures:
+    def test_fiber_cut_forces_detour(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        caps = triangle.network.capacities()
+        result = checker.check(caps, triangle.failures[0])  # cut AC
+        assert result.satisfied  # detour A-B-C has 10G
+
+    def test_detour_capacity_binds(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        result = checker.check(
+            {"ab": 10.0, "bc": 6.0, "ac": 10.0}, triangle.failures[0]
+        )
+        assert not result.satisfied
+        assert result.served_demand == pytest.approx(6.0)
+
+    def test_splitting_across_paths(self, triangle):
+        """Direct 6G + detour 4G can jointly serve 10G (no failure)."""
+        checker = FeasibilityChecker(triangle)
+        result = checker.check({"ab": 4.0, "bc": 4.0, "ac": 6.0}, None)
+        assert result.satisfied
+
+    def test_site_failure_exempts_flows(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        failure = FailureScenario("site:A", nodes=frozenset({"A"}))
+        result = checker.check({"ab": 0.0, "bc": 0.0, "ac": 0.0}, failure)
+        # The only flow originates at the failed site: nothing required.
+        assert result.satisfied
+        assert result.required_demand == 0.0
+
+    def test_transit_site_failure_not_exempt(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        failure = FailureScenario("site:B", nodes=frozenset({"B"}))
+        # A->C must survive B's failure using the direct link.
+        result = checker.check({"ab": 10.0, "bc": 10.0, "ac": 0.0}, failure)
+        assert not result.satisfied
+        result = checker.check({"ab": 0.0, "bc": 0.0, "ac": 10.0}, failure)
+        assert result.satisfied
+
+    def test_required_flow_subset(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        result = checker.check(
+            {"ab": 0.0, "bc": 0.0, "ac": 0.0},
+            None,
+            required_flow_indices=set(),  # nothing required
+        )
+        assert result.satisfied
+        assert result.required_demand == 0.0
+
+
+class TestAggregationEquivalence:
+    """Source aggregation must not change any feasibility verdict."""
+
+    @pytest.mark.parametrize("dataset", ["abilene", "figure1"])
+    def test_same_verdicts(self, dataset):
+        if dataset == "abilene":
+            instance = datasets.abilene(total_demand=1500.0)
+            caps = {
+                lid: 400.0 for lid in instance.network.links
+            }
+        else:
+            instance = datasets.figure1_topology()
+            caps = {"link1": 100.0, "link2": 100.0}
+        vanilla = FeasibilityChecker(instance, aggregate=False)
+        aggregated = FeasibilityChecker(instance, aggregate=True)
+        for failure in [None, *instance.failures]:
+            a = vanilla.check(caps, failure)
+            b = aggregated.check(caps, failure)
+            assert a.satisfied == b.satisfied, failure
+            assert a.served_demand == pytest.approx(b.served_demand, rel=1e-6)
+
+    def test_aggregation_shrinks_model(self):
+        instance = datasets.abilene(total_demand=1000.0)
+        vanilla = FeasibilityChecker(instance, aggregate=False)
+        aggregated = FeasibilityChecker(instance, aggregate=True)
+        assert aggregated.num_variables < vanilla.num_variables
+        assert aggregated.num_constraints < vanilla.num_constraints
+
+
+class TestInstrumentation:
+    def test_lp_solve_counter(self, triangle):
+        checker = FeasibilityChecker(triangle)
+        caps = triangle.network.capacities()
+        checker.check(caps, None)
+        checker.check(caps, triangle.failures[0])
+        assert checker.lp_solves == 2
+
+    def test_monotonicity_more_capacity_never_hurts(self, triangle):
+        """If C survives a failure, C' >= C survives it too."""
+        checker = FeasibilityChecker(triangle)
+        base = {"ab": 10.0, "bc": 10.0, "ac": 10.0}
+        bigger = {k: v + 7.0 for k, v in base.items()}
+        for failure in [None, *triangle.failures]:
+            if checker.check(base, failure).satisfied:
+                assert checker.check(bigger, failure).satisfied

@@ -1,0 +1,98 @@
+"""Tests for group-parallel failure checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator import ParallelFailureChecker, PlanEvaluator, partition_failures
+from repro.topology import datasets, generators
+
+
+class TestPartition:
+    def test_round_robin(self):
+        instance = datasets.abilene()
+        parts = partition_failures(instance.failures, 3)
+        assert len(parts) == 3
+        total = sum(len(p) for p in parts)
+        assert total == len(instance.failures)
+        # Balanced within one element.
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_groups_than_failures(self):
+        instance = datasets.figure1_topology()
+        parts = partition_failures(instance.failures, 10)
+        assert len(parts) == len(instance.failures)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ConfigError):
+            partition_failures([], 0)
+
+    def test_no_failures(self):
+        assert partition_failures([], 3) == []
+
+
+class TestParallelChecker:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generators.make_instance("A", seed=3, scale=0.7)
+
+    def test_agrees_with_serial_infeasible(self, instance):
+        serial = PlanEvaluator(instance, mode="sa")
+        caps = instance.network.capacities()
+        with ParallelFailureChecker(instance, groups=3) as parallel:
+            violation = parallel.check(caps)
+        assert violation is not None
+        assert not serial.evaluate(caps).feasible
+
+    def test_agrees_with_serial_feasible(self, instance):
+        serial = PlanEvaluator(instance, mode="sa")
+        caps = {
+            k: v + 4000.0 for k, v in instance.network.capacities().items()
+        }
+        with ParallelFailureChecker(instance, groups=3) as parallel:
+            assert parallel.check(caps) is None
+        assert serial.evaluate(caps).feasible
+
+    def test_agrees_on_random_plans(self, instance):
+        rng = np.random.default_rng(0)
+        serial = PlanEvaluator(instance, mode="sa")
+        with ParallelFailureChecker(instance, groups=4) as parallel:
+            for _ in range(5):
+                caps = {
+                    lid: link.capacity
+                    + float(rng.integers(0, 25)) * instance.capacity_unit
+                    for lid, link in instance.network.links.items()
+                }
+                parallel.reset()
+                assert (parallel.check(caps) is None) == serial.evaluate(
+                    caps
+                ).feasible
+
+    def test_stateful_across_growing_capacities(self, instance):
+        """The per-group cursors persist across monotone checks."""
+        with ParallelFailureChecker(instance, groups=2) as parallel:
+            caps = instance.network.capacities()
+            first = parallel.check(caps)
+            assert first is not None
+            solves_after_first = parallel.lp_solves
+            caps = {k: v + 4000.0 for k, v in caps.items()}
+            assert parallel.check(caps) is None
+            # The second sweep did not re-check every scenario from zero.
+            total_scenarios = len(instance.failures) + 1
+            assert parallel.lp_solves - solves_after_first <= total_scenarios
+
+    def test_single_group_degenerates_to_serial(self, instance):
+        with ParallelFailureChecker(instance, groups=1) as parallel:
+            assert parallel.num_groups == 1
+            caps = instance.network.capacities()
+            violation = parallel.check(caps)
+            assert violation is not None
+
+    def test_empty_failure_list_checks_base_case(self):
+        instance = datasets.figure1_topology()
+        instance.failures.clear()
+        with ParallelFailureChecker(instance, groups=2) as parallel:
+            assert parallel.num_groups == 1
+            assert parallel.check({"link1": 0.0, "link2": 0.0}) is not None
+            assert parallel.check({"link1": 100.0, "link2": 0.0}) is None

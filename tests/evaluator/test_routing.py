@@ -1,0 +1,94 @@
+"""Tests for routing extraction (flow-path decomposition)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.evaluator.routing import extract_routing, routing_report
+from repro.topology import datasets, generators
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return datasets.figure1_topology()
+
+
+class TestFigure1Routing:
+    def test_base_case_single_path(self, figure1):
+        solution = extract_routing(figure1, {"link1": 100.0, "link2": 100.0})
+        paths = solution.paths_between("A", "D")
+        assert sum(p.gbps for p in paths) == pytest.approx(100.0)
+        assert solution.failure_id == "none"
+
+    def test_failure_shifts_path(self, figure1):
+        # Cutting fiber BC kills link1; everything must ride link2.
+        failure = figure1.failures[1]
+        solution = extract_routing(
+            figure1, {"link1": 100.0, "link2": 100.0}, failure
+        )
+        assert solution.failure_id == "fiber:BC"
+        for path in solution.paths:
+            assert "link1" not in path.links
+
+    def test_infeasible_plan_rejected(self, figure1):
+        with pytest.raises(SolverError, match="shortfall"):
+            extract_routing(figure1, {"link1": 0.0, "link2": 0.0})
+
+    def test_utilization_accounts_capacity(self, figure1):
+        solution = extract_routing(figure1, {"link1": 200.0, "link2": 100.0})
+        assert solution.max_utilization() <= 1.0 + 1e-9
+
+    def test_report_renders(self, figure1):
+        solution = extract_routing(figure1, {"link1": 100.0, "link2": 100.0})
+        text = routing_report(solution)
+        assert "Routing under failure: none" in text
+        assert "A->D" in text
+
+
+class TestDecompositionCompleteness:
+    def test_full_demand_decomposes_on_abilene(self):
+        instance = datasets.abilene(total_demand=1200.0)
+        capacities = {lid: 600.0 for lid in instance.network.links}
+        solution = extract_routing(instance, capacities)
+        total = sum(p.gbps for p in solution.paths)
+        assert total == pytest.approx(instance.traffic.total_demand, rel=1e-6)
+
+    def test_paths_are_connected_walks(self):
+        instance = generators.make_instance("A", seed=0, scale=0.7)
+        capacities = {
+            k: v + 2000.0 for k, v in instance.network.capacities().items()
+        }
+        solution = extract_routing(instance, capacities)
+        network = instance.network
+        for path in solution.paths:
+            assert path.nodes[0] == path.source
+            assert path.nodes[-1] == path.sink
+            assert len(path.links) == len(path.nodes) - 1
+            for (a, b), link_id in zip(
+                zip(path.nodes, path.nodes[1:]), path.links
+            ):
+                link = network.get_link(link_id)
+                assert {a, b} == set(link.endpoints)
+
+    def test_per_pair_totals_match_demand(self):
+        instance = datasets.abilene(total_demand=900.0)
+        capacities = {lid: 500.0 for lid in instance.network.links}
+        solution = extract_routing(instance, capacities)
+        per_pair: dict = {}
+        for path in solution.paths:
+            key = (path.source, path.sink)
+            per_pair[key] = per_pair.get(key, 0.0) + path.gbps
+        demands = instance.traffic.by_source()
+        for (source, sink), total in per_pair.items():
+            assert total == pytest.approx(demands[source][sink], rel=1e-6)
+
+    def test_failure_utilization_excludes_failed_links(self):
+        instance = generators.make_instance("A", seed=0, scale=0.7)
+        capacities = {
+            k: v + 3000.0 for k, v in instance.network.capacities().items()
+        }
+        failure = instance.failures[0]
+        solution = extract_routing(instance, capacities, failure)
+        failed = failure.failed_link_ids(instance.network)
+        for link_id in failed:
+            used, capacity = solution.link_utilization.get(link_id, (0.0, 0.0))
+            assert used == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for stateful failure checking."""
+
+import pytest
+
+from repro.errors import EnvironmentError_
+from repro.evaluator.feasibility import FeasibilityChecker
+from repro.evaluator.stateful import StatefulFailureChecker
+from repro.topology import datasets, generators
+
+
+@pytest.fixture
+def figure1():
+    return datasets.figure1_topology()
+
+
+class TestStatefulSweep:
+    def test_stops_at_first_violation(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(checker, figure1.failures)
+        violation = stateful.check({"link1": 0.0, "link2": 0.0})
+        assert violation is not None
+        assert violation.failure_id == figure1.failures[0].id
+        assert stateful.cursor == 0
+
+    def test_cursor_advances_past_survived(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(checker, figure1.failures)
+        # link2 alone survives the AE... no: AE cut kills link2.
+        # 100/0 survives fiber:AE? link1 rides AB,BC,CD -> unaffected: yes.
+        violation = stateful.check({"link1": 100.0, "link2": 0.0})
+        assert violation is not None
+        assert violation.failure_id == "fiber:BC"
+        assert stateful.cursor == 1  # fiber:AE survived
+
+    def test_resume_skips_survived_failures(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(checker, figure1.failures)
+        stateful.check({"link1": 100.0, "link2": 0.0})
+        solves_before = checker.lp_solves
+        violation = stateful.check({"link1": 100.0, "link2": 100.0})
+        assert violation is None
+        # Only the remaining failure was checked, not the survived one.
+        assert checker.lp_solves == solves_before + 1
+        assert stateful.complete
+
+    def test_reset_recheck_everything(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(checker, figure1.failures)
+        assert stateful.check({"link1": 100.0, "link2": 100.0}) is None
+        stateful.reset()
+        assert stateful.cursor == 0
+        solves_before = checker.lp_solves
+        assert stateful.check({"link1": 100.0, "link2": 100.0}) is None
+        assert checker.lp_solves == solves_before + len(figure1.failures)
+
+    def test_monotonicity_guard(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(
+            checker, figure1.failures, verify_monotonic=True
+        )
+        stateful.check({"link1": 100.0, "link2": 0.0})
+        with pytest.raises(EnvironmentError_):
+            stateful.check({"link1": 0.0, "link2": 0.0})
+        stateful.reset()
+        assert stateful.check({"link1": 0.0, "link2": 0.0}) is not None
+
+    def test_empty_failure_list_checks_base_case(self, figure1):
+        checker = FeasibilityChecker(figure1)
+        stateful = StatefulFailureChecker(checker, [])
+        violation = stateful.check({"link1": 0.0, "link2": 0.0})
+        assert violation is not None
+        assert violation.failure_id == "none"
+        assert stateful.check({"link1": 100.0, "link2": 0.0}) is None
+        assert stateful.complete
+
+
+class TestStatefulConsistency:
+    def test_matches_full_sweep_on_generated_topology(self):
+        """The stateful verdict equals checking all failures directly."""
+        instance = generators.make_instance("A", seed=1, scale=0.7)
+        checker = FeasibilityChecker(instance)
+        stateful = StatefulFailureChecker(checker, instance.failures)
+
+        caps = instance.network.capacities()
+        # Grow capacities until the stateful sweep says feasible.
+        for bump in range(30):
+            violation = stateful.check(caps)
+            if violation is None:
+                break
+            caps = {k: v + 400.0 for k, v in caps.items()}
+        assert violation is None, "never became feasible"
+
+        fresh = FeasibilityChecker(instance)
+        for failure in instance.failures:
+            assert fresh.check(caps, failure).satisfied, failure.id

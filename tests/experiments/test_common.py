@@ -1,0 +1,37 @@
+"""Tests for the experiment-harness helpers."""
+
+from repro.core.neuroplan import NeuroPlanConfig
+from repro.experiments.common import (
+    make_band_instance,
+    neuroplan_config,
+    print_table,
+)
+from repro.experiments.scaling import PROFILES
+
+
+class TestHelpers:
+    def test_make_band_instance_uses_profile_scale(self):
+        quick = PROFILES["quick"]
+        instance = make_band_instance("A", quick)
+        full = make_band_instance("A", PROFILES["full"])
+        assert instance.network.num_nodes <= full.network.num_nodes
+
+    def test_neuroplan_config_from_profile(self):
+        quick = PROFILES["quick"]
+        config = neuroplan_config(quick, relax_factor=1.25)
+        assert isinstance(config, NeuroPlanConfig)
+        assert config.relax_factor == 1.25
+        assert config.epochs == quick.epochs
+
+    def test_neuroplan_config_overrides(self):
+        config = neuroplan_config(PROFILES["quick"], epochs=99)
+        assert config.epochs == 99
+
+    def test_print_table_formats(self, capsys):
+        print_table(
+            "Demo", ["name", "value"], [["a", 1.23456], ["b", None], ["c", 7]]
+        )
+        out = capsys.readouterr().out
+        assert "Demo" in out
+        assert "1.235" in out  # floats to 3 decimals
+        assert "x" in out  # None renders as the paper's cross

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (tiny budgets; shape only)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    fig7_efficiency,
+    fig8_optimality,
+    fig9_scalability,
+    fig10_gnn_layers,
+    fig11_mlp_hidden,
+    fig12_capacity_units,
+    fig13_relax_factor,
+)
+from repro.experiments.scaling import ExperimentProfile, PROFILES, get_profile
+
+TINY = ExperimentProfile(
+    name="tiny",
+    topology_scale={"A": 0.6, "B": 0.4, "C": 0.3, "D": 0.2, "E": 0.15},
+    epochs=2,
+    steps_per_epoch=128,
+    max_trajectory_length=96,
+    max_units_per_step=2,
+    ilp_time_limit=45.0,
+    vanilla_time_budget=30.0,
+)
+
+
+class TestScaling:
+    def test_profiles_exist(self):
+        assert {"quick", "standard", "full"} <= set(PROFILES)
+
+    def test_get_profile_roundtrip(self):
+        assert get_profile("quick") is PROFILES["quick"]
+        assert get_profile(TINY) is TINY
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            get_profile("warp9")
+
+    def test_scale_of_defaults_to_one(self):
+        assert PROFILES["full"].scale_of("A") == 1.0
+        assert PROFILES["quick"].scale_of("A") < 1.0
+
+
+class TestFig7:
+    def test_single_band(self, capsys):
+        rows = fig7_efficiency.run(TINY, bands=["A"], verbose=True)
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert len(rows) == 3
+        modes = {r.mode for r in rows}
+        assert modes == {"vanilla", "sa", "neuroplan"}
+        assert fig7_efficiency.expected_shape(rows) == []
+
+    def test_normalized_baseline_is_one(self):
+        rows = fig7_efficiency.run(TINY, bands=["A"], verbose=False)
+        neuroplan = next(r for r in rows if r.mode == "neuroplan")
+        assert neuroplan.normalized == pytest.approx(1.0)
+
+    def test_trajectory_ends_feasible(self):
+        from repro.evaluator import PlanEvaluator
+        from repro.experiments.common import make_band_instance
+
+        instance = make_band_instance("A", TINY)
+        trajectory = fig7_efficiency.capacity_trajectory(instance)
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(trajectory[-1]).feasible
+
+
+class TestFig8:
+    def test_two_fractions(self):
+        rows = fig8_optimality.run(TINY, fractions=(0.5, 1.0), verbose=False)
+        assert [r.variant for r in rows] == ["A-0.5", "A-1"]
+        assert fig8_optimality.expected_shape(rows) == []
+        for row in rows:
+            assert row.neuroplan_normalized >= 1.0 - 1e-9
+
+
+class TestFig9:
+    def test_band_a(self):
+        rows = fig9_scalability.run(TINY, bands=["A"], verbose=False)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.neuroplan_cost <= row.ilp_heur_cost + 1e-6
+        assert fig9_scalability.expected_shape(rows) == []
+
+
+class TestFig10:
+    def test_layers_subset(self):
+        rows = fig10_gnn_layers.run(
+            TINY, layer_choices=(0, 2), fractions=(1.0,), verbose=False
+        )
+        assert len(rows) == 2
+        two_layer = next(r for r in rows if r.gnn_layers == 2)
+        assert two_layer.converged
+        assert fig10_gnn_layers.expected_shape(rows) == []
+
+
+class TestFig11:
+    def test_hidden_subset(self):
+        rows = fig11_mlp_hidden.run(
+            TINY, hidden_choices=((16, 16), (64, 64)), fractions=(1.0,),
+            verbose=False,
+        )
+        assert len(rows) == 2
+        assert all(len(r.epoch_rewards) == TINY.epochs for r in rows)
+        assert fig11_mlp_hidden.expected_shape(rows) == []
+
+
+class TestFig12:
+    def test_units_subset(self):
+        rows = fig12_capacity_units.run(
+            TINY, unit_choices=(1, 4), fractions=(1.0,), verbose=False
+        )
+        assert len(rows) == 2
+        assert fig12_capacity_units.expected_shape(rows) == []
+
+
+class TestFig13:
+    def test_alpha_monotone(self):
+        rows = fig13_relax_factor.run(
+            TINY, bands=["A"], alphas=(1.0, 1.5), verbose=False
+        )
+        assert len(rows) == 2
+        assert rows[1].neuroplan_cost <= rows[0].neuroplan_cost + 1e-6
+        assert all(r.normalized <= 1.0 + 1e-6 for r in rows)
+        assert fig13_relax_factor.expected_shape(rows) == []

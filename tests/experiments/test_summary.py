@@ -1,0 +1,94 @@
+"""Tests for the results-summary renderer."""
+
+import json
+
+import pytest
+
+from repro.experiments.summary import (
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig13_table,
+    summarize_results,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig7.json").write_text(
+        json.dumps(
+            [
+                {"topology": "A", "mode": "vanilla", "seconds": 2.0,
+                 "normalized": 2.0, "lp_solves": 10},
+                {"topology": "A", "mode": "sa", "seconds": 1.5,
+                 "normalized": 1.5, "lp_solves": 10},
+                {"topology": "A", "mode": "neuroplan", "seconds": 1.0,
+                 "normalized": 1.0, "lp_solves": 5},
+            ]
+        )
+    )
+    (tmp_path / "fig9.json").write_text(
+        json.dumps(
+            [
+                {"topology": "A", "ilp_heur_cost": 10.0,
+                 "first_stage_cost": 12.0, "neuroplan_cost": 9.0,
+                 "ilp_cost": None},
+            ]
+        )
+    )
+    return tmp_path
+
+
+class TestTables:
+    def test_fig7_table(self):
+        rows = [
+            {"topology": "A", "mode": m, "normalized": n}
+            for m, n in [("vanilla", 2.0), ("sa", 1.5), ("neuroplan", 1.0)]
+        ]
+        table = fig7_table(rows)
+        assert "| A | 2.000 | 1.500 | 1.000 |" in table
+
+    def test_fig8_table_normalizes(self):
+        rows = [
+            {"variant": "A-1", "ilp_cost": 10.0, "first_stage_cost": 12.0,
+             "neuroplan_cost": 10.0},
+        ]
+        table = fig8_table(rows)
+        assert "| A-1 | 1.200 | 1.000 |" in table
+
+    def test_fig9_timeout_cross(self):
+        rows = [
+            {"topology": "B", "ilp_heur_cost": 10.0, "first_stage_cost": 14.0,
+             "neuroplan_cost": 9.0, "ilp_cost": None},
+        ]
+        table = fig9_table(rows)
+        assert "| x |" in table  # the paper's timeout cross
+
+    def test_fig13_table(self):
+        rows = [
+            {"topology": "A", "alpha": 1.0, "first_stage_cost": 10.0,
+             "neuroplan_cost": 9.0},
+            {"topology": "A", "alpha": 1.5, "first_stage_cost": 10.0,
+             "neuroplan_cost": 8.0},
+        ]
+        table = fig13_table(rows)
+        assert "alpha=1" in table and "alpha=1.5" in table
+        assert "0.900" in table and "0.800" in table
+
+
+class TestSummarize:
+    def test_includes_available_figures_only(self, results_dir):
+        document = summarize_results(results_dir)
+        assert "Figure 7" in document
+        assert "Figure 9" in document
+        assert "Figure 8" not in document  # not saved in the fixture
+
+    def test_real_results_directory_renders(self):
+        """The repo's own benchmark results render without error."""
+        import pathlib
+
+        results = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
+        if not results.exists():
+            pytest.skip("no benchmark results present")
+        document = summarize_results(results)
+        assert document.startswith("# Measured results")

@@ -1,0 +1,87 @@
+"""Tests for the masked Categorical distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NNError
+from repro.nn.distributions import Categorical
+from repro.nn.tensor import Tensor
+
+
+class TestCategorical:
+    def test_probs_sum_to_one(self, rng):
+        d = Categorical(Tensor(rng.standard_normal(6)))
+        np.testing.assert_allclose(d.probs.sum(), 1.0, atol=1e-12)
+
+    def test_mask_zeroes_probability(self, rng):
+        mask = np.array([True, False, True, True])
+        d = Categorical(Tensor(rng.standard_normal(4)), mask=mask)
+        assert d.probs[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sample_respects_mask(self, rng):
+        mask = np.array([False, True, False])
+        d = Categorical(Tensor(np.zeros(3)), mask=mask)
+        samples = {d.sample(rng) for _ in range(50)}
+        assert samples == {1}
+
+    def test_sample_distribution_matches_probs(self, rng):
+        d = Categorical(Tensor(np.log(np.array([0.7, 0.3]))))
+        draws = np.array([d.sample(rng) for _ in range(4000)])
+        np.testing.assert_allclose((draws == 0).mean(), 0.7, atol=0.04)
+
+    def test_mode(self):
+        d = Categorical(Tensor(np.array([0.1, 5.0, 1.0])))
+        assert d.mode() == 1
+
+    def test_mode_respects_mask(self):
+        d = Categorical(
+            Tensor(np.array([0.1, 5.0, 1.0])), mask=np.array([True, False, True])
+        )
+        assert d.mode() == 2
+
+    def test_log_prob_gradient_is_policy_gradient(self):
+        """d/dlogits log p(a) = onehot(a) - probs, the REINFORCE identity."""
+        logits = Tensor(np.array([1.0, 2.0, 0.5]), requires_grad=True)
+        d = Categorical(logits)
+        d.log_prob(1).backward()
+        expected = -d.probs
+        expected[1] += 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-12)
+
+    def test_log_prob_masked_action_raises(self):
+        d = Categorical(Tensor(np.zeros(3)), mask=np.array([True, False, True]))
+        with pytest.raises(NNError):
+            d.log_prob(1)
+
+    def test_entropy_uniform_is_log_n(self):
+        d = Categorical(Tensor(np.zeros(4)))
+        np.testing.assert_allclose(d.entropy().item(), np.log(4), atol=1e-9)
+
+    def test_entropy_masked_uniform(self):
+        d = Categorical(Tensor(np.zeros(4)), mask=np.array([True, True, False, False]))
+        np.testing.assert_allclose(d.entropy().item(), np.log(2), atol=1e-6)
+
+    def test_rejects_2d_logits(self):
+        with pytest.raises(NNError):
+            Categorical(Tensor(np.zeros((2, 3))))
+
+    def test_rejects_all_masked(self):
+        with pytest.raises(NNError):
+            Categorical(Tensor(np.zeros(3)), mask=np.zeros(3, dtype=bool))
+
+    def test_rejects_mask_shape_mismatch(self):
+        with pytest.raises(NNError):
+            Categorical(Tensor(np.zeros(3)), mask=np.ones(4, dtype=bool))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_entropy_nonnegative_and_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = Categorical(Tensor(rng.standard_normal(n) * 3))
+        h = d.entropy().item()
+        assert -1e-9 <= h <= np.log(n) + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for nn extensions: LayerNorm, Dropout module, GraphSAGE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NNError
+from repro.nn import Dropout, GraphEncoder, LayerNorm, SAGELayer
+from repro.nn.gnn import normalized_adjacency
+from repro.nn.tensor import Tensor
+from tests.nn.test_tensor import check_grads
+
+
+def path_graph(n: int) -> np.ndarray:
+    a = np.zeros((n, n))
+    for i in range(n - 1):
+        a[i, i + 1] = a[i + 1, i] = 1.0
+    return a
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        norm = LayerNorm(8)
+        out = norm(Tensor(rng.standard_normal((4, 8)) * 10 + 3))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_learned_scale_shift(self, rng):
+        norm = LayerNorm(4)
+        norm.scale.data = np.full(4, 2.0)
+        norm.shift.data = np.full(4, 5.0)
+        out = norm(Tensor(rng.standard_normal((3, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 5.0, atol=1e-6)
+
+    def test_gradients(self, rng):
+        norm = LayerNorm(5)
+        x = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        check_grads(lambda: (norm(x) ** 2).mean(), x, atol=1e-4)
+
+    def test_invalid_features(self):
+        with pytest.raises(NNError):
+            LayerNorm(0)
+
+
+class TestDropoutModule:
+    def test_identity_in_eval(self, rng):
+        dropout = Dropout(0.5, rng=0)
+        dropout.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert dropout(x) is x
+
+    def test_active_in_training(self):
+        dropout = Dropout(0.5, rng=0)
+        out = dropout(Tensor(np.ones((200, 1))))
+        assert (out.data == 0.0).any()
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(NNError):
+            Dropout(1.0)
+
+
+class TestSAGE:
+    def test_output_shape(self, rng):
+        layer = SAGELayer(3, 8, rng=0)
+        out = layer(
+            Tensor(rng.standard_normal((5, 3))),
+            normalized_adjacency(path_graph(5)),
+        )
+        assert out.shape == (5, 8)
+
+    def test_gradients_flow(self, rng):
+        layer = SAGELayer(2, 4, rng=0)
+        out = layer(
+            Tensor(rng.standard_normal((4, 2))),
+            normalized_adjacency(path_graph(4)),
+        )
+        (out * out).sum().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, name
+
+    def test_self_and_neighbor_weights_distinct(self, rng):
+        """Zeroing the neighbor weight leaves a pure self transform."""
+        layer = SAGELayer(1, 4, rng=0)
+        layer.weight_neighbor.data[:] = 0.0
+        adj = normalized_adjacency(path_graph(3))
+        features = np.array([[1.0], [0.0], [0.0]])
+        base = layer(Tensor(np.zeros((3, 1))), adj).data
+        bumped = layer(Tensor(features), adj).data
+        delta = np.abs(bumped - base).sum(axis=1)
+        assert delta[0] > 0
+        np.testing.assert_allclose(delta[1:], 0.0, atol=1e-12)
+
+    def test_encoder_sage_stack(self, rng):
+        encoder = GraphEncoder(2, 8, num_layers=2, gnn_type="sage", rng=0)
+        out = encoder(
+            Tensor(rng.standard_normal((5, 2))),
+            normalized_adjacency(path_graph(5)),
+        )
+        assert out.shape == (5, 8)
+
+    def test_policy_accepts_sage(self):
+        from repro.rl.policy import ActorCriticPolicy
+
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, gnn_type="sage", rng=0)
+        adj = normalized_adjacency(path_graph(4))
+        distribution, value = policy(np.zeros((4, 1)), adj)
+        assert distribution.probs.shape == (8,)
+        assert np.isfinite(value.item())

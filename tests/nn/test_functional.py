@@ -1,0 +1,123 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_rows_normalize(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        out = F.log_softmax(x)
+        sums = np.exp(out.data).sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones(4), atol=1e-12)
+
+    def test_log_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 5))
+        a = F.log_softmax(Tensor(x)).data
+        b = F.log_softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_log_softmax_extreme_logits_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]]))
+        out = F.log_softmax(x).data
+        assert np.isfinite(out).all()
+        assert abs(out[0, 0]) < 1e-9
+
+    def test_log_softmax_last_axis_only(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        with pytest.raises(NNError):
+            F.log_softmax(x, axis=0)
+
+    def test_softmax_matches_manual(self, rng):
+        logits = rng.standard_normal(7)
+        expected = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(F.softmax(Tensor(logits)).data, expected, atol=1e-12)
+
+    def test_masked_log_softmax_zeroes_masked(self, rng):
+        logits = Tensor(rng.standard_normal(5))
+        mask = np.array([True, False, True, False, True])
+        out = F.masked_log_softmax(logits, mask)
+        probs = np.exp(out.data)
+        np.testing.assert_allclose(probs[~mask], 0.0, atol=1e-12)
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-12)
+
+    def test_masked_log_softmax_all_masked_raises(self):
+        with pytest.raises(NNError):
+            F.masked_log_softmax(Tensor(np.zeros(3)), np.zeros(3, dtype=bool))
+
+    def test_masked_log_softmax_no_grad_to_masked(self):
+        logits = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        mask = np.array([True, False, True])
+        out = F.masked_log_softmax(logits, mask)
+        out.gather_rows([0]).sum().backward()
+        assert logits.grad[1] == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_masked_matches_softmax_over_subset(self, n, seed):
+        """Masked softmax equals softmax computed over only the live logits."""
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal(n)
+        mask = rng.random(n) > 0.4
+        if not mask.any():
+            mask[0] = True
+        out = np.exp(F.masked_log_softmax(Tensor(logits), mask).data)
+        live = np.exp(logits[mask]) / np.exp(logits[mask]).sum()
+        np.testing.assert_allclose(out[mask], live, atol=1e-9)
+
+
+class TestLosses:
+    def test_mse_zero_when_equal(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert F.mse_loss(Tensor(x), x).item() == 0.0
+
+    def test_mse_matches_numpy(self, rng):
+        pred = Tensor(rng.standard_normal(10), requires_grad=True)
+        target = rng.standard_normal(10)
+        loss = F.mse_loss(pred, target)
+        np.testing.assert_allclose(loss.item(), np.mean((pred.data - target) ** 2))
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, 2 * (pred.data - target) / 10)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([0.5]), requires_grad=True)
+        loss = F.huber_loss(pred, np.array([0.0]), delta=1.0)
+        np.testing.assert_allclose(loss.item(), 0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        loss = F.huber_loss(pred, np.array([0.0]), delta=1.0)
+        np.testing.assert_allclose(loss.item(), 3.0 - 0.5)
+
+
+class TestDropoutAndPooling:
+    def test_dropout_identity_when_eval(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_scales_kept_units(self, rng):
+        x = Tensor(np.ones((1000, 1)))
+        out = F.dropout(x, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Roughly half are kept.
+        assert 350 < len(kept) < 650
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(NNError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng, training=True)
+
+    def test_global_pools(self, rng):
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(F.global_mean_pool(Tensor(x)).data, x.mean(axis=0))
+        np.testing.assert_allclose(F.global_sum_pool(Tensor(x)).data, x.sum(axis=0))

@@ -1,0 +1,163 @@
+"""Tests for GCN/GAT layers and adjacency normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NNError
+from repro.nn.gnn import GATLayer, GCNLayer, GraphEncoder, normalized_adjacency
+from repro.nn.tensor import Tensor
+
+
+def path_graph(n: int) -> np.ndarray:
+    a = np.zeros((n, n))
+    for i in range(n - 1):
+        a[i, i + 1] = a[i + 1, i] = 1.0
+    return a
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric_output(self):
+        norm = normalized_adjacency(path_graph(5))
+        np.testing.assert_allclose(norm, norm.T)
+
+    def test_isolated_node_gets_self_loop(self):
+        a = np.zeros((3, 3))
+        norm = normalized_adjacency(a)
+        np.testing.assert_allclose(norm, np.eye(3))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(NNError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        a = np.zeros((2, 2))
+        a[0, 1] = 1.0
+        with pytest.raises(NNError):
+            normalized_adjacency(a)
+
+    def test_known_two_node_values(self):
+        # A+I = [[1,1],[1,1]], degrees 2 -> every entry 1/2.
+        norm = normalized_adjacency(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        np.testing.assert_allclose(norm, np.full((2, 2), 0.5))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_spectral_radius_at_most_one(self, n, seed):
+        """Symmetric normalization keeps eigenvalues in [-1, 1]."""
+        rng = np.random.default_rng(seed)
+        upper = np.triu(rng.random((n, n)) > 0.5, k=1).astype(float)
+        a = upper + upper.T
+        norm = normalized_adjacency(a)
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+        assert eigenvalues.min() >= -1.0 - 1e-9
+
+
+class TestGCNLayer:
+    def test_output_shape(self, rng):
+        layer = GCNLayer(3, 8, rng=0)
+        out = layer(Tensor(rng.standard_normal((5, 3))), normalized_adjacency(path_graph(5)))
+        assert out.shape == (5, 8)
+
+    def test_messages_propagate_one_hop(self):
+        """A feature on node 0 influences node 1 but not node 2 after 1 layer."""
+        layer = GCNLayer(1, 4, activation="identity", rng=0)
+        adj = normalized_adjacency(path_graph(3))
+        base = layer(Tensor(np.zeros((3, 1))), adj).data
+        bumped = layer(Tensor(np.array([[1.0], [0.0], [0.0]])), adj).data
+        delta = np.abs(bumped - base).sum(axis=1)
+        assert delta[0] > 0 and delta[1] > 0
+        np.testing.assert_allclose(delta[2], 0.0, atol=1e-12)
+
+    def test_two_layers_reach_two_hops(self, rng):
+        enc = GraphEncoder(1, 4, num_layers=2, rng=0)
+        adj = normalized_adjacency(path_graph(3))
+        base = enc(Tensor(np.zeros((3, 1))), adj).data
+        bumped = enc(Tensor(np.array([[1.0], [0.0], [0.0]])), adj).data
+        delta = np.abs(bumped - base).sum(axis=1)
+        assert delta[2] > 0
+
+    def test_gradients_flow(self, rng):
+        layer = GCNLayer(2, 4, rng=0)
+        out = layer(Tensor(rng.standard_normal((4, 2))), normalized_adjacency(path_graph(4)))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_invalid_activation(self, rng):
+        layer = GCNLayer(2, 2, activation="swish", rng=0)
+        with pytest.raises(NNError):
+            layer(Tensor(np.ones((2, 2))), normalized_adjacency(path_graph(2)))
+
+    def test_permutation_equivariance(self, rng):
+        """Permuting nodes permutes GCN outputs identically."""
+        layer = GCNLayer(2, 4, rng=0)
+        adj = path_graph(5)
+        feats = rng.standard_normal((5, 2))
+        perm = rng.permutation(5)
+        out = layer(Tensor(feats), normalized_adjacency(adj)).data
+        out_perm = layer(
+            Tensor(feats[perm]), normalized_adjacency(adj[np.ix_(perm, perm)])
+        ).data
+        np.testing.assert_allclose(out[perm], out_perm, atol=1e-10)
+
+
+class TestGATLayer:
+    def test_output_shape(self, rng):
+        layer = GATLayer(3, 6, rng=0)
+        out = layer(Tensor(rng.standard_normal((4, 3))), normalized_adjacency(path_graph(4)))
+        assert out.shape == (4, 6)
+
+    def test_gradients_flow(self, rng):
+        layer = GATLayer(2, 4, rng=0)
+        out = layer(Tensor(rng.standard_normal((3, 2))), normalized_adjacency(path_graph(3)))
+        (out * out).sum().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, name
+
+    def test_attention_restricted_to_neighbors(self):
+        """Non-neighbor features do not influence a node after one layer."""
+        layer = GATLayer(1, 4, rng=0)
+        adj = normalized_adjacency(path_graph(3))
+        base = layer(Tensor(np.array([[0.1], [0.2], [0.3]])), adj).data
+        bumped = layer(Tensor(np.array([[9.9], [0.2], [0.3]])), adj).data
+        # Node 2 is two hops from node 0: unchanged.
+        np.testing.assert_allclose(base[2], bumped[2], atol=1e-12)
+        assert np.abs(base[0] - bumped[0]).sum() > 0
+
+
+class TestGraphEncoder:
+    def test_zero_layers_is_projection(self, rng):
+        enc = GraphEncoder(3, 8, num_layers=0, rng=0)
+        feats = rng.standard_normal((4, 3))
+        out = enc(Tensor(feats), normalized_adjacency(path_graph(4)))
+        np.testing.assert_allclose(out.data, feats @ enc.projection.data)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(NNError):
+            GraphEncoder(3, 8, num_layers=-1)
+        with pytest.raises(NNError):
+            GraphEncoder(3, 8, num_layers=2, gnn_type="transformer")
+
+    @pytest.mark.parametrize("gnn_type", ["gcn", "gat"])
+    @pytest.mark.parametrize("layers", [1, 2, 4])
+    def test_depth_and_type_combinations(self, rng, gnn_type, layers):
+        enc = GraphEncoder(2, 8, num_layers=layers, gnn_type=gnn_type, rng=0)
+        out = enc(Tensor(rng.standard_normal((5, 2))), normalized_adjacency(path_graph(5)))
+        assert out.shape == (5, 8)
+        assert enc.out_features == 8
+
+    def test_handles_varying_graph_sizes(self, rng):
+        """The same encoder runs on graphs of different node counts."""
+        enc = GraphEncoder(2, 8, num_layers=2, rng=0)
+        for n in (2, 5, 9):
+            out = enc(
+                Tensor(rng.standard_normal((n, 2))),
+                normalized_adjacency(path_graph(n)),
+            )
+            assert out.shape == (n, 8)

@@ -1,0 +1,136 @@
+"""Tests for Module/Parameter, layers, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn.layers import MLP, Identity, Linear, ReLU, Sequential, Tanh, make_activation
+from repro.nn.module import Module, Parameter
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestModuleTree:
+    def test_parameter_discovery(self):
+        layer = Linear(3, 4, rng=0)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameter_names(self):
+        mlp = MLP(3, (8,), 2, rng=0)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert "body.layer0.weight" in names
+        assert "body.layer2.bias" in names
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, rng=0)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP(2, (4,), 1, rng=0)
+        out = mlp(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(2, (4,), 1, rng=0)
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = MLP(3, (5,), 2, rng=0)
+        b = MLP(3, (5,), 2, rng=99)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = MLP(3, (5,), 2, rng=0)
+        b = MLP(3, (6,), 2, rng=0)
+        with pytest.raises(NNError):
+            b.load_state_dict(a.state_dict())
+
+    def test_state_dict_is_a_copy(self):
+        a = Linear(2, 2, rng=0)
+        state = a.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(a.weight.data, 0.0)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 7, rng=0)
+        out = layer(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 7)
+        single = layer(Tensor(rng.standard_normal(4)))
+        assert single.shape == (7,)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_linear_invalid_sizes(self):
+        with pytest.raises(NNError):
+            Linear(0, 3)
+
+    def test_linear_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=0)
+        x = rng.standard_normal((4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_mlp_depth(self):
+        mlp = MLP(3, (8, 8, 8), 2, rng=0)
+        linears = [m for m in mlp.body if isinstance(m, Linear)]
+        assert [l.in_features for l in linears] == [3, 8, 8, 8]
+        assert linears[-1].out_features == 2
+
+    def test_mlp_deterministic_under_seed(self):
+        a = MLP(3, (8,), 2, rng=7)
+        b = MLP(3, (8,), 2, rng=7)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_mlp_gradients_flow_to_all_layers(self, rng):
+        mlp = MLP(3, (8, 8), 1, rng=0)
+        loss = F.mse_loss(mlp(Tensor(rng.standard_normal((4, 3)))), np.zeros((4, 1)))
+        loss.backward()
+        for name, param in mlp.named_parameters():
+            assert param.grad is not None, name
+
+    def test_sequential_iteration(self):
+        seq = Sequential(Linear(2, 2, rng=0), ReLU(), Linear(2, 1, rng=0))
+        assert len(seq) == 3
+        assert isinstance(list(seq)[1], ReLU)
+
+    def test_activation_factory(self):
+        assert isinstance(make_activation("relu"), ReLU)
+        assert isinstance(make_activation("tanh"), Tanh)
+        assert isinstance(make_activation("identity"), Identity)
+        with pytest.raises(NNError):
+            make_activation("gelu")
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        a = MLP(3, (6,), 2, rng=0)
+        b = MLP(3, (6,), 2, rng=42)
+        path = tmp_path / "model.npz"
+        save_state_dict(a, path)
+        load_state_dict(b, path)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_save_empty_module_raises(self, tmp_path):
+        with pytest.raises(NNError):
+            save_state_dict(ReLU(), tmp_path / "x.npz")

@@ -1,0 +1,116 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NNError
+from repro.nn import functional as F
+from repro.nn.layers import MLP
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    return (param * param).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 4.0])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        # Hand-computed: v1=2.0, p=0.8; v2=0.9*2.0+1.6=3.4, p=0.8-0.34=0.46
+        np.testing.assert_allclose(p.data, [0.46])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        q = Parameter(np.array([1.0]))
+        opt = SGD([p, q], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+    def test_invalid_hyperparameters(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(NNError):
+            SGD([p], lr=0.0)
+        with pytest.raises(NNError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(NNError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction, the first Adam step is ~lr * sign(grad)."""
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.5)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.5], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-3)
+
+    def test_trains_mlp_regression(self, rng):
+        mlp = MLP(2, (16,), 1, rng=0)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        x = rng.standard_normal((64, 2))
+        y = x[:, :1] * 2.0 - x[:, 1:] * 0.5
+        first_loss = None
+        for step in range(300):
+            opt.zero_grad()
+            loss = F.mse_loss(mlp(Tensor(x)), y)
+            if step == 0:
+                first_loss = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.01 < first_loss
+
+    def test_invalid_betas(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(NNError):
+            Adam([p], betas=(1.0, 0.999))
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = opt.clip_grad_norm(1.0)
+        np.testing.assert_allclose(norm, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_noop_when_small(self):
+        p = Parameter(np.array([0.3]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([0.3])
+        opt.clip_grad_norm(1.0)
+        np.testing.assert_allclose(p.grad, [0.3])

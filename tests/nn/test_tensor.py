@@ -1,0 +1,272 @@
+"""Unit and property tests for the autodiff engine.
+
+The property tests compare every analytic gradient against a central
+finite difference on randomly generated composite expressions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NNError
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+
+
+def numeric_grad(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn()`` wrt ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    it = np.nditer(tensor.data, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = tensor.data[idx]
+        tensor.data[idx] = original + eps
+        up = fn().item()
+        tensor.data[idx] = original - eps
+        down = fn().item()
+        tensor.data[idx] = original
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grads(fn, *tensors: Tensor, atol: float = 1e-5):
+    """Assert analytic gradients of scalar ``fn()`` match finite differences."""
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    out.backward()
+    for t in tensors:
+        assert t.grad is not None, "missing gradient"
+        expected = numeric_grad(fn, t)
+        np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_backward(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_grads(lambda: (a + b).sum(), a, b)
+
+    def test_add_broadcast_row(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        check_grads(lambda: ((a + b) * (a + b)).sum(), a, b)
+
+    def test_mul_broadcast_scalar(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_grads(lambda: (a * 3.5).sum(), a)
+
+    def test_sub_and_neg(self, rng):
+        a = Tensor(rng.standard_normal(5), requires_grad=True)
+        b = Tensor(rng.standard_normal(5), requires_grad=True)
+        check_grads(lambda: (a - b).sum(), a, b)
+        check_grads(lambda: (-a).sum(), a)
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(rng.random(4) + 1.0, requires_grad=True)
+        check_grads(lambda: (2.0 - a).sum(), a)
+        check_grads(lambda: (2.0 / a).sum(), a)
+
+    def test_div_backward(self, rng):
+        a = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        b = Tensor(rng.random((3, 2)) + 0.5, requires_grad=True)
+        check_grads(lambda: (a / b).sum(), a, b)
+
+    def test_pow(self, rng):
+        a = Tensor(rng.random(6) + 0.5, requires_grad=True)
+        check_grads(lambda: (a**3).sum(), a)
+        with pytest.raises(NNError):
+            a ** Tensor([2.0])
+
+    def test_matmul(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        check_grads(lambda: (a @ b).sum(), a, b)
+
+    def test_matmul_chain(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        check_grads(lambda: ((a @ b) @ b).sum(), a, b)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_grads(lambda: (a.sum(axis=0) ** 2).sum(), a)
+        check_grads(lambda: (a.sum(axis=1, keepdims=True) * a).sum(), a)
+
+    def test_mean(self, rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_grads(lambda: a.mean(), a)
+        check_grads(lambda: (a.mean(axis=1) ** 2).sum(), a)
+
+    def test_max(self, rng):
+        a = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_grads(lambda: a.max(axis=1).sum(), a)
+
+    def test_max_with_ties_is_finite(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.max(axis=1).sum()
+        out.backward()
+        # Gradient splits evenly among ties and sums to one per row.
+        np.testing.assert_allclose(a.grad.sum(axis=1), [1.0, 1.0])
+
+    def test_reshape_flatten(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        check_grads(lambda: (a.reshape(3, 4) ** 2).sum(), a)
+        check_grads(lambda: (a.flatten() ** 2).sum(), a)
+
+    def test_transpose(self, rng):
+        a = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        check_grads(lambda: (a.T @ a).sum(), a)
+
+    def test_gather_rows(self, rng):
+        a = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        check_grads(lambda: (a.gather_rows([0, 2, 2]) ** 2).sum(), a)
+
+    def test_take(self, rng):
+        a = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        check_grads(lambda: (a.take([0, 1, 1], [2, 3, 3]) ** 2).sum(), a)
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_grads(lambda: (Tensor.concatenate([a, b], axis=0) ** 2).sum(), a, b)
+
+    def test_stack(self, rng):
+        a = Tensor(rng.standard_normal(3), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        check_grads(lambda: (Tensor.stack([a, b]) ** 2).sum(), a, b)
+
+    def test_where(self, rng):
+        cond = rng.random((3, 3)) > 0.5
+        a = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        check_grads(lambda: (Tensor.where(cond, a, b) ** 2).sum(), a, b)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "op",
+        ["tanh", "sigmoid", "exp", "abs"],
+    )
+    def test_elementwise(self, rng, op):
+        a = Tensor(rng.standard_normal((3, 4)) + 0.05, requires_grad=True)
+        check_grads(lambda: getattr(a, op)().sum(), a)
+
+    def test_relu(self, rng):
+        # Keep inputs away from the kink at 0 for the finite difference.
+        data = rng.standard_normal((3, 4))
+        data[np.abs(data) < 0.1] = 0.5
+        a = Tensor(data, requires_grad=True)
+        check_grads(lambda: (a.relu() ** 2).sum(), a)
+
+    def test_leaky_relu(self, rng):
+        data = rng.standard_normal((3, 4))
+        data[np.abs(data) < 0.1] = 0.5
+        a = Tensor(data, requires_grad=True)
+        check_grads(lambda: a.leaky_relu(0.2).sum(), a)
+
+    def test_log(self, rng):
+        a = Tensor(rng.random((3, 3)) + 0.5, requires_grad=True)
+        check_grads(lambda: a.log().sum(), a)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_on_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * a + a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])  # 2a + 1
+
+    def test_diamond_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        out = (b + c).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_backward_requires_scalar(self, rng):
+        a = Tensor(rng.standard_normal(4), requires_grad=True)
+        with pytest.raises(NNError):
+            (a * 2).backward()
+
+    def test_backward_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(NNError):
+            (a * 3).backward(np.ones(3))
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a.detach() * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0])  # only one path
+
+    def test_constant_parents_get_no_grad(self):
+        a = Tensor([1.0])
+        b = Tensor([2.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad is None
+        np.testing.assert_allclose(b.grad, [1.0])
+
+    def test_double_backward_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestHypothesisGradients:
+    """Randomized gradient checks over composite expressions."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_affine_tanh_chain(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((rows, cols)), requires_grad=True)
+        w = Tensor(rng.standard_normal((cols, 3)), requires_grad=True)
+        check_grads(lambda: ((x @ w).tanh() ** 2).mean(), x, w, atol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_softmax_like_expression(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        def fn():
+            shifted = x - x.max(axis=1, keepdims=True).detach()
+            norm = shifted.exp().sum(axis=1, keepdims=True).log()
+            return ((shifted - norm) * (shifted - norm)).mean()
+        check_grads(fn, x, atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_broadcast_shapes_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal((4, 1)), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 3)), requires_grad=True)
+        check_grads(lambda: ((a * b) + (a + b)).sum(), a, b, atol=1e-4)

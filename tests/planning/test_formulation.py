@@ -1,0 +1,230 @@
+"""Tests for the Eq. 1-5 ILP formulation.
+
+Each constraint family of Table 1 / Section 3.1 gets a dedicated check:
+flow conservation (Eq. 2), link capacity (Eq. 3), spectrum (Eq. 4) and
+the existing-topology floor (Eq. 5).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator import PlanEvaluator
+from repro.planning.formulation import PlanningILP, effective_demands
+from repro.solver import Status
+from repro.topology import datasets
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import (
+    BEST_EFFORT,
+    Flow,
+    ReliabilityPolicy,
+    TrafficMatrix,
+)
+from repro.topology.cost import CostModel
+
+
+@pytest.fixture
+def two_path() -> PlanningInstance:
+    """A->C via B (2 km) or direct (10 km); one fiber-cut failure."""
+    network = Network(
+        nodes=[Node(n) for n in "ABC"],
+        fibers=[
+            Fiber("AB", "A", "B", 1.0),
+            Fiber("BC", "B", "C", 1.0),
+            Fiber("AC", "A", "C", 10.0),
+        ],
+        links=[
+            IPLink("ab", "A", "B", ("AB",)),
+            IPLink("bc", "B", "C", ("BC",)),
+            IPLink("ac", "A", "C", ("AC",)),
+        ],
+    )
+    return PlanningInstance(
+        name="two-path",
+        network=network,
+        traffic=TrafficMatrix([Flow("A", "C", 100.0)]),
+        failures=[FailureScenario("fiber:AB", fibers=frozenset({"AB"}))],
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=100.0,
+    )
+
+
+class TestEffectiveDemands:
+    def test_no_failure_full_demand(self, two_path):
+        demands = effective_demands(two_path, None)
+        assert demands == {"A": {"C": 100.0}}
+
+    def test_site_failure_exempts_endpoints(self, two_path):
+        failure = FailureScenario("site:A", nodes=frozenset({"A"}))
+        assert effective_demands(two_path, failure) == {}
+
+    def test_transit_site_failure_keeps_demand(self, two_path):
+        failure = FailureScenario("site:B", nodes=frozenset({"B"}))
+        assert effective_demands(two_path, failure) == {"A": {"C": 100.0}}
+
+    def test_policy_exempts_best_effort(self, two_path):
+        instance = PlanningInstance(
+            name="policy",
+            network=two_path.network,
+            traffic=TrafficMatrix(
+                [Flow("A", "C", 100.0), Flow("A", "B", 40.0, BEST_EFFORT)]
+            ),
+            failures=two_path.failures,
+            policy=ReliabilityPolicy({"best-effort": set()}),
+        )
+        under_failure = effective_demands(instance, instance.failures[0])
+        assert under_failure == {"A": {"C": 100.0}}
+        base = effective_demands(instance, None)
+        assert base == {"A": {"C": 100.0, "B": 40.0}}
+
+    def test_aggregation_merges_same_pair(self, two_path):
+        instance = PlanningInstance(
+            name="merge",
+            network=two_path.network,
+            traffic=TrafficMatrix(
+                [Flow("A", "C", 60.0), Flow("A", "C", 40.0, BEST_EFFORT)]
+            ),
+            failures=[],
+        )
+        assert effective_demands(instance, None) == {"A": {"C": 100.0}}
+
+
+class TestFormulationSolutions:
+    def test_failure_forces_both_paths(self, two_path):
+        """Without the failure only the cheap path is built; with it both."""
+        ilp_no_failures = PlanningILP(two_path, failures=[])
+        ilp_no_failures.model.optimize()
+        caps = ilp_no_failures.extract_capacities()
+        # Cheap path A-B-C (2 km) carries everything.
+        assert caps == {"ab": 100.0, "bc": 100.0, "ac": 0.0}
+
+        ilp = PlanningILP(two_path)
+        assert ilp.model.optimize() is Status.OPTIMAL
+        caps = ilp.extract_capacities()
+        # Cutting AB forces the expensive direct link too.
+        assert caps["ac"] == 100.0
+
+    def test_solution_feasible_per_evaluator(self, two_path):
+        ilp = PlanningILP(two_path)
+        ilp.model.optimize()
+        evaluator = PlanEvaluator(two_path, mode="sa")
+        assert evaluator.evaluate(ilp.extract_capacities()).feasible
+
+    def test_integrality_of_units(self, two_path):
+        scaled = PlanningInstance(
+            name="two-path",
+            network=two_path.network,
+            traffic=TrafficMatrix([Flow("A", "C", 150.0)]),  # 1.5 units
+            failures=[],
+            cost_model=two_path.cost_model,
+            capacity_unit=100.0,
+        )
+        ilp = PlanningILP(scaled)
+        ilp.model.optimize()
+        caps = ilp.extract_capacities()
+        for value in caps.values():
+            assert value % 100.0 == 0.0
+        # 150 Gbps needs 2 units somewhere on the cheap path.
+        assert caps["ab"] == 200.0
+
+    def test_min_capacity_floor_respected(self, two_path):
+        network = two_path.network.copy()
+        link = network.get_link("ac")
+        network.links["ac"] = IPLink(
+            "ac", link.src, link.dst, link.fiber_path,
+            capacity=300.0, min_capacity=300.0,
+            spectral_efficiency=link.spectral_efficiency,
+        )
+        instance = PlanningInstance(
+            name="floored",
+            network=network,
+            traffic=two_path.traffic,
+            failures=[],
+            cost_model=two_path.cost_model,
+            capacity_unit=100.0,
+        )
+        ilp = PlanningILP(instance)
+        ilp.model.optimize()
+        assert ilp.extract_capacities()["ac"] >= 300.0
+
+    def test_spectrum_constraint_binds(self):
+        """A fiber too small for the demand makes the ILP infeasible."""
+        network = Network(
+            nodes=[Node("A"), Node("B")],
+            fibers=[Fiber("AB", "A", "B", 1.0, max_spectrum=20.0)],
+            links=[IPLink("ab", "A", "B", ("AB",), spectral_efficiency=1.0)],
+        )
+        instance = PlanningInstance(
+            name="tight",
+            network=network,
+            traffic=TrafficMatrix([Flow("A", "B", 100.0)]),
+            failures=[],
+            capacity_unit=10.0,
+        )
+        ilp = PlanningILP(instance)
+        assert ilp.model.optimize() is Status.INFEASIBLE
+
+    def test_capacity_caps_prune_links(self, two_path):
+        """Capping the detour at zero forces the direct link (no failure)."""
+        ilp = PlanningILP(
+            two_path,
+            failures=[],
+            capacity_caps={"ab": 0.0, "bc": 0.0, "ac": 1e6},
+        )
+        ilp.model.optimize()
+        caps = ilp.extract_capacities()
+        assert caps["ab"] == 0.0
+        assert caps["ac"] == 100.0
+
+    def test_coarser_unit_rounds_up(self, two_path):
+        ilp = PlanningILP(two_path, capacity_unit=300.0, failures=[])
+        ilp.model.optimize()
+        caps = ilp.extract_capacities()
+        assert caps["ab"] in (0.0, 300.0)
+        assert sum(caps.values()) >= 200.0  # overshoot from coarse units
+
+    def test_invalid_unit(self, two_path):
+        with pytest.raises(ConfigError):
+            PlanningILP(two_path, capacity_unit=-1.0)
+
+
+class TestFiberFixedCharge:
+    def test_figure1_long_term_optimum_is_five_fibers(self):
+        """The paper's Fig. 1(b): plan (1,3) uses 5 fibers, beating 6."""
+        instance = datasets.figure1_topology(long_term=True)
+        ilp = PlanningILP(instance)
+        assert ilp.model.optimize() is Status.OPTIMAL
+        caps = ilp.extract_capacities()
+        assert caps["link1"] == 100.0
+        assert caps["link3"] == 100.0
+        assert caps["link2"] == 0.0
+        assert caps["link4"] == 0.0
+        lit = instance.cost_model.lit_fibers(instance.network, caps)
+        assert len(lit) == 5
+
+    def test_fiber_binaries_created_only_for_charged(self):
+        instance = datasets.figure1_topology(long_term=True)
+        ilp = PlanningILP(instance)
+        assert set(ilp.fiber_vars) == set(instance.network.fibers)
+
+    def test_short_term_has_no_fiber_binaries(self):
+        instance = datasets.abilene()
+        ilp = PlanningILP(instance, failures=[])
+        assert ilp.fiber_vars == {}
+
+
+class TestWarmStartHint:
+    def test_hint_maps_units_and_fibers(self):
+        instance = datasets.figure1_topology(long_term=True)
+        ilp = PlanningILP(instance)
+        hint = ilp.warm_start_hint(
+            {"link1": 100.0, "link2": 100.0, "link3": 0.0, "link4": 0.0}
+        )
+        assert hint[ilp.unit_vars["link1"]] == 1.0
+        assert hint[ilp.unit_vars["link3"]] == 0.0
+        assert hint[ilp.fiber_vars["AB"]] == 1.0
+        assert hint[ilp.fiber_vars["BF"]] == 0.0

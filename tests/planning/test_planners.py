@@ -1,0 +1,242 @@
+"""Tests for ILPPlanner, GreedyPlanner, ILPHeurPlanner and pruning."""
+
+import pytest
+
+from repro.errors import ConfigError, InfeasibleError, PlanError
+from repro.evaluator import PlanEvaluator
+from repro.planning import (
+    GreedyPlanner,
+    HeuristicConfig,
+    ILPHeurPlanner,
+    ILPPlanner,
+    NetworkPlan,
+    capacity_caps_from_plan,
+)
+from repro.planning.heuristics import (
+    coarsen_capacity_unit,
+    decompose_regions,
+    rank_failures_by_impact,
+    select_initial_failures,
+    split_instance_by_region,
+)
+from repro.solver import Status
+from repro.topology import datasets, generators
+
+
+@pytest.fixture(scope="module")
+def instance_a():
+    return generators.make_instance("A", seed=0)
+
+
+@pytest.fixture(scope="module")
+def ilp_plan_a(instance_a):
+    return ILPPlanner(time_limit=120).plan(instance_a)
+
+
+class TestILPPlanner:
+    def test_optimal_on_figure1(self):
+        instance = datasets.figure1_topology(long_term=True)
+        outcome = ILPPlanner().plan(instance)
+        assert outcome.status is Status.OPTIMAL
+        assert outcome.plan.cost(instance) == pytest.approx(5.06, abs=1e-6)
+        assert outcome.plan.method == "ilp"
+
+    def test_plan_feasible_and_valid(self, instance_a, ilp_plan_a):
+        assert ilp_plan_a.succeeded
+        plan = ilp_plan_a.plan
+        assert plan.validate(instance_a) == []
+        evaluator = PlanEvaluator(instance_a, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_outcome_records_model_size(self, ilp_plan_a):
+        assert ilp_plan_a.num_variables > 0
+        assert ilp_plan_a.num_constraints > 0
+        assert ilp_plan_a.solve_seconds > 0
+
+    def test_infeasible_raises(self):
+        instance = datasets.figure1_topology()
+        with pytest.raises(InfeasibleError):
+            # Caps of zero cannot serve the demand.
+            ILPPlanner().plan(
+                instance, capacity_caps={"link1": 0.0, "link2": 0.0}
+            )
+
+    def test_capacity_caps_respected(self, instance_a):
+        base = ILPPlanner(time_limit=120).plan(instance_a).plan
+        caps = {k: v for k, v in base.capacities.items()}
+        outcome = ILPPlanner(time_limit=120).plan(instance_a, capacity_caps=caps)
+        for link_id, value in outcome.plan.capacities.items():
+            floor = instance_a.network.get_link(link_id).min_capacity
+            assert value <= max(caps[link_id], floor) + 1e-6
+
+
+class TestGreedyPlanner:
+    def test_feasible_on_figure1(self):
+        instance = datasets.figure1_topology()
+        plan = GreedyPlanner().plan(instance)
+        assert plan.capacities == {"link1": 100.0, "link2": 100.0}
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_feasible_on_generated(self, instance_a):
+        plan = GreedyPlanner().plan(instance_a)
+        assert plan.validate(instance_a) == []
+        evaluator = PlanEvaluator(instance_a, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_never_below_existing_capacity(self, instance_a):
+        plan = GreedyPlanner().plan(instance_a)
+        for link_id, link in instance_a.network.links.items():
+            assert plan.capacities[link_id] >= link.capacity
+
+    def test_costlier_than_ilp(self, instance_a, ilp_plan_a):
+        greedy_cost = GreedyPlanner().plan(instance_a).cost(instance_a)
+        assert greedy_cost >= ilp_plan_a.plan.cost(instance_a) - 1e-6
+
+
+class TestILPHeurPlanner:
+    def test_produces_feasible_plan(self, instance_a):
+        outcome = ILPHeurPlanner().plan(instance_a)
+        plan = outcome.plan
+        assert plan.method == "ilp-heur"
+        evaluator = PlanEvaluator(instance_a, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_between_ilp_and_greedy(self, instance_a, ilp_plan_a):
+        """ILP-heur trades optimality: >= ILP cost, <= greedy cost."""
+        heur_cost = ILPHeurPlanner().plan(instance_a).plan.cost(instance_a)
+        ilp_cost = ilp_plan_a.plan.cost(instance_a)
+        greedy_cost = GreedyPlanner().plan(instance_a).cost(instance_a)
+        assert heur_cost >= ilp_cost - 1e-6
+        assert heur_cost <= greedy_cost + 1e-6
+
+    def test_band_config_selection(self, instance_a):
+        config = HeuristicConfig.for_instance(instance_a)
+        assert config.unit_factor == 2  # small band
+        big = generators.make_instance("C", seed=0)
+        assert HeuristicConfig.for_instance(big).unit_factor >= 4
+
+    def test_metadata_records_rounds(self, instance_a):
+        outcome = ILPHeurPlanner().plan(instance_a)
+        assert outcome.plan.metadata["rounds"] >= 1
+        assert outcome.plan.metadata["failures_used"] >= 1
+
+
+class TestHeuristics:
+    def test_failure_ranking_deterministic(self, instance_a):
+        a = [f.id for f in rank_failures_by_impact(instance_a)]
+        b = [f.id for f in rank_failures_by_impact(instance_a)]
+        assert a == b
+        assert len(a) == len(instance_a.failures)
+
+    def test_select_initial_failures_fraction(self, instance_a):
+        half = select_initial_failures(instance_a, 0.5)
+        assert len(half) == round(len(instance_a.failures) * 0.5)
+        with pytest.raises(ConfigError):
+            select_initial_failures(instance_a, 0.0)
+
+    def test_coarsen_unit(self, instance_a):
+        assert coarsen_capacity_unit(instance_a, 4) == 400.0
+        with pytest.raises(ConfigError):
+            coarsen_capacity_unit(instance_a, 0)
+        with pytest.raises(ConfigError):
+            coarsen_capacity_unit(instance_a, 2.5)
+
+    def test_decompose_regions_partitions_all_nodes(self, instance_a):
+        regions = decompose_regions(instance_a, 3, seed=0)
+        assert set(regions) == set(instance_a.network.nodes)
+        assert set(regions.values()) <= {0, 1, 2}
+
+    def test_decompose_single_region(self, instance_a):
+        regions = decompose_regions(instance_a, 1)
+        assert set(regions.values()) == {0}
+
+    def test_split_instance_by_region(self, instance_a):
+        regions = decompose_regions(instance_a, 2, seed=0)
+        subs, cross = split_instance_by_region(instance_a, regions)
+        assert subs
+        # Every sub-instance flow stays inside its region.
+        for sub in subs:
+            for flow in sub.traffic:
+                assert regions[flow.src] == regions[flow.dst]
+        # Cross flows + intra flows cover the original matrix.
+        intra = sum(len(s.traffic) for s in subs)
+        assert intra + len(cross) == len(instance_a.traffic)
+
+
+class TestPruning:
+    def test_caps_scale_with_alpha(self, instance_a):
+        first_stage = {lid: 1000.0 for lid in instance_a.network.links}
+        caps = capacity_caps_from_plan(instance_a, first_stage, 1.5)
+        for link_id, cap in caps.items():
+            floor = instance_a.network.get_link(link_id).min_capacity
+            assert cap >= max(1500.0, floor)
+
+    def test_alpha_one_keeps_plan(self, instance_a):
+        first_stage = {lid: 800.0 for lid in instance_a.network.links}
+        caps = capacity_caps_from_plan(instance_a, first_stage, 1.0)
+        for link_id, cap in caps.items():
+            floor = instance_a.network.get_link(link_id).min_capacity
+            assert cap == max(800.0, floor)
+
+    def test_zero_links_stay_pruned(self):
+        instance = datasets.figure1_topology(long_term=True)
+        caps = capacity_caps_from_plan(
+            instance, {"link1": 100.0, "link2": 0.0, "link3": 100.0, "link4": 0.0}, 2.0
+        )
+        assert caps["link2"] == 0.0
+        assert caps["link4"] == 0.0
+        assert caps["link1"] == 200.0
+
+    def test_alpha_below_one_rejected(self, instance_a):
+        with pytest.raises(ConfigError):
+            capacity_caps_from_plan(instance_a, {}, 0.9)
+
+    def test_caps_round_up_to_unit(self, instance_a):
+        first_stage = {lid: 100.0 for lid in instance_a.network.links}
+        caps = capacity_caps_from_plan(instance_a, first_stage, 1.25)
+        unit = instance_a.capacity_unit
+        for cap in caps.values():
+            assert cap % unit == 0.0
+
+
+class TestNetworkPlan:
+    def test_cost_and_added_capacity(self, instance_a, ilp_plan_a):
+        plan = ilp_plan_a.plan
+        added = plan.added_capacity(instance_a)
+        assert all(v >= -1e-9 for v in added.values())
+        assert plan.total_added_gbps(instance_a) == pytest.approx(
+            sum(max(0, v) for v in added.values())
+        )
+
+    def test_validate_catches_floor_violation(self, instance_a):
+        caps = instance_a.network.capacities()
+        floored = next(
+            lid for lid, l in instance_a.network.links.items() if l.min_capacity > 0
+        )
+        caps[floored] = 0.0
+        plan = NetworkPlan(instance_a.name, caps, method="test")
+        assert any("below floor" in p for p in plan.validate(instance_a))
+
+    def test_validate_catches_non_unit(self, instance_a):
+        caps = instance_a.network.capacities()
+        lid = next(iter(caps))
+        caps[lid] += 37.0
+        plan = NetworkPlan(instance_a.name, caps, method="test")
+        assert any("not a multiple" in p for p in plan.validate(instance_a))
+
+    def test_validate_catches_link_mismatch(self, instance_a):
+        plan = NetworkPlan(instance_a.name, {"nope": 1.0}, method="test")
+        assert any("link mismatch" in p for p in plan.validate(instance_a))
+
+    def test_wrong_instance_rejected(self, instance_a):
+        plan = NetworkPlan("Q", instance_a.network.capacities(), method="test")
+        with pytest.raises(PlanError):
+            plan.cost(instance_a)
+
+    def test_scaled_variant_names_accepted(self, instance_a):
+        scaled = instance_a.scaled_initial_capacity(0.5)
+        plan = NetworkPlan(
+            scaled.name, scaled.network.capacities(), method="test"
+        )
+        plan.cost(scaled)  # does not raise: A-0.5 matches A

@@ -1,0 +1,101 @@
+"""Tests for the tunnel (path-based) planning formulation."""
+
+import pytest
+
+from repro.errors import ConfigError, InfeasibleError
+from repro.evaluator import PlanEvaluator
+from repro.planning import ILPPlanner, TunnelPlanner, candidate_tunnels
+from repro.topology import datasets, generators
+
+
+@pytest.fixture(scope="module")
+def instance_a():
+    return generators.make_instance("A", seed=0, scale=0.7)
+
+
+class TestCandidateTunnels:
+    def test_parallel_links_get_separate_tunnels(self):
+        instance = datasets.figure1_topology()
+        catalog = candidate_tunnels(instance, k=2)
+        tunnels = catalog[("A", "D")]
+        assert (("link1", 0),) in tunnels
+        assert (("link2", 0),) in tunnels
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            candidate_tunnels(datasets.figure1_topology(), k=0)
+
+    def test_catalog_covers_all_pairs(self, instance_a):
+        catalog = candidate_tunnels(instance_a, k=3)
+        pairs = {(f.src, f.dst) for f in instance_a.traffic}
+        assert set(catalog) == pairs
+
+    def test_tunnels_are_valid_walks(self, instance_a):
+        catalog = candidate_tunnels(instance_a, k=3)
+        network = instance_a.network
+        for (src, dst), tunnels in catalog.items():
+            for tunnel in tunnels:
+                position = src
+                for link_id, direction in tunnel:
+                    link = network.get_link(link_id)
+                    a, b = (
+                        (link.src, link.dst)
+                        if direction == 0
+                        else (link.dst, link.src)
+                    )
+                    assert a == position
+                    position = b
+                assert position == dst
+
+    def test_diversity_breaks_single_fiber_dependence(self, instance_a):
+        """No pair's whole catalog may ride one fiber (when avoidable)."""
+        catalog = candidate_tunnels(instance_a, k=3)
+        network = instance_a.network
+        for (src, dst), tunnels in catalog.items():
+            fiber_sets = []
+            for tunnel in tunnels:
+                fibers = set()
+                for link_id, _ in tunnel:
+                    fibers.update(network.get_link(link_id).fiber_path)
+                fiber_sets.append(fibers)
+            shared = set.intersection(*fiber_sets)
+            # The generator's fiber graph is 2-edge-connected, so an
+            # avoiding path always exists.
+            assert not shared, (src, dst, shared)
+
+
+class TestTunnelPlanner:
+    def test_figure1_requires_both_links(self):
+        plan = TunnelPlanner(k=2).plan(datasets.figure1_topology())
+        assert plan.capacities == {"link1": 100.0, "link2": 100.0}
+
+    def test_plan_feasible_per_evaluator(self, instance_a):
+        plan = TunnelPlanner(k=4, time_limit=90).plan(instance_a)
+        assert plan.method == "tunnel-ilp"
+        assert plan.validate(instance_a) == []
+        evaluator = PlanEvaluator(instance_a, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_tunnel_optimum_lower_bounded_by_free_routing(self, instance_a):
+        """Restricting routing to tunnels can only cost more."""
+        tunnel_cost = TunnelPlanner(k=4, time_limit=90).plan(instance_a).cost(
+            instance_a
+        )
+        free_cost = (
+            ILPPlanner(time_limit=90).plan(instance_a).plan.cost(instance_a)
+        )
+        assert tunnel_cost >= free_cost - 1e-6
+
+    def test_more_tunnels_never_cost_more(self, instance_a):
+        small = TunnelPlanner(k=3, time_limit=90).plan(instance_a)
+        large = TunnelPlanner(k=5, time_limit=90).plan(instance_a)
+        assert large.cost(instance_a) <= small.cost(instance_a) + 1e-6
+
+    def test_insufficient_catalog_raises(self):
+        """A 1-tunnel catalog cannot survive a failure on that tunnel."""
+        instance = datasets.figure1_topology()
+        catalog = {("A", "D"): [(("link1", 0),)]}
+        from repro.planning import TunnelPlanningILP
+
+        with pytest.raises(InfeasibleError, match="enlarge k"):
+            TunnelPlanningILP(instance, tunnels=catalog)

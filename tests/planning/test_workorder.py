@@ -1,0 +1,85 @@
+"""Tests for work-order generation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.planning import GreedyPlanner, NetworkPlan
+from repro.planning.workorder import build_work_order, render_work_order
+from repro.topology import datasets, generators
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generators.make_instance("A", seed=0, scale=0.7)
+
+
+class TestBuildWorkOrder:
+    def test_costs_match_incremental_cost(self, instance):
+        plan = GreedyPlanner().plan(instance)
+        order = build_work_order(instance, plan)
+        expected = instance.cost_model.incremental_cost(
+            instance.network, instance.network.capacities(), plan.capacities
+        )
+        assert order.total_cost == pytest.approx(expected)
+
+    def test_quantities_match_added_capacity(self, instance):
+        plan = GreedyPlanner().plan(instance)
+        order = build_work_order(instance, plan)
+        assert order.total_added_gbps == pytest.approx(
+            plan.total_added_gbps(instance)
+        )
+
+    def test_unchanged_links_excluded(self, instance):
+        caps = instance.network.capacities()
+        plan = NetworkPlan(instance.name, caps, method="noop")
+        order = build_work_order(instance, plan)
+        assert order.items == []
+        assert order.total_cost == 0.0
+
+    def test_sorted_by_cost(self, instance):
+        plan = GreedyPlanner().plan(instance)
+        order = build_work_order(instance, plan)
+        costs = [i.cost for i in order.items if i.kind == "add-capacity"]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_reduction_rejected(self, instance):
+        caps = instance.network.capacities()
+        grown = next(lid for lid, c in caps.items() if c > 0)
+        caps[grown] = 0.0
+        plan = NetworkPlan(instance.name, caps, method="bad")
+        with pytest.raises(PlanError, match="reduces"):
+            build_work_order(instance, plan)
+
+    def test_fiber_builds_listed_for_long_term(self):
+        instance = datasets.figure1_topology(long_term=True)
+        plan = NetworkPlan(
+            instance.name,
+            {"link1": 100.0, "link2": 0.0, "link3": 100.0, "link4": 0.0},
+            method="ilp",
+        )
+        order = build_work_order(instance, plan)
+        built = {item.target for item in order.fiber_builds}
+        # Plan (1, 3) lights 5 candidate fibers, including the new BF.
+        assert "BF" in built
+        assert len(built) == 5
+        # Builds precede capacity turn-ups in the action list.
+        kinds = [item.kind for item in order.items]
+        assert kinds[: len(built)] == ["build-fiber"] * len(built)
+
+
+class TestRenderWorkOrder:
+    def test_render_contains_summary_and_items(self, instance):
+        plan = GreedyPlanner().plan(instance)
+        order = build_work_order(instance, plan)
+        text = render_work_order(order)
+        assert "Work order" in text
+        assert "capacity to deploy" in text
+        assert order.items[0].target in text
+
+    def test_top_truncation(self, instance):
+        plan = GreedyPlanner().plan(instance)
+        order = build_work_order(instance, plan)
+        if len(order.items) < 3:
+            pytest.skip("too few actions to truncate")
+        text = render_work_order(order, top=2)
+        assert "more" in text

@@ -1,0 +1,97 @@
+"""Tests for GAE(lambda) and rewards-to-go."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.rl.gae import discounted_returns, gae_advantages
+
+
+class TestDiscountedReturns:
+    def test_gamma_zero_is_rewards(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(discounted_returns(rewards, 0.0), rewards)
+
+    def test_gamma_one_is_suffix_sums(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(discounted_returns(rewards, 1.0), [6.0, 5.0, 3.0])
+
+    def test_hand_computed(self):
+        rewards = np.array([1.0, 1.0])
+        np.testing.assert_allclose(
+            discounted_returns(rewards, 0.5), [1.5, 1.0]
+        )
+
+    def test_bootstrap_included(self):
+        rewards = np.array([0.0])
+        np.testing.assert_allclose(
+            discounted_returns(rewards, 0.9, bootstrap_value=10.0), [9.0]
+        )
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigError):
+            discounted_returns(np.array([1.0]), 1.5)
+
+
+class TestGAE:
+    def test_matches_eq6_recursion(self):
+        """Directly verify GAE_i = delta_i + gamma*lambda*GAE_{i+1}."""
+        rng = np.random.default_rng(0)
+        rewards = rng.standard_normal(6)
+        values = rng.standard_normal(6)
+        gamma, lam = 0.99, 0.97
+        adv = gae_advantages(rewards, values, gamma, lam)
+        next_values = np.append(values[1:], 0.0)
+        deltas = rewards + gamma * next_values - values
+        expected = np.zeros(6)
+        running = 0.0
+        for i in reversed(range(6)):
+            running = deltas[i] + gamma * lam * running
+            expected[i] = running
+        np.testing.assert_allclose(adv, expected)
+
+    def test_lambda_zero_is_td_error(self):
+        rewards = np.array([1.0, 2.0])
+        values = np.array([0.5, 0.25])
+        adv = gae_advantages(rewards, values, 0.9, 0.0)
+        np.testing.assert_allclose(
+            adv, [1.0 + 0.9 * 0.25 - 0.5, 2.0 + 0.0 - 0.25]
+        )
+
+    def test_lambda_one_is_mc_advantage(self):
+        """GAE(1) equals discounted return minus value."""
+        rng = np.random.default_rng(1)
+        rewards = rng.standard_normal(5)
+        values = rng.standard_normal(5)
+        gamma = 0.95
+        adv = gae_advantages(rewards, values, gamma, 1.0)
+        returns = discounted_returns(rewards, gamma)
+        np.testing.assert_allclose(adv, returns - values, atol=1e-12)
+
+    def test_bootstrap_for_cutoff(self):
+        rewards = np.array([0.0])
+        values = np.array([2.0])
+        adv = gae_advantages(rewards, values, 0.9, 0.97, bootstrap_value=5.0)
+        np.testing.assert_allclose(adv, [0.0 + 0.9 * 5.0 - 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            gae_advantages(np.ones(3), np.ones(2), 0.9, 0.9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        gamma=st.floats(min_value=0.0, max_value=1.0),
+        lam=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_zero_when_critic_perfect(self, n, seed, gamma, lam):
+        """If values equal the true returns, every delta is zero."""
+        rng = np.random.default_rng(seed)
+        rewards = rng.standard_normal(n)
+        values = discounted_returns(rewards, gamma)
+        adv = gae_advantages(rewards, values, gamma, lam)
+        # delta_i = r_i + gamma*V_{i+1} - V_i = 0 by construction.
+        np.testing.assert_allclose(adv, np.zeros(n), atol=1e-9)

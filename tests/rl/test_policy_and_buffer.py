@@ -1,0 +1,177 @@
+"""Tests for the actor-critic policy, state encoder, and epoch buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NNError
+from repro.nn.gnn import normalized_adjacency
+from repro.nn.tensor import Tensor
+from repro.rl.buffer import EpochBuffer
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.state import StateEncoder
+from repro.topology import datasets, generators
+from repro.topology.transform import node_link_transform
+
+
+@pytest.fixture
+def setup():
+    instance = generators.make_instance("A", seed=0, scale=0.7)
+    graph = node_link_transform(instance.network)
+    adjacency = normalized_adjacency(graph.adjacency)
+    encoder = StateEncoder(instance, graph)
+    return instance, graph, adjacency, encoder
+
+
+class TestStateEncoder:
+    def test_capacity_features_normalized(self, setup):
+        instance, graph, _, encoder = setup
+        features = encoder.encode(instance.network.capacities())
+        assert features.shape == (graph.num_nodes, 1)
+        np.testing.assert_allclose(features.mean(), 0.0, atol=1e-9)
+        np.testing.assert_allclose(features.std(), 1.0, atol=1e-6)
+
+    def test_constant_features_do_not_blow_up(self, setup):
+        instance, graph, _, encoder = setup
+        features = encoder.encode({lid: 500.0 for lid in graph.link_ids})
+        assert np.isfinite(features).all()
+        np.testing.assert_allclose(features, 0.0)
+
+    def test_extended_features(self, setup):
+        instance, graph, _, _ = setup
+        encoder = StateEncoder(instance, graph, feature_set="extended")
+        assert encoder.feature_dim == 3
+        features = encoder.encode(instance.network.capacities())
+        assert features.shape == (graph.num_nodes, 3)
+
+    def test_invalid_feature_set(self, setup):
+        instance, graph, _, _ = setup
+        with pytest.raises(ConfigError):
+            StateEncoder(instance, graph, feature_set="everything")
+
+
+class TestActorCriticPolicy:
+    def test_logit_shape_tracks_graph_size(self, setup):
+        instance, graph, adjacency, encoder = setup
+        policy = ActorCriticPolicy(feature_dim=1, max_units=3, rng=0)
+        features = encoder.encode(instance.network.capacities())
+        logits = policy.action_logits(features, adjacency)
+        assert logits.shape == (graph.num_nodes * 3,)
+
+    def test_same_policy_on_different_sizes(self):
+        """One parameter set serves topologies of different sizes."""
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, rng=0)
+        for name in ("A", "B"):
+            instance = generators.make_instance(name, seed=0, scale=0.6)
+            graph = node_link_transform(instance.network)
+            adjacency = normalized_adjacency(graph.adjacency)
+            encoder = StateEncoder(instance, graph)
+            features = encoder.encode(instance.network.capacities())
+            distribution, value = policy(features, adjacency)
+            assert distribution.probs.shape == (graph.num_nodes * 2,)
+            assert np.isfinite(value.item())
+
+    def test_masked_distribution(self, setup):
+        instance, graph, adjacency, encoder = setup
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, rng=0)
+        features = encoder.encode(instance.network.capacities())
+        mask = np.zeros(graph.num_nodes * 2, dtype=bool)
+        mask[5] = True
+        distribution, _ = policy(features, adjacency, mask)
+        assert distribution.mode() == 5
+
+    def test_gradients_reach_all_parameter_groups(self, setup):
+        instance, graph, adjacency, encoder = setup
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, rng=0)
+        features = encoder.encode(instance.network.capacities())
+        distribution, value = policy(features, adjacency)
+        (distribution.log_prob(distribution.mode()) + value).backward()
+        groups = policy.parameter_groups()
+        assert all(p.grad is not None for p in groups["actor"])
+        assert all(p.grad is not None for p in groups["critic"])
+
+    def test_parameter_groups_share_encoder(self):
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, rng=0)
+        groups = policy.parameter_groups()
+        shared = set(map(id, groups["actor"])) & set(map(id, groups["critic"]))
+        encoder_params = set(map(id, policy.encoder.parameters()))
+        assert shared == encoder_params
+
+    @pytest.mark.parametrize("gnn_layers", [0, 2, 4])
+    def test_gnn_depth_variants(self, setup, gnn_layers):
+        instance, graph, adjacency, encoder = setup
+        policy = ActorCriticPolicy(
+            feature_dim=1, max_units=2, gnn_layers=gnn_layers, rng=0
+        )
+        features = encoder.encode(instance.network.capacities())
+        distribution, value = policy(features, adjacency)
+        assert np.isfinite(distribution.probs).all()
+
+    def test_gat_variant(self, setup):
+        instance, graph, adjacency, encoder = setup
+        policy = ActorCriticPolicy(feature_dim=1, max_units=2, gnn_type="gat", rng=0)
+        features = encoder.encode(instance.network.capacities())
+        distribution, _ = policy(features, adjacency)
+        assert np.isfinite(distribution.probs).all()
+
+    def test_invalid_max_units(self):
+        with pytest.raises(NNError):
+            ActorCriticPolicy(feature_dim=1, max_units=0)
+
+
+class TestEpochBuffer:
+    @staticmethod
+    def scalar(value: float) -> Tensor:
+        return Tensor(np.array(value))
+
+    def test_records_trajectories(self):
+        buffer = EpochBuffer()
+        buffer.start_trajectory()
+        buffer.append(self.scalar(-0.1), self.scalar(0.5), self.scalar(0.0), -0.2)
+        buffer.append(self.scalar(-0.2), self.scalar(0.4), self.scalar(0.1), -0.3)
+        buffer.finish_trajectory(completed=True)
+        assert buffer.num_trajectories == 1
+        assert buffer.num_steps == 2
+        assert buffer.trajectories[0].total_reward == pytest.approx(-0.5)
+        assert buffer.completion_rate == 1.0
+
+    def test_epoch_reward_averages_trajectories(self):
+        buffer = EpochBuffer()
+        for reward in (-1.0, -3.0):
+            buffer.start_trajectory()
+            buffer.append(self.scalar(0), self.scalar(0), self.scalar(0), reward)
+            buffer.finish_trajectory(completed=False)
+        assert buffer.epoch_reward == pytest.approx(-2.0)
+
+    def test_empty_trajectory_dropped(self):
+        buffer = EpochBuffer()
+        buffer.start_trajectory()
+        buffer.finish_trajectory(completed=False)
+        assert buffer.num_trajectories == 0
+
+    def test_append_without_start_raises(self):
+        buffer = EpochBuffer()
+        with pytest.raises(ConfigError):
+            buffer.append(self.scalar(0), self.scalar(0), self.scalar(0), 0.0)
+
+    def test_unfinished_trajectory_guard(self):
+        buffer = EpochBuffer()
+        buffer.start_trajectory()
+        buffer.append(self.scalar(0), self.scalar(0), self.scalar(0), 0.0)
+        with pytest.raises(ConfigError):
+            buffer.start_trajectory()
+
+    def test_bootstrap_recorded(self):
+        buffer = EpochBuffer()
+        buffer.start_trajectory()
+        buffer.append(self.scalar(0), self.scalar(0), self.scalar(0), -0.1)
+        buffer.finish_trajectory(completed=False, bootstrap_value=-0.4)
+        assert buffer.trajectories[0].bootstrap_value == pytest.approx(-0.4)
+
+    def test_clear(self):
+        buffer = EpochBuffer()
+        buffer.start_trajectory()
+        buffer.append(self.scalar(0), self.scalar(0), self.scalar(0), 0.0)
+        buffer.finish_trajectory(completed=False)
+        buffer.clear()
+        assert buffer.num_trajectories == 0
+        assert buffer.epoch_reward == 0.0

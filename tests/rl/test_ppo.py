@@ -1,0 +1,75 @@
+"""Tests for the PPO trainer extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator import PlanEvaluator
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.topology import datasets
+
+
+def make_trainer(instance, **config_overrides) -> PPOTrainer:
+    defaults = dict(
+        epochs=4, steps_per_epoch=48, max_trajectory_length=12, seed=0
+    )
+    defaults.update(config_overrides)
+    env = PlanningEnv(instance, max_units_per_step=1, max_steps=12)
+    policy = ActorCriticPolicy(feature_dim=1, max_units=1, rng=0)
+    return PPOTrainer(env, policy, PPOConfig(**defaults))
+
+
+class TestPPOConfig:
+    def test_invalid_clip_ratio(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(clip_ratio=0.0)
+        with pytest.raises(ConfigError):
+            PPOConfig(clip_ratio=1.0)
+
+    def test_invalid_update_iterations(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(update_iterations=0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(epochs=0)
+
+
+class TestPPOTraining:
+    def test_finds_feasible_plan_on_figure1(self):
+        trainer = make_trainer(datasets.figure1_topology())
+        result = trainer.train()
+        assert result.converged
+        assert result.best_capacities == {"link1": 100.0, "link2": 100.0}
+        evaluator = PlanEvaluator(datasets.figure1_topology(), mode="sa")
+        assert evaluator.evaluate(result.best_capacities).feasible
+
+    def test_history_has_ppo_metrics(self):
+        trainer = make_trainer(datasets.figure1_topology(), epochs=2)
+        result = trainer.train()
+        assert result.epochs_run == 2
+        for entry in result.history:
+            assert "approx_kl" in entry
+            assert "policy_loss" in entry
+
+    def test_deterministic_under_seed(self):
+        a = make_trainer(datasets.figure1_topology(), epochs=2, seed=5).train()
+        b = make_trainer(datasets.figure1_topology(), epochs=2, seed=5).train()
+        assert a.epoch_rewards == b.epoch_rewards
+
+    def test_already_feasible_shortcut(self):
+        instance = datasets.figure1_topology()
+        instance.network.set_capacity("link1", 100.0)
+        instance.network.set_capacity("link2", 100.0)
+        trainer = make_trainer(instance)
+        result = trainer.train()
+        assert result.already_feasible
+        assert result.epochs_run == 0
+
+    def test_optimizer_covers_all_parameters_once(self):
+        trainer = make_trainer(datasets.figure1_topology())
+        ids = [id(p) for p in trainer.optimizer.parameters]
+        assert len(ids) == len(set(ids))
+        policy_params = {id(p) for p in trainer.policy.parameters()}
+        assert set(ids) == policy_params

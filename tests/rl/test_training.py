@@ -1,0 +1,154 @@
+"""End-to-end RL training tests (small budgets, deterministic seeds)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator import PlanEvaluator
+from repro.rl import NeuroPlanAgent
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig
+from repro.topology import datasets
+
+
+def tiny_agent(instance, epochs=6, seed=0, **agent_kwargs) -> NeuroPlanAgent:
+    config = AgentConfig(
+        max_units_per_step=1,
+        max_steps=12,
+        a2c=A2CConfig(
+            epochs=epochs,
+            steps_per_epoch=48,
+            max_trajectory_length=12,
+            seed=seed,
+        ),
+        **agent_kwargs,
+    )
+    return NeuroPlanAgent(instance, config)
+
+
+@pytest.fixture(scope="module")
+def figure1_result():
+    instance = datasets.figure1_topology()
+    agent = tiny_agent(instance)
+    return instance, agent, agent.train()
+
+
+class TestTraining:
+    def test_finds_feasible_plan(self, figure1_result):
+        instance, agent, result = figure1_result
+        assert result.converged
+        assert result.best_capacities == {"link1": 100.0, "link2": 100.0}
+        assert result.best_cost == pytest.approx(6.06)
+
+    def test_history_structure(self, figure1_result):
+        _, _, result = figure1_result
+        assert result.epochs_run == len(result.history) == 6
+        for entry in result.history:
+            assert {"epoch_reward", "completion_rate", "policy_loss"} <= set(entry)
+
+    def test_first_stage_plan_feasible(self, figure1_result):
+        instance, agent, _ = figure1_result
+        plan = agent.first_stage_plan()
+        assert plan.method == "rl-first-stage"
+        assert not plan.metadata["fallback"]
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    def test_greedy_rollout_runs(self, figure1_result):
+        _, agent, _ = figure1_result
+        plan = agent.greedy_rollout()
+        assert plan.method == "rl-rollout"
+        assert set(plan.capacities) == {"link1", "link2"}
+
+    def test_deterministic_under_seed(self):
+        instance = datasets.figure1_topology()
+        a = tiny_agent(instance, epochs=2, seed=7).train()
+        b = tiny_agent(datasets.figure1_topology(), epochs=2, seed=7).train()
+        assert a.epoch_rewards == b.epoch_rewards
+
+    def test_first_stage_before_train_raises(self):
+        agent = tiny_agent(datasets.figure1_topology())
+        with pytest.raises(ConfigError):
+            agent.first_stage_plan()
+
+    def test_already_feasible_shortcut(self):
+        instance = datasets.figure1_topology()
+        instance.network.set_capacity("link1", 100.0)
+        instance.network.set_capacity("link2", 100.0)
+        agent = tiny_agent(instance)
+        result = agent.train()
+        assert result.already_feasible
+        assert result.epochs_run == 0
+        plan = agent.first_stage_plan()
+        assert plan.capacities == {"link1": 100.0, "link2": 100.0}
+
+    def test_fallback_to_greedy_when_budget_too_small(self):
+        """With max_steps=1 the agent can never reach feasibility."""
+        instance = datasets.figure1_topology()
+        config = AgentConfig(
+            max_units_per_step=1,
+            max_steps=1,
+            a2c=A2CConfig(
+                epochs=1, steps_per_epoch=4, max_trajectory_length=1, seed=0
+            ),
+        )
+        agent = NeuroPlanAgent(instance, config)
+        result = agent.train()
+        assert not result.converged
+        plan = agent.first_stage_plan()
+        assert plan.metadata["fallback"]
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible  # greedy fallback
+
+    def test_early_stopping_with_patience(self):
+        instance = datasets.figure1_topology()
+        config = AgentConfig(
+            max_units_per_step=1,
+            max_steps=12,
+            a2c=A2CConfig(
+                epochs=50,
+                steps_per_epoch=48,
+                max_trajectory_length=12,
+                patience=2,
+                seed=0,
+            ),
+        )
+        agent = NeuroPlanAgent(instance, config)
+        result = agent.train()
+        assert result.epochs_run < 50
+
+    @pytest.mark.parametrize("gnn_layers", [0, 2])
+    def test_gnn_depth_variants_train(self, gnn_layers):
+        instance = datasets.figure1_topology()
+        agent = tiny_agent(instance, epochs=2, gnn_layers=gnn_layers)
+        result = agent.train()
+        assert result.epochs_run == 2
+
+    def test_policy_checkpoint_roundtrip(self, tmp_path, figure1_result):
+        """A saved policy restores into a fresh agent with equal behavior."""
+        import numpy as np
+
+        instance, agent, _ = figure1_result
+        path = tmp_path / "policy.npz"
+        agent.save_policy(path)
+
+        fresh = tiny_agent(datasets.figure1_topology(), seed=99)
+        fresh.load_policy(path)
+
+        observation = fresh.env.reset()
+        original = agent.policy.action_logits(
+            observation, fresh.env.adjacency_norm
+        )
+        restored = fresh.policy.action_logits(
+            observation, fresh.env.adjacency_norm
+        )
+        np.testing.assert_allclose(original.data, restored.data)
+
+    def test_load_policy_architecture_mismatch(self, tmp_path, figure1_result):
+        from repro.errors import NNError
+
+        _, agent, _ = figure1_result
+        path = tmp_path / "policy.npz"
+        agent.save_policy(path)
+        other = tiny_agent(datasets.figure1_topology(), gnn_layers=4)
+        with pytest.raises(NNError):
+            other.load_policy(path)

@@ -1,0 +1,119 @@
+"""Tests for LinExpr algebra and constraint specs."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import LinExpr, Model, quicksum
+from repro.solver.expression import ConstraintSpec
+
+
+@pytest.fixture
+def model_xy():
+    m = Model()
+    x = m.add_var(name="x")
+    y = m.add_var(name="y")
+    return m, x, y
+
+
+class TestAlgebra:
+    def test_variable_plus_variable(self, model_xy):
+        _, x, y = model_xy
+        expr = x + y
+        assert expr.coeffs == {x.index: 1.0, y.index: 1.0}
+        assert expr.constant == 0.0
+
+    def test_scalar_multiplication(self, model_xy):
+        _, x, _ = model_xy
+        expr = 3 * x
+        assert expr.coeffs == {x.index: 3.0}
+        assert (x * 3).coeffs == expr.coeffs
+
+    def test_subtraction_and_negation(self, model_xy):
+        _, x, y = model_xy
+        expr = x - 2 * y
+        assert expr.coeffs == {x.index: 1.0, y.index: -2.0}
+        assert (-x).coeffs == {x.index: -1.0}
+        assert (-(x + y)).coeffs == {x.index: -1.0, y.index: -1.0}
+
+    def test_rsub(self, model_xy):
+        _, x, _ = model_xy
+        expr = 5 - x
+        assert expr.constant == 5.0
+        assert expr.coeffs == {x.index: -1.0}
+        expr2 = 5 - (x + 1)
+        assert expr2.constant == 4.0
+
+    def test_constants_fold(self, model_xy):
+        _, x, _ = model_xy
+        expr = (x + 1) + 2
+        assert expr.constant == 3.0
+
+    def test_repeated_variable_merges(self, model_xy):
+        _, x, _ = model_xy
+        expr = x + x + x
+        assert expr.coeffs == {x.index: 3.0}
+
+    def test_expression_times_expression_rejected(self, model_xy):
+        _, x, y = model_xy
+        with pytest.raises(SolverError):
+            (x + 1) * (y + 1)
+
+    def test_unknown_operand_rejected(self, model_xy):
+        _, x, _ = model_xy
+        with pytest.raises(SolverError):
+            x + "three"
+
+    def test_value_evaluates(self, model_xy):
+        _, x, y = model_xy
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([10.0, 100.0]) == 321.0
+
+    def test_copy_is_independent(self, model_xy):
+        _, x, _ = model_xy
+        a = x + 1
+        b = a.copy()
+        b.coeffs[x.index] = 99.0
+        assert a.coeffs[x.index] == 1.0
+
+
+class TestQuicksum:
+    def test_sums_mixed_terms(self, model_xy):
+        _, x, y = model_xy
+        expr = quicksum([x, 2 * y, 5, x])
+        assert expr.coeffs == {x.index: 2.0, y.index: 2.0}
+        assert expr.constant == 5.0
+
+    def test_empty_is_zero(self):
+        expr = quicksum([])
+        assert expr.coeffs == {}
+        assert expr.constant == 0.0
+
+    def test_generator_input(self, model_xy):
+        _, x, y = model_xy
+        expr = quicksum(v * 2 for v in (x, y))
+        assert expr.coeffs == {x.index: 2.0, y.index: 2.0}
+
+
+class TestConstraintSpecs:
+    def test_le_spec(self, model_xy):
+        _, x, y = model_xy
+        spec = x + y <= 5
+        assert isinstance(spec, ConstraintSpec)
+        assert spec.sense == "<="
+        assert spec.expr.constant == -5.0
+
+    def test_ge_spec(self, model_xy):
+        _, x, _ = model_xy
+        spec = x >= 2
+        assert spec.sense == ">="
+
+    def test_eq_spec(self, model_xy):
+        _, x, y = model_xy
+        spec = x + y == 4
+        assert spec.sense == "=="
+
+    def test_expr_vs_expr_comparison(self, model_xy):
+        _, x, y = model_xy
+        spec = x + 2 <= y + 5
+        assert spec.expr.coeffs == {x.index: 1.0, y.index: -1.0}
+        assert spec.expr.constant == -3.0

@@ -1,0 +1,320 @@
+"""Tests for the Model LP/MILP solve paths against known solutions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver import Model, Status, Variable, quicksum
+
+
+class TestLP:
+    def test_simple_lp_optimum(self):
+        m = Model()
+        x = m.add_var()
+        y = m.add_var()
+        m.add_constr(x + 2 * y >= 3)
+        m.add_constr(3 * x + y >= 4)
+        m.set_objective(x + y)
+        assert m.optimize() is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(2.0)
+        assert x.x == pytest.approx(1.0)
+        assert y.x == pytest.approx(1.0)
+
+    def test_maximization(self):
+        m = Model()
+        x = m.add_var(ub=4)
+        y = m.add_var(ub=3)
+        m.add_constr(x + y <= 5)
+        m.set_objective(2 * x + y, sense="max")
+        assert m.optimize() is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(9.0)
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_var()
+        y = m.add_var()
+        m.add_constr(x + y == 10)
+        m.set_objective(3 * x + y)
+        m.optimize()
+        assert m.objective_value == pytest.approx(10.0)
+        assert y.x == pytest.approx(10.0)
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_var(lb=1)
+        m.set_objective(x + 100)
+        m.optimize()
+        assert m.objective_value == pytest.approx(101.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var(ub=1)
+        m.add_constr(x >= 2)
+        m.set_objective(x)
+        assert m.optimize() is Status.INFEASIBLE
+        with pytest.raises(SolverError):
+            _ = m.objective_value
+        with pytest.raises(SolverError):
+            _ = x.x
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var(lb=-math.inf)
+        m.set_objective(x)
+        assert m.optimize() is Status.UNBOUNDED
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(SolverError):
+            Model().optimize()
+
+    def test_max_flow_lp(self):
+        """Max flow on a 4-node diamond equals the min cut (3)."""
+        m = Model()
+        # edges: s->a (2), s->b (2), a->t (1), b->t (2), a->b (1)
+        sa = m.add_var(ub=2)
+        sb = m.add_var(ub=2)
+        at = m.add_var(ub=1)
+        bt = m.add_var(ub=2)
+        ab = m.add_var(ub=1)
+        m.add_constr(sa == at + ab)  # conservation at a
+        m.add_constr(sb + ab == bt)  # conservation at b
+        m.set_objective(sa + sb, sense="max")
+        m.optimize()
+        assert m.objective_value == pytest.approx(3.0)
+
+
+class TestMILP:
+    def test_knapsack(self):
+        m = Model()
+        items = m.add_vars(4, vtype=Variable.BINARY)
+        values = [10, 13, 7, 8]
+        weights = [3, 4, 2, 3]
+        m.add_constr(quicksum(w * v for w, v in zip(weights, items)) <= 7)
+        m.set_objective(quicksum(val * v for val, v in zip(values, items)), "max")
+        assert m.optimize() is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(23.0)
+        assert [v.x for v in items] == pytest.approx([1, 1, 0, 0])
+
+    def test_integrality_enforced(self):
+        m = Model()
+        x = m.add_var(vtype=Variable.INTEGER)
+        m.add_constr(2 * x >= 3)
+        m.set_objective(x)
+        m.optimize()
+        assert x.x == pytest.approx(2.0)
+
+    def test_relaxation_drops_integrality(self):
+        m = Model()
+        x = m.add_var(vtype=Variable.INTEGER)
+        m.add_constr(2 * x >= 3)
+        m.set_objective(x)
+        m.optimize(relax=True)
+        assert x.x == pytest.approx(1.5)
+
+    def test_relaxation_lower_bounds_milp(self):
+        m = Model()
+        items = m.add_vars(5, vtype=Variable.BINARY)
+        weights = [3, 4, 2, 3, 5]
+        values = [10, 13, 7, 8, 16]
+        m.add_constr(quicksum(w * v for w, v in zip(weights, items)) <= 8)
+        m.set_objective(quicksum(val * v for val, v in zip(values, items)), "max")
+        m.optimize(relax=True)
+        relaxed = m.objective_value
+        m.optimize()
+        assert m.objective_value <= relaxed + 1e-9
+
+    def test_binary_bounds_clamped(self):
+        m = Model()
+        b = m.add_var(lb=-5, ub=5, vtype=Variable.BINARY)
+        assert (b.lb, b.ub) == (0.0, 1.0)
+
+    def test_milp_infeasible(self):
+        m = Model()
+        x = m.add_var(vtype=Variable.INTEGER, ub=1)
+        m.add_constr(x >= 2)
+        m.set_objective(x)
+        assert m.optimize() is Status.INFEASIBLE
+
+    def test_warm_start_preserves_optimum(self):
+        m = Model()
+        u = m.add_var(vtype=Variable.INTEGER, ub=10)
+        v = m.add_var(vtype=Variable.INTEGER, ub=10)
+        m.add_constr(u + v >= 7)
+        m.set_objective(2 * u + 3 * v)
+        assert m.optimize(warm_start={u: 7, v: 0}) is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(14.0)
+        # The temporary cutoff constraint is removed afterwards.
+        assert m.num_constraints == 1
+
+    def test_warm_start_with_suboptimal_hint(self):
+        m = Model()
+        u = m.add_var(vtype=Variable.INTEGER, ub=10)
+        v = m.add_var(vtype=Variable.INTEGER, ub=10)
+        m.add_constr(u + v >= 6)
+        m.set_objective(u + 2 * v)
+        assert m.optimize(warm_start={u: 0, v: 6}) is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(6.0)
+
+
+class TestIncrementalUpdates:
+    def test_variable_bound_update_changes_solution(self):
+        m = Model()
+        a = m.add_var(ub=10)
+        b = m.add_var(ub=10)
+        m.add_constr(a + b <= 8)
+        m.set_objective(a + b, "max")
+        m.optimize()
+        assert m.objective_value == pytest.approx(8.0)
+        a.set_bounds(ub=1)
+        b.set_bounds(ub=2)
+        m.optimize()
+        assert m.objective_value == pytest.approx(3.0)
+
+    def test_bound_update_does_not_recompile(self):
+        m = Model()
+        a = m.add_var(ub=10)
+        m.add_constr(a <= 9)
+        m.set_objective(a, "max")
+        m.optimize()
+        matrix_before = m._compiled_matrix()
+        a.set_bounds(ub=2)
+        m.optimize()
+        assert m._compiled_matrix() is matrix_before
+
+    def test_rhs_update(self):
+        m = Model()
+        a = m.add_var(ub=100)
+        c = m.add_constr(a <= 8)
+        m.set_objective(a, "max")
+        m.optimize()
+        c.set_rhs(ub=3)
+        m.optimize()
+        assert m.objective_value == pytest.approx(3.0)
+
+    def test_stale_solution_after_update(self):
+        m = Model()
+        a = m.add_var(ub=10)
+        m.set_objective(a, "max")
+        m.optimize()
+        a.set_bounds(ub=5)
+        with pytest.raises(SolverError):
+            _ = a.x
+
+    def test_invalid_bounds_rejected(self):
+        m = Model()
+        a = m.add_var(ub=10)
+        with pytest.raises(SolverError):
+            a.set_bounds(lb=11)
+        c = m.add_constr(a <= 5)
+        with pytest.raises(SolverError):
+            c.set_rhs(lb=6)
+
+    def test_constraint_slack_and_activity(self):
+        m = Model()
+        a = m.add_var(ub=10)
+        c = m.add_constr(2 * a <= 8)
+        m.set_objective(a, "max")
+        m.optimize()
+        assert c.activity == pytest.approx(8.0)
+        assert c.slack == pytest.approx(0.0)
+
+
+class TestModelIntrospection:
+    def test_counts(self):
+        m = Model()
+        m.add_vars(3)
+        m.add_var(vtype=Variable.INTEGER)
+        x = m.variables[0]
+        m.add_constr(x <= 1)
+        assert m.num_variables == 4
+        assert m.num_integer_variables == 1
+        assert m.num_constraints == 1
+
+    def test_values_vectorized(self):
+        m = Model()
+        xs = m.add_vars(3, ub=5)
+        m.set_objective(quicksum(xs), "max")
+        m.optimize()
+        np.testing.assert_allclose(m.values(xs), [5, 5, 5])
+
+    def test_add_constr_requires_comparison(self):
+        m = Model()
+        x = m.add_var()
+        with pytest.raises(SolverError):
+            m.add_constr(x + 1)  # type: ignore[arg-type]
+
+    def test_invalid_vtype(self):
+        with pytest.raises(SolverError):
+            Model().add_var(vtype="Z")
+
+    def test_invalid_sense(self):
+        m = Model()
+        x = m.add_var()
+        with pytest.raises(SolverError):
+            m.set_objective(x, sense="maximize-hard")
+
+    def test_solve_count_increments(self):
+        m = Model()
+        x = m.add_var(ub=1)
+        m.set_objective(x)
+        m.optimize()
+        m.optimize()
+        assert m.solve_count == 2
+        assert m.solve_time >= 0.0
+
+
+class TestHypothesisLP:
+    """Random transportation problems: LP optimum matches a direct check."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        supply=st.lists(st.integers(1, 20), min_size=2, max_size=3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_transportation_feasible_and_tight(self, supply, seed):
+        rng = np.random.default_rng(seed)
+        demand_total = sum(supply)
+        sinks = 2
+        demand = [demand_total // sinks] * sinks
+        demand[0] += demand_total - sum(demand)
+        cost = rng.integers(1, 10, size=(len(supply), sinks))
+
+        m = Model()
+        flows = {}
+        for i in range(len(supply)):
+            for j in range(sinks):
+                flows[i, j] = m.add_var(name=f"f{i}{j}")
+        for i, s in enumerate(supply):
+            m.add_constr(quicksum(flows[i, j] for j in range(sinks)) == s)
+        for j, d in enumerate(demand):
+            m.add_constr(quicksum(flows[i, j] for i in range(len(supply))) == d)
+        m.set_objective(
+            quicksum(cost[i, j] * flows[i, j] for (i, j) in flows)
+        )
+        assert m.optimize() is Status.OPTIMAL
+        # All flows non-negative and conservation holds.
+        total = sum(v.x for v in flows.values())
+        assert total == pytest.approx(demand_total)
+        # Objective is at least the min-cost bound and at most max-cost bound.
+        assert cost.min() * demand_total - 1e-6 <= m.objective_value
+        assert m.objective_value <= cost.max() * demand_total + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_milp_at_least_lp_relaxation(self, seed):
+        """For minimization, MILP optimum >= LP relaxation optimum."""
+        rng = np.random.default_rng(seed)
+        m = Model()
+        xs = m.add_vars(4, ub=10, vtype=Variable.INTEGER)
+        coeffs = rng.integers(1, 6, size=4)
+        m.add_constr(quicksum(int(c) * x for c, x in zip(coeffs, xs)) >= 17)
+        obj_coeffs = rng.integers(1, 6, size=4)
+        m.set_objective(quicksum(int(c) * x for c, x in zip(obj_coeffs, xs)))
+        m.optimize(relax=True)
+        relaxed = m.objective_value
+        assert m.optimize() is Status.OPTIMAL
+        assert m.objective_value >= relaxed - 1e-9

@@ -1,0 +1,181 @@
+"""Cross-module property tests on randomly generated instances.
+
+A small fuzzer builds random-but-valid planning instances (random
+2-edge-connected fiber graphs, random demand, single-fiber failures)
+and checks the invariants that tie the subsystems together:
+
+- the ILP optimum never costs more than the greedy plan;
+- every ILP plan passes the evaluator, in every mode;
+- aggregated and per-flow evaluators agree on every verdict;
+- pruning around the ILP's own plan (any alpha >= 1) preserves it;
+- the evaluator's monotonicity contract (more capacity never breaks a
+  satisfied failure) holds.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluator import FeasibilityChecker, PlanEvaluator
+from repro.planning import GreedyPlanner, ILPPlanner, capacity_caps_from_plan
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import all_single_fiber_failures
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import Flow, TrafficMatrix
+from repro.topology.validation import validate_instance
+
+
+def random_instance(seed: int, num_nodes: int = 5) -> PlanningInstance:
+    """A small random survivable instance, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    names = [f"n{i}" for i in range(num_nodes)]
+    positions = rng.random((num_nodes, 2)) * 1000.0
+
+    # Random connected graph -> augment to 2-edge-connectivity.
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    order = rng.permutation(num_nodes)
+    for a, b in zip(order, order[1:]):
+        graph.add_edge(int(a), int(b))
+    extra = rng.integers(1, num_nodes)
+    for _ in range(extra):
+        a, b = rng.choice(num_nodes, size=2, replace=False)
+        graph.add_edge(int(a), int(b))
+    for a, b in nx.k_edge_augmentation(graph, k=2):
+        graph.add_edge(a, b)
+
+    def length(a: int, b: int) -> float:
+        return float(np.hypot(*(positions[a] - positions[b]))) + 10.0
+
+    nodes = [
+        Node(names[i], latitude=positions[i, 1], longitude=positions[i, 0])
+        for i in range(num_nodes)
+    ]
+    fibers = [
+        Fiber(f"f{a}-{b}", names[a], names[b], length(a, b))
+        for a, b in sorted(graph.edges)
+    ]
+    links = [
+        IPLink(f"l{a}-{b}", names[a], names[b], (f"f{a}-{b}",))
+        for a, b in sorted(graph.edges)
+    ]
+    network = Network(nodes, fibers, links)
+
+    num_flows = int(rng.integers(1, num_nodes + 2))
+    flows = []
+    seen = set()
+    for _ in range(num_flows):
+        a, b = rng.choice(num_nodes, size=2, replace=False)
+        key = (int(a), int(b))
+        if key in seen:
+            continue
+        seen.add(key)
+        flows.append(
+            Flow(names[key[0]], names[key[1]], float(rng.integers(1, 6)) * 100.0)
+        )
+
+    instance = PlanningInstance(
+        name=f"fuzz{seed}",
+        network=network,
+        traffic=TrafficMatrix(flows),
+        failures=all_single_fiber_failures(network),
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=100.0,
+    )
+    assert validate_instance(instance) == []
+    return instance
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ilp_never_beats_greedy_in_feasibility_and_never_costs_more(seed):
+    instance = random_instance(seed)
+    greedy = GreedyPlanner().plan(instance)
+    ilp = ILPPlanner(time_limit=60).plan(instance)
+    assert ilp.plan is not None
+    assert ilp.plan.cost(instance) <= greedy.cost(instance) + 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ilp_plan_passes_every_evaluator_mode(seed):
+    instance = random_instance(seed)
+    plan = ILPPlanner(time_limit=60).plan(instance).plan
+    for mode in ("vanilla", "sa", "neuroplan"):
+        evaluator = PlanEvaluator(instance, mode=mode)
+        assert evaluator.evaluate(plan.capacities).feasible, mode
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    capacity_bumps=st.integers(min_value=0, max_value=20),
+)
+def test_aggregation_modes_agree_on_random_plans(seed, capacity_bumps):
+    instance = random_instance(seed)
+    rng = np.random.default_rng(seed + 1)
+    capacities = {
+        lid: float(rng.integers(0, capacity_bumps + 1)) * 100.0
+        for lid in instance.network.links
+    }
+    per_flow = FeasibilityChecker(instance, aggregate=False)
+    aggregated = FeasibilityChecker(instance, aggregate=True)
+    for failure in [None, *instance.failures]:
+        a = per_flow.check(capacities, failure)
+        b = aggregated.check(capacities, failure)
+        assert a.satisfied == b.satisfied
+        assert a.served_demand == pytest.approx(b.served_demand, abs=1e-5)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    alpha=st.sampled_from([1.0, 1.5, 2.0]),
+)
+def test_pruning_around_ilp_plan_preserves_it(seed, alpha):
+    """The optimum lies inside any alpha-relaxation of itself."""
+    instance = random_instance(seed)
+    optimum = ILPPlanner(time_limit=60).plan(instance).plan
+    caps = capacity_caps_from_plan(instance, optimum.capacities, alpha)
+    pruned = ILPPlanner(time_limit=60).plan(instance, capacity_caps=caps)
+    assert pruned.plan.cost(instance) == pytest.approx(
+        optimum.cost(instance), rel=1e-6
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_evaluator_monotonicity_on_random_instances(seed):
+    """Capacity growth never flips a satisfied failure to violated."""
+    instance = random_instance(seed)
+    rng = np.random.default_rng(seed + 2)
+    checker = FeasibilityChecker(instance)
+    base = {
+        lid: float(rng.integers(0, 8)) * 100.0 for lid in instance.network.links
+    }
+    grown = {
+        lid: value + float(rng.integers(0, 5)) * 100.0
+        for lid, value in base.items()
+    }
+    for failure in [None, *instance.failures[:4]]:
+        if checker.check(base, failure).satisfied:
+            assert checker.check(grown, failure).satisfied
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ilp_capacities_are_unit_multiples_and_floored(seed):
+    instance = random_instance(seed)
+    plan = ILPPlanner(time_limit=60).plan(instance).plan
+    assert plan.validate(instance) == []
+    unit = instance.capacity_unit
+    for link_id, value in plan.capacities.items():
+        assert math.isclose(value % unit, 0.0, abs_tol=1e-6) or math.isclose(
+            value % unit, unit, abs_tol=1e-6
+        )

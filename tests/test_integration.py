@@ -1,0 +1,107 @@
+"""Whole-workflow integration tests across every subsystem.
+
+These exercise the exact sequences a downstream user runs: build or
+load an instance, plan with several planners, verify with the
+evaluator, inspect the routing and the reports, serialize everything,
+and evolve to the next planning cycle.
+"""
+
+import pytest
+
+from repro import NeuroPlan, NeuroPlanConfig, topologies
+from repro.core.compare import compare_plans
+from repro.core.report import interpretability_report
+from repro.evaluator import PlanEvaluator, extract_routing
+from repro.planning import GreedyPlanner, ILPPlanner
+from repro.topology.evolution import evolve_instance
+from repro.topology.io import instance_to_dict, load_instance, save_instance
+from repro.topology.visualization import render_svg
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return topologies.make_instance("A", seed=1, scale=0.7)
+
+
+@pytest.fixture(scope="module")
+def neuroplan_result(instance):
+    config = NeuroPlanConfig(
+        epochs=5, steps_per_epoch=192, max_trajectory_length=96,
+        max_units_per_step=2, relax_factor=1.5, ilp_time_limit=90, seed=1,
+    )
+    return NeuroPlan(config).plan(instance)
+
+
+class TestEndToEndWorkflow:
+    def test_plan_verify_inspect(self, instance, neuroplan_result):
+        """Plan -> verify -> routing -> reports, all consistent."""
+        result = neuroplan_result
+        evaluator = PlanEvaluator(instance, mode="sa")
+        evaluation = evaluator.evaluate(result.final.capacities)
+        assert evaluation.feasible
+        assert evaluation.cost == pytest.approx(result.final_cost)
+
+        routing = extract_routing(instance, result.final.capacities)
+        assert routing.max_utilization() <= 1.0 + 1e-9
+        total_routed = sum(p.gbps for p in routing.paths)
+        assert total_routed == pytest.approx(
+            instance.traffic.total_demand, rel=1e-6
+        )
+
+        report = interpretability_report(instance, result)
+        assert instance.name in report
+
+    def test_compare_against_baselines(self, instance, neuroplan_result):
+        greedy = GreedyPlanner().plan(instance)
+        text = compare_plans(instance, [neuroplan_result.final, greedy])
+        assert "neuroplan" in text
+        assert "greedy" in text
+        # NeuroPlan beats greedy on this instance.
+        assert neuroplan_result.final_cost < greedy.cost(instance)
+
+    def test_serialize_plan_cycle(self, instance, neuroplan_result, tmp_path):
+        """Save instance -> load -> the same plan still verifies."""
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert instance_to_dict(loaded) == instance_to_dict(instance)
+        evaluator = PlanEvaluator(loaded, mode="sa")
+        assert evaluator.evaluate(neuroplan_result.final.capacities).feasible
+
+    def test_visualize_final_plan(self, instance, neuroplan_result, tmp_path):
+        svg = render_svg(
+            instance.network,
+            capacities=neuroplan_result.final.capacities,
+            baseline=instance.network.capacities(),
+            title="NeuroPlan result",
+        )
+        assert svg.startswith("<svg")
+
+    def test_two_cycle_evolution(self, instance, neuroplan_result):
+        """Deploy the plan, grow traffic, plan again: still feasible."""
+        next_cycle = evolve_instance(
+            instance, neuroplan_result.final.capacities, traffic_growth=1.2
+        )
+        assert next_cycle.traffic.total_demand > instance.traffic.total_demand
+        # The deployed capacities may no longer satisfy the grown demand;
+        # a quick ILP fixes it up inside the expanded search space.
+        outcome = ILPPlanner(time_limit=90).plan(next_cycle)
+        evaluator = PlanEvaluator(next_cycle, mode="sa")
+        assert evaluator.evaluate(outcome.plan.capacities).feasible
+        # Floors held: nothing was ripped out.
+        for link_id, value in outcome.plan.capacities.items():
+            assert value >= neuroplan_result.final.capacities[link_id] - 1e-9
+
+    def test_long_horizon_end_to_end(self):
+        """Long-term instance: candidates appear, pipeline completes."""
+        instance = topologies.make_instance(
+            "A", seed=1, scale=0.7, horizon="long"
+        )
+        config = NeuroPlanConfig(
+            epochs=4, steps_per_epoch=128, max_trajectory_length=96,
+            max_units_per_step=2, relax_factor=1.5, ilp_time_limit=90, seed=1,
+        )
+        result = NeuroPlan(config).plan(instance)
+        evaluator = PlanEvaluator(instance, mode="sa")
+        assert evaluator.evaluate(result.final.capacities).feasible
+        assert result.final_cost <= result.first_stage_cost + 1e-6

@@ -1,0 +1,60 @@
+"""Tests for the seeding helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.seeding import as_generator, spawn
+
+
+class TestSeeding:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_children_independent(self):
+        rng = np.random.default_rng(7)
+        children = spawn(rng, 3)
+        assert len(children) == 3
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [c.random(3).tolist() for c in spawn(np.random.default_rng(1), 2)]
+        b = [c.random(3).tolist() for c in spawn(np.random.default_rng(1), 2)]
+        assert a == b
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.UnboundedError,
+            errors.TopologyError,
+            errors.TrafficError,
+            errors.PlanError,
+            errors.EnvironmentError_,
+            errors.NNError,
+            errors.ConfigError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+        assert issubclass(errors.UnboundedError, errors.SolverError)
+
+    def test_catchable_at_api_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TopologyError("boom")

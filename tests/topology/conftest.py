@@ -1,0 +1,29 @@
+"""Shared topology fixtures."""
+
+import pytest
+
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def square_network() -> Network:
+    """A 4-node ring (A-B-C-D-A) with a parallel pair on A-B.
+
+    Links: direct ab1 and parallel ab2 (via D-C detour), bc, cd, da.
+    """
+    nodes = [Node(n) for n in "ABCD"]
+    fibers = [
+        Fiber("AB", "A", "B", 100.0),
+        Fiber("BC", "B", "C", 100.0),
+        Fiber("CD", "C", "D", 100.0),
+        Fiber("DA", "D", "A", 100.0),
+    ]
+    links = [
+        IPLink("ab1", "A", "B", ("AB",), capacity=100.0),
+        IPLink("ab2", "A", "B", ("DA", "CD", "BC"), capacity=100.0),
+        IPLink("bc", "B", "C", ("BC",), capacity=100.0),
+        IPLink("cd", "C", "D", ("CD",), capacity=100.0),
+        IPLink("da", "D", "A", ("DA",), capacity=100.0),
+    ]
+    return Network(nodes, fibers, links)

@@ -1,0 +1,82 @@
+"""Tests for the Eq. 1 cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def candidate_network() -> Network:
+    """A-B in service; B-C a candidate fiber with build cost 500."""
+    return Network(
+        nodes=[Node("A"), Node("B"), Node("C")],
+        fibers=[
+            Fiber("AB", "A", "B", 10.0),
+            Fiber("BC", "B", "C", 20.0, in_service=False, cost=500.0),
+        ],
+        links=[
+            IPLink("ab", "A", "B", ("AB",), capacity=100.0),
+            IPLink("ac", "A", "C", ("AB", "BC"), capacity=0.0),
+        ],
+    )
+
+
+class TestCostModel:
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(cost_per_gbps_km=-1.0)
+
+    def test_link_unit_cost_scales_with_length(self, candidate_network):
+        model = CostModel(cost_per_gbps_km=2.0)
+        assert model.link_unit_cost(candidate_network, "ab") == 20.0
+        assert model.link_unit_cost(candidate_network, "ac") == 60.0
+
+    def test_capacity_cost(self, candidate_network):
+        model = CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False)
+        caps = {"ab": 100.0, "ac": 10.0}
+        assert model.capacity_cost(candidate_network, caps) == pytest.approx(
+            100.0 * 10.0 + 10.0 * 30.0
+        )
+
+    def test_lit_fibers(self, candidate_network):
+        model = CostModel()
+        assert model.lit_fibers(candidate_network, {"ab": 100.0, "ac": 0.0}) == {"AB"}
+        assert model.lit_fibers(candidate_network, {"ab": 0.0, "ac": 1.0}) == {
+            "AB",
+            "BC",
+        }
+
+    def test_fiber_build_cost_only_for_candidates(self, candidate_network):
+        model = CostModel(fiber_fixed_charge=True)
+        # Using only the in-service fiber costs nothing extra.
+        assert model.fiber_build_cost(candidate_network, {"ab": 100.0, "ac": 0.0}) == 0.0
+        # Lighting the candidate BC pays its 500 build cost once.
+        assert (
+            model.fiber_build_cost(candidate_network, {"ab": 0.0, "ac": 100.0})
+            == 500.0
+        )
+
+    def test_fixed_charge_disabled(self, candidate_network):
+        model = CostModel(fiber_fixed_charge=False)
+        assert model.fiber_build_cost(candidate_network, {"ac": 100.0, "ab": 0}) == 0.0
+
+    def test_plan_cost_defaults_to_network_state(self, candidate_network):
+        model = CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=True)
+        assert model.plan_cost(candidate_network) == pytest.approx(100.0 * 10.0)
+
+    def test_incremental_cost_for_capacity_add(self, candidate_network):
+        model = CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=True)
+        before = {"ab": 100.0, "ac": 0.0}
+        after = {"ab": 100.0, "ac": 100.0}
+        # 100 Gbps on a 30 km path + lighting candidate BC (500).
+        assert model.incremental_cost(candidate_network, before, after) == (
+            pytest.approx(100.0 * 30.0 + 500.0)
+        )
+
+    def test_incremental_cost_zero_for_no_change(self, candidate_network):
+        model = CostModel()
+        caps = candidate_network.capacities()
+        assert model.incremental_cost(candidate_network, caps, caps) == 0.0

@@ -1,0 +1,100 @@
+"""Tests for Node, Fiber, IPLink primitives."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.elements import Fiber, IPLink, Node
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node("NYC")
+        assert node.region == "default"
+        assert node.latitude == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Node("")
+
+    def test_frozen(self):
+        node = Node("NYC")
+        with pytest.raises(AttributeError):
+            node.name = "BOS"  # type: ignore[misc]
+
+
+class TestFiber:
+    def test_endpoints_set(self):
+        fiber = Fiber("f1", "A", "B", 10.0)
+        assert fiber.endpoints == frozenset({"A", "B"})
+        assert fiber.touches("A") and fiber.touches("B")
+        assert not fiber.touches("C")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Fiber("f1", "A", "A", 10.0)
+
+    @pytest.mark.parametrize("length", [0.0, -1.0])
+    def test_nonpositive_length_rejected(self, length):
+        with pytest.raises(TopologyError):
+            Fiber("f1", "A", "B", length)
+
+    def test_nonpositive_spectrum_rejected(self):
+        with pytest.raises(TopologyError):
+            Fiber("f1", "A", "B", 10.0, max_spectrum=0.0)
+
+    def test_candidate_flag(self):
+        fiber = Fiber("f1", "A", "B", 10.0, in_service=False, cost=500.0)
+        assert not fiber.in_service
+        assert fiber.cost == 500.0
+
+
+class TestIPLink:
+    def test_basic(self):
+        link = IPLink("l1", "A", "B", ("f1", "f2"), capacity=200.0)
+        assert link.endpoints == frozenset({"A", "B"})
+        assert link.fiber_path == ("f1", "f2")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            IPLink("l1", "A", "A", ("f1",))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TopologyError):
+            IPLink("l1", "A", "B", ())
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            IPLink("l1", "A", "B", ("f1",), capacity=-1.0)
+        with pytest.raises(TopologyError):
+            IPLink("l1", "A", "B", ("f1",), min_capacity=-1.0)
+
+    def test_nonpositive_efficiency_rejected(self):
+        with pytest.raises(TopologyError):
+            IPLink("l1", "A", "B", ("f1",), spectral_efficiency=0.0)
+
+    def test_with_capacity_returns_copy(self):
+        link = IPLink("l1", "A", "B", ("f1",), capacity=100.0)
+        bumped = link.with_capacity(300.0)
+        assert bumped.capacity == 300.0
+        assert link.capacity == 100.0
+        assert bumped.id == link.id
+
+    def test_with_capacity_rejects_negative(self):
+        link = IPLink("l1", "A", "B", ("f1",))
+        with pytest.raises(TopologyError):
+            link.with_capacity(-5.0)
+
+    def test_parallel_detection(self):
+        a = IPLink("l1", "A", "B", ("f1",))
+        b = IPLink("l2", "B", "A", ("f2",))  # reversed direction: still parallel
+        c = IPLink("l3", "B", "C", ("f3",))
+        assert a.is_parallel_to(b)
+        assert not a.is_parallel_to(a)  # same id is not "parallel"
+        assert not a.is_parallel_to(c)
+
+    def test_shares_endpoint(self):
+        a = IPLink("l1", "A", "B", ("f1",))
+        c = IPLink("l3", "B", "C", ("f3",))
+        d = IPLink("l4", "C", "D", ("f4",))
+        assert a.shares_endpoint_with(c)
+        assert not a.shares_endpoint_with(d)

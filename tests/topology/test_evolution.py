@@ -1,0 +1,89 @@
+"""Tests for multi-period instance evolution."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.topology import datasets, generators
+from repro.topology.evolution import evolve_instance
+from repro.topology.validation import validate_instance
+
+
+@pytest.fixture
+def instance():
+    return generators.make_instance("A", seed=0, scale=0.7)
+
+
+class TestEvolveInstance:
+    def test_capacity_becomes_floor(self, instance):
+        deployed = {
+            lid: link.capacity + 200.0
+            for lid, link in instance.network.links.items()
+        }
+        evolved = evolve_instance(instance, deployed, traffic_growth=1.2)
+        for link_id, link in evolved.network.links.items():
+            assert link.capacity == deployed[link_id]
+            assert link.min_capacity == deployed[link_id]
+
+    def test_traffic_grows(self, instance):
+        deployed = instance.network.capacities()
+        evolved = evolve_instance(instance, deployed, traffic_growth=1.2)
+        assert evolved.traffic.total_demand == pytest.approx(
+            instance.traffic.total_demand * 1.2
+        )
+
+    def test_original_instance_untouched(self, instance):
+        original_caps = instance.network.capacities()
+        deployed = {lid: cap + 100.0 for lid, cap in original_caps.items()}
+        evolve_instance(instance, deployed)
+        assert instance.network.capacities() == original_caps
+
+    def test_evolved_instance_valid(self, instance):
+        deployed = {
+            lid: link.capacity + 100.0
+            for lid, link in instance.network.links.items()
+        }
+        evolved = evolve_instance(instance, deployed)
+        assert validate_instance(evolved) == []
+
+    def test_candidate_fibers_become_in_service_when_lit(self):
+        instance = datasets.figure1_topology(long_term=True)
+        deployed = {"link1": 100.0, "link2": 0.0, "link3": 100.0, "link4": 0.0}
+        evolved = evolve_instance(instance, deployed)
+        # link3 rides candidate fiber BF: lighting it makes it in-service.
+        assert evolved.network.get_fiber("BF").in_service
+        assert not instance.network.get_fiber("BF").in_service
+
+    def test_unlit_candidates_stay_candidates(self):
+        instance = generators.make_instance("A", seed=0, horizon="long")
+        deployed = instance.network.capacities()  # candidates stay at 0
+        evolved = evolve_instance(instance, deployed)
+        for fiber_id, fiber in instance.network.fibers.items():
+            if not fiber.in_service:
+                assert not evolved.network.get_fiber(fiber_id).in_service
+
+    def test_missing_links_rejected(self, instance):
+        with pytest.raises(PlanError, match="missing links"):
+            evolve_instance(instance, {"nope": 1.0})
+
+    def test_deploy_below_floor_rejected(self, instance):
+        deployed = instance.network.capacities()
+        floored = next(
+            lid
+            for lid, link in instance.network.links.items()
+            if link.min_capacity > 0
+        )
+        deployed[floored] = 0.0
+        with pytest.raises(PlanError, match="below the current floor"):
+            evolve_instance(instance, deployed)
+
+    def test_invalid_growth(self, instance):
+        with pytest.raises(PlanError):
+            evolve_instance(instance, instance.network.capacities(), 0.0)
+
+    def test_cycle_label(self, instance):
+        evolved = evolve_instance(
+            instance, instance.network.capacities(), cycle_label="A-y2026"
+        )
+        assert evolved.name == "A-y2026"
+        default = evolve_instance(instance, instance.network.capacities())
+        assert default.name == "A+1"

@@ -1,0 +1,76 @@
+"""Tests for failure scenarios and cross-layer expansion."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.failures import (
+    FailureScenario,
+    all_single_fiber_failures,
+    all_single_node_failures,
+    srlg_failures,
+)
+
+
+class TestFailureScenario:
+    def test_must_fail_something(self):
+        with pytest.raises(TopologyError):
+            FailureScenario("empty")
+
+    def test_fiber_cut_takes_down_all_riding_links(self, square_network):
+        failure = FailureScenario("cut", fibers=frozenset({"BC"}))
+        failed = failure.failed_link_ids(square_network)
+        # Both the direct bc link and the ab2 express link ride BC.
+        assert failed == frozenset({"bc", "ab2"})
+
+    def test_site_failure_takes_down_incident_links(self, square_network):
+        failure = FailureScenario("site", nodes=frozenset({"A"}))
+        failed = failure.failed_link_ids(square_network)
+        assert failed == frozenset({"ab1", "ab2", "da"})
+
+    def test_combined_failure(self, square_network):
+        failure = FailureScenario(
+            "combo", fibers=frozenset({"CD"}), nodes=frozenset({"B"})
+        )
+        failed = failure.failed_link_ids(square_network)
+        assert failed == frozenset({"ab1", "ab2", "bc", "cd"})
+
+    def test_unknown_fiber_rejected(self, square_network):
+        failure = FailureScenario("bad", fibers=frozenset({"ZZ"}))
+        with pytest.raises(TopologyError):
+            failure.failed_link_ids(square_network)
+
+    def test_unknown_node_rejected(self, square_network):
+        failure = FailureScenario("bad", nodes=frozenset({"Z"}))
+        with pytest.raises(TopologyError):
+            failure.failed_link_ids(square_network)
+
+    def test_is_site_failure(self):
+        assert FailureScenario("s", nodes=frozenset({"A"})).is_site_failure
+        assert not FailureScenario("f", fibers=frozenset({"AB"})).is_site_failure
+
+
+class TestGenerators:
+    def test_single_fiber_failures_cover_all_fibers(self, square_network):
+        scenarios = all_single_fiber_failures(square_network)
+        assert len(scenarios) == square_network.num_fibers
+        covered = frozenset().union(*(s.fibers for s in scenarios))
+        assert covered == frozenset(square_network.fibers)
+
+    def test_single_node_failures_with_exclusion(self, square_network):
+        scenarios = all_single_node_failures(
+            square_network, exclude=frozenset({"A"})
+        )
+        names = {next(iter(s.nodes)) for s in scenarios}
+        assert names == {"B", "C", "D"}
+
+    def test_srlg_failures(self, square_network):
+        scenarios = srlg_failures(
+            square_network, {"conduit1": frozenset({"AB", "DA"})}
+        )
+        assert len(scenarios) == 1
+        failed = scenarios[0].failed_link_ids(square_network)
+        assert failed == frozenset({"ab1", "ab2", "da"})
+
+    def test_srlg_unknown_fiber_rejected(self, square_network):
+        with pytest.raises(TopologyError):
+            srlg_failures(square_network, {"bad": frozenset({"ZZ"})})

@@ -1,0 +1,246 @@
+"""Tests for PlanningInstance, serialization, and validation."""
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.topology import datasets, generators
+from repro.topology.elements import IPLink
+from repro.topology.failures import FailureScenario
+from repro.topology.instance import PlanningInstance
+from repro.topology.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.topology.traffic import Flow, TrafficMatrix
+from repro.topology.validation import ensure_valid, validate_instance
+
+
+@pytest.fixture
+def instance_a() -> PlanningInstance:
+    return generators.make_instance("A", seed=0)
+
+
+class TestPlanningInstance:
+    def test_invalid_capacity_unit(self, instance_a):
+        with pytest.raises(ConfigError):
+            PlanningInstance(
+                name="x",
+                network=instance_a.network,
+                traffic=instance_a.traffic,
+                failures=instance_a.failures,
+                capacity_unit=0.0,
+            )
+
+    def test_invalid_horizon(self, instance_a):
+        with pytest.raises(ConfigError):
+            PlanningInstance(
+                name="x",
+                network=instance_a.network,
+                traffic=instance_a.traffic,
+                failures=instance_a.failures,
+                horizon="medium",
+            )
+
+    def test_duplicate_failure_ids_rejected(self, instance_a):
+        failure = instance_a.failures[0]
+        with pytest.raises(TopologyError):
+            PlanningInstance(
+                name="x",
+                network=instance_a.network,
+                traffic=instance_a.traffic,
+                failures=[failure, failure],
+            )
+
+    def test_flow_endpoint_must_exist(self, instance_a):
+        with pytest.raises(TopologyError):
+            PlanningInstance(
+                name="x",
+                network=instance_a.network,
+                traffic=TrafficMatrix([Flow("nope", "A00", 1.0)]),
+                failures=instance_a.failures,
+            )
+
+    def test_describe_mentions_sizes(self, instance_a):
+        text = instance_a.describe()
+        assert "nodes" in text and "failures" in text
+
+    def test_scaled_initial_capacity_zero(self, instance_a):
+        scratch = instance_a.scaled_initial_capacity(0.0)
+        assert all(l.capacity == 0.0 for l in scratch.network.links.values())
+        assert all(l.min_capacity == 0.0 for l in scratch.network.links.values())
+        assert scratch.name == "A-0"
+
+    def test_scaled_initial_capacity_identity(self, instance_a):
+        same = instance_a.scaled_initial_capacity(1.0)
+        assert same.network.capacities() == instance_a.network.capacities()
+
+    def test_scaled_initial_capacity_half_rounds_to_unit(self, instance_a):
+        half = instance_a.scaled_initial_capacity(0.5)
+        unit = instance_a.capacity_unit
+        for link in half.network.links.values():
+            assert link.capacity % unit == 0.0
+            assert link.capacity <= instance_a.network.get_link(link.id).capacity
+
+    def test_scaled_fraction_bounds(self, instance_a):
+        with pytest.raises(ConfigError):
+            instance_a.scaled_initial_capacity(1.5)
+
+
+class TestGenerators:
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigError):
+            generators.make_instance("Z")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            generators.make_instance("A", scale=0.0)
+
+    def test_deterministic(self):
+        a = generators.make_instance("B", seed=3)
+        b = generators.make_instance("B", seed=3)
+        assert instance_to_dict(a) == instance_to_dict(b)
+
+    def test_seed_changes_instance(self):
+        a = generators.make_instance("A", seed=1)
+        b = generators.make_instance("A", seed=2)
+        assert instance_to_dict(a) != instance_to_dict(b)
+
+    @pytest.mark.parametrize("name", generators.list_topologies())
+    def test_all_bands_valid(self, name):
+        instance = generators.make_instance(name, seed=0, scale=0.5)
+        assert validate_instance(instance) == []
+
+    def test_size_bands_ordered(self):
+        sizes = [
+            generators.make_instance(n, seed=0).network.num_links
+            for n in generators.list_topologies()
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_band_a_matches_paper_scale(self):
+        """A: tens of IP links, tens of failures, tens of flows."""
+        a = generators.make_instance("A", seed=0)
+        assert 10 <= a.network.num_links < 100
+        assert 10 <= len(a.failures) < 100
+        assert 10 <= len(a.traffic) < 100
+
+    def test_band_e_matches_paper_scale(self):
+        """E: hundreds of links/failures, ~1000 flows."""
+        e = generators.make_instance("E", seed=0)
+        assert 100 <= e.network.num_links < 1000
+        assert 100 <= len(e.failures) < 1000
+        assert 500 <= len(e.traffic) <= 1500
+
+    def test_long_horizon_adds_candidates(self):
+        short = generators.make_instance("A", seed=0, horizon="short")
+        long = generators.make_instance("A", seed=0, horizon="long")
+        assert long.network.num_links > short.network.num_links
+        candidates = [
+            l for l in long.network.links.values() if l.id.endswith(":cand")
+        ]
+        assert candidates
+        assert all(l.capacity == 0.0 for l in candidates)
+        assert all(
+            not long.network.get_fiber(l.fiber_path[0]).in_service
+            for l in candidates
+        )
+        assert long.cost_model.fiber_fixed_charge
+
+    def test_parallel_links_present(self):
+        instance = generators.make_instance("A", seed=0)
+        groups = instance.network.parallel_groups()
+        assert any(len(links) > 1 for links in groups.values())
+
+    def test_short_horizon_floors_match_capacity(self):
+        instance = generators.make_instance("A", seed=0)
+        for link in instance.network.links.values():
+            assert link.min_capacity == link.capacity
+
+
+class TestDatasets:
+    def test_figure1_short(self):
+        instance = datasets.figure1_topology()
+        assert instance.network.num_links == 2
+        assert len(instance.failures) == 2
+        assert validate_instance(instance) == []
+
+    def test_figure1_long(self):
+        instance = datasets.figure1_topology(long_term=True)
+        assert instance.network.num_links == 4
+        assert len(instance.failures) == 3
+        # link3 = A-B-F-D shares fiber AB with link1.
+        link3_fibers = {f.id for f in instance.network.fibers_of_link("link3")}
+        link1_fibers = {f.id for f in instance.network.fibers_of_link("link1")}
+        assert "AB" in link3_fibers & link1_fibers
+
+    def test_abilene(self):
+        instance = datasets.abilene()
+        assert instance.network.num_nodes == 11
+        assert instance.network.num_links == 14
+        assert validate_instance(instance) == []
+
+    def test_uscarrier(self):
+        instance = datasets.uscarrier26()
+        assert instance.network.num_nodes == 26
+        assert validate_instance(instance) == []
+
+
+class TestIO:
+    def test_dict_roundtrip(self, instance_a):
+        payload = instance_to_dict(instance_a)
+        clone = instance_from_dict(payload)
+        assert instance_to_dict(clone) == payload
+
+    def test_file_roundtrip(self, instance_a, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(instance_a, path)
+        clone = load_instance(path)
+        assert instance_to_dict(clone) == instance_to_dict(instance_a)
+
+    def test_long_horizon_roundtrip(self):
+        instance = generators.make_instance("A", seed=0, horizon="long")
+        clone = instance_from_dict(instance_to_dict(instance))
+        assert clone.cost_model.fiber_fixed_charge
+        assert clone.horizon == "long"
+
+    def test_version_check(self, instance_a):
+        payload = instance_to_dict(instance_a)
+        payload["format_version"] = 999
+        with pytest.raises(TopologyError):
+            instance_from_dict(payload)
+
+
+class TestValidation:
+    def test_valid_instance_passes(self, instance_a):
+        ensure_valid(instance_a)  # does not raise
+
+    def test_capacity_below_floor_detected(self, instance_a):
+        link_id = next(iter(instance_a.network.links))
+        link = instance_a.network.get_link(link_id)
+        if link.min_capacity == 0:
+            pytest.skip("first link has no floor")
+        instance_a.network.set_capacity(link_id, 0.0)
+        problems = validate_instance(instance_a)
+        assert any("below floor" in p for p in problems)
+
+    def test_disconnected_flow_detected(self, instance_a):
+        # Remove every link touching the first flow's source.
+        flow = instance_a.traffic.flows[0]
+        for link in list(instance_a.network.links_at_node(flow.src)):
+            del instance_a.network.links[link.id]
+        problems = validate_instance(instance_a)
+        assert any("no IP path" in p for p in problems)
+
+    def test_ensure_valid_raises_with_summary(self, instance_a):
+        flow = instance_a.traffic.flows[0]
+        for link in list(instance_a.network.links_at_node(flow.src)):
+            del instance_a.network.links[link.id]
+        with pytest.raises(TopologyError, match="invalid instance"):
+            ensure_valid(instance_a)
+
+    def test_unknown_policy_failure_detected(self, instance_a):
+        instance_a.policy.cos_failure_sets["protected"] = {"no-such-failure"}
+        problems = validate_instance(instance_a)
+        assert any("unknown failure" in p for p in problems)

@@ -1,0 +1,43 @@
+"""Property tests: JSON round-trips on randomly generated instances."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.io import instance_from_dict, instance_to_dict
+from tests.test_cross_module_properties import random_instance
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        nodes=st.integers(min_value=4, max_value=8),
+    )
+    def test_random_instance_roundtrip_exact(self, seed, nodes):
+        instance = random_instance(seed, num_nodes=nodes)
+        payload = instance_to_dict(instance)
+        clone = instance_from_dict(payload)
+        assert instance_to_dict(clone) == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_preserves_planning_semantics(self, seed):
+        """A plan feasible on the original is feasible on the clone."""
+        from repro.evaluator import PlanEvaluator
+        from repro.planning import GreedyPlanner
+
+        instance = random_instance(seed)
+        clone = instance_from_dict(instance_to_dict(instance))
+        plan = GreedyPlanner().plan(instance)
+        evaluator = PlanEvaluator(clone, mode="sa")
+        assert evaluator.evaluate(plan.capacities).feasible
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_preserves_costs(self, seed):
+        instance = random_instance(seed)
+        clone = instance_from_dict(instance_to_dict(instance))
+        capacities = instance.network.capacities()
+        assert clone.cost_model.plan_cost(
+            clone.network, capacities
+        ) == instance.cost_model.plan_cost(instance.network, capacities)

@@ -1,0 +1,158 @@
+"""Tests for the Network container and cross-layer queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.network import Network
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = Network([Node("A")])
+        with pytest.raises(TopologyError):
+            net.add_node(Node("A"))
+
+    def test_fiber_unknown_endpoint_rejected(self):
+        net = Network([Node("A")])
+        with pytest.raises(TopologyError):
+            net.add_fiber(Fiber("f", "A", "B", 1.0))
+
+    def test_duplicate_fiber_rejected(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.add_fiber(Fiber("AB", "A", "B", 1.0))
+
+    def test_link_unknown_node_rejected(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.add_link(IPLink("bad", "A", "Z", ("AB",)))
+
+    def test_link_unknown_fiber_rejected(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.add_link(IPLink("bad", "A", "B", ("ZZ",)))
+
+    def test_link_discontinuous_path_rejected(self, square_network):
+        # CD does not touch A, so a path starting at A breaks immediately.
+        with pytest.raises(TopologyError):
+            square_network.add_link(IPLink("bad", "A", "B", ("CD", "AB")))
+
+    def test_link_path_wrong_terminus_rejected(self, square_network):
+        # AB then BC lands at C, not D.
+        with pytest.raises(TopologyError):
+            square_network.add_link(IPLink("bad", "A", "D", ("AB", "BC")))
+
+    def test_path_direction_agnostic(self, square_network):
+        # DA traversed from A: fiber endpoints are (D, A); works both ways.
+        square_network.add_link(IPLink("ad", "A", "D", ("DA",)))
+        assert "ad" in square_network.links
+
+    def test_sizes(self, square_network):
+        assert square_network.num_nodes == 4
+        assert square_network.num_fibers == 4
+        assert square_network.num_links == 5
+
+
+class TestCrossLayerQueries:
+    def test_links_over_fiber(self, square_network):
+        over_bc = {l.id for l in square_network.links_over_fiber("BC")}
+        assert over_bc == {"ab2", "bc"}
+
+    def test_links_over_unknown_fiber(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.links_over_fiber("ZZ")
+
+    def test_fibers_of_link(self, square_network):
+        fibers = [f.id for f in square_network.fibers_of_link("ab2")]
+        assert fibers == ["DA", "CD", "BC"]
+
+    def test_link_length(self, square_network):
+        assert square_network.link_length_km("ab1") == 100.0
+        assert square_network.link_length_km("ab2") == 300.0
+
+    def test_links_at_node(self, square_network):
+        at_a = {l.id for l in square_network.links_at_node("A")}
+        assert at_a == {"ab1", "ab2", "da"}
+
+    def test_parallel_groups(self, square_network):
+        groups = square_network.parallel_groups()
+        ab_group = groups[frozenset({"A", "B"})]
+        assert {l.id for l in ab_group} == {"ab1", "ab2"}
+
+    def test_get_unknown_raises(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.get_link("zz")
+        with pytest.raises(TopologyError):
+            square_network.get_fiber("zz")
+        with pytest.raises(TopologyError):
+            square_network.get_node("Z")
+
+
+class TestSpectrum:
+    def test_spectrum_used_sums_links(self, square_network):
+        # BC carries ab2 (100G) and bc (100G) at 0.4 GHz/Gbps = 80 GHz.
+        assert square_network.spectrum_used("BC") == pytest.approx(80.0)
+
+    def test_spectrum_used_with_override(self, square_network):
+        caps = {lid: 0.0 for lid in square_network.links}
+        caps["bc"] = 1000.0
+        assert square_network.spectrum_used("BC", caps) == pytest.approx(400.0)
+
+    def test_headroom(self, square_network):
+        headroom = square_network.spectrum_headroom("BC")
+        assert headroom == pytest.approx(4800.0 - 80.0)
+
+    def test_link_capacity_headroom_uses_binding_fiber(self, square_network):
+        caps = square_network.capacities()
+        # Load fiber CD to near capacity; ab2's headroom should bind on CD.
+        caps["cd"] = 11000.0
+        headroom = square_network.link_capacity_headroom("ab2", caps)
+        expected = (4800.0 - (11000.0 + 100.0) * 0.4) / 0.4
+        assert headroom == pytest.approx(expected)
+
+    def test_headroom_clamped_to_zero(self, square_network):
+        caps = square_network.capacities()
+        caps["cd"] = 50000.0  # way over
+        assert square_network.link_capacity_headroom("ab2", caps) == 0.0
+
+    def test_spectrum_feasible(self, square_network):
+        assert square_network.spectrum_feasible()
+        caps = square_network.capacities()
+        caps["bc"] = 1e6
+        assert not square_network.spectrum_feasible(caps)
+
+
+class TestCapacityState:
+    def test_capacities_mapping(self, square_network):
+        caps = square_network.capacities()
+        assert caps["ab1"] == 100.0
+        assert len(caps) == 5
+
+    def test_capacity_vector_order(self, square_network):
+        np.testing.assert_allclose(
+            square_network.capacity_vector(), [100.0] * 5
+        )
+
+    def test_add_capacity(self, square_network):
+        square_network.add_capacity("bc", 300.0)
+        assert square_network.get_link("bc").capacity == 400.0
+
+    def test_add_negative_rejected(self, square_network):
+        with pytest.raises(TopologyError):
+            square_network.add_capacity("bc", -10.0)
+
+    def test_set_capacity(self, square_network):
+        square_network.set_capacity("bc", 0.0)
+        assert square_network.get_link("bc").capacity == 0.0
+
+    def test_with_capacities_is_a_copy(self, square_network):
+        clone = square_network.with_capacities({"bc": 900.0})
+        assert clone.get_link("bc").capacity == 900.0
+        assert square_network.get_link("bc").capacity == 100.0
+
+    def test_copy_shares_immutable_elements(self, square_network):
+        clone = square_network.copy()
+        clone.add_capacity("bc", 100.0)
+        assert square_network.get_link("bc").capacity == 100.0
+        assert clone.get_link("bc").capacity == 200.0
+        # Structure shared by identity (frozen dataclasses).
+        assert clone.get_fiber("AB") is square_network.get_fiber("AB")

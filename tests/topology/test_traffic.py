@@ -1,0 +1,142 @@
+"""Tests for flows, traffic matrices, policies and the gravity model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.topology.traffic import (
+    BEST_EFFORT,
+    PROTECTED,
+    Flow,
+    ReliabilityPolicy,
+    TrafficMatrix,
+    gravity_traffic,
+)
+
+
+class TestFlow:
+    def test_self_flow_rejected(self):
+        with pytest.raises(TrafficError):
+            Flow("A", "A", 10.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(TrafficError):
+            Flow("A", "B", -1.0)
+
+    def test_default_cos_is_protected(self):
+        assert Flow("A", "B", 1.0).cos is PROTECTED
+
+
+class TestTrafficMatrix:
+    def test_duplicate_flows_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix([Flow("A", "B", 1.0), Flow("A", "B", 2.0)])
+
+    def test_same_pair_different_cos_allowed(self):
+        tm = TrafficMatrix(
+            [Flow("A", "B", 1.0, PROTECTED), Flow("A", "B", 2.0, BEST_EFFORT)]
+        )
+        assert len(tm) == 2
+
+    def test_total_demand(self):
+        tm = TrafficMatrix([Flow("A", "B", 1.5), Flow("B", "C", 2.5)])
+        assert tm.total_demand == 4.0
+
+    def test_sources_order_preserved(self):
+        tm = TrafficMatrix(
+            [Flow("B", "C", 1.0), Flow("A", "C", 1.0), Flow("B", "A", 1.0)]
+        )
+        assert tm.sources() == ["B", "A"]
+
+    def test_by_source_aggregates(self):
+        tm = TrafficMatrix(
+            [
+                Flow("A", "B", 1.0, PROTECTED),
+                Flow("A", "B", 2.0, BEST_EFFORT),
+                Flow("A", "C", 3.0),
+                Flow("B", "C", 4.0),
+            ]
+        )
+        agg = tm.by_source()
+        assert agg["A"] == {"B": 3.0, "C": 3.0}
+        assert agg["B"] == {"C": 4.0}
+
+    def test_by_source_total_preserved(self):
+        tm = TrafficMatrix([Flow("A", "B", 1.0), Flow("A", "C", 2.0)])
+        agg = tm.by_source()
+        total = sum(sum(sinks.values()) for sinks in agg.values())
+        assert total == tm.total_demand
+
+    def test_filter_cos(self):
+        tm = TrafficMatrix(
+            [Flow("A", "B", 1.0, PROTECTED), Flow("A", "C", 2.0, BEST_EFFORT)]
+        )
+        protected_only = tm.filter_cos({"protected"})
+        assert len(protected_only) == 1
+        assert tm.filter_cos(None) is tm
+
+    def test_scaled(self):
+        tm = TrafficMatrix([Flow("A", "B", 2.0)])
+        assert tm.scaled(2.5).total_demand == 5.0
+        with pytest.raises(TrafficError):
+            tm.scaled(-1.0)
+
+
+class TestReliabilityPolicy:
+    def test_default_requires_all(self):
+        policy = ReliabilityPolicy()
+        assert policy.required_failures("protected", ["f1", "f2"]) == ["f1", "f2"]
+
+    def test_subset_for_best_effort(self):
+        policy = ReliabilityPolicy({"best-effort": {"f1"}})
+        assert policy.required_failures("best-effort", ["f1", "f2"]) == ["f1"]
+        assert policy.required_failures("protected", ["f1", "f2"]) == ["f1", "f2"]
+
+    def test_empty_set_means_no_protection(self):
+        policy = ReliabilityPolicy({"best-effort": set()})
+        assert policy.required_failures("best-effort", ["f1"]) == []
+
+
+class TestGravityModel:
+    def test_total_demand_matches(self):
+        tm = gravity_traffic(["A", "B", "C", "D"], 1000.0, rng=0)
+        assert tm.total_demand == pytest.approx(1000.0)
+
+    def test_no_self_flows(self):
+        tm = gravity_traffic(["A", "B", "C"], 100.0, rng=0)
+        assert all(f.src != f.dst for f in tm)
+
+    def test_deterministic_under_seed(self):
+        a = gravity_traffic(["A", "B", "C"], 100.0, rng=7)
+        b = gravity_traffic(["A", "B", "C"], 100.0, rng=7)
+        assert [(f.src, f.dst, f.demand) for f in a] == [
+            (f.src, f.dst, f.demand) for f in b
+        ]
+
+    def test_sparsity_reduces_flows(self):
+        dense = gravity_traffic([f"n{i}" for i in range(10)], 100.0, rng=0)
+        sparse = gravity_traffic(
+            [f"n{i}" for i in range(10)], 100.0, rng=0, sparsity=0.8
+        )
+        assert len(sparse) < len(dense)
+        assert sparse.total_demand == pytest.approx(100.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(TrafficError):
+            gravity_traffic(["A", "B"], -1.0)
+        with pytest.raises(TrafficError):
+            gravity_traffic(["A", "B"], 1.0, sparsity=1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        demand=st.floats(min_value=0.0, max_value=1e6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_gravity_invariants(self, n, demand, seed):
+        tm = gravity_traffic([f"n{i}" for i in range(n)], demand, rng=seed)
+        assert tm.total_demand == pytest.approx(demand, rel=1e-9, abs=1e-9)
+        assert all(f.demand >= 0 for f in tm)
+        assert len(tm) <= n * (n - 1)

@@ -1,0 +1,140 @@
+"""Tests for the node-link transformation (Fig. 5 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.network import Network
+from repro.topology.transform import node_link_transform
+from repro.topology import generators
+
+
+def figure5_network() -> Network:
+    """The exact example of Fig. 5: 5 nodes, 6 links, BC1/BC2 parallel."""
+    nodes = [Node(n) for n in "ABCDE"]
+    fibers = [
+        Fiber("fAB", "A", "B", 1.0),
+        Fiber("fAD", "A", "D", 1.0),
+        Fiber("fDE", "D", "E", 1.0),
+        Fiber("fCE", "C", "E", 1.0),
+        Fiber("fBC", "B", "C", 1.0),
+        Fiber("fBC2", "B", "C", 1.0),
+    ]
+    links = [
+        IPLink("AB", "A", "B", ("fAB",)),
+        IPLink("AD", "A", "D", ("fAD",)),
+        IPLink("DE", "D", "E", ("fDE",)),
+        IPLink("CE", "C", "E", ("fCE",)),
+        IPLink("BC1", "B", "C", ("fBC",)),
+        IPLink("BC2", "B", "C", ("fBC2",)),
+    ]
+    return Network(nodes, fibers, links)
+
+
+class TestFigure5Example:
+    def test_every_link_becomes_a_node(self):
+        graph = node_link_transform(figure5_network())
+        assert graph.num_nodes == 6
+        assert set(graph.link_ids) == {"AB", "AD", "DE", "CE", "BC1", "BC2"}
+
+    def test_parallel_links_not_connected(self):
+        graph = node_link_transform(figure5_network())
+        i, j = graph.index_of("BC1"), graph.index_of("BC2")
+        assert graph.adjacency[i, j] == 0.0
+        assert graph.adjacency[j, i] == 0.0
+
+    def test_expected_adjacency_matches_paper(self):
+        graph = node_link_transform(figure5_network())
+
+        def connected(a, b):
+            return graph.adjacency[graph.index_of(a), graph.index_of(b)] == 1.0
+
+        # From Fig. 5(b): AB-AD (share A), AB-BC1, AB-BC2 (share B),
+        # AD-DE (share D), DE-CE (share E), CE-BC1, CE-BC2 (share C).
+        assert connected("AB", "AD")
+        assert connected("AB", "BC1")
+        assert connected("AB", "BC2")
+        assert connected("AD", "DE")
+        assert connected("DE", "CE")
+        assert connected("CE", "BC1")
+        assert connected("CE", "BC2")
+        # And non-edges.
+        assert not connected("AB", "DE")
+        assert not connected("AB", "CE")
+        assert not connected("AD", "BC1")
+        assert not connected("BC1", "BC2")
+
+    def test_adjacency_symmetric_zero_diagonal(self):
+        graph = node_link_transform(figure5_network())
+        np.testing.assert_allclose(graph.adjacency, graph.adjacency.T)
+        np.testing.assert_allclose(np.diag(graph.adjacency), 0.0)
+
+
+class TestConnectParallelAblation:
+    def test_naive_variant_connects_parallel_links(self):
+        graph = node_link_transform(figure5_network(), connect_parallel=True)
+        i, j = graph.index_of("BC1"), graph.index_of("BC2")
+        assert graph.adjacency[i, j] == 1.0
+
+    def test_variants_differ_only_on_parallel_pairs(self):
+        paper = node_link_transform(figure5_network())
+        naive = node_link_transform(figure5_network(), connect_parallel=True)
+        difference = naive.adjacency - paper.adjacency
+        assert difference.sum() == 2.0  # one symmetric BC1-BC2 pair
+        assert (difference >= 0).all()
+
+
+class TestTransformAPI:
+    def test_empty_network_rejected(self):
+        with pytest.raises(TopologyError):
+            node_link_transform(Network([Node("A")]))
+
+    def test_index_of_unknown_link(self):
+        graph = node_link_transform(figure5_network())
+        with pytest.raises(TopologyError):
+            graph.index_of("nope")
+
+    def test_feature_matrix_uses_capacities(self):
+        network = figure5_network()
+        network.set_capacity("AB", 300.0)
+        graph = node_link_transform(network)
+        features = graph.feature_matrix(None, network)
+        assert features.shape == (6, 1)
+        assert features[graph.index_of("AB"), 0] == 300.0
+
+    def test_feature_matrix_with_override(self):
+        network = figure5_network()
+        graph = node_link_transform(network)
+        caps = {lid: 7.0 for lid in network.links}
+        features = graph.feature_matrix(caps, network)
+        np.testing.assert_allclose(features, 7.0)
+
+
+class TestTransformProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(["A", "B"]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_invariants_on_generated_topologies(self, name, seed):
+        instance = generators.make_instance(name, seed=seed, scale=0.6)
+        network = instance.network
+        graph = node_link_transform(network)
+
+        # Node count equals link count.
+        assert graph.num_nodes == network.num_links
+
+        links = {lid: network.get_link(lid) for lid in graph.link_ids}
+        n = graph.num_nodes
+        for i in range(n):
+            for j in range(i + 1, n):
+                a = links[graph.link_ids[i]]
+                b = links[graph.link_ids[j]]
+                expected = float(
+                    a.shares_endpoint_with(b) and not a.is_parallel_to(b)
+                )
+                assert graph.adjacency[i, j] == expected
+                assert graph.adjacency[j, i] == expected

@@ -1,0 +1,73 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import datasets
+from repro.topology.network import Network
+from repro.topology.visualization import render_svg, save_svg
+
+
+@pytest.fixture
+def abilene_network():
+    return datasets.abilene().network
+
+
+class TestRenderSVG:
+    def test_output_is_valid_xml(self, abilene_network):
+        svg = render_svg(abilene_network, title="Abilene")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_every_node_rendered(self, abilene_network):
+        svg = render_svg(abilene_network)
+        root = ET.fromstring(svg)
+        ns = {"s": "http://www.w3.org/2000/svg"}
+        circles = root.findall(".//s:circle", ns)
+        assert len(circles) == abilene_network.num_nodes
+
+    def test_every_link_rendered(self, abilene_network):
+        svg = render_svg(abilene_network)
+        root = ET.fromstring(svg)
+        ns = {"s": "http://www.w3.org/2000/svg"}
+        lines = root.findall(".//s:line", ns)
+        assert len(lines) == abilene_network.num_links
+
+    def test_title_escaped(self, abilene_network):
+        svg = render_svg(abilene_network, title="<cap & plan>")
+        assert "&lt;cap &amp; plan&gt;" in svg
+
+    def test_added_capacity_highlighted(self, abilene_network):
+        baseline = {lid: 0.0 for lid in abilene_network.links}
+        capacities = dict(baseline)
+        grown = next(iter(capacities))
+        capacities[grown] = 500.0
+        svg = render_svg(abilene_network, capacities=capacities, baseline=baseline)
+        assert "#c2410c" in svg  # the "added" color appears
+
+    def test_zero_capacity_links_dashed(self, abilene_network):
+        capacities = {lid: 0.0 for lid in abilene_network.links}
+        svg = render_svg(abilene_network, capacities=capacities)
+        assert "stroke-dasharray" in svg
+
+    def test_parallel_links_both_visible(self):
+        instance = datasets.figure1_topology(long_term=True)
+        svg = render_svg(instance.network)
+        root = ET.fromstring(svg)
+        ns = {"s": "http://www.w3.org/2000/svg"}
+        lines = root.findall(".//s:line", ns)
+        # All four A-D parallel IP links drawn.
+        assert len(lines) == 4
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(TopologyError):
+            render_svg(Network())
+
+    def test_save_svg(self, abilene_network, tmp_path):
+        path = tmp_path / "plan.svg"
+        save_svg(abilene_network, path, title="saved")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)
