@@ -12,6 +12,12 @@ Environment knobs:
 
 - ``NEUROPLAN_BENCH_PROFILE`` -- ``quick`` (default), ``standard`` or
   ``full``.
+- ``NEUROPLAN_BENCH_TELEMETRY`` -- set to any non-empty value to
+  collect telemetry during the run; each figure then also writes a
+  ``results/<figure>.telemetry.json`` snapshot (counters, gauges and
+  timer stats from ``repro.telemetry``) alongside its rows, so perf
+  changes across PRs can be compared at the counter level, not just by
+  wall time.  Off by default to keep timings clean.
 """
 
 import dataclasses
@@ -21,6 +27,8 @@ import pathlib
 
 import pytest
 
+from repro import telemetry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -29,9 +37,21 @@ def profile_name() -> str:
     return os.environ.get("NEUROPLAN_BENCH_PROFILE", "quick")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Opt-in telemetry for the whole benchmark session."""
+    opted_in = bool(os.environ.get("NEUROPLAN_BENCH_TELEMETRY"))
+    if opted_in:
+        telemetry.enable()
+    yield
+    if opted_in:
+        telemetry.disable()
+        telemetry.reset()
+
+
 @pytest.fixture(scope="session")
 def save_rows():
-    """Persist a figure's rows for EXPERIMENTS.md."""
+    """Persist a figure's rows (and telemetry snapshot) for EXPERIMENTS.md."""
 
     def _save(figure: str, rows) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
@@ -41,5 +61,16 @@ def save_rows():
         ]
         path = RESULTS_DIR / f"{figure}.json"
         path.write_text(json.dumps(payload, indent=1, default=str))
+        if telemetry.enabled():
+            snapshot_path = RESULTS_DIR / f"{figure}.telemetry.json"
+            snapshot_path.write_text(
+                json.dumps(
+                    {"figure": figure, "telemetry": telemetry.snapshot()},
+                    indent=1,
+                )
+            )
+            # Figures run back to back in one session: reset so each
+            # snapshot covers only its own figure.
+            telemetry.reset()
 
     return _save

@@ -13,11 +13,28 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import telemetry
 from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
 from repro.core.presets import table2_rows
 from repro.core.report import interpretability_report
 from repro.topology import generators
 from repro.topology.io import save_instance
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Telemetry trace flag, accepted before or after the subcommand.
+
+    The subparser copies use ``SUPPRESS`` so an unused flag does not
+    clobber a value parsed by the top-level parser (``experiment`` keeps
+    its own, unrelated ``--profile`` choosing the experiment budget).
+    """
+    parser.add_argument(
+        "--profile",
+        dest="telemetry_profile",
+        metavar="PATH.jsonl",
+        default=None if top_level else argparse.SUPPRESS,
+        help="enable telemetry and write a JSONL trace to this path",
+    )
 
 
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="neuroplan",
         description="NeuroPlan reproduction: network planning with deep RL",
     )
+    _add_profile_arg(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="describe a topology band")
@@ -49,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="run the two-stage NeuroPlan pipeline")
     _add_instance_args(plan)
+    _add_profile_arg(plan, top_level=False)
     plan.add_argument("--epochs", type=int, default=32)
     plan.add_argument("--steps-per-epoch", type=int, default=1024)
     plan.add_argument("--alpha", type=float, default=1.5, help="relax factor")
@@ -64,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method", default="ilp-heur", choices=("ilp", "ilp-heur", "greedy")
     )
     baseline.add_argument("--time-limit", type=float, default=600.0)
+    _add_profile_arg(baseline, top_level=False)
 
     sub.add_parser("table2", help="print the Table 2 hyperparameters")
 
@@ -93,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("greedy", "ilp-heur", "ilp", "decomposition", "tunnel"),
     )
     compare.add_argument("--time-limit", type=float, default=120.0)
+    _add_profile_arg(compare, top_level=False)
     return parser
 
 
@@ -251,7 +272,17 @@ def main(argv: "list[str] | None" = None) -> int:
         "render": _cmd_render,
         "compare": _cmd_compare,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "telemetry_profile", None)
+    if trace_path is None:
+        return handlers[args.command](args)
+    telemetry.enable(trace_path=trace_path)
+    try:
+        return handlers[args.command](args)
+    finally:
+        print()
+        print(telemetry.summary())
+        telemetry.disable()  # flushes the JSONL trace
+        print(f"wrote telemetry trace to {trace_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

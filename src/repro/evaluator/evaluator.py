@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.evaluator.feasibility import FailureCheckResult, FeasibilityChecker
 from repro.evaluator.stateful import StatefulFailureChecker
@@ -99,23 +100,43 @@ class PlanEvaluator:
         cursor; in the other modes every scenario is checked.
         """
         start = time.perf_counter()
+        result = None
         try:
             if self._stateful is not None:
                 violation = self._stateful.check(
                     capacities, self.required_flow_indices
                 )
                 if violation is not None:
-                    return EvaluationResult(
+                    result = EvaluationResult(
                         feasible=False,
                         cost=self.cost(capacities),
                         violated_failure=violation.failure_id,
                         shortfall=violation.shortfall,
                         checks=[violation],
                     )
-                return EvaluationResult(feasible=True, cost=self.cost(capacities))
-            return self._evaluate_all(capacities)
+                else:
+                    result = EvaluationResult(
+                        feasible=True, cost=self.cost(capacities)
+                    )
+            else:
+                result = self._evaluate_all(capacities)
+            return result
         finally:
-            self.total_check_time += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.total_check_time += elapsed
+            if telemetry.enabled():
+                telemetry.counter("evaluator.evaluations")
+                telemetry.observe("evaluator.evaluate", elapsed)
+                telemetry.event(
+                    "evaluator.evaluate",
+                    mode=self.mode,
+                    feasible=result.feasible if result is not None else None,
+                    violated_failure=(
+                        result.violated_failure if result is not None else None
+                    ),
+                    seconds=elapsed,
+                    lp_solves=self.lp_solves,
+                )
 
     def _evaluate_all(self, capacities: dict[str, float]) -> EvaluationResult:
         checks: list[FailureCheckResult] = []

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import SolverError
 from repro.solver import Model, Status, quicksum
 from repro.topology.failures import FailureScenario
@@ -194,8 +195,10 @@ class FeasibilityChecker:
             if not exempt:
                 required_demand += flow.demand
 
-        status = self._model.optimize()
+        with telemetry.timer("evaluator.feasibility.check"):
+            status = self._model.optimize()
         self._lp_solves += 1
+        telemetry.counter("evaluator.feasibility.checks")
         if status is not Status.OPTIMAL:
             raise SolverError(
                 f"feasibility LP ended with {status} for failure "

@@ -11,12 +11,21 @@ returns the first violated failure across all groups.
 Stateful checking composes per group: each group keeps its own cursor,
 so a plan that only grows keeps skipping its survived prefix in every
 group.
+
+Determinism: the violation returned is the first violated failure in
+the *global* scenario order (base case, then ``instance.failures``
+order), regardless of how many groups the failures were partitioned
+into.  Round-robin partitioning preserves relative order within each
+group, so each group's first violation is its globally earliest one and
+picking the globally earliest among the group winners reproduces the
+serial sweep's answer exactly.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.evaluator.feasibility import FailureCheckResult, FeasibilityChecker
 from repro.evaluator.stateful import StatefulFailureChecker
@@ -56,6 +65,11 @@ class ParallelFailureChecker:
             partitions = [[]]
         scenario_lists: list[list] = [list(p) for p in partitions]
         scenario_lists[0] = [None, *scenario_lists[0]]
+        # Global scenario order: base case first, then instance order.
+        self._order = {"none": -1}
+        self._order.update(
+            {failure.id: index for index, failure in enumerate(instance.failures)}
+        )
         self._checkers = [
             StatefulFailureChecker(
                 FeasibilityChecker(instance, aggregate=aggregate), scenarios
@@ -79,18 +93,55 @@ class ParallelFailureChecker:
         for checker in self._checkers:
             checker.reset()
 
+    def group_stats(self) -> list[dict]:
+        """Per-group utilization: solves and scenarios per worker."""
+        return [
+            {
+                "group": index,
+                "scenarios": len(checker.failures),
+                "cursor": checker.cursor,
+                "lp_solves": checker.checker.lp_solves,
+                "scenarios_checked": checker.scenarios_checked,
+                "scenarios_skipped": checker.scenarios_skipped,
+            }
+            for index, checker in enumerate(self._checkers)
+        ]
+
+    def group_utilization(self) -> list[float]:
+        """Each group's share of total LP solves (sums to ~1)."""
+        solves = [c.checker.lp_solves for c in self._checkers]
+        total = sum(solves)
+        if total == 0:
+            return [0.0 for _ in solves]
+        return [count / total for count in solves]
+
     def check(self, capacities: dict[str, float]) -> "FailureCheckResult | None":
-        """Return the first violated result across groups, or None."""
+        """Return the globally first violated result, or None."""
         futures = [
             self._pool.submit(checker.check, capacities)
             for checker in self._checkers
         ]
         violations = [f.result() for f in futures]
         violations = [v for v in violations if v is not None]
+        if telemetry.enabled():
+            telemetry.counter("evaluator.parallel.checks")
+            for index, checker in enumerate(self._checkers):
+                telemetry.gauge(
+                    f"evaluator.parallel.group.{index}.lp_solves",
+                    checker.checker.lp_solves,
+                )
+            utilization = self.group_utilization()
+            if utilization:
+                telemetry.gauge(
+                    "evaluator.parallel.utilization_spread",
+                    max(utilization) - min(utilization),
+                )
         if not violations:
             return None
-        # Deterministic tie-break: worst shortfall first, then id.
-        violations.sort(key=lambda v: (-v.shortfall, v.failure_id))
+        # Deterministic across group counts: earliest in global order.
+        violations.sort(
+            key=lambda v: self._order.get(v.failure_id, len(self._order))
+        )
         return violations[0]
 
     def close(self) -> None:

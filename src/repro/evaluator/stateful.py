@@ -10,10 +10,17 @@ plain source aggregation comes from (Fig. 7).
 The monotonicity contract is the caller's responsibility: call
 :meth:`reset` whenever capacities may have *decreased* (e.g. a new RL
 trajectory).  In debug mode the checker verifies monotonicity.
+
+Instrumentation: every :meth:`check` records how many scenarios the
+cursor let it *skip* (the survived prefix) versus how many it actually
+*checked*, both on the instance (``scenarios_skipped`` /
+``scenarios_checked``) and in :mod:`repro.telemetry` counters — the
+skip ratio is the direct measurement of the Fig. 7 speedup.
 """
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.errors import EnvironmentError_
 from repro.evaluator.feasibility import FailureCheckResult, FeasibilityChecker
 from repro.topology.failures import FailureScenario
@@ -33,6 +40,11 @@ class StatefulFailureChecker:
         self.verify_monotonic = verify_monotonic
         self._cursor = 0
         self._last_capacities: dict[str, float] | None = None
+        # Cumulative instrumentation across check() calls.
+        self.scenarios_checked = 0
+        self.scenarios_skipped = 0
+        self.last_skipped = 0
+        self.last_checked = 0
 
     @property
     def cursor(self) -> int:
@@ -47,6 +59,16 @@ class StatefulFailureChecker:
         """Forget all survived failures (capacities may have decreased)."""
         self._cursor = 0
         self._last_capacities = None
+
+    def _record(self, skipped: int, checked: int) -> None:
+        self.last_skipped = skipped
+        self.last_checked = checked
+        self.scenarios_skipped += skipped
+        self.scenarios_checked += checked
+        if telemetry.enabled():
+            telemetry.counter("evaluator.stateful.checks")
+            telemetry.counter("evaluator.stateful.scenarios_skipped", skipped)
+            telemetry.counter("evaluator.stateful.scenarios_checked", checked)
 
     def check(
         self,
@@ -67,10 +89,13 @@ class StatefulFailureChecker:
                         f"capacity of {link_id} decreased; call reset() first"
                     )
         self._last_capacities = dict(capacities)
+        entry_cursor = self._cursor
+        checked = 0
 
         if not self.failures and self._cursor == 0:
             # No failure scenarios: check the base (no-failure) case once.
             result = self.checker.check(capacities, None)
+            self._record(entry_cursor, 1)
             if not result.satisfied:
                 return result
             self._cursor = 1
@@ -84,9 +109,12 @@ class StatefulFailureChecker:
                 else None
             )
             result = self.checker.check(capacities, failure, required)
+            checked += 1
             if not result.satisfied:
+                self._record(entry_cursor, checked)
                 return result
             self._cursor += 1
+        self._record(entry_cursor, checked)
         return None
 
     @property

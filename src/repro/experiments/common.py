@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.core.neuroplan import NeuroPlanConfig
 from repro.experiments.scaling import ExperimentProfile
 from repro.topology import generators
@@ -49,6 +50,18 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
         print(
             "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
         )
+
+
+def print_telemetry_summary() -> None:
+    """Print the telemetry table after a figure run (if profiling).
+
+    No-op when telemetry is disabled, so experiment output is unchanged
+    unless the run opted in (e.g. ``neuroplan --profile out.jsonl
+    experiment fig7``).
+    """
+    if telemetry.enabled():
+        print()
+        print(telemetry.summary())
 
 
 def _fmt(cell) -> str:

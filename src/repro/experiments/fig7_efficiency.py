@@ -17,7 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.evaluator import PlanEvaluator
-from repro.experiments.common import make_band_instance, print_table
+from repro.experiments.common import (
+    make_band_instance,
+    print_table,
+    print_telemetry_summary,
+)
 from repro.experiments.scaling import get_profile
 from repro.seeding import as_generator
 from repro.topology.instance import PlanningInstance
@@ -126,6 +130,7 @@ def run(
             ["topology", "mode", "seconds", "normalized", "lp_solves"],
             [[r.topology, r.mode, r.seconds, r.normalized, r.lp_solves] for r in rows],
         )
+        print_telemetry_summary()
     return rows
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import PlanError
 from repro.evaluator import PlanEvaluator
 from repro.planning.greedy import GreedyPlanner
@@ -117,6 +118,16 @@ class ILPHeurPlanner:
             plan = greedy_plan
 
         elapsed = time.perf_counter() - start
+        if telemetry.enabled():
+            telemetry.observe("planning.ilp_heur.plan", elapsed)
+            telemetry.event(
+                "planning.ilp_heur.plan",
+                instance=instance.name,
+                seconds=elapsed,
+                rounds=round_index + 1,
+                failures_used=len(selected_ids),
+                fell_back_to_greedy=plan.method == "greedy",
+            )
         result = NetworkPlan(
             instance_name=instance.name,
             capacities=plan.capacities,

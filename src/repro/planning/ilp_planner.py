@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import InfeasibleError, SolverError
 from repro.planning.formulation import PlanningILP
 from repro.planning.plan import NetworkPlan
@@ -79,6 +80,19 @@ class ILPPlanner:
             time_limit=self.time_limit, mip_gap=self.mip_gap, warm_start=hint
         )
         elapsed = time.perf_counter() - start
+        if telemetry.enabled():
+            telemetry.counter("planning.ilp.solves")
+            telemetry.observe("planning.ilp.solve", elapsed)
+            telemetry.event(
+                "planning.ilp.solve",
+                instance=instance.name,
+                method=method_name,
+                status=status.value,
+                seconds=elapsed,
+                num_variables=ilp.num_variables,
+                num_constraints=ilp.num_constraints,
+                warm_start=warm_start is not None,
+            )
 
         if status is Status.INFEASIBLE:
             raise InfeasibleError(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
@@ -170,6 +171,11 @@ class A2CTrainer:
                 **metrics,
             }
             history.append(entry)
+            if telemetry.enabled():
+                telemetry.counter("rl.a2c.epochs")
+                telemetry.counter("rl.env_steps", buffer.num_steps)
+                telemetry.counter("rl.episodes", buffer.num_trajectories)
+                telemetry.event("rl.a2c.epoch", **entry)
 
             # Early stopping on stagnation of the best plan.
             if config.patience:

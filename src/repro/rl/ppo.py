@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
@@ -128,16 +129,20 @@ class PPOTrainer:
             if completion["best_cost"] < best_cost:
                 best_cost = completion["best_cost"]
                 best_capacities = completion["best_capacities"]
-            history.append(
-                {
-                    "epoch": epoch,
-                    "epoch_reward": epoch_reward,
-                    "completion_rate": completion["rate"],
-                    "num_trajectories": len(trajectory_bounds),
-                    "best_cost": best_cost if best_capacities else None,
-                    **metrics,
-                }
-            )
+            entry = {
+                "epoch": epoch,
+                "epoch_reward": epoch_reward,
+                "completion_rate": completion["rate"],
+                "num_trajectories": len(trajectory_bounds),
+                "best_cost": best_cost if best_capacities else None,
+                **metrics,
+            }
+            history.append(entry)
+            if telemetry.enabled():
+                telemetry.counter("rl.ppo.epochs")
+                telemetry.counter("rl.env_steps", len(steps))
+                telemetry.counter("rl.episodes", len(trajectory_bounds))
+                telemetry.event("rl.ppo.epoch", **entry)
 
         return TrainingResult(
             best_capacities=best_capacities,

@@ -31,6 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
+from repro import telemetry
 from repro.errors import SolverError
 from repro.solver.expression import ConstraintSpec, LinExpr, Variable, quicksum
 from repro.solver.status import Status
@@ -188,6 +189,11 @@ class Model:
     # Compilation
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
+        if self._matrix is not None:
+            # Only a *compiled* matrix being thrown away is a cache
+            # invalidation worth counting; invalidating an un-compiled
+            # model (during construction) is free.
+            telemetry.counter("solver.cache_invalidations")
         self._matrix = None
         self._lp_split = None
         self._mark_solution_stale()
@@ -286,6 +292,20 @@ class Model:
         self._solve_time = time.perf_counter() - start
         self._solve_count += 1
         self._status = status
+        if telemetry.enabled():
+            backend = "milp" if use_milp else "lp"
+            telemetry.counter(f"solver.{backend}_solves")
+            telemetry.observe(f"solver.{backend}_solve", self._solve_time)
+            telemetry.event(
+                "solver.solve",
+                model=self.name,
+                backend=backend,
+                status=status.value,
+                solve_time=self._solve_time,
+                num_variables=self.num_variables,
+                num_constraints=self.num_constraints,
+                warm_start=warm_start is not None,
+            )
         return status
 
     def _lp_matrices(self, row_lb: np.ndarray, row_ub: np.ndarray):

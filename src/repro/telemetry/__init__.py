@@ -1,0 +1,214 @@
+"""Lightweight observability: counters, gauges, timers and trace spans.
+
+Usage from instrumented code::
+
+    from repro import telemetry
+
+    telemetry.counter("solver.lp_solves")          # +1
+    telemetry.gauge("rl.best_cost", 42.0)
+    with telemetry.timer("solver.lp_solve"):        # aggregate stats
+        ...
+    with telemetry.span("planning.ilp.solve", band="A") as sp:
+        ...                                         # trace event + stats
+        sp.set(status="optimal")
+    telemetry.event("rl.ppo.epoch", epoch=3, loss=0.1)  # instant event
+
+Collection is **off by default**; every entry point checks one boolean
+and returns immediately, so instrumentation in hot paths (the solver,
+the failure checkers) is effectively free unless a run opts in with
+:func:`enable` — e.g. via the CLI's ``--profile out.jsonl`` flag, which
+also exports the span/event buffer as JSONL (one event per line; see
+:mod:`repro.telemetry.trace` for the schema).
+
+The registry is process-global on purpose: instrumented modules never
+thread a handle around, and a profiling run observes every component —
+solver, evaluators, planners, trainers — with a single ``enable()``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time as _time
+
+from repro.telemetry.registry import Registry, TimerStat
+from repro.telemetry.summarize import render_summary
+from repro.telemetry.trace import (
+    EVENT_KINDS,
+    export_jsonl,
+    load_jsonl,
+    validate_event,
+    validate_trace,
+)
+
+__all__ = [
+    "Registry",
+    "TimerStat",
+    "EVENT_KINDS",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "counter",
+    "counter_value",
+    "gauge",
+    "observe",
+    "event",
+    "timer",
+    "span",
+    "snapshot",
+    "events",
+    "flush",
+    "summary",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_event",
+    "validate_trace",
+    "get_registry",
+]
+
+_REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-global registry (mainly for tests)."""
+    return _REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def enable(trace_path: "str | None" = None) -> None:
+    """Start collecting; ``trace_path`` exports JSONL on flush/disable."""
+    _REGISTRY.enable(trace_path)
+
+
+def disable() -> None:
+    """Stop collecting (flushes the trace first if a path was set)."""
+    _REGISTRY.disable()
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled
+
+
+def reset() -> None:
+    """Drop all recorded metrics and buffered events."""
+    _REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# Recording (all no-ops while disabled)
+# ----------------------------------------------------------------------
+def counter(name: str, value: float = 1.0) -> None:
+    """Increment a monotonically growing counter."""
+    if _REGISTRY.enabled:
+        _REGISTRY.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a point-in-time value (last write wins)."""
+    if _REGISTRY.enabled:
+        _REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Feed an externally measured duration into a timer statistic."""
+    if _REGISTRY.enabled:
+        _REGISTRY.observe(name, seconds)
+
+
+def event(name: str, **attrs) -> None:
+    """Record one instantaneous structured trace event."""
+    if _REGISTRY.enabled:
+        _REGISTRY.record_event(name, attrs=attrs)
+
+
+class timer:
+    """Monotonic-clock timer usable as a context manager or decorator.
+
+    The enabled check happens at ``__enter__``/call time, so a
+    ``@timer(...)``-decorated function picks up a later ``enable()``.
+    """
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._start = None
+
+    def __enter__(self) -> "timer":
+        self._start = _time.perf_counter() if _REGISTRY.enabled else None
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._start is not None:
+            _REGISTRY.observe(self.name, _time.perf_counter() - self._start)
+            self._start = None
+        return False
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            with timer(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+
+class span:
+    """Timed trace span: records a JSONL event *and* a timer stat.
+
+    Attributes passed to the constructor (or added with :meth:`set`)
+    become the event's ``attrs``.
+    """
+
+    __slots__ = ("name", "attrs", "_start")
+
+    def __init__(self, name: str, **attrs):
+        self.name = name
+        self.attrs = attrs
+        self._start = None
+
+    def set(self, **attrs) -> "span":
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "span":
+        self._start = _time.perf_counter() if _REGISTRY.enabled else None
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._start is not None:
+            duration = _time.perf_counter() - self._start
+            _REGISTRY.observe(self.name, duration)
+            _REGISTRY.record_event(self.name, duration_s=duration, attrs=self.attrs)
+            self._start = None
+        return False
+
+
+# ----------------------------------------------------------------------
+# Read-out
+# ----------------------------------------------------------------------
+def counter_value(name: str) -> float:
+    return _REGISTRY.counter_value(name)
+
+
+def snapshot() -> dict:
+    """JSON-serializable copy of all counters/gauges/timers."""
+    return _REGISTRY.snapshot()
+
+
+def events() -> list[dict]:
+    """A copy of the buffered trace events."""
+    return _REGISTRY.events()
+
+
+def flush(path: "str | None" = None) -> "str | None":
+    """Export buffered events as JSONL; returns the path written."""
+    return _REGISTRY.flush(path)
+
+
+def summary(title: str = "telemetry summary") -> str:
+    """Human-readable table of every recorded metric."""
+    return render_summary(snapshot(), title=title)

@@ -1,0 +1,154 @@
+"""Process-global metric registry: counters, gauges, timer statistics.
+
+The registry is the storage half of :mod:`repro.telemetry`; the facade
+in ``__init__`` provides the cheap guarded entry points used by
+instrumented code.  Everything here is thread-safe (the parallel
+failure checker increments counters from worker threads) and
+dependency-free so the solver / evaluator / RL hot paths can import it
+without pulling in anything heavy.
+
+Disabled is the default state and the fast path: the facade checks one
+boolean before touching the registry, so instrumentation costs a
+function call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+
+class TimerStat:
+    """Aggregate statistics for one named timer."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def as_dict(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class Registry:
+    """Counters, gauges, timers and the span/event trace buffer."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.enabled = False
+        self.trace_path: str | None = None
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, trace_path: "str | None" = None) -> None:
+        """Turn collection on, optionally exporting a JSONL trace."""
+        with self._lock:
+            self.enabled = True
+            if trace_path is not None:
+                self.trace_path = str(trace_path)
+
+    def disable(self) -> None:
+        """Turn collection off; flush the trace if a path was set."""
+        self.flush()
+        with self._lock:
+            self.enabled = False
+            self.trace_path = None
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and events (keeps enabled state)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+
+    def record_event(
+        self,
+        name: str,
+        duration_s: "float | None" = None,
+        attrs: "dict | None" = None,
+    ) -> None:
+        event = {
+            "name": name,
+            "ts": time.time(),
+            "kind": "span" if duration_s is not None else "event",
+            "attrs": attrs or {},
+        }
+        if duration_s is not None:
+            event["duration_s"] = float(duration_s)
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable copy of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: stat.as_dict() for name, stat in self._timers.items()
+                },
+            }
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def flush(self, path: "str | None" = None) -> "str | None":
+        """Write buffered events as JSONL; returns the path written."""
+        from repro.telemetry.trace import export_jsonl
+
+        target = path or self.trace_path
+        if target is None:
+            return None
+        export_jsonl(self.events(), target)
+        return target

@@ -1,0 +1,49 @@
+"""Render a registry snapshot as a fixed-width summary table."""
+
+from __future__ import annotations
+
+
+def render_summary(snapshot: dict, title: str = "telemetry summary") -> str:
+    """Format counters, gauges and timers for terminal output."""
+    lines = [title, "-" * len(title)]
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_fmt_number(counters[name])}")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_fmt_number(gauges[name])}")
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        width = max(len(name) for name in timers)
+        lines.append("timers:")
+        header = (
+            f"  {'name':<{width}}  {'count':>8}  {'total_s':>10}  "
+            f"{'mean_ms':>10}  {'max_ms':>10}"
+        )
+        lines.append(header)
+        for name in sorted(timers):
+            stat = timers[name]
+            lines.append(
+                f"  {name:<{width}}  {stat['count']:>8}  "
+                f"{stat['total_s']:>10.3f}  {stat['mean_s'] * 1e3:>10.3f}  "
+                f"{stat['max_s'] * 1e3:>10.3f}"
+            )
+
+    if len(lines) == 2:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def _fmt_number(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.3f}"

@@ -1,0 +1,107 @@
+"""Structured event tracing: the JSONL schema, exporter and validator.
+
+Every trace line is one JSON object:
+
+``name``
+    Dotted event name, e.g. ``"solver.solve"`` (non-empty string).
+``ts``
+    Wall-clock timestamp, seconds since the epoch (float).
+``kind``
+    ``"span"`` (has a duration) or ``"event"`` (instantaneous).
+``duration_s``
+    Wall-clock duration in seconds; present iff ``kind == "span"``.
+``attrs``
+    Flat mapping of string keys to JSON scalars (str/int/float/bool/
+    null) or lists of scalars.
+
+The schema is deliberately flat so traces from different PRs can be
+diffed line-by-line with standard tools (``jq``, ``sort``, ``diff``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+EVENT_KINDS = ("span", "event")
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def export_jsonl(events: list[dict], path) -> None:
+    """Write one event per line to ``path`` (parent dirs created)."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, default=str) + "\n")
+
+
+def load_jsonl(path) -> list[dict]:
+    """Parse a trace written by :func:`export_jsonl`."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def validate_event(event: dict) -> list[str]:
+    """Check one trace event against the schema; return problems.
+
+    An empty list means the event conforms.  Used by the golden trace
+    test and available to external consumers of ``--profile`` output.
+    """
+    problems: list[str] = []
+    if not isinstance(event, dict):
+        return [f"event is {type(event).__name__}, expected object"]
+
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name must be a non-empty string")
+
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts <= 0:
+        problems.append("ts must be a positive number")
+
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        problems.append(f"kind must be one of {EVENT_KINDS}, got {kind!r}")
+
+    duration = event.get("duration_s")
+    if kind == "span":
+        if not isinstance(duration, (int, float)) or isinstance(duration, bool):
+            problems.append("span events require a numeric duration_s")
+        elif duration < 0:
+            problems.append("duration_s must be >= 0")
+    elif duration is not None:
+        problems.append("instant events must not carry duration_s")
+
+    attrs = event.get("attrs")
+    if not isinstance(attrs, dict):
+        problems.append("attrs must be an object")
+    else:
+        for key, value in attrs.items():
+            if not isinstance(key, str):
+                problems.append(f"attr key {key!r} must be a string")
+            if isinstance(value, _SCALAR_TYPES):
+                continue
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(item, _SCALAR_TYPES) for item in value
+            ):
+                continue
+            problems.append(
+                f"attr {key!r} must be a JSON scalar or list of scalars"
+            )
+
+    extra = set(event) - {"name", "ts", "kind", "duration_s", "attrs"}
+    if extra:
+        problems.append(f"unexpected keys: {sorted(extra)}")
+    return problems
+
+
+def validate_trace(events: list[dict]) -> list[str]:
+    """Validate a whole trace; problems are prefixed with line numbers."""
+    problems: list[str] = []
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append(f"line {index + 1}: {problem}")
+    return problems

@@ -31,6 +31,34 @@ class TestPartition:
     def test_no_failures(self):
         assert partition_failures([], 3) == []
 
+    def test_single_group_preserves_order(self):
+        instance = datasets.abilene()
+        parts = partition_failures(instance.failures, 1)
+        assert parts == [instance.failures]
+
+    def test_groups_exceeding_failures_yield_singletons_in_order(self):
+        instance = datasets.abilene()
+        count = len(instance.failures)
+        parts = partition_failures(instance.failures, count + 25)
+        assert len(parts) == count
+        assert [p[0].id for p in parts] == [f.id for f in instance.failures]
+        assert all(len(p) == 1 for p in parts)
+
+    def test_round_robin_preserves_relative_order_within_groups(self):
+        instance = datasets.abilene()
+        order = {f.id: i for i, f in enumerate(instance.failures)}
+        for groups in (2, 3, 5):
+            for part in partition_failures(instance.failures, groups):
+                indices = [order[f.id] for f in part]
+                assert indices == sorted(indices)
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        instance = datasets.abilene()
+        parts = partition_failures(instance.failures, 4)
+        ids = [f.id for p in parts for f in p]
+        assert sorted(ids) == sorted(f.id for f in instance.failures)
+        assert len(ids) == len(set(ids))
+
 
 class TestParallelChecker:
     @pytest.fixture(scope="class")
@@ -96,3 +124,49 @@ class TestParallelChecker:
             assert parallel.num_groups == 1
             assert parallel.check({"link1": 0.0, "link2": 0.0}) is not None
             assert parallel.check({"link1": 100.0, "link2": 0.0}) is None
+
+    def test_first_violation_deterministic_across_group_counts(self, instance):
+        """Any group count returns the globally first violated failure."""
+        rng = np.random.default_rng(7)
+        plans = []
+        for _ in range(4):
+            plans.append(
+                {
+                    lid: link.capacity
+                    + float(rng.integers(0, 12)) * instance.capacity_unit
+                    for lid, link in instance.network.links.items()
+                }
+            )
+        for caps in plans:
+            winners = set()
+            for groups in (1, 2, 3, 5, 8):
+                with ParallelFailureChecker(instance, groups=groups) as parallel:
+                    violation = parallel.check(caps)
+                winners.add(None if violation is None else violation.failure_id)
+            assert len(winners) == 1, winners
+
+    def test_first_violation_matches_serial_stateful_sweep(self, instance):
+        """The parallel answer equals the serial evaluator's answer."""
+        serial = PlanEvaluator(instance, mode="neuroplan")
+        caps = instance.network.capacities()
+        result = serial.evaluate(caps)
+        assert not result.feasible
+        with ParallelFailureChecker(instance, groups=3) as parallel:
+            violation = parallel.check(caps)
+        assert violation is not None
+        assert violation.failure_id == result.violated_failure
+
+    def test_group_stats_and_utilization(self, instance):
+        with ParallelFailureChecker(instance, groups=3) as parallel:
+            parallel.check(instance.network.capacities())
+            stats = parallel.group_stats()
+            assert len(stats) == parallel.num_groups
+            total_scenarios = sum(s["scenarios"] for s in stats)
+            assert total_scenarios == len(instance.failures) + 1  # + base case
+            utilization = parallel.group_utilization()
+            assert len(utilization) == parallel.num_groups
+            assert sum(utilization) == pytest.approx(1.0)
+
+    def test_utilization_zero_before_any_check(self, instance):
+        with ParallelFailureChecker(instance, groups=2) as parallel:
+            assert parallel.group_utilization() == [0.0, 0.0]

@@ -1,0 +1,117 @@
+"""Property-based differential tests for stateful failure checking.
+
+The stateful checker's only claim is an optimization: over any
+capacity-*growing* plan sequence it must return exactly the verdict a
+fresh full sweep would, while skipping the survived prefix.  Hypothesis
+drives randomized growth sequences; every step cross-checks the verdict
+against an independent, stateless full sweep and the instrumentation
+counters against the cursor.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluator.feasibility import FeasibilityChecker
+from repro.evaluator.stateful import StatefulFailureChecker
+from repro.topology import generators
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generators.make_instance("A", seed=2, scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def full_checker(instance):
+    """One compiled checker reused across examples (stateless per check)."""
+    return FeasibilityChecker(instance)
+
+
+def full_sweep_first_violation(checker, failures, capacities):
+    """The reference implementation: check everything, in order."""
+    for failure in failures:
+        result = checker.check(capacities, failure)
+        if not result.satisfied:
+            return result
+    return None
+
+
+def growth_steps(num_links: int):
+    """Sequences of per-link capacity-unit additions (always >= 0)."""
+    step = st.lists(
+        st.integers(min_value=0, max_value=2),
+        min_size=num_links,
+        max_size=num_links,
+    )
+    return st.lists(step, min_size=1, max_size=4)
+
+
+class TestStatefulMatchesFullSweep:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_verdicts_and_skip_counters(self, data, instance, full_checker):
+        link_ids = sorted(instance.network.links)
+        steps = data.draw(growth_steps(len(link_ids)))
+
+        stateful = StatefulFailureChecker(
+            FeasibilityChecker(instance), instance.failures
+        )
+        capacities = dict(instance.network.capacities())
+        unit = instance.capacity_unit
+
+        for additions in steps:
+            for link_id, units in zip(link_ids, additions):
+                capacities[link_id] += units * unit
+
+            cursor_before = stateful.cursor
+            skipped_before = stateful.scenarios_skipped
+            violation = stateful.check(capacities)
+            reference = full_sweep_first_violation(
+                full_checker, instance.failures, capacities
+            )
+
+            # Identical verdicts: feasibility and the violated failure.
+            if reference is None:
+                assert violation is None
+            else:
+                assert violation is not None
+                assert violation.failure_id == reference.failure_id
+                assert violation.shortfall == pytest.approx(
+                    reference.shortfall, rel=1e-6, abs=1e-6
+                )
+
+            # The reported skip counter is exactly the cursor prefix.
+            assert (
+                stateful.scenarios_skipped - skipped_before == cursor_before
+            )
+            assert stateful.last_skipped == cursor_before
+            # Cursor never retreats on growing capacities.
+            assert stateful.cursor >= cursor_before
+
+    @settings(max_examples=8, deadline=None)
+    @given(bump=st.integers(min_value=0, max_value=40))
+    def test_feasible_iff_full_sweep_feasible(
+        self, bump, instance, full_checker
+    ):
+        """Single uniform growth: both implementations agree exactly."""
+        capacities = {
+            link_id: value + bump * instance.capacity_unit
+            for link_id, value in instance.network.capacities().items()
+        }
+        stateful = StatefulFailureChecker(
+            FeasibilityChecker(instance), instance.failures
+        )
+        verdict = stateful.check(capacities)
+        reference = full_sweep_first_violation(
+            full_checker, instance.failures, capacities
+        )
+        assert (verdict is None) == (reference is None)
+        if verdict is not None:
+            assert verdict.failure_id == reference.failure_id

@@ -1,0 +1,98 @@
+"""Determinism regression tests for the trainers.
+
+Two trains with the same seed must produce bitwise-identical metric
+streams — and enabling telemetry on one of them must not change
+anything: the telemetry hooks observe training but never touch RNG
+state, so profiled and unprofiled runs stay comparable.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.rl.a2c import A2CConfig, A2CTrainer
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.topology import datasets
+
+
+def fresh_ppo(seed=11):
+    env = PlanningEnv(
+        datasets.figure1_topology(), max_units_per_step=1, max_steps=12
+    )
+    policy = ActorCriticPolicy(feature_dim=1, max_units=1, rng=0)
+    config = PPOConfig(
+        epochs=3, steps_per_epoch=32, max_trajectory_length=12, seed=seed
+    )
+    return PPOTrainer(env, policy, config)
+
+
+def fresh_a2c(seed=11):
+    env = PlanningEnv(
+        datasets.figure1_topology(), max_units_per_step=1, max_steps=12
+    )
+    policy = ActorCriticPolicy(feature_dim=1, max_units=1, rng=0)
+    config = A2CConfig(
+        epochs=3, steps_per_epoch=32, max_trajectory_length=12, seed=seed
+    )
+    return A2CTrainer(env, policy, config)
+
+
+def assert_identical_streams(history_a, history_b):
+    """Every epoch entry must match bitwise (== on floats, not approx)."""
+    assert len(history_a) == len(history_b)
+    for entry_a, entry_b in zip(history_a, history_b):
+        assert set(entry_a) == set(entry_b)
+        for key in entry_a:
+            assert entry_a[key] == entry_b[key], key
+
+
+@pytest.fixture(autouse=True)
+def telemetry_cleanup():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestPPODeterminism:
+    def test_same_seed_same_metric_stream(self):
+        a = fresh_ppo().train()
+        b = fresh_ppo().train()
+        assert_identical_streams(a.history, b.history)
+        assert a.best_cost == b.best_cost
+        assert a.best_capacities == b.best_capacities
+
+    def test_telemetry_does_not_perturb_training(self, tmp_path):
+        plain = fresh_ppo().train()
+        telemetry.enable(trace_path=str(tmp_path / "ppo.jsonl"))
+        profiled = fresh_ppo().train()
+        telemetry.disable()
+        assert_identical_streams(plain.history, profiled.history)
+        assert plain.best_cost == profiled.best_cost
+
+    def test_different_seeds_diverge(self):
+        a = fresh_ppo(seed=1).train()
+        b = fresh_ppo(seed=2).train()
+        assert a.epoch_rewards != b.epoch_rewards
+
+
+class TestA2CDeterminism:
+    def test_same_seed_same_metric_stream(self):
+        a = fresh_a2c().train()
+        b = fresh_a2c().train()
+        assert_identical_streams(a.history, b.history)
+        assert a.best_cost == b.best_cost
+        assert a.best_capacities == b.best_capacities
+
+    def test_telemetry_does_not_perturb_training(self, tmp_path):
+        plain = fresh_a2c().train()
+        telemetry.enable(trace_path=str(tmp_path / "a2c.jsonl"))
+        profiled = fresh_a2c().train()
+        telemetry.disable()
+        assert_identical_streams(plain.history, profiled.history)
+        assert plain.best_cost == profiled.best_cost
+        # The profiled run really did record epoch events.
+        events = telemetry.load_jsonl(tmp_path / "a2c.jsonl")
+        assert sum(e["name"] == "rl.a2c.epoch" for e in events) == len(
+            profiled.history
+        )

@@ -1,0 +1,151 @@
+"""Brute-force differential tests for the MILP path of `solver.Model`.
+
+Random small pure-integer programs (<= 6 bounded variables) are solved
+two ways: by exhaustive enumeration of every integer assignment and by
+the HiGHS-backed ``optimize()``.  The solver must report the enumerated
+optimum, and its ``slack``/``activity`` values must match a manual
+recomputation from the solution vector.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.solver import Model, Status, Variable
+
+TOL = 1e-6
+
+
+def random_milp(seed: int):
+    """Build a random bounded integer program and its raw description."""
+    rng = np.random.default_rng(seed)
+    num_vars = int(rng.integers(2, 7))  # 2..6 variables
+    num_constrs = int(rng.integers(1, 5))
+    upper_bounds = [int(rng.integers(1, 4)) for _ in range(num_vars)]
+
+    model = Model(f"bruteforce-{seed}")
+    variables = [
+        model.add_var(lb=0, ub=ub, vtype=Variable.INTEGER, name=f"v{i}")
+        for i, ub in enumerate(upper_bounds)
+    ]
+
+    constraints = []
+    raw_constraints = []  # (coeffs, sense, rhs)
+    for _ in range(num_constrs):
+        coeffs = rng.integers(-3, 4, size=num_vars)
+        sense = rng.choice(["<=", ">=", "=="])
+        # Pick an RHS near the value at a random feasible-looking point
+        # so problems are neither trivially loose nor always infeasible.
+        point = [int(rng.integers(0, ub + 1)) for ub in upper_bounds]
+        rhs = float(np.dot(coeffs, point)) + float(rng.integers(-2, 3))
+        expr = sum(
+            int(c) * v for c, v in zip(coeffs, variables) if int(c) != 0
+        )
+        if isinstance(expr, int):  # all coefficients were zero
+            continue
+        if sense == "<=":
+            constraints.append(model.add_constr(expr <= rhs))
+        elif sense == ">=":
+            constraints.append(model.add_constr(expr >= rhs))
+        else:
+            constraints.append(model.add_constr(expr == rhs))
+        raw_constraints.append(([int(c) for c in coeffs], sense, rhs))
+
+    objective_coeffs = [int(c) for c in rng.integers(-5, 6, size=num_vars)]
+    sense = "min" if rng.integers(0, 2) == 0 else "max"
+    objective = sum(c * v for c, v in zip(objective_coeffs, variables))
+    if isinstance(objective, int):
+        objective = variables[0] * 0.0
+    model.set_objective(objective, sense=sense)
+    return model, variables, constraints, raw_constraints, (
+        objective_coeffs,
+        sense,
+        upper_bounds,
+    )
+
+
+def enumerate_optimum(raw_constraints, objective_coeffs, sense, upper_bounds):
+    """The ground truth: try every integer assignment."""
+    best = None
+    ranges = [range(ub + 1) for ub in upper_bounds]
+    for assignment in itertools.product(*ranges):
+        feasible = True
+        for coeffs, constr_sense, rhs in raw_constraints:
+            value = sum(c * x for c, x in zip(coeffs, assignment))
+            if constr_sense == "<=" and value > rhs + TOL:
+                feasible = False
+            elif constr_sense == ">=" and value < rhs - TOL:
+                feasible = False
+            elif constr_sense == "==" and abs(value - rhs) > TOL:
+                feasible = False
+            if not feasible:
+                break
+        if not feasible:
+            continue
+        objective = sum(c * x for c, x in zip(objective_coeffs, assignment))
+        if best is None:
+            best = objective
+        elif sense == "min":
+            best = min(best, objective)
+        else:
+            best = max(best, objective)
+    return best
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_milp_matches_enumeration(seed):
+    model, variables, constraints, raw_constraints, spec = random_milp(seed)
+    objective_coeffs, sense, upper_bounds = spec
+    expected = enumerate_optimum(
+        raw_constraints, objective_coeffs, sense, upper_bounds
+    )
+
+    status = model.optimize()
+    if expected is None:
+        assert status is Status.INFEASIBLE
+        return
+
+    assert status is Status.OPTIMAL
+    assert model.objective_value == pytest.approx(expected, abs=1e-5)
+
+    # The returned solution is integral, in bounds and feasible.
+    values = [v.x for v in variables]
+    for value, ub in zip(values, upper_bounds):
+        assert abs(value - round(value)) < 1e-5
+        assert -1e-6 <= value <= ub + 1e-6
+
+    # slack/activity agree with a manual recomputation at the solution.
+    for constraint, (coeffs, constr_sense, rhs) in zip(
+        constraints, raw_constraints
+    ):
+        manual_activity = sum(c * x for c, x in zip(coeffs, values))
+        assert constraint.activity == pytest.approx(manual_activity, abs=1e-6)
+        assert constraint.slack == pytest.approx(
+            constraint.ub - manual_activity, abs=1e-6
+        )
+        if constr_sense == "<=":
+            assert manual_activity <= rhs + 1e-5
+        elif constr_sense == ">=":
+            assert manual_activity >= rhs - 1e-5
+        else:
+            assert manual_activity == pytest.approx(rhs, abs=1e-5)
+
+
+@pytest.mark.parametrize("seed", [3, 7, 12])
+def test_lp_relaxation_bounds_the_milp(seed):
+    """The LP relaxation is always at least as good as the integer optimum."""
+    model, _, _, raw_constraints, spec = random_milp(seed)
+    objective_coeffs, sense, upper_bounds = spec
+    expected = enumerate_optimum(
+        raw_constraints, objective_coeffs, sense, upper_bounds
+    )
+    if expected is None:
+        pytest.skip("instance infeasible")
+    relaxed_status = model.optimize(relax=True)
+    assert relaxed_status is Status.OPTIMAL
+    relaxed = model.objective_value
+    if sense == "min":
+        assert relaxed <= expected + 1e-6
+    else:
+        assert relaxed >= expected - 1e-6

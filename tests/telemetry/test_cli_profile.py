@@ -1,0 +1,88 @@
+"""Golden test: ``--profile`` produces a schema-valid JSONL trace.
+
+Runs the real CLI pipeline (tiny budgets) and validates every trace
+line against the documented schema, plus the acceptance requirement
+that solver, evaluator and RL trainer events are all present.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.telemetry.trace import validate_trace
+
+
+@pytest.fixture(scope="module")
+def trace_events(tmp_path_factory):
+    path = tmp_path_factory.mktemp("profile") / "trace.jsonl"
+    exit_code = main(
+        [
+            "--profile",
+            str(path),
+            "plan",
+            "--topology",
+            "A",
+            "--scale",
+            "0.3",
+            "--epochs",
+            "2",
+            "--steps-per-epoch",
+            "16",
+        ]
+    )
+    assert exit_code == 0
+    lines = path.read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+class TestCliProfileTrace:
+    def test_trace_not_empty(self, trace_events):
+        assert trace_events
+
+    def test_every_event_conforms_to_schema(self, trace_events):
+        assert validate_trace(trace_events) == []
+
+    def test_covers_solver_evaluator_and_rl(self, trace_events):
+        names = {event["name"] for event in trace_events}
+        assert any(name.startswith("solver.") for name in names), names
+        assert any(name.startswith("evaluator.") for name in names), names
+        assert any(name.startswith("rl.") for name in names), names
+        assert any(name.startswith("planning.") for name in names), names
+
+    def test_solver_events_carry_expected_attrs(self, trace_events):
+        solves = [e for e in trace_events if e["name"] == "solver.solve"]
+        assert solves
+        for event in solves:
+            attrs = event["attrs"]
+            assert attrs["backend"] in ("lp", "milp")
+            assert attrs["status"]
+            assert attrs["num_variables"] > 0
+            assert attrs["solve_time"] >= 0.0
+
+    def test_rl_epoch_events_carry_metrics(self, trace_events):
+        epochs = [e for e in trace_events if e["name"] == "rl.a2c.epoch"]
+        assert len(epochs) == 2
+        for event in epochs:
+            assert {"epoch", "epoch_reward", "policy_loss"} <= set(event["attrs"])
+
+    def test_timestamps_monotone_nondecreasing(self, trace_events):
+        stamps = [event["ts"] for event in trace_events]
+        assert stamps == sorted(stamps)
+
+    def test_telemetry_disabled_after_cli_run(self, trace_events):
+        assert not telemetry.enabled()
+
+
+class TestCliProfileFlagPlacement:
+    def test_flag_accepted_after_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "info.jsonl"
+        exit_code = main(
+            ["baseline", "--topology", "A", "--scale", "0.3",
+             "--method", "greedy", "--profile", str(path)]
+        )
+        assert exit_code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out

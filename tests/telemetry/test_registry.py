@@ -1,0 +1,126 @@
+"""Unit tests for the telemetry registry and facade."""
+
+import threading
+
+from repro import telemetry
+
+
+class TestDisabledIsNoOp:
+    def test_counter_ignored_when_disabled(self):
+        telemetry.counter("x")
+        assert telemetry.snapshot()["counters"] == {}
+
+    def test_gauge_and_observe_ignored_when_disabled(self):
+        telemetry.gauge("g", 1.0)
+        telemetry.observe("t", 0.5)
+        snap = telemetry.snapshot()
+        assert snap["gauges"] == {} and snap["timers"] == {}
+
+    def test_timer_and_span_record_nothing_when_disabled(self):
+        with telemetry.timer("t"):
+            pass
+        with telemetry.span("s", key="v"):
+            pass
+        assert telemetry.snapshot()["timers"] == {}
+        assert telemetry.events() == []
+
+    def test_event_ignored_when_disabled(self):
+        telemetry.event("e", a=1)
+        assert telemetry.events() == []
+
+
+class TestCounters:
+    def test_increments_accumulate(self):
+        telemetry.enable()
+        telemetry.counter("hits")
+        telemetry.counter("hits", 4)
+        assert telemetry.counter_value("hits") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert telemetry.counter_value("never") == 0.0
+
+    def test_thread_safety(self):
+        telemetry.enable()
+
+        def bump():
+            for _ in range(1000):
+                telemetry.counter("shared")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert telemetry.counter_value("shared") == 8000
+
+
+class TestGaugesAndTimers:
+    def test_gauge_last_write_wins(self):
+        telemetry.enable()
+        telemetry.gauge("g", 1.0)
+        telemetry.gauge("g", 2.5)
+        assert telemetry.snapshot()["gauges"]["g"] == 2.5
+
+    def test_timer_context_manager(self):
+        telemetry.enable()
+        with telemetry.timer("work"):
+            pass
+        stat = telemetry.snapshot()["timers"]["work"]
+        assert stat["count"] == 1
+        assert stat["total_s"] >= 0.0
+        assert stat["min_s"] <= stat["max_s"]
+
+    def test_timer_decorator_checks_enabled_at_call_time(self):
+        @telemetry.timer("fn")
+        def decorated():
+            return 42
+
+        assert decorated() == 42  # disabled: no stats
+        assert "fn" not in telemetry.snapshot()["timers"]
+        telemetry.enable()
+        assert decorated() == 42
+        assert telemetry.snapshot()["timers"]["fn"]["count"] == 1
+
+    def test_observe_aggregates(self):
+        telemetry.enable()
+        telemetry.observe("t", 1.0)
+        telemetry.observe("t", 3.0)
+        stat = telemetry.snapshot()["timers"]["t"]
+        assert stat["count"] == 2
+        assert stat["total_s"] == 4.0
+        assert stat["mean_s"] == 2.0
+        assert stat["min_s"] == 1.0
+        assert stat["max_s"] == 3.0
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self):
+        telemetry.enable()
+        telemetry.counter("c")
+        telemetry.event("e")
+        telemetry.reset()
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {} and telemetry.events() == []
+
+    def test_disable_flushes_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(trace_path=str(path))
+        telemetry.event("flushed", answer=42)
+        telemetry.disable()
+        events = telemetry.load_jsonl(path)
+        assert [e["name"] for e in events] == ["flushed"]
+        assert events[0]["attrs"] == {"answer": 42}
+
+    def test_summary_renders_all_sections(self):
+        telemetry.enable()
+        telemetry.counter("solver.lp_solves", 7)
+        telemetry.gauge("best", 1.5)
+        telemetry.observe("solve", 0.25)
+        text = telemetry.summary()
+        assert "counters:" in text
+        assert "solver.lp_solves" in text
+        assert "gauges:" in text
+        assert "timers:" in text
+
+    def test_summary_when_empty(self):
+        assert "(no telemetry recorded)" in telemetry.summary()

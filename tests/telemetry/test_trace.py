@@ -1,0 +1,103 @@
+"""Tests for span tracing, the JSONL exporter and the event schema."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.trace import validate_event, validate_trace
+
+
+class TestSpans:
+    def test_span_records_event_and_timer(self):
+        telemetry.enable()
+        with telemetry.span("solver.solve", backend="lp") as sp:
+            sp.set(status="optimal")
+        events = telemetry.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event["name"] == "solver.solve"
+        assert event["kind"] == "span"
+        assert event["duration_s"] >= 0.0
+        assert event["attrs"] == {"backend": "lp", "status": "optimal"}
+        assert telemetry.snapshot()["timers"]["solver.solve"]["count"] == 1
+
+    def test_instant_event_has_no_duration(self):
+        telemetry.enable()
+        telemetry.event("rl.epoch", epoch=1)
+        event = telemetry.events()[0]
+        assert event["kind"] == "event"
+        assert "duration_s" not in event
+
+    def test_span_survives_exception(self):
+        telemetry.enable()
+        try:
+            with telemetry.span("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert telemetry.events()[0]["name"] == "risky"
+
+
+class TestJsonlRoundtrip:
+    def test_export_and_load(self, tmp_path):
+        telemetry.enable()
+        telemetry.event("a", x=1)
+        with telemetry.span("b"):
+            pass
+        path = tmp_path / "nested" / "trace.jsonl"
+        telemetry.flush(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+        loaded = telemetry.load_jsonl(path)
+        assert [e["name"] for e in loaded] == ["a", "b"]
+
+
+class TestSchemaValidation:
+    def _valid(self):
+        return {"name": "x", "ts": 1.0, "kind": "event", "attrs": {"k": 1}}
+
+    def test_valid_event_passes(self):
+        assert validate_event(self._valid()) == []
+
+    def test_valid_span_passes(self):
+        event = {**self._valid(), "kind": "span", "duration_s": 0.5}
+        assert validate_event(event) == []
+
+    def test_rejects_missing_name(self):
+        event = self._valid()
+        del event["name"]
+        assert any("name" in p for p in validate_event(event))
+
+    def test_rejects_bad_kind(self):
+        event = {**self._valid(), "kind": "metric"}
+        assert any("kind" in p for p in validate_event(event))
+
+    def test_rejects_span_without_duration(self):
+        event = {**self._valid(), "kind": "span"}
+        assert any("duration_s" in p for p in validate_event(event))
+
+    def test_rejects_event_with_duration(self):
+        event = {**self._valid(), "duration_s": 1.0}
+        assert any("duration_s" in p for p in validate_event(event))
+
+    def test_rejects_non_scalar_attr(self):
+        event = {**self._valid(), "attrs": {"bad": {"nested": 1}}}
+        assert any("bad" in p for p in validate_event(event))
+
+    def test_rejects_unexpected_keys(self):
+        event = {**self._valid(), "extra": True}
+        assert any("unexpected" in p for p in validate_event(event))
+
+    def test_validate_trace_prefixes_line_numbers(self):
+        problems = validate_trace([self._valid(), {"name": ""}])
+        assert problems
+        assert all(p.startswith("line 2:") for p in problems)
+
+    def test_live_events_conform(self):
+        """Whatever the facade emits must satisfy its own schema."""
+        telemetry.enable()
+        telemetry.event("e", s="x", i=1, f=2.5, b=True, n=None, lst=[1, 2])
+        with telemetry.span("s", tag="t"):
+            pass
+        assert validate_trace(telemetry.events()) == []
