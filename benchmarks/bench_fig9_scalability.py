@@ -10,7 +10,6 @@ bands takes tens of minutes even scaled; use the standard/full profile
 to add them).
 """
 
-import os
 
 from repro.experiments import fig9_scalability
 

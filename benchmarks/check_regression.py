@@ -1,0 +1,160 @@
+"""Benchmark regression gate: fresh fig7 run vs the committed baseline.
+
+Runs the Fig. 7 evaluator-efficiency experiment at the quick profile
+and compares it against ``benchmarks/results/fig7.json`` (the committed
+snapshot), failing with a non-zero exit code on regressions instead of
+merely uploading artifacts.
+
+What is compared — only machine-independent signals, so the gate is
+meaningful on any CI runner:
+
+- ``lp_solves`` per (topology, mode): the evaluator workload is a
+  deterministic trajectory replay, so the LP-solve count must match the
+  baseline exactly; a change means the checker's pruning regressed (or
+  improved — update the baseline deliberately in that case).
+- mode ordering per topology: NeuroPlan's stateful checking must stay
+  the fastest mode (within a slack factor), mirroring
+  ``fig7_efficiency.expected_shape``.
+- ``normalized`` ratios per (topology, mode): the vanilla/sa-to-
+  NeuroPlan ratio may drift by at most ``--tolerance`` (default 3x)
+  from the committed baseline in the regressing direction.
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 3.0]
+        [--baseline benchmarks/results/fig7.json] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SLACK = 0.9  # same ordering slack expected_shape uses
+
+
+def load_baseline(path: pathlib.Path) -> dict:
+    rows = json.loads(path.read_text())
+    return {(row["topology"], row["mode"]): row for row in rows}
+
+
+def run_fig7(profile: str) -> list[dict]:
+    from repro.experiments import fig7_efficiency
+
+    rows = fig7_efficiency.run(profile=profile, verbose=False)
+    return [
+        {
+            "topology": r.topology,
+            "mode": r.mode,
+            "seconds": r.seconds,
+            "normalized": r.normalized,
+            "lp_solves": r.lp_solves,
+        }
+        for r in rows
+    ]
+
+
+def compare(baseline: dict, fresh: list[dict], tolerance: float) -> list[str]:
+    problems: list[str] = []
+    fresh_by_key = {(row["topology"], row["mode"]): row for row in fresh}
+
+    missing = set(baseline) - set(fresh_by_key)
+    if missing:
+        problems.append(f"baseline keys missing from fresh run: {sorted(missing)}")
+
+    for key, row in fresh_by_key.items():
+        base = baseline.get(key)
+        if base is None:
+            problems.append(f"{key}: not in the committed baseline")
+            continue
+        if row["lp_solves"] != base["lp_solves"]:
+            problems.append(
+                f"{key}: lp_solves changed {base['lp_solves']} -> "
+                f"{row['lp_solves']} (deterministic workload; the "
+                f"checker's pruning behavior regressed or the baseline "
+                f"is stale)"
+            )
+        if (
+            row["normalized"] is not None
+            and base["normalized"] is not None
+            and row["normalized"] > base["normalized"] * tolerance
+        ):
+            problems.append(
+                f"{key}: normalized time {row['normalized']:.2f} exceeds "
+                f"baseline {base['normalized']:.2f} by more than "
+                f"{tolerance}x"
+            )
+
+    # Ordering: NeuroPlan's evaluator stays fastest per topology.
+    for topology in {t for t, _ in fresh_by_key}:
+        neuroplan = fresh_by_key[topology, "neuroplan"]["seconds"]
+        if neuroplan is None:
+            problems.append(f"{topology}: neuroplan evaluator over budget")
+            continue
+        for mode in ("sa", "vanilla"):
+            seconds = fresh_by_key[topology, mode]["seconds"]
+            if seconds is not None and seconds < neuroplan * SLACK:
+                problems.append(
+                    f"{topology}: {mode} evaluator ({seconds:.3f}s) beat "
+                    f"neuroplan ({neuroplan:.3f}s) — stateful checking "
+                    f"stopped paying off"
+                )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=RESULTS_DIR / "fig7.json",
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="max allowed regression factor on normalized times",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("quick", "standard", "full"),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    print(f"running fig7 at profile={args.profile} ...")
+    fresh = run_fig7(args.profile)
+
+    if args.update:
+        args.baseline.write_text(json.dumps(fresh, indent=1, default=str))
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    problems = compare(load_baseline(args.baseline), fresh, args.tolerance)
+    if problems:
+        print("benchmark regression gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"benchmark regression gate passed: {len(fresh)} series within "
+        f"{args.tolerance}x of {args.baseline.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

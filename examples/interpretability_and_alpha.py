@@ -10,7 +10,6 @@ alpha to show the trade-off (Fig. 13's mechanism).
 Run:  python examples/interpretability_and_alpha.py
 """
 
-import time
 
 from repro import NeuroPlan, topologies
 from repro.core.report import interpretability_report
@@ -38,7 +37,6 @@ def main() -> None:
     best = None
     for alpha in (1.0, 1.25, 1.5, 2.0):
         planner.config.relax_factor = alpha
-        start = time.perf_counter()
         final, status, ilp_seconds = planner.second_stage(instance, first_stage)
         cost = final.cost(instance)
         print(

@@ -70,6 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_profile_arg(plan, top_level=False)
     plan.add_argument("--epochs", type=int, default=32)
     plan.add_argument("--steps-per-epoch", type=int, default=1024)
+    plan.add_argument(
+        "--workers", type=int, default=1,
+        help="rollout-collection worker processes (1 = serial, "
+        "byte-identical to the single-process trainer)",
+    )
     plan.add_argument("--alpha", type=float, default=1.5, help="relax factor")
     plan.add_argument("--max-units", type=int, default=4)
     plan.add_argument("--gnn-layers", type=int, default=2)
@@ -144,6 +149,7 @@ def _cmd_plan(args) -> int:
         gnn_layers=args.gnn_layers,
         ilp_time_limit=args.ilp_time_limit,
         seed=args.seed,
+        num_workers=args.workers,
     )
     result = NeuroPlan(config).plan(instance)
     print(result.summary())

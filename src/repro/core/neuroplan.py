@@ -14,7 +14,7 @@ search a bigger space around the RL plan (Fig. 13).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.results import PlanningResult
 from repro.errors import InfeasibleError
@@ -51,6 +51,7 @@ class NeuroPlanConfig:
     ilp_time_limit: "float | None" = 600.0
     ilp_mip_gap: "float | None" = None
     seed: int = 0
+    num_workers: int = 1  # rollout-collection worker processes (1 = serial)
 
     def agent_config(self) -> AgentConfig:
         return AgentConfig(
@@ -73,6 +74,7 @@ class NeuroPlanConfig:
                 entropy_coef=self.entropy_coef,
                 patience=self.patience,
                 seed=self.seed,
+                num_workers=self.num_workers,
             ),
         )
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.evaluator import PlanEvaluator
 from repro.experiments.common import (

@@ -9,6 +9,10 @@
 - :mod:`repro.rl.gae` -- GAE(lambda) advantages (Eq. 6) and
   rewards-to-go.
 - :mod:`repro.rl.buffer` -- the epoch buffer of Algorithm 1.
+- :mod:`repro.rl.rollouts` -- trajectory collection: a serial backend
+  (byte-identical to the legacy inline loops) and a multiprocessing
+  worker pool whose merged batches are bitwise independent of worker
+  count and scheduling.
 - :mod:`repro.rl.a2c` -- the actor-critic trainer.
 - :mod:`repro.rl.agent` -- the train/rollout facade that produces the
   first-stage plan.
@@ -19,11 +23,25 @@ from repro.rl.state import StateEncoder
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.buffer import EpochBuffer
+from repro.rl.rollouts import (
+    Fragment,
+    ParallelRolloutCollector,
+    RolloutBatch,
+    SerialRolloutCollector,
+    Transition,
+    make_collector,
+)
 from repro.rl.a2c import A2CConfig, A2CTrainer, TrainingResult
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.agent import NeuroPlanAgent
 
 __all__ = [
+    "Fragment",
+    "ParallelRolloutCollector",
+    "RolloutBatch",
+    "SerialRolloutCollector",
+    "Transition",
+    "make_collector",
     "PlanningEnv",
     "StepResult",
     "StateEncoder",

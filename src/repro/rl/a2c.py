@@ -22,11 +22,12 @@ from repro import telemetry
 from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor
 from repro.rl.buffer import EpochBuffer
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.policy import ActorCriticPolicy
+from repro.rl.rollouts import make_collector, resolve_backend
 from repro.seeding import as_generator
 
 
@@ -46,12 +47,21 @@ class A2CConfig:
     normalize_advantages: bool = True
     patience: int = 0  # early stop after N stagnant epochs (0 = off)
     seed: int = 0
+    num_workers: int = 1
+    rollout_backend: str = "auto"  # auto | serial | parallel
 
     def __post_init__(self):
         if self.epochs < 1 or self.steps_per_epoch < 1:
             raise ConfigError("epochs and steps_per_epoch must be >= 1")
         if self.max_trajectory_length < 1:
             raise ConfigError("max_trajectory_length must be >= 1")
+        resolve_backend(self.rollout_backend, self.num_workers)
+        if self.num_workers > self.steps_per_epoch:
+            raise ConfigError(
+                f"num_workers={self.num_workers} exceeds the available "
+                f"trajectories per epoch (steps_per_epoch="
+                f"{self.steps_per_epoch})"
+            )
 
 
 @dataclass
@@ -87,6 +97,7 @@ class A2CTrainer:
         self.actor_optimizer = Adam(groups["actor"], lr=self.config.actor_lr)
         self.critic_optimizer = Adam(groups["critic"], lr=self.config.critic_lr)
         self.rng = as_generator(self.config.seed)
+        self._collector = None
 
     # ------------------------------------------------------------------
     def train(self) -> TrainingResult:
@@ -94,7 +105,7 @@ class A2CTrainer:
         env = self.env
         start = time.perf_counter()
 
-        observation = env.reset()
+        env.reset()
         if env.done:
             # The starting topology already satisfies the expectations.
             return TrainingResult(
@@ -106,60 +117,69 @@ class A2CTrainer:
                 train_seconds=time.perf_counter() - start,
             )
 
+        self._collector = make_collector(
+            env,
+            self.policy,
+            self.rng,
+            rollout_backend=config.rollout_backend,
+            num_workers=config.num_workers,
+            seed=config.seed,
+        )
+        try:
+            history, best_cost, best_capacities = self._train_epochs()
+        finally:
+            self._collector.close()
+            self._collector = None
+
+        return TrainingResult(
+            best_capacities=best_capacities,
+            best_cost=best_cost,
+            epochs_run=len(history),
+            converged=best_capacities is not None,
+            history=history,
+            train_seconds=time.perf_counter() - start,
+        )
+
+    def _train_epochs(self) -> tuple:
+        config = self.config
+        env = self.env
         best_capacities: "dict[str, float] | None" = None
         best_cost = float("inf")
         history: list[dict] = []
         stagnant = 0
 
         for epoch in range(config.epochs):
+            batch = self._collector.collect(
+                budget=config.steps_per_epoch,
+                max_trajectory_length=config.max_trajectory_length,
+                epoch=epoch,
+            )
+            for fragment in batch.fragments:
+                if fragment.completed and fragment.plan_cost < best_cost:
+                    best_cost = fragment.plan_cost
+                    best_capacities = fragment.capacities
+
+            # Re-evaluate the collected states under the current (same)
+            # parameters to build the live autodiff graph the two-loss
+            # update differentiates; collection itself runs grad-free
+            # (and possibly out of process).
             buffer = EpochBuffer()
-            observation = env.reset()
-            buffer.start_trajectory()
-            trajectory_steps = 0
-
-            for _ in range(config.steps_per_epoch):
-                mask = env.action_mask()
-                if not mask.any():
-                    # Spectrum exhausted everywhere: nothing to add.
-                    break
-                distribution, value = self.policy(
-                    observation, env.adjacency_norm, mask
+            for fragment in batch.fragments:
+                buffer.start_trajectory()
+                for transition in fragment.transitions:
+                    distribution, value = self.policy(
+                        transition.observation, env.adjacency_norm, transition.mask
+                    )
+                    buffer.append(
+                        distribution.log_prob(transition.action),
+                        distribution.entropy(),
+                        value,
+                        transition.reward,
+                    )
+                buffer.finish_trajectory(
+                    completed=fragment.completed,
+                    bootstrap_value=fragment.final_value,
                 )
-                action = distribution.sample(self.rng)
-                step = env.step(action)
-                buffer.append(
-                    distribution.log_prob(action),
-                    distribution.entropy(),
-                    value,
-                    step.reward,
-                )
-                trajectory_steps += 1
-                observation = step.observation
-
-                trajectory_over = step.done or (
-                    trajectory_steps >= config.max_trajectory_length
-                )
-                if trajectory_over:
-                    if step.feasible:
-                        cost = env.plan_cost()
-                        if cost < best_cost:
-                            best_cost = cost
-                            best_capacities = env.capacities()
-                    buffer.finish_trajectory(completed=step.feasible)
-                    observation = env.reset()
-                    buffer.start_trajectory()
-                    trajectory_steps = 0
-
-            # Cut off the in-progress trajectory at the epoch boundary,
-            # bootstrapping with the critic's estimate of the last state.
-            if trajectory_steps > 0:
-                with no_grad():
-                    bootstrap = self.policy.value(
-                        observation, env.adjacency_norm
-                    ).item()
-                buffer.finish_trajectory(completed=False, bootstrap_value=bootstrap)
-            else:
-                buffer.finish_trajectory(completed=False)
 
             metrics = self._update(buffer)
             entry = {
@@ -188,14 +208,7 @@ class A2CTrainer:
                 if stagnant >= config.patience:
                     break
 
-        return TrainingResult(
-            best_capacities=best_capacities,
-            best_cost=best_cost,
-            epochs_run=len(history),
-            converged=best_capacities is not None,
-            history=history,
-            train_seconds=time.perf_counter() - start,
-        )
+        return history, best_cost, best_capacities
 
     # ------------------------------------------------------------------
     def _update(self, buffer: EpochBuffer) -> dict:

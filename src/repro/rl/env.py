@@ -92,6 +92,23 @@ class PlanningEnv:
         return max(added_cost, 1.0)
 
     # ------------------------------------------------------------------
+    def replica_kwargs(self) -> dict:
+        """Constructor kwargs that rebuild an identical environment.
+
+        Used by the parallel rollout collector to stamp out worker
+        replicas.  The *resolved* reward scale is included so replicas
+        skip the greedy-plan probe and are guaranteed to score rewards
+        identically to this environment.
+        """
+        return {
+            "max_units_per_step": self.max_units,
+            "max_steps": self.max_steps,
+            "evaluator_mode": self.evaluator.mode,
+            "feature_set": self.encoder.feature_set,
+            "reward_scale": self.reward_scale,
+        }
+
+    # ------------------------------------------------------------------
     # Spaces
     # ------------------------------------------------------------------
     @property

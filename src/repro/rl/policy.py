@@ -41,6 +41,14 @@ class ActorCriticPolicy(Module):
             raise NNError("max_units must be >= 1")
         rng = as_generator(rng)
         self.max_units = max_units
+        self._spec = {
+            "feature_dim": feature_dim,
+            "max_units": max_units,
+            "gnn_hidden": gnn_hidden,
+            "gnn_layers": gnn_layers,
+            "gnn_type": gnn_type,
+            "mlp_hidden": tuple(mlp_hidden),
+        }
         self.encoder = GraphEncoder(
             feature_dim, gnn_hidden, gnn_layers, gnn_type=gnn_type, rng=rng
         )
@@ -93,6 +101,13 @@ class ActorCriticPolicy(Module):
         logits = self.actor(actor_in).flatten()
         value = self.critic(graph_embedding).sum()
         return Categorical(logits, mask=mask), value
+
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """Constructor kwargs (minus the init RNG) that rebuild this
+        architecture; pair with :meth:`state_dict` to clone the policy
+        into a rollout worker."""
+        return dict(self._spec)
 
     # ------------------------------------------------------------------
     def parameter_groups(self) -> dict:

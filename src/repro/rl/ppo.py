@@ -19,7 +19,7 @@ Differences from :class:`repro.rl.a2c.A2CTrainer`:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,11 +27,12 @@ from repro import telemetry
 from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor
 from repro.rl.a2c import TrainingResult
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.policy import ActorCriticPolicy
+from repro.rl.rollouts import make_collector, resolve_backend
 from repro.seeding import as_generator
 
 
@@ -52,6 +53,8 @@ class PPOConfig:
     value_coef: float = 0.5
     max_grad_norm: float = 10.0
     seed: int = 0
+    num_workers: int = 1
+    rollout_backend: str = "auto"  # auto | serial | parallel
 
     def __post_init__(self):
         if self.epochs < 1 or self.steps_per_epoch < 1:
@@ -60,18 +63,13 @@ class PPOConfig:
             raise ConfigError("clip_ratio must be in (0, 1)")
         if self.update_iterations < 1:
             raise ConfigError("update_iterations must be >= 1")
-
-
-@dataclass
-class _Step:
-    """One transition retained for re-evaluation."""
-
-    observation: np.ndarray
-    mask: np.ndarray
-    action: int
-    reward: float
-    value: float
-    log_prob: float
+        resolve_backend(self.rollout_backend, self.num_workers)
+        if self.num_workers > self.steps_per_epoch:
+            raise ConfigError(
+                f"num_workers={self.num_workers} exceeds the available "
+                f"trajectories per epoch (steps_per_epoch="
+                f"{self.steps_per_epoch})"
+            )
 
 
 class PPOTrainer:
@@ -94,6 +92,7 @@ class PPOTrainer:
                 seen.setdefault(id(param), param)
         self.optimizer = Adam(list(seen.values()), lr=self.config.lr)
         self.rng = as_generator(self.config.seed)
+        self._collector = None
 
     # ------------------------------------------------------------------
     def train(self) -> TrainingResult:
@@ -101,7 +100,7 @@ class PPOTrainer:
         env = self.env
         start = time.perf_counter()
 
-        observation = env.reset()
+        env.reset()
         if env.done:
             return TrainingResult(
                 best_capacities=env.capacities(),
@@ -112,12 +111,37 @@ class PPOTrainer:
                 train_seconds=time.perf_counter() - start,
             )
 
+        self._collector = make_collector(
+            env,
+            self.policy,
+            self.rng,
+            rollout_backend=config.rollout_backend,
+            num_workers=config.num_workers,
+            seed=config.seed,
+        )
+        try:
+            history, best_cost, best_capacities = self._train_epochs()
+        finally:
+            self._collector.close()
+            self._collector = None
+
+        return TrainingResult(
+            best_capacities=best_capacities,
+            best_cost=best_cost,
+            epochs_run=len(history),
+            converged=best_capacities is not None,
+            history=history,
+            train_seconds=time.perf_counter() - start,
+        )
+
+    def _train_epochs(self) -> tuple:
+        config = self.config
         best_capacities = None
         best_cost = float("inf")
         history: list[dict] = []
 
         for epoch in range(config.epochs):
-            steps, trajectory_bounds, completion = self._collect(env)
+            steps, trajectory_bounds, completion = self._collect(epoch)
             if not steps:
                 break
             advantages, returns = self._estimate(steps, trajectory_bounds)
@@ -144,78 +168,18 @@ class PPOTrainer:
                 telemetry.counter("rl.episodes", len(trajectory_bounds))
                 telemetry.event("rl.ppo.epoch", **entry)
 
-        return TrainingResult(
-            best_capacities=best_capacities,
-            best_cost=best_cost,
-            epochs_run=len(history),
-            converged=best_capacities is not None,
-            history=history,
-            train_seconds=time.perf_counter() - start,
-        )
+        return history, best_cost, best_capacities
 
     # ------------------------------------------------------------------
-    def _collect(self, env: PlanningEnv):
-        """Roll out one epoch of transitions with the current policy."""
+    def _collect(self, epoch: int):
+        """Roll out one epoch of transitions via the configured collector."""
         config = self.config
-        steps: list[_Step] = []
-        bounds: list[tuple[int, int, bool, float]] = []  # start, end, done, bootstrap
-        completed_costs: list[tuple[float, dict]] = []
-        observation = env.reset()
-        trajectory_start = 0
-        trajectory_len = 0
-        completions = 0
-
-        for _ in range(config.steps_per_epoch):
-            mask = env.action_mask()
-            if not mask.any():
-                break
-            with no_grad():
-                distribution, value = self.policy(
-                    observation, env.adjacency_norm, mask
-                )
-                action = distribution.sample(self.rng)
-                log_prob = distribution.log_prob(action).item()
-                value_estimate = value.item()
-            result = env.step(action)
-            steps.append(
-                _Step(
-                    observation=observation,
-                    mask=mask,
-                    action=action,
-                    reward=result.reward,
-                    value=value_estimate,
-                    log_prob=log_prob,
-                )
-            )
-            observation = result.observation
-            trajectory_len += 1
-
-            over = result.done or trajectory_len >= config.max_trajectory_length
-            if over:
-                if result.feasible:
-                    completions += 1
-                    completed_costs.append((env.plan_cost(), env.capacities()))
-                bounds.append((trajectory_start, len(steps), True, 0.0))
-                observation = env.reset()
-                trajectory_start = len(steps)
-                trajectory_len = 0
-
-        if trajectory_len > 0:
-            with no_grad():
-                bootstrap = self.policy.value(observation, env.adjacency_norm).item()
-            bounds.append((trajectory_start, len(steps), False, bootstrap))
-
-        best_cost = float("inf")
-        best_capacities = None
-        for cost, capacities in completed_costs:
-            if cost < best_cost:
-                best_cost, best_capacities = cost, capacities
-        completion = {
-            "rate": completions / max(1, len(bounds)),
-            "best_cost": best_cost,
-            "best_capacities": best_capacities,
-        }
-        return steps, bounds, completion
+        batch = self._collector.collect(
+            budget=config.steps_per_epoch,
+            max_trajectory_length=config.max_trajectory_length,
+            epoch=epoch,
+        )
+        return batch.transitions(), batch.bounds(), batch.completion()
 
     def _estimate(self, steps, bounds):
         """Per-step GAE advantages and returns across trajectories."""

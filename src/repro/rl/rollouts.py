@@ -1,0 +1,544 @@
+"""Rollout collection: serial and multiprocessing trajectory gathering.
+
+Training wall-clock is dominated by trajectory collection — every
+``PlanningEnv.step`` runs the stateful failure checker over all
+scenarios — so this module factors collection out of the trainers and
+adds a ``multiprocessing`` worker-pool backend that rolls out seeded
+environment replicas in parallel (the actor-parallelism standard in
+DRL-for-networking systems, and the premise of the paper's Fig. 9
+scalability story).
+
+Determinism contract
+--------------------
+Two backends with two distinct, documented guarantees:
+
+:class:`SerialRolloutCollector`
+    Reproduces the legacy in-process loop exactly: one environment, one
+    continuous RNG stream (the trainer's), trajectories collected back
+    to back until the step budget is consumed.  Trainers configured
+    with ``num_workers=1`` (the default) use this backend, so their
+    results are byte-identical to the pre-subsystem trainers.
+
+:class:`ParallelRolloutCollector`
+    Treats each trajectory as an independent unit of work: trajectory
+    ``k`` of epoch ``e`` draws its actions from a dedicated RNG stream
+    derived from ``(seed, e, k)`` (see :func:`repro.seeding.stream_generator`),
+    and ``PlanningEnv.reset`` is deterministic, so a trajectory's
+    content is a pure function of ``(policy parameters, seed, e, k)``.
+    Workers are handed trajectory indices in rounds and fragments are
+    merged in index order, so the merged batch is **bitwise identical
+    for any worker count** (1 worker == 4 workers) and invariant to OS
+    scheduling.  The last fragment is cut at the step budget and
+    bootstrapped with the critic value the worker already computed for
+    the next state; speculative work past the budget is discarded (and
+    counted in telemetry).
+
+The two contracts cannot coincide: the serial stream threads one RNG
+through data-dependent trajectory lengths, which has no
+order-independent parallel equivalent.  ``rollout_backend="auto"``
+therefore picks serial for ``num_workers=1`` (legacy-compatible) and
+the worker pool otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigError, EnvironmentError_
+from repro.nn.tensor import no_grad
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.seeding import stream_generator
+
+BACKENDS = ("auto", "serial", "parallel")
+
+
+def resolve_backend(rollout_backend: str, num_workers: int) -> str:
+    """Map an ``(backend, num_workers)`` pair to a concrete backend."""
+    if rollout_backend not in BACKENDS:
+        raise ConfigError(
+            f"rollout_backend must be one of {BACKENDS}, got {rollout_backend!r}"
+        )
+    if num_workers < 1:
+        raise ConfigError("num_workers must be >= 1")
+    if rollout_backend == "serial" and num_workers > 1:
+        raise ConfigError(
+            f"rollout_backend='serial' cannot use num_workers={num_workers}"
+        )
+    if rollout_backend == "auto":
+        return "serial" if num_workers == 1 else "parallel"
+    return rollout_backend
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+@dataclass
+class Transition:
+    """One environment step retained for the policy update."""
+
+    observation: np.ndarray
+    mask: np.ndarray
+    action: int
+    reward: float
+    value: float
+    log_prob: float
+
+
+@dataclass
+class Fragment:
+    """One trajectory (possibly cut at the epoch's step budget).
+
+    ``done`` means the trajectory genuinely ended (feasible plan, the
+    environment's step limit, or the trainer's ``max_trajectory_length``)
+    rather than being cut at the budget boundary; only cut fragments
+    carry a non-zero ``final_value`` bootstrap.
+    """
+
+    transitions: list[Transition]
+    stream: int  # trajectory index within the epoch (merge key)
+    done: bool
+    feasible: bool
+    plan_cost: "float | None"
+    capacities: "dict[str, float] | None"
+    final_value: float  # critic estimate of the state after the last step
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def completed(self) -> bool:
+        """Reached a feasible plan (the Fig. 11/12 completion metric)."""
+        return self.done and self.feasible
+
+
+@dataclass
+class RolloutBatch:
+    """Merged fragments of one collection round, in stream order."""
+
+    fragments: list[Fragment] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        return sum(len(f) for f in self.fragments)
+
+    def transitions(self) -> list[Transition]:
+        """All transitions, concatenated in fragment order."""
+        flat: list[Transition] = []
+        for fragment in self.fragments:
+            flat.extend(fragment.transitions)
+        return flat
+
+    def bounds(self) -> list[tuple[int, int, bool, float]]:
+        """Per-fragment ``(start, end, done, bootstrap)`` over the flat list."""
+        out: list[tuple[int, int, bool, float]] = []
+        start = 0
+        for fragment in self.fragments:
+            end = start + len(fragment)
+            out.append((start, end, fragment.done, fragment.final_value))
+            start = end
+        return out
+
+    def completion(self) -> dict:
+        """Epoch completion summary (rate, best feasible cost and plan)."""
+        best_cost = float("inf")
+        best_capacities = None
+        completions = 0
+        for fragment in self.fragments:
+            if fragment.completed:
+                completions += 1
+                if fragment.plan_cost is not None and fragment.plan_cost < best_cost:
+                    best_cost = fragment.plan_cost
+                    best_capacities = fragment.capacities
+        return {
+            "rate": completions / max(1, len(self.fragments)),
+            "best_cost": best_cost,
+            "best_capacities": best_capacities,
+        }
+
+
+@dataclass
+class ReplicaSpec:
+    """Everything a worker needs to rebuild the env + policy pair."""
+
+    instance: object  # PlanningInstance (picklable plain data)
+    env_kwargs: dict
+    policy_kwargs: dict
+
+    @classmethod
+    def from_env_policy(
+        cls, env: PlanningEnv, policy: ActorCriticPolicy
+    ) -> "ReplicaSpec":
+        return cls(
+            instance=env.instance,
+            env_kwargs=env.replica_kwargs(),
+            policy_kwargs=policy.spec(),
+        )
+
+    def build(self) -> tuple[PlanningEnv, ActorCriticPolicy]:
+        env = PlanningEnv(self.instance, **self.env_kwargs)
+        # Parameters are overwritten by each round's state dict, so the
+        # init RNG is irrelevant; 0 keeps replica construction cheap and
+        # deterministic.
+        policy = ActorCriticPolicy(rng=0, **self.policy_kwargs)
+        return env, policy
+
+
+# ----------------------------------------------------------------------
+# Serial backend (legacy loop, byte-identical)
+# ----------------------------------------------------------------------
+class SerialRolloutCollector:
+    """The legacy in-process collection loop behind the collector API.
+
+    Consumes the trainer's RNG in exactly the order the pre-subsystem
+    trainers did (mask, forward, sample, step), so any trainer driving
+    this backend produces byte-identical results to the old inline code.
+    """
+
+    def __init__(
+        self,
+        env: PlanningEnv,
+        policy: ActorCriticPolicy,
+        rng: np.random.Generator,
+    ):
+        self.env = env
+        self.policy = policy
+        self.rng = rng
+
+    def collect(
+        self, budget: int, max_trajectory_length: int, epoch: int = 0
+    ) -> RolloutBatch:
+        """Roll out up to ``budget`` steps with the current policy."""
+        del epoch  # the serial stream is continuous across epochs
+        env = self.env
+        fragments: list[Fragment] = []
+        current: list[Transition] = []
+        observation = env.reset()
+
+        for _ in range(budget):
+            mask = env.action_mask()
+            if not mask.any():
+                break
+            with no_grad():
+                distribution, value = self.policy(observation, env.adjacency_norm, mask)
+                action = distribution.sample(self.rng)
+                log_prob = distribution.log_prob(action).item()
+                value_estimate = value.item()
+            result = env.step(action)
+            current.append(
+                Transition(
+                    observation=observation,
+                    mask=mask,
+                    action=action,
+                    reward=result.reward,
+                    value=value_estimate,
+                    log_prob=log_prob,
+                )
+            )
+            observation = result.observation
+
+            if result.done or len(current) >= max_trajectory_length:
+                feasible = result.feasible
+                fragments.append(
+                    Fragment(
+                        transitions=current,
+                        stream=len(fragments),
+                        done=True,
+                        feasible=feasible,
+                        plan_cost=env.plan_cost() if feasible else None,
+                        capacities=env.capacities() if feasible else None,
+                        final_value=0.0,
+                    )
+                )
+                observation = env.reset()
+                current = []
+
+        if current:
+            with no_grad():
+                bootstrap = self.policy.value(observation, env.adjacency_norm).item()
+            fragments.append(
+                Fragment(
+                    transitions=current,
+                    stream=len(fragments),
+                    done=False,
+                    feasible=False,
+                    plan_cost=None,
+                    capacities=None,
+                    final_value=bootstrap,
+                )
+            )
+        batch = RolloutBatch(fragments)
+        if telemetry.enabled():
+            telemetry.counter("rl.rollouts.fragments", len(fragments))
+            telemetry.counter("rl.rollouts.steps", batch.num_steps)
+        return batch
+
+    def close(self) -> None:  # symmetry with the pool-backed collector
+        pass
+
+    def __enter__(self) -> "SerialRolloutCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Worker-pool backend
+# ----------------------------------------------------------------------
+# Per-process replica cache: built lazily on the first task so that
+# construction errors surface through ``Pool.map`` (an initializer that
+# raises would make the pool respawn workers forever).
+_WORKER: dict = {}
+
+
+def _init_worker(spec: ReplicaSpec) -> None:
+    _WORKER["spec"] = spec
+    _WORKER.pop("env", None)
+    _WORKER.pop("policy", None)
+
+
+def _run_fragment(task: tuple) -> Fragment:
+    """Collect one full trajectory in a worker process."""
+    state_blob, seed, epoch, stream, max_trajectory_length = task
+    if "env" not in _WORKER:
+        env, policy = _WORKER["spec"].build()
+        _WORKER["env"] = env
+        _WORKER["policy"] = policy
+    env: PlanningEnv = _WORKER["env"]
+    policy: ActorCriticPolicy = _WORKER["policy"]
+    policy.load_state_dict(pickle.loads(state_blob))
+    rng = stream_generator(seed, epoch, stream)
+
+    transitions: list[Transition] = []
+    observation = env.reset()
+    done = False
+    feasible = False
+    final_value = 0.0
+    with no_grad():
+        while not done and len(transitions) < max_trajectory_length:
+            mask = env.action_mask()
+            if not mask.any():
+                # Spectrum exhausted: end the fragment un-done so the
+                # collector can bootstrap (or stop, if it is empty).
+                final_value = policy.value(observation, env.adjacency_norm).item()
+                break
+            distribution, value = policy(observation, env.adjacency_norm, mask)
+            action = distribution.sample(rng)
+            log_prob = distribution.log_prob(action).item()
+            value_estimate = value.item()
+            result = env.step(action)
+            transitions.append(
+                Transition(
+                    observation=observation,
+                    mask=mask,
+                    action=action,
+                    reward=result.reward,
+                    value=value_estimate,
+                    log_prob=log_prob,
+                )
+            )
+            observation = result.observation
+            done = result.done
+            feasible = result.feasible
+        if not done and transitions and len(transitions) >= max_trajectory_length:
+            done = True  # trainer-imposed trajectory cap, like the serial loop
+        elif not done and transitions and final_value == 0.0:
+            final_value = policy.value(observation, env.adjacency_norm).item()
+    return Fragment(
+        transitions=transitions,
+        stream=stream,
+        done=done,
+        feasible=done and feasible,
+        plan_cost=env.plan_cost() if done and feasible else None,
+        capacities=env.capacities() if done and feasible else None,
+        final_value=0.0 if done else final_value,
+    )
+
+
+class ParallelRolloutCollector:
+    """Collect trajectory fragments from N worker-process env replicas.
+
+    Use as a context manager (or call :meth:`close`); the pool is
+    terminated and joined even on KeyboardInterrupt or worker crashes.
+    """
+
+    def __init__(
+        self,
+        env: PlanningEnv,
+        policy: ActorCriticPolicy,
+        *,
+        num_workers: int,
+        seed: int,
+        start_method: "str | None" = None,
+    ):
+        if num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        self.policy = policy
+        self.num_workers = num_workers
+        self.seed = int(seed)
+        self._spec = ReplicaSpec.from_env_policy(env, policy)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.num_workers,
+                initializer=_init_worker,
+                initargs=(self._spec,),
+            )
+            telemetry.counter("rl.rollouts.workers_spawned", self.num_workers)
+        return self._pool
+
+    def collect(
+        self, budget: int, max_trajectory_length: int, epoch: int = 0
+    ) -> RolloutBatch:
+        """Collect exactly ``budget`` steps (fewer only if the env exhausts).
+
+        Fragments are merged in trajectory-index order, so the result is
+        independent of worker count and scheduling.
+        """
+        if budget < 1:
+            raise ConfigError("budget must be >= 1")
+        if self.num_workers > budget:
+            raise ConfigError(
+                f"num_workers={self.num_workers} exceeds the available "
+                f"trajectories: a {budget}-step budget can hold at most "
+                f"{budget} one-step trajectories"
+            )
+        start = time.perf_counter()
+        pool = self._ensure_pool()
+        with telemetry.timer("rl.rollouts.transfer"):
+            state_blob = pickle.dumps(
+                self.policy.state_dict(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            telemetry.counter("rl.rollouts.transfer_bytes", len(state_blob))
+
+        fragments: list[Fragment] = []
+        total = 0
+        next_stream = 0
+        try:
+            while total < budget:
+                # Each remaining step can hold at most one more trajectory.
+                width = min(self.num_workers, budget - total)
+                tasks = [
+                    (state_blob, self.seed, epoch, stream, max_trajectory_length)
+                    for stream in range(next_stream, next_stream + width)
+                ]
+                round_fragments = pool.map(_run_fragment, tasks)
+                next_stream += width
+                exhausted = False
+                for fragment in round_fragments:
+                    fragments.append(fragment)
+                    total += len(fragment)
+                    if len(fragment) == 0:
+                        exhausted = True  # env has no valid action at reset
+                if exhausted:
+                    break
+        except KeyboardInterrupt:
+            self.close()
+            raise
+        except Exception as exc:
+            self.close()
+            raise EnvironmentError_(
+                f"rollout worker crashed during collection: {exc!r}"
+            ) from exc
+
+        batch = self._merge(fragments, budget)
+        if telemetry.enabled():
+            elapsed = time.perf_counter() - start
+            telemetry.counter("rl.rollouts.fragments", len(batch.fragments))
+            telemetry.counter("rl.rollouts.steps", batch.num_steps)
+            telemetry.counter("rl.rollouts.steps_discarded", total - batch.num_steps)
+            telemetry.observe("rl.rollouts.collect", elapsed)
+            if elapsed > 0:
+                telemetry.gauge("rl.rollouts.steps_per_sec", batch.num_steps / elapsed)
+        return batch
+
+    @staticmethod
+    def _merge(fragments: list[Fragment], budget: int) -> RolloutBatch:
+        """Keep fragments in stream order up to ``budget`` steps.
+
+        The overflowing fragment is cut at the boundary and bootstrapped
+        with the worker's critic estimate of the first dropped state;
+        later fragments (speculative round overshoot) are discarded.
+        """
+        kept: list[Fragment] = []
+        total = 0
+        for fragment in fragments:
+            if total >= budget:
+                break
+            if len(fragment) == 0:
+                continue
+            room = budget - total
+            if len(fragment) <= room:
+                kept.append(fragment)
+                total += len(fragment)
+            else:
+                cut = fragment.transitions[:room]
+                bootstrap = fragment.transitions[room].value
+                kept.append(
+                    Fragment(
+                        transitions=cut,
+                        stream=fragment.stream,
+                        done=False,
+                        feasible=False,
+                        plan_cost=None,
+                        capacities=None,
+                        final_value=bootstrap,
+                    )
+                )
+                total = budget
+        return RolloutBatch(kept)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate and join the pool; idempotent."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+            finally:
+                pool.join()
+
+    def __enter__(self) -> "ParallelRolloutCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # best-effort: tests and crashes must not leak pools
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+def make_collector(
+    env: PlanningEnv,
+    policy: ActorCriticPolicy,
+    rng: np.random.Generator,
+    *,
+    rollout_backend: str = "auto",
+    num_workers: int = 1,
+    seed: int = 0,
+):
+    """Build the collector a trainer asked for via its config knobs."""
+    backend = resolve_backend(rollout_backend, num_workers)
+    if backend == "serial":
+        return SerialRolloutCollector(env, policy, rng)
+    return ParallelRolloutCollector(env, policy, num_workers=num_workers, seed=seed)

@@ -27,3 +27,19 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``."""
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def stream_generator(seed: int, *key: int) -> np.random.Generator:
+    """A generator for one addressable stream of a keyed family.
+
+    ``stream_generator(seed, epoch, index)`` names the same stream no
+    matter which process asks, so parallel rollout workers draw the
+    exact numbers a serial re-run of the same stream would — the basis
+    of the rollout subsystem's worker-count-independent determinism.
+    Distinct keys yield statistically independent streams
+    (:class:`numpy.random.SeedSequence` spawn keys).
+    """
+    sequence = np.random.SeedSequence(
+        entropy=int(seed), spawn_key=tuple(int(k) for k in key)
+    )
+    return np.random.default_rng(sequence)

@@ -33,7 +33,7 @@ from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro import telemetry
 from repro.errors import SolverError
-from repro.solver.expression import ConstraintSpec, LinExpr, Variable, quicksum
+from repro.solver.expression import ConstraintSpec, LinExpr, Variable
 from repro.solver.status import Status
 
 _INF = math.inf

@@ -5,7 +5,6 @@ flow conservation (Eq. 2), link capacity (Eq. 3), spectrum (Eq. 4) and
 the existing-topology floor (Eq. 5).
 """
 
-import math
 
 import pytest
 

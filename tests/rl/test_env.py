@@ -142,7 +142,6 @@ class TestActionMask:
         env.reset()
         # Saturate one link's fiber path to near the spectrum limit.
         link_id = env.link_graph.link_ids[0]
-        link = instance.network.get_link(link_id)
         headroom = instance.network.link_capacity_headroom(
             link_id, env.capacities()
         )

@@ -9,7 +9,7 @@ from repro.nn.tensor import Tensor
 from repro.rl.buffer import EpochBuffer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.state import StateEncoder
-from repro.topology import datasets, generators
+from repro.topology import generators
 from repro.topology.transform import node_link_transform
 
 

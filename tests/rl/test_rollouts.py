@@ -1,0 +1,286 @@
+"""Tests for the rollout-collection subsystem (repro.rl.rollouts).
+
+Covers the two determinism contracts (serial == legacy inline loop;
+parallel batches bitwise independent of worker count), crash handling,
+shutdown hygiene, and the configuration guards.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigError, EnvironmentError_
+from repro.nn.tensor import no_grad
+from repro.rl.a2c import A2CConfig, A2CTrainer
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.rollouts import (
+    ParallelRolloutCollector,
+    SerialRolloutCollector,
+    make_collector,
+    resolve_backend,
+)
+from repro.seeding import as_generator, stream_generator
+from repro.topology import datasets
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def fresh_env():
+    return PlanningEnv(datasets.figure1_topology(), max_units_per_step=1, max_steps=12)
+
+
+def fresh_policy():
+    return ActorCriticPolicy(feature_dim=1, max_units=1, rng=0)
+
+
+def reference_serial_rollout(env, policy, rng, budget, max_trajectory_length):
+    """The pre-subsystem inline collection loop, kept as a frozen oracle."""
+    steps = []
+    bounds = []
+    observation = env.reset()
+    trajectory_start = 0
+    trajectory_len = 0
+    for _ in range(budget):
+        mask = env.action_mask()
+        if not mask.any():
+            break
+        with no_grad():
+            distribution, value = policy(observation, env.adjacency_norm, mask)
+            action = distribution.sample(rng)
+            log_prob = distribution.log_prob(action).item()
+            value_estimate = value.item()
+        result = env.step(action)
+        steps.append((action, result.reward, value_estimate, log_prob))
+        observation = result.observation
+        trajectory_len += 1
+        if result.done or trajectory_len >= max_trajectory_length:
+            bounds.append((trajectory_start, len(steps), True, 0.0))
+            observation = env.reset()
+            trajectory_start = len(steps)
+            trajectory_len = 0
+    if trajectory_len > 0:
+        with no_grad():
+            bootstrap = policy.value(observation, env.adjacency_norm).item()
+        bounds.append((trajectory_start, len(steps), False, bootstrap))
+    return steps, bounds
+
+
+class TestSerialCollector:
+    def test_matches_legacy_inline_loop_bitwise(self):
+        collector = SerialRolloutCollector(fresh_env(), fresh_policy(), as_generator(3))
+        batch = collector.collect(budget=40, max_trajectory_length=10)
+
+        ref_steps, ref_bounds = reference_serial_rollout(
+            fresh_env(), fresh_policy(), as_generator(3), 40, 10
+        )
+        got = [(t.action, t.reward, t.value, t.log_prob) for t in batch.transitions()]
+        assert got == ref_steps  # float ==, not approx
+        assert batch.bounds() == ref_bounds
+
+    def test_collect_consumes_exactly_the_budget(self):
+        collector = SerialRolloutCollector(fresh_env(), fresh_policy(), as_generator(0))
+        batch = collector.collect(budget=17, max_trajectory_length=100)
+        assert batch.num_steps == 17
+        # The budget-cut fragment is marked un-done and bootstrapped.
+        assert batch.fragments[-1].done is False
+
+    def test_context_manager(self):
+        with SerialRolloutCollector(
+            fresh_env(), fresh_policy(), as_generator(0)
+        ) as collector:
+            assert collector.collect(8, 8).num_steps == 8
+
+
+class TestParallelDeterminism:
+    def collect(self, num_workers, budget=24, seed=5, epoch=0):
+        with ParallelRolloutCollector(
+            fresh_env(), fresh_policy(), num_workers=num_workers, seed=seed
+        ) as collector:
+            return collector.collect(
+                budget=budget, max_trajectory_length=8, epoch=epoch
+            )
+
+    @staticmethod
+    def as_tuples(batch):
+        return [
+            (f.stream, f.done, f.feasible, f.plan_cost, f.final_value)
+            + tuple((t.action, t.reward, t.value, t.log_prob) for t in f.transitions)
+            for f in batch.fragments
+        ]
+
+    def test_worker_count_invariance(self):
+        one = self.collect(num_workers=1)
+        four = self.collect(num_workers=4)
+        assert self.as_tuples(one) == self.as_tuples(four)
+        assert one.num_steps == four.num_steps == 24
+
+    def test_repeated_runs_identical(self):
+        a = self.collect(num_workers=4)
+        b = self.collect(num_workers=4)
+        assert self.as_tuples(a) == self.as_tuples(b)
+
+    def test_epoch_and_seed_vary_the_streams(self):
+        base = self.as_tuples(self.collect(num_workers=2))
+        other_epoch = self.as_tuples(self.collect(num_workers=2, epoch=1))
+        other_seed = self.as_tuples(self.collect(num_workers=2, seed=6))
+        assert base != other_epoch
+        assert base != other_seed
+
+    def test_budget_cut_bootstraps_with_next_state_value(self):
+        # A 3-step budget cuts the first trajectory; the bootstrap must
+        # be the worker's critic estimate of the first dropped state.
+        full = self.collect(num_workers=1, budget=8)
+        cut = self.collect(num_workers=1, budget=3)
+        assert cut.num_steps == 3
+        tail = cut.fragments[-1]
+        assert tail.done is False and tail.feasible is False
+        donor = full.fragments[tail.stream]
+        assert tail.final_value == donor.transitions[len(tail)].value
+
+    def test_stream_generator_is_process_independent(self):
+        a = stream_generator(5, 0, 3).random(4)
+        b = stream_generator(5, 0, 3).random(4)
+        c = stream_generator(5, 1, 3).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestParallelTrainers:
+    def train_ppo(self, num_workers, backend="parallel"):
+        config = PPOConfig(
+            epochs=2,
+            steps_per_epoch=24,
+            max_trajectory_length=12,
+            seed=7,
+            num_workers=num_workers,
+            rollout_backend=backend,
+        )
+        return PPOTrainer(fresh_env(), fresh_policy(), config).train()
+
+    def train_a2c(self, num_workers, backend="parallel"):
+        config = A2CConfig(
+            epochs=2,
+            steps_per_epoch=24,
+            max_trajectory_length=12,
+            seed=7,
+            num_workers=num_workers,
+            rollout_backend=backend,
+        )
+        return A2CTrainer(fresh_env(), fresh_policy(), config).train()
+
+    def test_ppo_training_result_invariant_to_worker_count(self):
+        one = self.train_ppo(num_workers=1)
+        four = self.train_ppo(num_workers=4)
+        assert one.history == four.history  # bitwise: == on floats
+        assert one.best_cost == four.best_cost
+        assert one.best_capacities == four.best_capacities
+
+    def test_ppo_repeated_four_worker_runs_identical(self):
+        a = self.train_ppo(num_workers=4)
+        b = self.train_ppo(num_workers=4)
+        assert a.history == b.history
+        assert a.best_cost == b.best_cost
+
+    def test_a2c_training_result_invariant_to_worker_count(self):
+        two = self.train_a2c(num_workers=2)
+        four = self.train_a2c(num_workers=4)
+        assert two.history == four.history
+        assert two.best_cost == four.best_cost
+        assert two.best_capacities == four.best_capacities
+
+    def test_a2c_serial_backend_unchanged_by_knobs(self):
+        # num_workers=1 + auto routes to the serial backend: identical
+        # to an explicitly serial run, epoch for epoch.
+        auto = self.train_a2c(num_workers=1, backend="auto")
+        serial = self.train_a2c(num_workers=1, backend="serial")
+        assert auto.history == serial.history
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="crash injection relies on fork")
+class TestCrashHandling:
+    def test_worker_crash_surfaces_and_closes_pool(self, monkeypatch):
+        def boom(self, action):
+            raise RuntimeError("injected mid-fragment failure")
+
+        # Patch before the pool exists: forked workers inherit the
+        # broken step and crash mid-fragment.
+        monkeypatch.setattr(PlanningEnv, "step", boom)
+        collector = ParallelRolloutCollector(
+            fresh_env(),
+            fresh_policy(),
+            num_workers=2,
+            seed=0,
+            start_method="fork",
+        )
+        with pytest.raises(EnvironmentError_, match="rollout worker crashed"):
+            collector.collect(budget=8, max_trajectory_length=4)
+        assert collector._pool is None  # terminated and joined, no hang
+
+    def test_close_is_idempotent(self):
+        collector = ParallelRolloutCollector(
+            fresh_env(), fresh_policy(), num_workers=2, seed=0
+        )
+        collector.collect(budget=4, max_trajectory_length=4)
+        collector.close()
+        collector.close()
+        assert collector._pool is None
+
+
+class TestGuards:
+    def test_resolve_backend(self):
+        assert resolve_backend("auto", 1) == "serial"
+        assert resolve_backend("auto", 4) == "parallel"
+        assert resolve_backend("parallel", 1) == "parallel"
+        with pytest.raises(ConfigError):
+            resolve_backend("serial", 2)
+        with pytest.raises(ConfigError):
+            resolve_backend("threads", 1)
+        with pytest.raises(ConfigError):
+            resolve_backend("auto", 0)
+
+    def test_num_workers_cannot_exceed_available_trajectories(self):
+        with pytest.raises(ConfigError, match="available"):
+            PPOConfig(steps_per_epoch=4, num_workers=8)
+        with pytest.raises(ConfigError, match="available"):
+            A2CConfig(steps_per_epoch=4, num_workers=8)
+        collector = ParallelRolloutCollector(
+            fresh_env(), fresh_policy(), num_workers=4, seed=0
+        )
+        with collector:
+            with pytest.raises(ConfigError, match="available"):
+                collector.collect(budget=2, max_trajectory_length=4)
+
+    def test_make_collector_routes_backends(self):
+        env, policy = fresh_env(), fresh_policy()
+        serial = make_collector(env, policy, as_generator(0))
+        assert isinstance(serial, SerialRolloutCollector)
+        parallel = make_collector(env, policy, as_generator(0), num_workers=2, seed=0)
+        try:
+            assert isinstance(parallel, ParallelRolloutCollector)
+        finally:
+            parallel.close()
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def cleanup(self):
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_parallel_collection_records_counters(self):
+        telemetry.enable()
+        with ParallelRolloutCollector(
+            fresh_env(), fresh_policy(), num_workers=2, seed=0
+        ) as collector:
+            batch = collector.collect(budget=12, max_trajectory_length=6)
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["rl.rollouts.workers_spawned"] == 2
+        assert snapshot["counters"]["rl.rollouts.steps"] == batch.num_steps == 12
+        assert snapshot["counters"]["rl.rollouts.transfer_bytes"] > 0
+        assert "rl.rollouts.collect" in snapshot["timers"]
+        assert "rl.rollouts.transfer" in snapshot["timers"]

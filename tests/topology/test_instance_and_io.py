@@ -4,8 +4,6 @@ import pytest
 
 from repro.errors import ConfigError, TopologyError
 from repro.topology import datasets, generators
-from repro.topology.elements import IPLink
-from repro.topology.failures import FailureScenario
 from repro.topology.instance import PlanningInstance
 from repro.topology.io import (
     instance_from_dict,

@@ -1,6 +1,5 @@
 """Tests for flows, traffic matrices, policies and the gravity model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
