@@ -79,6 +79,25 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--max-units", type=int, default=4)
     plan.add_argument("--gnn-layers", type=int, default=2)
     plan.add_argument("--ilp-time-limit", type=float, default=600.0)
+    plan.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the second-stage solve; overrides "
+        "--ilp-time-limit (the run degrades to the RL plan on timeout)",
+    )
+    plan.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for resume checkpoints (ckpt-NNNNN.npz)",
+    )
+    plan.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a resume checkpoint every N training epochs "
+        "(requires --checkpoint-dir)",
+    )
+    plan.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume training from a checkpoint file, or from the "
+        "newest valid checkpoint in a directory",
+    )
     plan.add_argument("--report", action="store_true",
                       help="print the interpretability report")
 
@@ -147,9 +166,15 @@ def _cmd_plan(args) -> int:
         max_trajectory_length=args.steps_per_epoch,
         max_units_per_step=args.max_units,
         gnn_layers=args.gnn_layers,
-        ilp_time_limit=args.ilp_time_limit,
+        ilp_time_limit=(
+            args.time_budget if args.time_budget is not None
+            else args.ilp_time_limit
+        ),
         seed=args.seed,
         num_workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume,
     )
     result = NeuroPlan(config).plan(instance)
     print(result.summary())

@@ -52,6 +52,9 @@ class NeuroPlanConfig:
     ilp_mip_gap: "float | None" = None
     seed: int = 0
     num_workers: int = 1  # rollout-collection worker processes (1 = serial)
+    checkpoint_every: int = 0  # resume checkpoints every N training epochs
+    checkpoint_dir: "str | None" = None
+    resume_from: "str | None" = None  # checkpoint file or directory
 
     def agent_config(self) -> AgentConfig:
         return AgentConfig(
@@ -75,6 +78,9 @@ class NeuroPlanConfig:
                 patience=self.patience,
                 seed=self.seed,
                 num_workers=self.num_workers,
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_dir=self.checkpoint_dir,
+                resume_from=self.resume_from,
             ),
         )
 
@@ -165,13 +171,19 @@ class NeuroPlan:
             # (e.g. numerical rounding at alpha=1): the first-stage plan
             # itself is feasible, so fall back to it.
             return (
-                self._as_final(first_stage),
+                self._as_final(first_stage, "pruned space infeasible"),
                 "fallback-first-stage",
                 time.perf_counter() - start,
             )
         if outcome.plan is None:
+            # Solver budget exhausted with no incumbent (catches the
+            # typed SolverTimeoutError inside ILPPlanner): the incumbent
+            # RL plan is feasible by construction, so degrade to it.
             return (
-                self._as_final(first_stage),
+                self._as_final(
+                    first_stage,
+                    outcome.degraded_reason or "ilp time budget exhausted",
+                ),
                 "time-limit-fallback",
                 time.perf_counter() - start,
             )
@@ -182,18 +194,23 @@ class NeuroPlan:
         if plan.metadata.get("status") != "optimal":
             if plan.cost(instance) > first_stage.cost(instance):
                 return (
-                    self._as_final(first_stage),
+                    self._as_final(first_stage, "time-limited incumbent worse"),
                     "incumbent-worse-fallback",
                     time.perf_counter() - start,
                 )
         return plan, plan.metadata.get("status", "optimal"), time.perf_counter() - start
 
     @staticmethod
-    def _as_final(first_stage: NetworkPlan) -> NetworkPlan:
+    def _as_final(first_stage: NetworkPlan, reason: str) -> NetworkPlan:
         return NetworkPlan(
             instance_name=first_stage.instance_name,
             capacities=dict(first_stage.capacities),
             method="neuroplan",
             solve_seconds=first_stage.solve_seconds,
-            metadata={**first_stage.metadata, "second_stage": "fallback"},
+            metadata={
+                **first_stage.metadata,
+                "second_stage": "fallback",
+                "degraded": True,
+                "degraded_reason": reason,
+            },
         )

@@ -13,6 +13,15 @@ class SolverError(ReproError):
     """The LP/ILP solver failed or was used incorrectly."""
 
 
+class SolverTimeoutError(SolverError):
+    """A solve exhausted its wall-clock/node/iteration budget with no
+    incumbent solution to fall back to.
+
+    Planners catch this and degrade gracefully (greedy or first-stage
+    fallback) instead of aborting a long run.
+    """
+
+
 class InfeasibleError(SolverError):
     """A model was proven infeasible when a solution was required."""
 
@@ -43,3 +52,13 @@ class NNError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration or hyperparameters."""
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint could not be written, read, or verified
+    (missing file, truncated archive, checksum mismatch, wrong version)."""
+
+
+class InjectedFault(ReproError):
+    """A deliberate failure raised by the fault-injection harness
+    (:mod:`repro.resilience.faults`); never raised in normal operation."""

@@ -33,6 +33,35 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-plus-arrays snapshot of the optimizer's mutable state.
+
+        Scalars are plain python values; per-parameter slots are lists
+        of arrays aligned with ``self.parameters``.  Subclasses extend.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`state_dict`."""
+        del state
+
+    def _check_slot(self, name: str, arrays) -> list[np.ndarray]:
+        if len(arrays) != len(self.parameters):
+            raise NNError(
+                f"optimizer state {name!r} has {len(arrays)} entries for "
+                f"{len(self.parameters)} parameters"
+            )
+        out = []
+        for param, arr in zip(self.parameters, arrays):
+            arr = np.asarray(arr, dtype=np.float64)
+            if arr.shape != param.data.shape:
+                raise NNError(
+                    f"optimizer state {name!r} shape {arr.shape} does not "
+                    f"match parameter shape {param.data.shape}"
+                )
+            out.append(arr.copy())
+        return out
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Scale all gradients so their global L2 norm is <= max_norm.
 
@@ -74,6 +103,12 @@ class SGD(Optimizer):
             else:
                 param.data = param.data - self.lr * param.grad
 
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = self._check_slot("velocity", state["velocity"])
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba) with bias correction."""
@@ -111,3 +146,17 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        m = self._check_slot("m", state["m"])
+        v = self._check_slot("v", state["v"])
+        self._step_count = int(state["step_count"])
+        self._m = m
+        self._v = v

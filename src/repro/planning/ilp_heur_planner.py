@@ -86,6 +86,7 @@ class ILPHeurPlanner:
 
         outcome: "PlannerOutcome | None" = None
         plan: "NetworkPlan | None" = None
+        degraded_reason: "str | None" = None
         for round_index in range(config.max_rounds):
             outcome = ilp.plan(
                 instance,
@@ -98,6 +99,7 @@ class ILPHeurPlanner:
             if outcome.plan is None:
                 # ILP timed out without an incumbent: fall back to greedy.
                 plan = greedy_plan
+                degraded_reason = outcome.degraded_reason or "ilp-timeout"
                 break
             plan = outcome.plan
             violated = self._violated_failures(evaluator, plan)
@@ -110,12 +112,14 @@ class ILPHeurPlanner:
         else:
             # Rounds exhausted: fall back to the always-feasible greedy plan.
             plan = greedy_plan
+            degraded_reason = "failure-selection rounds exhausted"
 
         if plan is None:
             raise PlanError(f"ILP-heur produced no plan for {instance.name}")
         final_check = evaluator.evaluate(plan.capacities)
         if not final_check.feasible:
             plan = greedy_plan
+            degraded_reason = "final feasibility check rejected the ILP plan"
 
         elapsed = time.perf_counter() - start
         if telemetry.enabled():
@@ -139,6 +143,8 @@ class ILPHeurPlanner:
                 "unit_factor": config.unit_factor,
                 "capacity_headroom": config.capacity_headroom,
                 "fell_back_to_greedy": plan.method == "greedy",
+                "degraded": degraded_reason is not None,
+                "degraded_reason": degraded_reason,
             },
         )
         return PlannerOutcome(
@@ -147,6 +153,8 @@ class ILPHeurPlanner:
             solve_seconds=elapsed,
             num_variables=outcome.num_variables if outcome else 0,
             num_constraints=outcome.num_constraints if outcome else 0,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
         )
 
     @staticmethod

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 
 from repro import telemetry
-from repro.errors import InfeasibleError, SolverError
+from repro.errors import InfeasibleError, SolverError, SolverTimeoutError
 from repro.planning.formulation import PlanningILP
 from repro.planning.plan import NetworkPlan
 from repro.solver import Status
@@ -23,13 +23,20 @@ from repro.topology.validation import ensure_valid
 
 @dataclass
 class PlannerOutcome:
-    """Result envelope: a plan, or a documented failure to produce one."""
+    """Result envelope: a plan, or a documented failure to produce one.
+
+    ``degraded`` marks outcomes produced by a fallback path (solver
+    budget exhausted, heuristic rounds exhausted) rather than the
+    planner's nominal path; ``degraded_reason`` says which one.
+    """
 
     plan: "NetworkPlan | None"
     status: Status
     solve_seconds: float
     num_variables: int
     num_constraints: int
+    degraded: bool = False
+    degraded_reason: "str | None" = None
 
     @property
     def timed_out(self) -> bool:
@@ -47,9 +54,11 @@ class ILPPlanner:
         self,
         time_limit: float | None = None,
         mip_gap: float | None = None,
+        node_limit: int | None = None,
     ):
         self.time_limit = time_limit
         self.mip_gap = mip_gap
+        self.node_limit = node_limit
 
     def plan(
         self,
@@ -76,9 +85,36 @@ class ILPPlanner:
             capacity_caps=capacity_caps,
         )
         hint = ilp.warm_start_hint(warm_start) if warm_start is not None else None
-        status = ilp.model.optimize(
-            time_limit=self.time_limit, mip_gap=self.mip_gap, warm_start=hint
-        )
+        try:
+            status = ilp.model.optimize(
+                time_limit=self.time_limit,
+                mip_gap=self.mip_gap,
+                warm_start=hint,
+                node_limit=self.node_limit,
+            )
+        except SolverTimeoutError as exc:
+            # Budget exhausted with nothing to show: degrade to a typed
+            # "no plan" outcome so callers can fall back (greedy or the
+            # RL first-stage plan) instead of losing the whole run.
+            elapsed = time.perf_counter() - start
+            telemetry.counter("planning.ilp.timeouts")
+            if telemetry.enabled():
+                telemetry.event(
+                    "planning.ilp.timeout",
+                    instance=instance.name,
+                    method=method_name,
+                    seconds=elapsed,
+                    reason=str(exc),
+                )
+            return PlannerOutcome(
+                plan=None,
+                status=Status.TIME_LIMIT,
+                solve_seconds=elapsed,
+                num_variables=ilp.num_variables,
+                num_constraints=ilp.num_constraints,
+                degraded=True,
+                degraded_reason=f"solver budget exhausted: {exc}",
+            )
         elapsed = time.perf_counter() - start
         if telemetry.enabled():
             telemetry.counter("planning.ilp.solves")
@@ -121,12 +157,14 @@ class ILPPlanner:
                 num_variables=ilp.num_variables,
                 num_constraints=ilp.num_constraints,
             )
-        if status is Status.TIME_LIMIT:
+        if status is Status.TIME_LIMIT:  # pragma: no cover - optimize raises
             return PlannerOutcome(
                 plan=None,
                 status=status,
                 solve_seconds=elapsed,
                 num_variables=ilp.num_variables,
                 num_constraints=ilp.num_constraints,
+                degraded=True,
+                degraded_reason="time limit with no incumbent",
             )
         raise SolverError(f"planning ILP ended with status {status}")

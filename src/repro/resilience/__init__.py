@@ -1,0 +1,42 @@
+"""Fault tolerance: resumable checkpoints and deterministic fault injection.
+
+Two halves:
+
+:mod:`repro.resilience.checkpoint`
+    A versioned, checksummed, atomically-written checkpoint format and
+    the directory conventions trainers use for ``checkpoint_every`` /
+    ``--resume`` (see the README's "Fault tolerance & resuming").
+
+:mod:`repro.resilience.faults`
+    A deterministic fault-injection harness (``NEUROPLAN_FAULTS``) that
+    fires worker crashes, solver timeouts, interrupted or corrupted
+    checkpoint writes, and hard process aborts at named sites, so every
+    recovery path is exercised by tests and CI.
+"""
+
+from repro.resilience.checkpoint import (
+    FORMAT_VERSION,
+    TrainingCheckpoint,
+    epoch_checkpoint_path,
+    find_checkpoints,
+    load_checkpoint,
+    load_latest_checkpoint,
+    resolve_resume,
+    save_checkpoint,
+    write_epoch_checkpoint,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+__all__ = [
+    "FORMAT_VERSION",
+    "TrainingCheckpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "epoch_checkpoint_path",
+    "find_checkpoints",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "resolve_resume",
+    "save_checkpoint",
+    "write_epoch_checkpoint",
+]

@@ -24,6 +24,7 @@ from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.rl.buffer import EpochBuffer
+from repro.rl.checkpointing import CheckpointingTrainer
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.policy import ActorCriticPolicy
@@ -49,6 +50,9 @@ class A2CConfig:
     seed: int = 0
     num_workers: int = 1
     rollout_backend: str = "auto"  # auto | serial | parallel
+    checkpoint_every: int = 0  # write a resume checkpoint every N epochs
+    checkpoint_dir: "str | None" = None
+    resume_from: "str | None" = None  # checkpoint file or directory
 
     def __post_init__(self):
         if self.epochs < 1 or self.steps_per_epoch < 1:
@@ -62,6 +66,10 @@ class A2CConfig:
                 f"trajectories per epoch (steps_per_epoch="
                 f"{self.steps_per_epoch})"
             )
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ConfigError("checkpoint_every needs a checkpoint_dir")
 
 
 @dataclass
@@ -81,7 +89,7 @@ class TrainingResult:
         return [entry["epoch_reward"] for entry in self.history]
 
 
-class A2CTrainer:
+class A2CTrainer(CheckpointingTrainer):
     """Runs Algorithm 1 on a :class:`PlanningEnv`."""
 
     def __init__(
@@ -140,6 +148,12 @@ class A2CTrainer:
             train_seconds=time.perf_counter() - start,
         )
 
+    # ------------------------------------------------------------------
+    ALGO = "a2c"
+
+    def _optimizers(self) -> dict:
+        return {"actor": self.actor_optimizer, "critic": self.critic_optimizer}
+
     def _train_epochs(self) -> tuple:
         config = self.config
         env = self.env
@@ -147,8 +161,22 @@ class A2CTrainer:
         best_cost = float("inf")
         history: list[dict] = []
         stagnant = 0
+        start_epoch = 0
 
-        for epoch in range(config.epochs):
+        resume = self._load_resume()
+        if resume is not None:
+            best_cost = resume.best_cost
+            best_capacities = resume.best_capacities
+            history = [dict(entry) for entry in resume.history]
+            stagnant = resume.stagnant
+            start_epoch = resume.epoch
+
+        for epoch in range(start_epoch, config.epochs):
+            # A resumed run whose checkpoint already crossed the
+            # patience threshold stops exactly where the uninterrupted
+            # run's bottom-of-loop break did.
+            if config.patience and stagnant >= config.patience:
+                break
             batch = self._collector.collect(
                 budget=config.steps_per_epoch,
                 max_trajectory_length=config.max_trajectory_length,
@@ -205,8 +233,12 @@ class A2CTrainer:
                     or entry["best_cost"] < history[-2]["best_cost"] - 1e-9
                 )
                 stagnant = 0 if improved else stagnant + 1
-                if stagnant >= config.patience:
-                    break
+
+            self._write_checkpoint(
+                epoch, best_cost, best_capacities, history, stagnant
+            )
+            if config.patience and stagnant >= config.patience:
+                break
 
         return history, best_cost, best_capacities
 

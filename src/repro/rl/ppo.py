@@ -29,6 +29,7 @@ from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.rl.a2c import TrainingResult
+from repro.rl.checkpointing import CheckpointingTrainer
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.policy import ActorCriticPolicy
@@ -55,6 +56,9 @@ class PPOConfig:
     seed: int = 0
     num_workers: int = 1
     rollout_backend: str = "auto"  # auto | serial | parallel
+    checkpoint_every: int = 0  # write a resume checkpoint every N epochs
+    checkpoint_dir: "str | None" = None
+    resume_from: "str | None" = None  # checkpoint file or directory
 
     def __post_init__(self):
         if self.epochs < 1 or self.steps_per_epoch < 1:
@@ -70,10 +74,16 @@ class PPOConfig:
                 f"trajectories per epoch (steps_per_epoch="
                 f"{self.steps_per_epoch})"
             )
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ConfigError("checkpoint_every needs a checkpoint_dir")
 
 
-class PPOTrainer:
+class PPOTrainer(CheckpointingTrainer):
     """Proximal policy optimization over a :class:`PlanningEnv`."""
+
+    ALGO = "ppo"
 
     def __init__(
         self,
@@ -93,6 +103,9 @@ class PPOTrainer:
         self.optimizer = Adam(list(seen.values()), lr=self.config.lr)
         self.rng = as_generator(self.config.seed)
         self._collector = None
+
+    def _optimizers(self) -> dict:
+        return {"optimizer": self.optimizer}
 
     # ------------------------------------------------------------------
     def train(self) -> TrainingResult:
@@ -139,8 +152,16 @@ class PPOTrainer:
         best_capacities = None
         best_cost = float("inf")
         history: list[dict] = []
+        start_epoch = 0
 
-        for epoch in range(config.epochs):
+        resume = self._load_resume()
+        if resume is not None:
+            best_cost = resume.best_cost
+            best_capacities = resume.best_capacities
+            history = [dict(entry) for entry in resume.history]
+            start_epoch = resume.epoch
+
+        for epoch in range(start_epoch, config.epochs):
             steps, trajectory_bounds, completion = self._collect(epoch)
             if not steps:
                 break
@@ -167,6 +188,7 @@ class PPOTrainer:
                 telemetry.counter("rl.env_steps", len(steps))
                 telemetry.counter("rl.episodes", len(trajectory_bounds))
                 telemetry.event("rl.ppo.epoch", **entry)
+            self._write_checkpoint(epoch, best_cost, best_capacities, history)
 
         return history, best_cost, best_capacities
 

@@ -52,6 +52,7 @@ import numpy as np
 from repro import telemetry
 from repro.errors import ConfigError, EnvironmentError_
 from repro.nn.tensor import no_grad
+from repro.resilience import faults
 from repro.rl.env import PlanningEnv
 from repro.rl.policy import ActorCriticPolicy
 from repro.seeding import stream_generator
@@ -307,7 +308,13 @@ def _init_worker(spec: ReplicaSpec) -> None:
 
 def _run_fragment(task: tuple) -> Fragment:
     """Collect one full trajectory in a worker process."""
-    state_blob, seed, epoch, stream, max_trajectory_length = task
+    state_blob, seed, epoch, stream, max_trajectory_length, attempt = task
+    # Deterministic crash injection, keyed by the trajectory's identity
+    # (epoch.stream) and the collector-side attempt counter -- the retry
+    # of the same task does not re-fire, and because the fragment is a
+    # pure function of (params, seed, epoch, stream), the respawned
+    # attempt reproduces the crashed one bit for bit.
+    faults.maybe_fail("rollout.worker", key=f"{epoch}.{stream}", attempt=attempt)
     if "env" not in _WORKER:
         env, policy = _WORKER["spec"].build()
         _WORKER["env"] = env
@@ -368,6 +375,15 @@ class ParallelRolloutCollector:
 
     Use as a context manager (or call :meth:`close`); the pool is
     terminated and joined even on KeyboardInterrupt or worker crashes.
+
+    A task that dies (exception in the worker, or a worker killed
+    outright when ``worker_timeout`` is set) is retried up to
+    ``max_worker_retries`` times with linear backoff before the
+    collector gives up with a typed
+    :class:`~repro.errors.EnvironmentError_`.  Retries cannot perturb
+    the batch: every fragment is a pure function of ``(policy
+    parameters, seed, epoch, stream)``, so the respawned attempt
+    reproduces exactly what the crashed one would have produced.
     """
 
     def __init__(
@@ -378,12 +394,20 @@ class ParallelRolloutCollector:
         num_workers: int,
         seed: int,
         start_method: "str | None" = None,
+        max_worker_retries: int = 2,
+        retry_backoff: float = 0.05,
+        worker_timeout: "float | None" = None,
     ):
         if num_workers < 1:
             raise ConfigError("num_workers must be >= 1")
+        if max_worker_retries < 0:
+            raise ConfigError("max_worker_retries must be >= 0")
         self.policy = policy
         self.num_workers = num_workers
         self.seed = int(seed)
+        self.max_worker_retries = max_worker_retries
+        self.retry_backoff = retry_backoff
+        self.worker_timeout = worker_timeout
         self._spec = ReplicaSpec.from_env_policy(env, policy)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -434,10 +458,10 @@ class ParallelRolloutCollector:
                 # Each remaining step can hold at most one more trajectory.
                 width = min(self.num_workers, budget - total)
                 tasks = [
-                    (state_blob, self.seed, epoch, stream, max_trajectory_length)
+                    (state_blob, self.seed, epoch, stream, max_trajectory_length, 0)
                     for stream in range(next_stream, next_stream + width)
                 ]
-                round_fragments = pool.map(_run_fragment, tasks)
+                round_fragments = self._run_round(pool, tasks)
                 next_stream += width
                 exhausted = False
                 for fragment in round_fragments:
@@ -466,6 +490,38 @@ class ParallelRolloutCollector:
             if elapsed > 0:
                 telemetry.gauge("rl.rollouts.steps_per_sec", batch.num_steps / elapsed)
         return batch
+
+    def _run_round(self, pool, tasks: list[tuple]) -> list[Fragment]:
+        """Run one round of tasks, respawning failed ones with retries."""
+        pending = [pool.apply_async(_run_fragment, (task,)) for task in tasks]
+        fragments: list[Fragment] = []
+        for task, handle in zip(tasks, pending):
+            try:
+                fragments.append(handle.get(self.worker_timeout))
+            except Exception as exc:
+                fragments.append(self._retry_task(pool, task, exc))
+        return fragments
+
+    def _retry_task(self, pool, task: tuple, error: Exception) -> Fragment:
+        """Re-run a failed task with bounded retries and linear backoff.
+
+        The pool replaces dead worker processes on its own; this method
+        replaces the *result* the dead worker owed us.  Retrying is safe
+        for determinism because the fragment depends only on the task
+        key, never on which worker (or attempt) computes it.
+        """
+        state_blob, seed, epoch, stream, max_trajectory_length, _ = task
+        for attempt in range(1, self.max_worker_retries + 1):
+            telemetry.counter("rl.rollouts.worker_retries")
+            time.sleep(self.retry_backoff * attempt)
+            retry = (state_blob, seed, epoch, stream, max_trajectory_length, attempt)
+            try:
+                return pool.apply_async(_run_fragment, (retry,)).get(
+                    self.worker_timeout
+                )
+            except Exception as exc:
+                error = exc
+        raise error
 
     @staticmethod
     def _merge(fragments: list[Fragment], budget: int) -> RolloutBatch:

@@ -32,7 +32,8 @@ import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro import telemetry
-from repro.errors import SolverError
+from repro.errors import SolverError, SolverTimeoutError
+from repro.resilience import faults
 from repro.solver.expression import ConstraintSpec, LinExpr, Variable
 from repro.solver.status import Status
 
@@ -243,13 +244,21 @@ class Model:
         relax: bool = False,
         warm_start: "dict[Variable, float] | None" = None,
         cutoff_tolerance: float = 1e-6,
+        node_limit: int | None = None,
+        iteration_limit: int | None = None,
     ) -> Status:
         """Solve the model and return a :class:`Status`.
 
         Parameters
         ----------
         time_limit:
-            Wall-clock limit in seconds, mapped to HiGHS.
+            Wall-clock budget in seconds, mapped to HiGHS.  When the
+            budget (or a node/iteration limit) is exhausted *without an
+            incumbent solution*, the solve raises
+            :class:`~repro.errors.SolverTimeoutError` -- callers with a
+            fallback plan catch it and degrade; a budgeted MILP that
+            found an incumbent returns :data:`Status.TIME_LIMIT` with
+            the incumbent installed instead.
         mip_gap:
             Relative MIP gap at which to stop (MILP only).
         relax:
@@ -261,9 +270,23 @@ class Model:
             incumbent would.  The hint itself is not installed as a
             solution, so an infeasible hint merely makes the cutoff
             loose/void rather than corrupting the solve.
+        node_limit:
+            Branch-and-bound node budget (MILP only), mapped to HiGHS.
+        iteration_limit:
+            Simplex iteration budget (LP only), mapped to HiGHS.
         """
         if not self.variables:
             raise SolverError("cannot optimize a model with no variables")
+        if faults.fires("solver.timeout", key=self.name):
+            # Deterministic stand-in for a budget-exhausted solve: no
+            # incumbent, typed error, model left in TIME_LIMIT state.
+            self._mark_solution_stale()
+            self._status = Status.TIME_LIMIT
+            self._solve_count += 1
+            telemetry.counter("solver.injected_timeouts")
+            raise SolverTimeoutError(
+                f"injected solver timeout for model {self.name!r}"
+            )
         use_milp = not relax and self.num_integer_variables > 0
         start = time.perf_counter()
 
@@ -281,9 +304,9 @@ class Model:
 
         try:
             if use_milp:
-                status = self._solve_milp(time_limit, mip_gap)
+                status = self._solve_milp(time_limit, mip_gap, node_limit)
             else:
-                status = self._solve_lp(time_limit)
+                status = self._solve_lp(time_limit, iteration_limit)
         finally:
             if cutoff_constraint is not None:
                 removed = self.constraints.pop()
@@ -305,6 +328,12 @@ class Model:
                 num_variables=self.num_variables,
                 num_constraints=self.num_constraints,
                 warm_start=warm_start is not None,
+            )
+        if status is Status.TIME_LIMIT and self._solution is None:
+            raise SolverTimeoutError(
+                f"model {self.name!r} exhausted its solve budget "
+                f"(time_limit={time_limit}, node_limit={node_limit}, "
+                f"iteration_limit={iteration_limit}) with no incumbent"
             )
         return status
 
@@ -338,7 +367,9 @@ class Model:
         self._lp_split = (eq_mask, ub_mask, lb_mask, a_eq, a_ub)
         return eq_mask, ub_mask, lb_mask, a_eq, a_ub
 
-    def _solve_lp(self, time_limit: float | None) -> Status:
+    def _solve_lp(
+        self, time_limit: float | None, iteration_limit: int | None = None
+    ) -> Status:
         row_lb, row_ub = self._row_bounds()
         var_lb, var_ub = self._var_bounds()
         eq_mask, ub_mask, lb_mask, a_eq, a_ub = self._lp_matrices(row_lb, row_ub)
@@ -353,6 +384,8 @@ class Model:
         options = {"presolve": True}
         if time_limit is not None:
             options["time_limit"] = time_limit
+        if iteration_limit is not None:
+            options["maxiter"] = int(iteration_limit)
         result = linprog(
             self._objective_vector(),
             A_ub=a_ub,
@@ -375,7 +408,12 @@ class Model:
             return Status.UNBOUNDED
         return Status.ERROR
 
-    def _solve_milp(self, time_limit: float | None, mip_gap: float | None) -> Status:
+    def _solve_milp(
+        self,
+        time_limit: float | None,
+        mip_gap: float | None,
+        node_limit: int | None = None,
+    ) -> Status:
         matrix = self._compiled_matrix()
         row_lb, row_ub = self._row_bounds()
         var_lb, var_ub = self._var_bounds()
@@ -387,6 +425,8 @@ class Model:
             options["time_limit"] = time_limit
         if mip_gap is not None:
             options["mip_rel_gap"] = mip_gap
+        if node_limit is not None:
+            options["node_limit"] = int(node_limit)
         constraints = (
             LinearConstraint(matrix, row_lb, row_ub) if self.constraints else None
         )

@@ -1,0 +1,86 @@
+"""Graceful degradation under solver budgets.
+
+When a solve exhausts its budget with no incumbent, planners never
+surface a raw :class:`SolverTimeoutError` to the pipeline: they return a
+fallback plan stamped ``degraded=True`` with a reason, or (for the bare
+ILP planner, which has nothing to fall back to) a plan-less outcome
+carrying the same stamps.
+"""
+
+import pytest
+
+from repro.core.neuroplan import NeuroPlan
+from repro.planning import GreedyPlanner, ILPHeurPlanner, ILPPlanner
+from repro.planning.plan import NetworkPlan
+from repro.resilience import faults
+from repro.solver import Status
+from repro.topology import datasets, generators
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def instance_a():
+    return generators.make_instance("A", seed=0)
+
+
+def instance():
+    return datasets.figure1_topology(long_term=True)
+
+
+class TestILPPlannerDegradation:
+    def test_timeout_yields_degraded_outcome_not_exception(self):
+        faults.install("solver.timeout")
+        outcome = ILPPlanner().plan(instance())
+        assert outcome.plan is None
+        assert outcome.status is Status.TIME_LIMIT
+        assert outcome.degraded is True
+        assert "budget exhausted" in outcome.degraded_reason
+
+    def test_clean_run_is_not_degraded(self):
+        outcome = ILPPlanner().plan(instance())
+        assert outcome.degraded is False
+        assert outcome.degraded_reason is None
+
+
+class TestILPHeurDegradation:
+    def test_ilp_timeout_falls_back_to_greedy(self, instance_a):
+        # Key the fault to the planning model so every ILP round times
+        # out while the evaluator's feasibility LPs keep working.
+        faults.install(f"solver.timeout@planning:{instance_a.name}")
+        outcome = ILPHeurPlanner().plan(instance_a)
+        plan = outcome.plan
+        assert plan is not None
+        assert outcome.degraded is True
+        assert plan.metadata["degraded"] is True
+        assert plan.metadata["fell_back_to_greedy"] is True
+        assert "budget exhausted" in plan.metadata["degraded_reason"]
+
+    def test_clean_run_is_not_degraded(self, instance_a):
+        outcome = ILPHeurPlanner().plan(instance_a)
+        assert outcome.degraded is False
+        assert outcome.plan.metadata["degraded"] is False
+
+
+class TestNeuroPlanDegradation:
+    def test_second_stage_timeout_degrades_to_first_stage(self):
+        inst = instance()
+        planner = NeuroPlan(epochs=1, steps_per_epoch=8, seed=0)
+        # Any feasible plan works as a stand-in first stage.
+        greedy = GreedyPlanner().plan(inst)
+        first_stage = NetworkPlan(
+            instance_name=inst.name,
+            capacities=dict(greedy.capacities),
+            method="rl",
+        )
+        faults.install(f"solver.timeout@planning:{inst.name}")
+        final, status, _ = planner.second_stage(inst, first_stage)
+        assert status == "time-limit-fallback"
+        assert final.capacities == first_stage.capacities
+        assert final.metadata["degraded"] is True
+        assert final.metadata["second_stage"] == "fallback"

@@ -1,0 +1,13 @@
+"""Fixtures for the resilience tests: no fault plan leaks across tests."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()

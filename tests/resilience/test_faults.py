@@ -1,0 +1,118 @@
+"""Tests for the deterministic fault-injection harness (repro.resilience.faults)."""
+
+import pytest
+
+from repro.errors import ConfigError, InjectedFault, ReproError
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+
+class TestSpecParsing:
+    def test_bare_site(self):
+        spec = FaultSpec.parse("solver.timeout")
+        assert (spec.site, spec.key, spec.count) == ("solver.timeout", None, 1)
+
+    def test_keyed(self):
+        spec = FaultSpec.parse("rollout.worker@0.1")
+        assert (spec.site, spec.key, spec.count) == ("rollout.worker", "0.1", 1)
+
+    def test_counted(self):
+        spec = FaultSpec.parse("solver.timeout#3")
+        assert (spec.site, spec.key, spec.count) == ("solver.timeout", None, 3)
+
+    def test_keyed_and_counted(self):
+        spec = FaultSpec.parse("rollout.worker@2.0#2")
+        assert (spec.site, spec.key, spec.count) == ("rollout.worker", "2.0", 2)
+
+    def test_whitespace_tolerated(self):
+        spec = FaultSpec.parse("  checkpoint.write@4  ")
+        assert (spec.site, spec.key) == ("checkpoint.write", "4")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigError, match="bad fault count"):
+            FaultSpec.parse("solver.timeout#three")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError, match="count must be >= 1"):
+            FaultSpec.parse("solver.timeout#0")
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty site"):
+            FaultSpec.parse("@key")
+
+    def test_plan_parses_comma_separated(self):
+        plan = FaultPlan.parse("solver.timeout, train.abort@3,, ")
+        assert [s.site for s in plan.specs] == ["solver.timeout", "train.abort"]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("solver.timeout")
+
+
+class TestFiring:
+    def test_unkeyed_fires_first_n_hits(self):
+        plan = FaultPlan.parse("solver.timeout#2")
+        assert plan.should_fire("solver.timeout")
+        assert plan.should_fire("solver.timeout")
+        assert not plan.should_fire("solver.timeout")
+
+    def test_keyed_fires_on_key_match_only(self):
+        plan = FaultPlan.parse("rollout.worker@0.1")
+        assert not plan.should_fire("rollout.worker", key="0.0")
+        assert plan.should_fire("rollout.worker", key="0.1")
+        # Keyed specs are stateless: same key fires again (the caller's
+        # attempt counter is what distinguishes retries).
+        assert plan.should_fire("rollout.worker", key="0.1")
+
+    def test_keyed_with_attempt_fails_first_count_attempts(self):
+        plan = FaultPlan.parse("rollout.worker@0.1#2")
+        assert plan.should_fire("rollout.worker", key="0.1", attempt=0)
+        assert plan.should_fire("rollout.worker", key="0.1", attempt=1)
+        assert not plan.should_fire("rollout.worker", key="0.1", attempt=2)
+
+    def test_site_mismatch_never_fires(self):
+        plan = FaultPlan.parse("solver.timeout")
+        assert not plan.should_fire("checkpoint.write")
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active() is None
+        assert not faults.fires("solver.timeout")
+        faults.maybe_fail("solver.timeout")  # no plan: no-op
+
+    def test_install_and_clear(self):
+        faults.install("solver.timeout")
+        assert faults.fires("solver.timeout")
+        faults.clear()
+        assert faults.active() is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "checkpoint.write@4")
+        assert faults.fires("checkpoint.write", key="4")
+        assert not faults.fires("checkpoint.write", key="3")
+
+    def test_env_cache_preserves_hit_counters(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "solver.timeout#1")
+        assert faults.fires("solver.timeout")
+        # Same env string: the cached plan (with its spent hit counter)
+        # must be reused, not reparsed.
+        assert not faults.fires("solver.timeout")
+
+    def test_env_change_takes_effect(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "solver.timeout#1")
+        assert faults.fires("solver.timeout")
+        monkeypatch.setenv(faults.ENV_VAR, "solver.timeout#1,train.abort@9")
+        assert faults.fires("solver.timeout")  # fresh parse, fresh counter
+
+    def test_installed_plan_shadows_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "solver.timeout")
+        faults.install(FaultPlan())
+        assert not faults.fires("solver.timeout")
+
+    def test_maybe_fail_raises_typed_error(self):
+        faults.install("checkpoint.write@4")
+        with pytest.raises(InjectedFault, match="checkpoint.write@4"):
+            faults.maybe_fail("checkpoint.write", key="4")
+        # InjectedFault is part of the ReproError hierarchy.
+        assert issubclass(InjectedFault, ReproError)

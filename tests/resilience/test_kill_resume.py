@@ -1,0 +1,99 @@
+"""Kill-and-resume, for real: a subprocess trains with
+``NEUROPLAN_FAULTS=train.abort@k`` and hard-exits (``os._exit``, the
+SIGKILL stand-in -- no cleanup, no atexit) right after epoch *k*'s
+checkpoint lands.  A second subprocess resumes from the checkpoint
+directory, and its result JSON must be byte-identical to an
+uninterrupted control run.  This is the same drill the CI
+``kill-and-resume`` job runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+DRIVER = """\
+import json, sys
+from repro.rl.a2c import A2CConfig, A2CTrainer
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.topology import datasets
+
+mode, out_path, ckpt_dir = sys.argv[1:4]
+config = A2CConfig(
+    epochs=4,
+    steps_per_epoch=16,
+    max_trajectory_length=8,
+    seed=3,
+    checkpoint_every=1,
+    checkpoint_dir=ckpt_dir,
+    resume_from=ckpt_dir if mode == "resume" else None,
+)
+env = PlanningEnv(datasets.figure1_topology(), max_units_per_step=1, max_steps=12)
+policy = ActorCriticPolicy(feature_dim=1, max_units=1, rng=0)
+result = A2CTrainer(env, policy, config).train()
+payload = {
+    "best_cost": result.best_cost,
+    "best_capacities": result.best_capacities,
+    "epochs_run": result.epochs_run,
+    "converged": result.converged,
+    "history": result.history,
+}
+with open(out_path, "w") as handle:
+    json.dump(payload, handle, sort_keys=True)
+"""
+
+
+def run_driver(driver, mode, out, ckpt_dir, fault=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("NEUROPLAN_FAULTS", None)
+    if fault:
+        env["NEUROPLAN_FAULTS"] = fault
+    return subprocess.run(
+        [sys.executable, str(driver), mode, str(out), str(ckpt_dir)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.faultinjection
+def test_killed_run_resumes_bitwise(tmp_path):
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+
+    control = run_driver(
+        driver, "train", tmp_path / "control.json", tmp_path / "ckpt-control"
+    )
+    assert control.returncode == 0, control.stderr
+
+    killed = run_driver(
+        driver,
+        "train",
+        tmp_path / "killed.json",
+        tmp_path / "ckpt",
+        fault="train.abort@2",
+    )
+    assert killed.returncode == 70  # hard-exited mid-run
+    assert not (tmp_path / "killed.json").exists()
+    assert (tmp_path / "ckpt" / "ckpt-00002.npz").exists()
+
+    resumed = run_driver(
+        driver, "resume", tmp_path / "resumed.json", tmp_path / "ckpt"
+    )
+    assert resumed.returncode == 0, resumed.stderr
+
+    control_bytes = (tmp_path / "control.json").read_bytes()
+    resumed_bytes = (tmp_path / "resumed.json").read_bytes()
+    assert resumed_bytes == control_bytes
+
+    # Sanity on the payload itself: all four epochs are accounted for.
+    payload = json.loads(resumed_bytes)
+    assert payload["epochs_run"] == 4
+    assert [entry["epoch"] for entry in payload["history"]] == [0, 1, 2, 3]

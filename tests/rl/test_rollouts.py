@@ -220,6 +220,16 @@ class TestCrashHandling:
             collector.collect(budget=8, max_trajectory_length=4)
         assert collector._pool is None  # terminated and joined, no hang
 
+    def test_retry_guard(self):
+        with pytest.raises(ConfigError, match="max_worker_retries"):
+            ParallelRolloutCollector(
+                fresh_env(),
+                fresh_policy(),
+                num_workers=2,
+                seed=0,
+                max_worker_retries=-1,
+            )
+
     def test_close_is_idempotent(self):
         collector = ParallelRolloutCollector(
             fresh_env(), fresh_policy(), num_workers=2, seed=0
@@ -228,6 +238,48 @@ class TestCrashHandling:
         collector.close()
         collector.close()
         assert collector._pool is None
+
+
+class TestWorkerRespawn:
+    """Injected worker crashes are retried on the respawned pool, and the
+    retries must not perturb the collected batch: each fragment is a pure
+    function of (parameters, seed, epoch, stream), so a redone task
+    reproduces its fragment bitwise."""
+
+    def _collect(self, **kw):
+        kw.setdefault("retry_backoff", 0.0)
+        with ParallelRolloutCollector(
+            fresh_env(), fresh_policy(), num_workers=2, seed=5, **kw
+        ) as collector:
+            return collector.collect(budget=24, max_trajectory_length=8, epoch=0)
+
+    def test_crashed_task_retried_batch_bitwise_identical(self, monkeypatch):
+        clean = TestParallelDeterminism.as_tuples(self._collect())
+        # Crash epoch 0 / stream 1's task on its first attempt only; the
+        # retry (attempt=1) runs clean on the respawned worker.
+        monkeypatch.setenv("NEUROPLAN_FAULTS", "rollout.worker@0.1")
+        faulted = TestParallelDeterminism.as_tuples(self._collect())
+        assert faulted == clean
+
+    def test_two_crashes_within_retry_budget(self, monkeypatch):
+        clean = TestParallelDeterminism.as_tuples(self._collect())
+        monkeypatch.setenv("NEUROPLAN_FAULTS", "rollout.worker@0.0#2")
+        faulted = TestParallelDeterminism.as_tuples(self._collect())
+        assert faulted == clean
+
+    def test_persistent_crash_exhausts_retries(self, monkeypatch):
+        monkeypatch.setenv("NEUROPLAN_FAULTS", "rollout.worker@0.0#10")
+        collector = ParallelRolloutCollector(
+            fresh_env(),
+            fresh_policy(),
+            num_workers=2,
+            seed=5,
+            max_worker_retries=2,
+            retry_backoff=0.0,
+        )
+        with pytest.raises(EnvironmentError_, match="rollout worker crashed"):
+            collector.collect(budget=24, max_trajectory_length=8, epoch=0)
+        assert collector._pool is None  # closed, no hang
 
 
 class TestGuards:

@@ -1,0 +1,81 @@
+"""Solve budgets and the typed timeout contract (Model.optimize).
+
+A budget-limited solve either returns a usable status (``OPTIMAL``, or
+``TIME_LIMIT`` carrying a MILP incumbent) or raises
+:class:`SolverTimeoutError` -- callers never have to inspect a
+status-with-no-solution combination.
+"""
+
+import pytest
+
+from repro.errors import SolverError, SolverTimeoutError
+from repro.resilience import faults
+from repro.solver import Model, Status, quicksum
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def small_lp(name="lp"):
+    m = Model(name)
+    x = m.add_var()
+    y = m.add_var()
+    m.add_constr(x + 2 * y >= 3)
+    m.add_constr(3 * x + y >= 4)
+    m.set_objective(x + y)
+    return m
+
+
+def small_milp(name="milp"):
+    m = Model(name)
+    xs = [m.add_var(vtype="I", ub=10) for _ in range(5)]
+    m.add_constr(quicksum(xs) >= 7)
+    m.set_objective(quicksum(xs))
+    return m
+
+
+class TestBudgetKnobs:
+    def test_generous_budgets_do_not_change_the_solve(self):
+        m = small_lp()
+        assert m.optimize(time_limit=60.0, iteration_limit=100000) is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(2.0)
+
+    def test_milp_node_limit_accepted(self):
+        m = small_milp()
+        assert m.optimize(time_limit=60.0, node_limit=1_000_000) is Status.OPTIMAL
+        assert m.objective_value == pytest.approx(7.0)
+
+    def test_exhausted_lp_budget_raises_typed_error(self):
+        m = small_lp()
+        with pytest.raises(SolverTimeoutError, match="exhausted its solve budget"):
+            m.optimize(iteration_limit=0)
+        # The model records the outcome; no half-populated solution.
+        assert m.status is Status.TIME_LIMIT
+        with pytest.raises(SolverError):
+            _ = m.objective_value
+
+    def test_timeout_error_is_a_solver_error(self):
+        assert issubclass(SolverTimeoutError, SolverError)
+
+
+class TestInjectedTimeouts:
+    def test_injected_timeout_fires_once_by_default(self):
+        faults.install("solver.timeout")
+        m = small_lp()
+        with pytest.raises(SolverTimeoutError, match="injected solver timeout"):
+            m.optimize()
+        assert m.status is Status.TIME_LIMIT
+        # The plan is spent: the retry solves normally.
+        assert m.optimize() is Status.OPTIMAL
+
+    def test_injected_timeout_keyed_by_model_name(self):
+        faults.install("solver.timeout@victim")
+        safe = small_lp("bystander")
+        assert safe.optimize() is Status.OPTIMAL
+        victim = small_lp("victim")
+        with pytest.raises(SolverTimeoutError):
+            victim.optimize()
