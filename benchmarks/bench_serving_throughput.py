@@ -1,0 +1,186 @@
+"""Serving-layer load benchmark: throughput and tail latency.
+
+A closed-loop multi-threaded load generator drives an *in-process*
+:class:`~repro.serve.service.PlanningService` (no HTTP overhead -- the
+transport is measured elsewhere; this isolates the serving core).  Each
+client thread issues requests back-to-back over a small pool of seeds,
+so the cache-on scenario converges to mostly-hits -- exactly the
+"millions of users asking for the same handful of plans" regime the
+ROADMAP targets -- while the cache-off ablation pays the full rollout
+for every request.
+
+Recorded per scenario: wall-clock seconds, completed requests,
+throughput (req/s), p50/p99 latency (ms), cache hit/miss counts, and
+overload rejections (closed-loop clients never see one unless the
+queue is undersized; the count keeps the run honest).
+"""
+
+import os
+import statistics
+import threading
+import time
+
+from repro.errors import Overloaded
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+from repro.serve import (
+    ModelKey,
+    ModelStore,
+    PlanningService,
+    PlanRequest,
+    ServiceConfig,
+)
+from repro.topology import generators
+
+TOPOLOGY = "A"
+SCALE = 0.5
+MAX_STEPS = 96
+MAX_UNITS = 2
+SEED_POOL = (0, 1, 2, 3)
+
+# Requests per client thread, by bench profile.
+PROFILES = {
+    "quick": {"clients": 6, "requests_per_client": 12},
+    "standard": {"clients": 16, "requests_per_client": 48},
+    "full": {"clients": 32, "requests_per_client": 96},
+}
+
+
+def build_model_store(tmp_root: str) -> str:
+    """Train one tiny policy and publish it; return the store root."""
+    instance = generators.make_instance(
+        TOPOLOGY, seed=0, scale=SCALE, horizon="short"
+    )
+    agent = NeuroPlanAgent(
+        instance,
+        AgentConfig(
+            max_units_per_step=MAX_UNITS,
+            max_steps=MAX_STEPS,
+            a2c=A2CConfig(
+                epochs=2, steps_per_epoch=48, max_trajectory_length=MAX_STEPS, seed=0
+            ),
+        ),
+    )
+    agent.train()
+    ModelStore(tmp_root).publish(
+        agent.policy,
+        key=ModelKey(TOPOLOGY, SCALE, "short"),
+        agent_kwargs={
+            "max_units_per_step": MAX_UNITS,
+            "max_steps": MAX_STEPS,
+            "evaluator_mode": "neuroplan",
+            "feature_set": "capacity",
+        },
+        source={"algo": "a2c", "bench": "serving_throughput"},
+    )
+    return tmp_root
+
+
+def run_scenario(model_dir: str, *, cache: bool, clients: int, requests: int) -> dict:
+    service = PlanningService(
+        model_dir,
+        ServiceConfig(
+            workers=min(4, os.cpu_count() or 1),
+            queue_depth=max(16, clients * 2),
+            cache_size=64 if cache else 0,
+        ),
+    )
+    # Warm every (seed -> agent) pair outside the measured window so the
+    # one-time environment builds are not billed as request latency.
+    for seed in SEED_POOL:
+        service.plan(
+            PlanRequest(
+                topology=TOPOLOGY, scale=SCALE, seed=seed, no_cache=True
+            )
+        )
+
+    latencies: list[float] = []
+    overloads = [0]
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for i in range(requests):
+            seed = SEED_POOL[(index + i) % len(SEED_POOL)]
+            req = PlanRequest(
+                topology=TOPOLOGY, scale=SCALE, seed=seed, no_cache=not cache
+            )
+            started = time.perf_counter()
+            try:
+                service.plan(req)
+            except Overloaded:
+                with lock:
+                    overloads[0] += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - begun
+    stats = service.cache.stats()
+    service.close()
+
+    latencies.sort()
+    quantile = lambda q: latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+    return {
+        "scenario": "cache-on" if cache else "cache-off",
+        "clients": clients,
+        "completed": len(latencies),
+        "overloads": overloads[0],
+        "seconds": wall,
+        "throughput_rps": len(latencies) / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": quantile(0.99) * 1e3,
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+    }
+
+
+def run_benchmark(tmp_root: str) -> list:
+    profile = PROFILES[os.environ.get("NEUROPLAN_BENCH_PROFILE", "quick")]
+    model_dir = build_model_store(tmp_root)
+    rows = []
+    for cache in (False, True):
+        rows.append(
+            run_scenario(
+                model_dir,
+                cache=cache,
+                clients=profile["clients"],
+                requests=profile["requests_per_client"],
+            )
+        )
+    return rows
+
+
+def test_bench_serving_throughput(benchmark, save_rows, tmp_path):
+    rows = benchmark.pedantic(
+        run_benchmark, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    save_rows("serving_throughput", rows)
+    print("\nServing throughput (closed-loop, in-process):")
+    for row in rows:
+        print(
+            f"  {row['scenario']:>9}: {row['throughput_rps']:8.1f} req/s  "
+            f"p50 {row['p50_ms']:7.2f} ms  p99 {row['p99_ms']:7.2f} ms  "
+            f"hits/misses {row['cache_hits']}/{row['cache_misses']}"
+        )
+
+    by_scenario = {row["scenario"]: row for row in rows}
+    on, off = by_scenario["cache-on"], by_scenario["cache-off"]
+    # Every request completed; closed-loop clients + a big queue means
+    # backpressure should never fire here.
+    for row in rows:
+        assert row["overloads"] == 0
+        assert row["completed"] == row["clients"] * PROFILES[
+            os.environ.get("NEUROPLAN_BENCH_PROFILE", "quick")
+        ]["requests_per_client"]
+    # The ablation claim: response caching is a massive win on a
+    # repeated-request mix, in both throughput and tail latency.
+    assert on["cache_hits"] > 0
+    assert on["throughput_rps"] > off["throughput_rps"] * 2
+    assert on["p50_ms"] < off["p50_ms"]

@@ -6,6 +6,7 @@ Commands
 ``plan``      -- run the two-stage NeuroPlan pipeline on a topology.
 ``baseline``  -- run ILP / ILP-heur / greedy on a topology.
 ``table2``    -- print the paper's hyperparameter table.
+``serve``     -- answer plan requests over HTTP from a model store.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.core.presets import table2_rows
 from repro.core.report import interpretability_report
 from repro.topology import generators
 from repro.topology.io import save_instance
+from repro.version import __version__
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -57,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="neuroplan",
         description="NeuroPlan reproduction: network planning with deep RL",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"neuroplan {__version__}"
     )
     _add_profile_arg(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -100,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument("--report", action="store_true",
                       help="print the interpretability report")
+    plan.add_argument(
+        "--checkpoint-out", default=None, metavar="MODEL_DIR",
+        help="publish the trained stage-1 policy into this serving "
+        "model store (see `neuroplan serve --model-dir`)",
+    )
 
     baseline = sub.add_parser("baseline", help="run a baseline planner")
     _add_instance_args(baseline)
@@ -138,6 +148,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--time-limit", type=float, default=120.0)
     _add_profile_arg(compare, top_level=False)
+
+    serve = sub.add_parser(
+        "serve", help="serve plans over HTTP from a trained model store"
+    )
+    serve.add_argument(
+        "--model-dir", required=True, metavar="DIR",
+        help="model store written by `neuroplan plan --checkpoint-out`",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--serve-workers", type=int, default=2,
+        help="worker threads executing plan requests",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="request queue depth; a full queue rejects with HTTP 429",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU response cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--ilp-time-limit", type=float, default=30.0,
+        help="per-request cap on the second-stage ILP budget (seconds)",
+    )
+    _add_profile_arg(serve, top_level=False)
     return parser
 
 
@@ -176,12 +213,45 @@ def _cmd_plan(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume_from=args.resume,
     )
-    result = NeuroPlan(config).plan(instance)
+    planner = NeuroPlan(config)
+    result = planner.plan(instance)
     print(result.summary())
+    if args.checkpoint_out:
+        record = _publish_model(planner, args)
+        print(
+            f"published model {record.key.dirname()} v{record.version} "
+            f"-> {record.checkpoint_path}"
+        )
     if args.report:
         print()
         print(interpretability_report(instance, result))
     return 0
+
+
+def _publish_model(planner: NeuroPlan, args):
+    """Publish the trained stage-1 policy into a serving model store."""
+    from repro.serve.registry import ModelKey, ModelStore
+
+    agent = planner.last_agent
+    training = agent.training_result
+    source = {"algo": "a2c", "epochs": args.epochs, "seed": args.seed}
+    if training is not None:
+        source["epoch"] = training.epochs_run
+        if training.best_capacities is not None:
+            source["best_cost"] = training.best_cost
+    return ModelStore(args.checkpoint_out).publish(
+        agent.policy,
+        key=ModelKey(
+            topology=args.topology, scale=args.scale, horizon=args.horizon
+        ),
+        agent_kwargs={
+            "max_units_per_step": agent.config.max_units_per_step,
+            "max_steps": agent.config.max_steps,
+            "evaluator_mode": agent.config.evaluator_mode,
+            "feature_set": agent.config.feature_set,
+        },
+        source=source,
+    )
 
 
 def _cmd_baseline(args) -> int:
@@ -292,6 +362,30 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.http import run
+    from repro.serve.service import PlanningService, ServiceConfig
+
+    # /metrics is part of the serving API, so collection is always on
+    # for a server process (a --profile path additionally gets a trace).
+    if not telemetry.enabled():
+        telemetry.enable()
+    service = PlanningService(
+        args.model_dir,
+        ServiceConfig(
+            workers=args.serve_workers,
+            queue_depth=args.queue_depth,
+            cache_size=args.cache_size,
+            ilp_time_limit=args.ilp_time_limit,
+        ),
+    )
+    keys = service.registry.store.keys()
+    print(f"model store {args.model_dir}: {keys or 'EMPTY (publish first)'}")
+    run(service, host=args.host, port=args.port)
+    print("drained; bye")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -302,6 +396,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "experiment": _cmd_experiment,
         "render": _cmd_render,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
     }
     trace_path = getattr(args, "telemetry_profile", None)
     if trace_path is None:

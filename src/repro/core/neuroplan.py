@@ -101,6 +101,10 @@ class NeuroPlan:
         elif overrides:
             raise TypeError("pass either a config object or keyword overrides")
         self.config = config
+        # The stage-1 agent from the most recent plan()/first_stage()
+        # call; `neuroplan plan --checkpoint-out` publishes its trained
+        # policy into a serving model store (repro.serve.registry).
+        self.last_agent: "NeuroPlanAgent | None" = None
 
     # ------------------------------------------------------------------
     def plan(self, instance: PlanningInstance) -> PlanningResult:
@@ -127,6 +131,7 @@ class NeuroPlan:
         """Stage 1: RL training; returns (plan, epoch history, seconds)."""
         start = time.perf_counter()
         agent = NeuroPlanAgent(instance, self.config.agent_config())
+        self.last_agent = agent
         result = agent.train()
         plan = agent.first_stage_plan()
         return plan, result.history, time.perf_counter() - start

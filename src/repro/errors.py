@@ -62,3 +62,26 @@ class CheckpointError(ReproError):
 class InjectedFault(ReproError):
     """A deliberate failure raised by the fault-injection harness
     (:mod:`repro.resilience.faults`); never raised in normal operation."""
+
+
+class ServeError(ReproError):
+    """Base class for planning-as-a-service errors (:mod:`repro.serve`)."""
+
+
+class ModelNotFoundError(ServeError):
+    """The model store has no entry for the requested key or version."""
+
+
+class ModelMismatchError(ServeError):
+    """A stored model's architecture metadata is incompatible with the
+    requesting instance (wrong feature dim, action width, or key)."""
+
+
+class Overloaded(ServeError):
+    """The serving queue is full (or draining); the request was rejected
+    immediately instead of buffering without bound."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request's end-to-end deadline expired (queue wait counts)
+    before a response could be produced."""

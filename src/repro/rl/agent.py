@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.planning.greedy import GreedyPlanner
@@ -25,11 +25,37 @@ class AgentConfig:
     mlp_hidden: tuple = (64, 64)
     feature_set: str = "capacity"
     evaluator_mode: str = "neuroplan"
-    a2c: A2CConfig = None  # type: ignore[assignment]
+    a2c: A2CConfig = field(default_factory=A2CConfig)
 
-    def __post_init__(self):
-        if self.a2c is None:
-            self.a2c = A2CConfig()
+
+def greedy_rollout(
+    env: PlanningEnv,
+    policy: ActorCriticPolicy,
+    max_steps: "int | None" = None,
+) -> NetworkPlan:
+    """Deterministic rollout with mode actions (policy evaluation).
+
+    Shared by the training agent and the inference-only serving agent so
+    a policy restored from a checkpoint provably emits the same plan as
+    the live in-memory one (``tests/serve`` pins this round-trip).
+    """
+    observation = env.reset()
+    limit = max_steps or env.max_steps
+    steps = 0
+    while not env.done and steps < limit:
+        mask = env.action_mask()
+        if not mask.any():
+            break
+        distribution = policy.distribution(observation, env.adjacency_norm, mask)
+        step = env.step(distribution.mode())
+        observation = step.observation
+        steps += 1
+    return NetworkPlan(
+        instance_name=env.instance.name,
+        capacities=env.capacities(),
+        method="rl-rollout",
+        metadata={"feasible": env.feasible, "steps": steps},
+    )
 
 
 class NeuroPlanAgent:
@@ -114,23 +140,6 @@ class NeuroPlanAgent:
 
     def greedy_rollout(self, max_steps: "int | None" = None) -> NetworkPlan:
         """Deterministic rollout with mode actions (policy evaluation)."""
-        env = self.env
-        observation = env.reset()
-        limit = max_steps or self.config.max_steps
-        steps = 0
-        while not env.done and steps < limit:
-            mask = env.action_mask()
-            if not mask.any():
-                break
-            distribution = self.policy.distribution(
-                observation, env.adjacency_norm, mask
-            )
-            step = env.step(distribution.mode())
-            observation = step.observation
-            steps += 1
-        return NetworkPlan(
-            instance_name=self.instance.name,
-            capacities=env.capacities(),
-            method="rl-rollout",
-            metadata={"feasible": env.feasible, "steps": steps},
+        return greedy_rollout(
+            self.env, self.policy, max_steps or self.config.max_steps
         )

@@ -1,0 +1,40 @@
+"""Planning-as-a-service: the inference-only serving layer.
+
+The paper's two-stage design separates expensive learning from cheap
+plan emission; this package serves the cheap half.  ``neuroplan plan
+--checkpoint-out DIR`` publishes a trained policy into a model store,
+and ``neuroplan serve --model-dir DIR`` answers ``POST /v1/plan``
+requests with a deterministic greedy rollout of the registered policy
+plus an optional budgeted second-stage ILP -- no training, no optimizer
+state, no unbounded queues.
+
+Components: :mod:`registry` (model store + policy registry),
+:mod:`service` (request -> response orchestration), :mod:`pool`
+(bounded workers + typed backpressure), :mod:`cache` (LRU response
+cache), :mod:`http` (stdlib JSON transport).
+"""
+
+from repro.serve.cache import ResponseCache, canonical_key
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import (
+    InferenceAgent,
+    ModelKey,
+    ModelRecord,
+    ModelStore,
+    PolicyRegistry,
+)
+from repro.serve.service import PlanRequest, PlanningService, ServiceConfig
+
+__all__ = [
+    "InferenceAgent",
+    "ModelKey",
+    "ModelRecord",
+    "ModelStore",
+    "PlanRequest",
+    "PlanningService",
+    "PolicyRegistry",
+    "ResponseCache",
+    "ServiceConfig",
+    "WorkerPool",
+    "canonical_key",
+]

@@ -1,0 +1,82 @@
+"""LRU response cache keyed by the canonical request hash.
+
+Planning is deterministic -- same (topology, scale, seed, horizon,
+alpha, second_stage, model version) means the same plan -- so a hit can
+bypass the rollout *and* the second-stage ILP entirely.  The key hashes
+the *resolved* model version, not the ``latest`` alias, so publishing a
+new version naturally invalidates alias hits without any flush logic.
+
+The cache keeps its own hit/miss/eviction counters (always on, surfaced
+by ``/healthz`` and ``/metrics``) and mirrors them into
+:mod:`repro.telemetry` when a profiling run has collection enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+from repro import telemetry
+
+
+def canonical_key(fields: dict) -> str:
+    """Stable hash of a request's plan-identity fields."""
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResponseCache:
+    """Thread-safe LRU over response dicts; ``capacity=0`` disables it."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> "dict | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                telemetry.counter("serve.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            telemetry.counter("serve.cache.hits")
+            return dict(entry)
+
+    def put(self, key: str, response: dict) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = dict(response)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                telemetry.counter("serve.cache.evictions")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

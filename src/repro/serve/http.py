@@ -1,0 +1,174 @@
+"""HTTP transport: a stdlib ``ThreadingHTTPServer`` JSON API.
+
+Endpoints
+---------
+``POST /v1/plan``
+    JSON :class:`~repro.serve.service.PlanRequest` body -> response dict.
+    Typed errors map to status codes: ``Overloaded`` -> 429,
+    ``DeadlineExceeded`` -> 504, ``ModelNotFoundError`` -> 404,
+    ``ModelMismatchError`` -> 409, other ``ServeError`` -> 400.
+``GET /healthz``
+    Liveness + registry/pool/cache state + package version.
+``GET /metrics``
+    Telemetry registry dump (counters, gauges, timers) plus cache and
+    pool statistics.
+
+The transport is deliberately thin: every request body becomes a
+:class:`PlanRequest` and every response is the service's plain dict,
+so in-process callers and HTTP clients see identical payloads.
+SIGTERM/SIGINT trigger the graceful drain (stop accepting, finish
+in-flight requests, close evaluator pools).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import telemetry
+from repro.errors import (
+    DeadlineExceeded,
+    ModelMismatchError,
+    ModelNotFoundError,
+    Overloaded,
+    ReproError,
+    ServeError,
+)
+from repro.serve.service import PlanRequest, PlanningService
+from repro.version import __version__
+
+_ERROR_STATUS = (
+    (Overloaded, 429, "overloaded"),
+    (DeadlineExceeded, 504, "deadline_exceeded"),
+    (ModelNotFoundError, 404, "model_not_found"),
+    (ModelMismatchError, 409, "model_mismatch"),
+    (ServeError, 400, "bad_request"),
+    (ReproError, 500, "planning_error"),
+)
+
+MAX_BODY_BYTES = 1 << 20  # a plan request is tiny; reject anything huge
+
+
+class PlanningRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`PlanningService`."""
+
+    server_version = f"neuroplan-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> PlanningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/v1/plan":
+            self._send_json(404, {"error": "not_found", "path": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_BODY_BYTES:
+            self._send_json(
+                400, {"error": "bad_request", "detail": "bad Content-Length"}
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+            if not isinstance(payload, dict):
+                raise ServeError("request body must be a JSON object")
+            request = PlanRequest.from_dict(payload)
+            response = self.service.plan(request)
+        except json.JSONDecodeError as exc:
+            self._send_json(
+                400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+            )
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+        except Exception as exc:  # typed mapping below
+            for err_type, status, code in _ERROR_STATUS:
+                if isinstance(exc, err_type):
+                    telemetry.counter(f"serve.http.{code}")
+                    self._send_json(status, {"error": code, "detail": str(exc)})
+                    return
+            raise
+        else:
+            self._send_json(200, response)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route access logs through telemetry instead of stderr noise;
+        # they appear in --profile traces and stay silent otherwise.
+        telemetry.event(
+            "serve.http.access", client=self.address_string(), line=format % args
+        )
+
+
+class PlanningHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`PlanningService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple, service: PlanningService):
+        super().__init__(address, PlanningRequestHandler)
+        self.service = service
+
+
+def make_server(
+    service: PlanningService, host: str = "127.0.0.1", port: int = 8080
+) -> PlanningHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) without serving yet."""
+    return PlanningHTTPServer((host, port), service)
+
+
+def run(
+    service: PlanningService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready_message: bool = True,
+) -> None:
+    """Serve until SIGTERM/SIGINT, then drain gracefully and return."""
+    server = make_server(service, host, port)
+
+    def _drain(signum, _frame):
+        print(
+            f"received {signal.Signals(signum).name}; draining...",
+            file=sys.stderr,
+        )
+        # shutdown() must not run on the serve_forever thread: it blocks
+        # until the poll loop exits, which cannot happen while a signal
+        # handler is still on that thread's stack.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _drain) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        if ready_message:
+            bound_host, bound_port = server.server_address[:2]
+            print(f"neuroplan-serve listening on http://{bound_host}:{bound_port}")
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        service.close()

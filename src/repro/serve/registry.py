@@ -1,0 +1,387 @@
+"""Model store + policy registry for the serving layer.
+
+The **model store** is a directory of published policies.  Each entry is
+a standard :mod:`repro.resilience` checkpoint (``.npz``, checksummed,
+atomically written) holding only the policy parameters -- no optimizer
+moments, no trainer state -- plus a JSON manifest with the architecture
+metadata needed to rebuild the network and validate it against a
+requesting instance::
+
+    model_dir/
+      A-s1-short/            # one directory per (topology, scale, horizon)
+        v0001.npz            # TrainingCheckpoint: policy params only
+        v0001.json           # manifest: key, policy spec, env kwargs
+        v0002.npz
+        v0002.json
+
+Versions are explicit and monotonically increasing; ``"latest"`` is an
+alias for the highest published version.  The npz is written before its
+manifest, so a manifest's existence implies a complete checkpoint.
+
+The **registry** turns a store entry into an :class:`InferenceAgent`
+(environment + policy, nothing else) on demand and caches it per
+``(key, version, seed)``.  Loading validates the manifest's architecture
+metadata -- feature dimension, action width, key fields -- against the
+environment actually built for the requesting instance and raises a
+typed :class:`~repro.errors.ModelMismatchError` instead of producing
+silently-garbage plans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.errors import (
+    ModelMismatchError,
+    ModelNotFoundError,
+    NNError,
+    ServeError,
+)
+from repro.planning.plan import NetworkPlan
+from repro.resilience.checkpoint import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.rl.agent import greedy_rollout
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.topology import generators
+
+MANIFEST_FORMAT = "neuroplan-model"
+MANIFEST_VERSION = 1
+
+_VERSION_FILE = re.compile(r"^v(\d{4})\.json$")
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """What a published policy was trained for (seed-agnostic: the GNN
+    policy is size-agnostic, so one model serves every seed of a band)."""
+
+    topology: str
+    scale: float = 1.0
+    horizon: str = "short"
+
+    def dirname(self) -> str:
+        return f"{self.topology}-s{self.scale:g}-{self.horizon}"
+
+    def as_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "scale": self.scale,
+            "horizon": self.horizon,
+        }
+
+
+@dataclass
+class ModelRecord:
+    """One resolved store entry: key + version + paths + manifest."""
+
+    key: ModelKey
+    version: int
+    checkpoint_path: str
+    manifest: dict
+
+    @property
+    def policy_spec(self) -> dict:
+        return dict(self.manifest["policy_spec"])
+
+    @property
+    def agent_kwargs(self) -> dict:
+        return dict(self.manifest["agent"])
+
+
+class ModelStore:
+    """Publish / enumerate / resolve policies under one root directory."""
+
+    def __init__(self, root: "str | os.PathLike"):
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        policy: ActorCriticPolicy,
+        *,
+        key: ModelKey,
+        agent_kwargs: dict,
+        source: "dict | None" = None,
+    ) -> ModelRecord:
+        """Write ``policy`` into the store as the next version of ``key``.
+
+        ``agent_kwargs`` are the :class:`~repro.rl.env.PlanningEnv`
+        constructor knobs (``max_units_per_step``, ``max_steps``,
+        ``evaluator_mode``, ``feature_set``) the policy was trained
+        against; the registry rebuilds the environment from them.
+        """
+        source = dict(source or {})
+        version = (self.versions(key) or [0])[-1] + 1
+        directory = os.path.join(self.root, key.dirname())
+        os.makedirs(directory, exist_ok=True)
+        best_cost = source.get("best_cost")
+        ckpt = TrainingCheckpoint(
+            algo=str(source.get("algo", "policy")),
+            epoch=int(source.get("epoch", 0)),
+            policy_state=policy.state_dict(),
+            optimizer_states={},
+            rng_state=None,
+            best_cost=float(best_cost) if best_cost is not None else 0.0,
+            best_capacities=None,
+        )
+        npz_name = f"v{version:04d}.npz"
+        checkpoint_path = save_checkpoint(ckpt, os.path.join(directory, npz_name))
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "format_version": MANIFEST_VERSION,
+            "version": version,
+            "key": key.as_dict(),
+            "policy_spec": _jsonable_spec(policy.spec()),
+            "agent": dict(agent_kwargs),
+            "checkpoint": npz_name,
+            "source": source,
+        }
+        manifest_path = os.path.join(directory, f"v{version:04d}.json")
+        _atomic_write_json(manifest_path, manifest)
+        telemetry.counter("serve.models_published")
+        return ModelRecord(
+            key=key,
+            version=version,
+            checkpoint_path=checkpoint_path,
+            manifest=manifest,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Directory names of every key with at least one version."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [
+            name
+            for name in names
+            if os.path.isdir(os.path.join(self.root, name))
+            and self._versions_in(os.path.join(self.root, name))
+        ]
+
+    def versions(self, key: ModelKey) -> list[int]:
+        """Published versions of ``key``, oldest first."""
+        return self._versions_in(os.path.join(self.root, key.dirname()))
+
+    @staticmethod
+    def _versions_in(directory: str) -> list[int]:
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            match = _VERSION_FILE.match(name)
+            if match and os.path.exists(
+                os.path.join(directory, f"v{int(match.group(1)):04d}.npz")
+            ):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve(
+        self, key: ModelKey, version: "int | str" = "latest"
+    ) -> ModelRecord:
+        """Resolve ``version`` (an int or the ``"latest"`` alias) of
+        ``key``; raise :class:`ModelNotFoundError` when absent."""
+        available = self.versions(key)
+        if not available:
+            raise ModelNotFoundError(
+                f"no model for {key.dirname()!r} in {self.root} "
+                f"(available keys: {self.keys() or 'none'})"
+            )
+        if version == "latest":
+            resolved = available[-1]
+        else:
+            try:
+                resolved = int(version)
+            except (TypeError, ValueError):
+                raise ModelNotFoundError(
+                    f"model version must be an integer or 'latest', "
+                    f"got {version!r}"
+                ) from None
+            if resolved not in available:
+                raise ModelNotFoundError(
+                    f"{key.dirname()} has no version {resolved} "
+                    f"(available: {available})"
+                )
+        directory = os.path.join(self.root, key.dirname())
+        manifest_path = os.path.join(directory, f"v{resolved:04d}.json")
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ServeError(
+                f"unreadable model manifest {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ServeError(f"{manifest_path} is not a neuroplan model manifest")
+        return ModelRecord(
+            key=key,
+            version=resolved,
+            checkpoint_path=os.path.join(directory, manifest["checkpoint"]),
+            manifest=manifest,
+        )
+
+
+class InferenceAgent:
+    """Environment + policy, nothing else: the cheap plan-emission half
+    of the paper's two-stage design.
+
+    The environment is stateful across a rollout, so :meth:`plan` holds
+    a per-agent lock -- concurrent requests for the same (key, version,
+    seed) serialize on it rather than bleeding trajectory state into
+    each other; distinct seeds/models run fully in parallel.
+    """
+
+    def __init__(self, instance, policy: ActorCriticPolicy, env: PlanningEnv):
+        self.instance = instance
+        self.policy = policy
+        self.env = env
+        self._lock = threading.Lock()
+
+    def plan(self, max_steps: "int | None" = None) -> NetworkPlan:
+        """Deterministic greedy rollout of the registered policy."""
+        with self._lock:
+            return greedy_rollout(self.env, self.policy, max_steps)
+
+    @property
+    def lp_solves(self) -> int:
+        return self.env.evaluator.lp_solves
+
+    def close(self) -> None:
+        """Release evaluator resources (thread pools, if any)."""
+        close = getattr(self.env.evaluator, "close", None)
+        if callable(close):
+            close()
+
+
+class PolicyRegistry:
+    """Serve-side cache of inference agents, backed by a model store."""
+
+    def __init__(self, store: "ModelStore | str | os.PathLike"):
+        self.store = store if isinstance(store, ModelStore) else ModelStore(store)
+        self._agents: dict[tuple, InferenceAgent] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, key: ModelKey, version: "int | str" = "latest"
+    ) -> ModelRecord:
+        """Resolve a version without building an agent (cheap)."""
+        return self.store.resolve(key, version)
+
+    def agent(
+        self,
+        key: ModelKey,
+        seed: int = 0,
+        version: "int | str" = "latest",
+    ) -> tuple[InferenceAgent, ModelRecord]:
+        """An inference agent for ``key`` at ``seed``, loading and
+        validating the stored policy on first use."""
+        record = self.store.resolve(key, version)
+        cache_key = (key.dirname(), record.version, int(seed))
+        with self._lock:
+            agent = self._agents.get(cache_key)
+            if agent is None:
+                agent = self._load(key, seed, record)
+                self._agents[cache_key] = agent
+                telemetry.counter("serve.models_loaded")
+        return agent, record
+
+    def _load(self, key: ModelKey, seed: int, record: ModelRecord) -> InferenceAgent:
+        manifest_key = record.manifest.get("key", {})
+        for field_name, want in key.as_dict().items():
+            got = manifest_key.get(field_name)
+            same = (
+                math.isclose(float(got), float(want))
+                if isinstance(want, float) and got is not None
+                else got == want
+            )
+            if not same:
+                raise ModelMismatchError(
+                    f"model {record.checkpoint_path} was published for "
+                    f"{field_name}={got!r}, requested {want!r}"
+                )
+        instance = generators.make_instance(
+            key.topology, seed=seed, scale=key.scale, horizon=key.horizon
+        )
+        spec = record.policy_spec
+        env_kwargs = record.agent_kwargs
+        env_kwargs.setdefault("max_units_per_step", spec.get("max_units"))
+        env = PlanningEnv(instance, **env_kwargs)
+        if spec.get("feature_dim") != env.encoder.feature_dim:
+            raise ModelMismatchError(
+                f"model {record.checkpoint_path} expects feature_dim="
+                f"{spec.get('feature_dim')} but {key.dirname()} seed {seed} "
+                f"encodes feature_dim={env.encoder.feature_dim}"
+            )
+        if spec.get("max_units") != env.max_units:
+            raise ModelMismatchError(
+                f"model {record.checkpoint_path} was trained with "
+                f"max_units={spec.get('max_units')} but the environment "
+                f"is built with max_units_per_step={env.max_units}"
+            )
+        spec["mlp_hidden"] = tuple(spec.get("mlp_hidden", ()))
+        policy = ActorCriticPolicy(**spec, rng=0)
+        ckpt = load_checkpoint(record.checkpoint_path)
+        try:
+            policy.load_state_dict(ckpt.policy_state)
+        except NNError as exc:
+            raise ModelMismatchError(
+                f"model {record.checkpoint_path} parameters do not fit "
+                f"the manifest architecture: {exc}"
+            ) from exc
+        return InferenceAgent(instance, policy, env)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            loaded = sorted(
+                f"{dirname}@v{version} seed={seed}"
+                for dirname, version, seed in self._agents
+            )
+        return {
+            "model_dir": self.store.root,
+            "keys": self.store.keys(),
+            "loaded_agents": loaded,
+        }
+
+    def close(self) -> None:
+        """Close every loaded agent's evaluator resources."""
+        with self._lock:
+            agents = list(self._agents.values())
+            self._agents.clear()
+        for agent in agents:
+            agent.close()
+
+
+# ----------------------------------------------------------------------
+def _jsonable_spec(spec: dict) -> dict:
+    return {
+        name: list(value) if isinstance(value, tuple) else value
+        for name, value in spec.items()
+    }
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)

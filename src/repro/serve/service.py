@@ -1,0 +1,279 @@
+"""The planning service: request -> rollout -> (optional) budgeted ILP.
+
+This is the paper's two-stage design recomposed as an inference path:
+the expensive learning already happened offline (``neuroplan plan
+--checkpoint-out`` published the trained policy), so serving a request
+is a deterministic greedy rollout of the registered policy plus an
+optional second-stage ILP under the request's remaining deadline.  The
+PR-3 ``degraded``/``degraded_reason`` stamps from the solver-budget
+fallbacks propagate straight into the response.
+
+Responses are plain dicts (plan, cost, timings, provenance) so the
+transports -- in-process calls, the HTTP layer, the load benchmark --
+stay thin and identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+
+from repro import telemetry
+from repro.core.neuroplan import NeuroPlan, NeuroPlanConfig
+from repro.errors import DeadlineExceeded, Overloaded, ServeError
+from repro.serve.cache import ResponseCache, canonical_key
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import ModelKey, PolicyRegistry
+from repro.topology import generators
+
+REQUEST_FIELDS = (
+    "topology",
+    "scale",
+    "seed",
+    "horizon",
+    "alpha",
+    "second_stage",
+    "deadline_s",
+    "model_version",
+    "no_cache",
+)
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan request; everything defaulted except the topology."""
+
+    topology: str
+    scale: float = 1.0
+    seed: int = 0
+    horizon: str = "short"
+    alpha: float = 1.5
+    second_stage: bool = False
+    deadline_s: "float | None" = None
+    model_version: "int | str" = "latest"
+    no_cache: bool = False
+
+    def __post_init__(self):
+        if self.topology not in generators.list_topologies():
+            raise ServeError(
+                f"unknown topology {self.topology!r}; "
+                f"options: {generators.list_topologies()}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise ServeError("scale must be in (0, 1]")
+        if self.horizon not in ("short", "long"):
+            raise ServeError("horizon must be 'short' or 'long'")
+        if self.alpha < 1.0:
+            raise ServeError("alpha (relax factor) must be >= 1.0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServeError("deadline_s must be positive")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlanRequest":
+        unknown = set(payload) - set(REQUEST_FIELDS)
+        if unknown:
+            raise ServeError(
+                f"unknown request fields {sorted(unknown)}; "
+                f"accepted: {list(REQUEST_FIELDS)}"
+            )
+        if "topology" not in payload:
+            raise ServeError("request is missing the 'topology' field")
+        return cls(**payload)
+
+    def model_key(self) -> ModelKey:
+        return ModelKey(
+            topology=self.topology, scale=self.scale, horizon=self.horizon
+        )
+
+    def identity(self, resolved_version: int) -> dict:
+        """The plan-identity fields hashed into the cache key.
+
+        ``deadline_s`` and ``no_cache`` shape *how* the request runs,
+        not *what* plan it yields, so they stay out of the hash; the
+        resolved version replaces any ``latest`` alias.
+        """
+        return {
+            "topology": self.topology,
+            "scale": self.scale,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "alpha": self.alpha,
+            "second_stage": self.second_stage,
+            "model_version": resolved_version,
+        }
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one :class:`PlanningService`."""
+
+    workers: int = 2
+    queue_depth: int = 16
+    cache_size: int = 256
+    ilp_time_limit: float = 30.0  # cap per second-stage solve (seconds)
+    rollout_max_steps: "int | None" = None  # None = model's trained horizon
+    extra: dict = field(default_factory=dict)
+
+
+class PlanningService:
+    """Registry + pool + cache composed behind ``submit()``/``plan()``."""
+
+    def __init__(
+        self,
+        model_dir: "str | PolicyRegistry",
+        config: "ServiceConfig | None" = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.registry = (
+            model_dir
+            if isinstance(model_dir, PolicyRegistry)
+            else PolicyRegistry(model_dir)
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers, queue_depth=self.config.queue_depth
+        )
+        self.cache = ResponseCache(self.config.cache_size)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, request: PlanRequest) -> Future:
+        """Admit a request; the future resolves to the response dict.
+
+        Raises :class:`Overloaded` immediately when the queue is full or
+        the service is draining -- admission never blocks.
+        """
+        telemetry.counter("serve.requests")
+        admitted_at = time.perf_counter()
+        return self.pool.submit(self._execute, request, admitted_at)
+
+    def plan(self, request: PlanRequest) -> dict:
+        """Synchronous submit + wait (in-process callers, benchmark)."""
+        return self.submit(request).result()
+
+    # ------------------------------------------------------------------
+    def _execute(self, request: PlanRequest, admitted_at: float) -> dict:
+        started = time.perf_counter()
+        queue_s = started - admitted_at
+        deadline = request.deadline_s
+        if deadline is not None and queue_s >= deadline:
+            telemetry.counter("serve.deadline_exceeded")
+            raise DeadlineExceeded(
+                f"request spent {queue_s:.3f}s queued, past its "
+                f"{deadline}s deadline"
+            )
+        record = self.registry.resolve(request.model_key(), request.model_version)
+        cache_key = canonical_key(request.identity(record.version))
+        if not request.no_cache:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                response = dict(cached)
+                response["cache_hit"] = True
+                response["timings"] = {
+                    **cached["timings"],
+                    "queue_s": queue_s,
+                    "total_s": time.perf_counter() - admitted_at,
+                }
+                telemetry.counter("serve.responses")
+                return response
+
+        agent, record = self.registry.agent(
+            request.model_key(), seed=request.seed, version=request.model_version
+        )
+        lp_before = agent.lp_solves
+        with telemetry.timer("serve.rollout"):
+            rollout_start = time.perf_counter()
+            plan = agent.plan(self.config.rollout_max_steps)
+            rollout_s = time.perf_counter() - rollout_start
+
+        ilp_s = 0.0
+        status = None
+        if request.second_stage:
+            budget = self.config.ilp_time_limit
+            if deadline is not None:
+                remaining = deadline - (time.perf_counter() - admitted_at)
+                if remaining <= 0:
+                    telemetry.counter("serve.deadline_exceeded")
+                    raise DeadlineExceeded(
+                        "deadline expired after the rollout, before the "
+                        "second-stage ILP could start"
+                    )
+                budget = min(budget, remaining)
+            planner = NeuroPlan(
+                NeuroPlanConfig(
+                    relax_factor=request.alpha, ilp_time_limit=budget
+                )
+            )
+            with telemetry.timer("serve.second_stage"):
+                plan, status, ilp_s = planner.second_stage(agent.instance, plan)
+
+        # Rollout plans carry an explicit feasibility verdict; ILP plans
+        # are feasible by construction (no "feasible" key).
+        feasible = bool(plan.metadata.get("feasible", True))
+        response = {
+            "plan": dict(plan.capacities),
+            "cost": plan.cost(agent.instance),
+            "feasible": feasible,
+            "method": plan.method,
+            "degraded": bool(plan.metadata.get("degraded", False)),
+            "degraded_reason": plan.metadata.get("degraded_reason"),
+            "second_stage_status": status,
+            "lp_solves": agent.lp_solves - lp_before,
+            "model": {"key": record.key.dirname(), "version": record.version},
+            "timings": {
+                "queue_s": queue_s,
+                "rollout_s": rollout_s,
+                "ilp_s": ilp_s,
+                "total_s": time.perf_counter() - admitted_at,
+            },
+            "cache_hit": False,
+        }
+        if not request.no_cache:
+            self.cache.put(cache_key, response)
+        telemetry.counter("serve.responses")
+        telemetry.observe("serve.request", time.perf_counter() - admitted_at)
+        return response
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        from repro.version import __version__
+
+        return {
+            "status": "draining" if self._closed else "ok",
+            "version": __version__,
+            "registry": self.registry.stats(),
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    def metrics(self) -> dict:
+        return {
+            "telemetry": telemetry.snapshot(),
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+        }
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, then
+        close the loaded agents' evaluator pools.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.shutdown(drain=True)
+        self.registry.close()
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# Re-exported so transports can import everything from one module.
+__all__ = [
+    "PlanRequest",
+    "PlanningService",
+    "ServiceConfig",
+    "Overloaded",
+    "DeadlineExceeded",
+]

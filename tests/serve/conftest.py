@@ -1,0 +1,81 @@
+"""Serving-test fixtures: one tiny trained model store per session.
+
+Training is the expensive part, so the store (band A at scale 0.5, one
+model per horizon) is built once and shared; each test composes its own
+:class:`PlanningService` on top, which is cheap.  Serve tests may flip
+the process-global telemetry registry, so it is always restored.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.rl.a2c import A2CConfig
+from repro.rl.agent import AgentConfig, NeuroPlanAgent
+from repro.serve import ModelKey, ModelStore
+from repro.topology import generators
+
+TOPOLOGY = "A"
+SCALE = 0.5
+MAX_STEPS = 96
+MAX_UNITS = 2
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def tiny_agent(horizon: str, seed: int = 0) -> NeuroPlanAgent:
+    instance = generators.make_instance(
+        TOPOLOGY, seed=seed, scale=SCALE, horizon=horizon
+    )
+    config = AgentConfig(
+        max_units_per_step=MAX_UNITS,
+        max_steps=MAX_STEPS,
+        a2c=A2CConfig(
+            epochs=2,
+            steps_per_epoch=48,
+            max_trajectory_length=MAX_STEPS,
+            seed=seed,
+        ),
+    )
+    return NeuroPlanAgent(instance, config)
+
+
+def publish(store: ModelStore, agent: NeuroPlanAgent, horizon: str):
+    return store.publish(
+        agent.policy,
+        key=ModelKey(topology=TOPOLOGY, scale=SCALE, horizon=horizon),
+        agent_kwargs={
+            "max_units_per_step": MAX_UNITS,
+            "max_steps": MAX_STEPS,
+            "evaluator_mode": "neuroplan",
+            "feature_set": "capacity",
+        },
+        source={"algo": "a2c", "seed": agent.config.a2c.seed},
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_agents() -> dict:
+    """One trained agent per horizon (session-scoped: training is slow)."""
+    agents = {}
+    for horizon in ("short", "long"):
+        agent = tiny_agent(horizon)
+        agent.train()
+        agents[horizon] = agent
+    return agents
+
+
+@pytest.fixture(scope="session")
+def model_dir(tmp_path_factory, trained_agents) -> str:
+    """A model store holding both horizons' trained policies."""
+    root = tmp_path_factory.mktemp("model-store")
+    store = ModelStore(root)
+    for horizon, agent in trained_agents.items():
+        publish(store, agent, horizon)
+    return str(root)

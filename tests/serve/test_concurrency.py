@@ -1,0 +1,123 @@
+"""Concurrency contract: no cross-request state bleed, typed overload,
+clean shutdown drain under load."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.serve import PlanningService, PlanRequest, ServiceConfig
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+class TestNoStateBleed:
+    def test_hammering_mixed_requests_yields_identical_plans(self, model_dir):
+        """N threads, mixed cacheable/uncacheable requests over two
+        seeds: every response for a given seed must carry the identical
+        plan (the env lock prevents trajectory interleaving; the cache
+        never crosses identities)."""
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=4, queue_depth=64, cache_size=32)
+        )
+        results: dict[int, list] = {0: [], 1: []}
+        errors: list = []
+        lock = threading.Lock()
+
+        def hammer(worker_index: int):
+            for i in range(6):
+                seed = (worker_index + i) % 2
+                no_cache = (i % 3) == 0  # every third request uncacheable
+                try:
+                    response = service.plan(request(seed=seed, no_cache=no_cache))
+                except Overloaded:
+                    continue  # backpressure is allowed, corruption is not
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    results[seed].append(response["plan"])
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        service.close()
+
+        assert not errors, errors
+        for seed, plans in results.items():
+            assert plans, f"no responses for seed {seed}"
+            assert all(plan == plans[0] for plan in plans), (
+                f"seed {seed} responses diverged across threads"
+            )
+        # The two identities never blur into each other.
+        assert results[0][0] != results[1][0]
+
+
+class TestOverload:
+    def test_full_queue_returns_typed_rejection_not_a_hang(self, model_dir):
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=1, queue_depth=1, cache_size=0)
+        )
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=30)
+
+        # Occupy the single worker, then fill the single queue slot.
+        blocking = service.pool.submit(blocker)
+        assert started.wait(timeout=10)
+        queued = service.submit(request(seed=0))
+        began = time.perf_counter()
+        with pytest.raises(Overloaded):
+            service.submit(request(seed=1))
+        assert time.perf_counter() - began < 1.0  # immediate, no buffering
+        release.set()
+        assert queued.result(timeout=120)["feasible"] is True
+        blocking.result(timeout=10)
+        service.close()
+
+    def test_submit_after_close_is_typed_rejection(self, model_dir):
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=1, queue_depth=2)
+        )
+        service.close()
+        with pytest.raises(Overloaded):
+            service.submit(request())
+
+
+class TestShutdownDrain:
+    def test_close_finishes_admitted_requests(self, model_dir):
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=2, queue_depth=16, cache_size=0)
+        )
+        futures = [service.submit(request(seed=i % 2)) for i in range(6)]
+        service.close()  # graceful drain: every admitted request finishes
+        for future in futures:
+            assert future.result(timeout=1)["plan"]
+        assert not service.pool.accepting
+        assert service.healthz()["status"] == "draining"
+
+    def test_close_is_idempotent_under_threads(self, model_dir):
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=1, queue_depth=2)
+        )
+        threads = [threading.Thread(target=service.close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not service.pool.accepting

@@ -1,0 +1,120 @@
+"""HTTP transport: JSON API, status-code mapping, health and metrics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.serve import PlanningService, ServiceConfig
+from repro.serve.http import make_server
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+
+@pytest.fixture
+def server(model_dir):
+    telemetry.enable()
+    service = PlanningService(
+        model_dir, ServiceConfig(workers=2, queue_depth=8, cache_size=32)
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=10)
+
+
+def url(server, path: str) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def get(server, path: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url(server, path), timeout=60) as response:
+        return response.status, json.load(response)
+
+
+def post(server, path: str, payload) -> tuple[int, dict]:
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url(server, path),
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=120) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+PLAN_BODY = {"topology": TOPOLOGY, "scale": SCALE, "seed": 0, "horizon": "short"}
+
+
+class TestPlanEndpoint:
+    def test_post_plan_and_cached_repeat(self, server):
+        status, first = post(server, "/v1/plan", PLAN_BODY)
+        assert status == 200
+        assert first["feasible"] is True
+        assert first["cache_hit"] is False
+        status, second = post(server, "/v1/plan", PLAN_BODY)
+        assert status == 200
+        assert second["cache_hit"] is True
+        assert second["plan"] == first["plan"]
+
+    def test_invalid_json_is_400(self, server):
+        status, body = post(server, "/v1/plan", b"{not json")
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+    def test_unknown_field_is_400(self, server):
+        status, body = post(server, "/v1/plan", {**PLAN_BODY, "bogus": 1})
+        assert status == 400
+        assert "bogus" in body["detail"]
+
+    def test_unknown_model_is_404(self, server):
+        status, body = post(server, "/v1/plan", {**PLAN_BODY, "topology": "E"})
+        assert status == 404
+        assert body["error"] == "model_not_found"
+
+    def test_unknown_path_is_404(self, server):
+        status, body = post(server, "/v2/plan", PLAN_BODY)
+        assert status == 404
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, server):
+        from repro.version import __version__
+
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["version"] == __version__
+        assert body["pool"]["accepting"] is True
+
+    def test_metrics_counts_requests(self, server):
+        post(server, "/v1/plan", PLAN_BODY)
+        post(server, "/v1/plan", PLAN_BODY)
+        status, body = get(server, "/metrics")
+        assert status == 200
+        counters = body["telemetry"]["counters"]
+        assert counters["serve.requests"] == 2
+        assert counters["serve.cache.hits"] == 1
+        assert body["cache"]["hits"] == 1
+
+    def test_get_unknown_path_is_404(self, server):
+        status, body = get_status_allowing_error(server, "/nope")
+        assert status == 404
+
+
+def get_status_allowing_error(server, path: str) -> tuple[int, dict]:
+    try:
+        return get(server, path)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)

@@ -1,0 +1,95 @@
+"""Worker pool: bounded queue, typed rejection, graceful drain."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, Overloaded
+from repro.serve.pool import WorkerPool
+
+
+def occupy(pool: WorkerPool, count: int):
+    """Block ``count`` workers on an event; returns the release event."""
+    release = threading.Event()
+    started = [threading.Event() for _ in range(count)]
+
+    def blocker(started_event):
+        started_event.set()
+        release.wait(timeout=30)
+        return "released"
+
+    futures = [pool.submit(blocker, started[i]) for i in range(count)]
+    for event in started:
+        assert event.wait(timeout=10)
+    return release, futures
+
+
+class TestWorkerPool:
+    def test_submit_executes_and_returns_result(self):
+        with WorkerPool(workers=2, queue_depth=4) as pool:
+            assert pool.submit(lambda: 21 * 2).result(timeout=10) == 42
+
+    def test_exceptions_flow_to_the_future(self):
+        with WorkerPool(workers=1, queue_depth=2) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=10)
+
+    def test_full_queue_rejects_immediately_with_typed_error(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        try:
+            release, busy = occupy(pool, 1)  # worker blocked
+            queued = pool.submit(lambda: "queued")  # fills the queue
+            with pytest.raises(Overloaded, match="full"):
+                pool.submit(lambda: "rejected")
+            release.set()
+            assert queued.result(timeout=10) == "queued"
+            assert [f.result(timeout=10) for f in busy] == ["released"]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_drains_queued_work(self):
+        pool = WorkerPool(workers=1, queue_depth=8)
+        release, busy = occupy(pool, 1)
+        queued = [pool.submit(lambda i=i: i) for i in range(4)]
+        release.set()
+        pool.shutdown(drain=True)
+        assert [f.result(timeout=1) for f in queued] == [0, 1, 2, 3]
+        assert not pool.accepting
+        assert pool.stats()["in_flight"] == 0
+
+    def test_submit_after_shutdown_is_typed_rejection(self):
+        pool = WorkerPool(workers=1, queue_depth=2)
+        pool.shutdown()
+        with pytest.raises(Overloaded, match="shutting down"):
+            pool.submit(lambda: None)
+
+    def test_shutdown_without_drain_cancels_queued(self):
+        pool = WorkerPool(workers=1, queue_depth=8)
+        release, busy = occupy(pool, 1)
+        queued = pool.submit(lambda: "never")
+        release.set()
+        pool.shutdown(drain=False)
+        # Queued-but-unstarted work resolves to the typed error, the
+        # in-flight request finishes.
+        assert busy[0].result(timeout=10) == "released"
+        exc = queued.exception(timeout=10)
+        assert exc is None or isinstance(exc, Overloaded)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(workers=2, queue_depth=2)
+        pool.shutdown()
+        pool.shutdown()  # no deadlock, no error
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(workers=0)
+        with pytest.raises(ConfigError):
+            WorkerPool(queue_depth=0)
+
+    def test_stats_shape(self):
+        with WorkerPool(workers=3, queue_depth=5) as pool:
+            stats = pool.stats()
+        assert stats["workers"] == 3
+        assert stats["queue_depth"] == 5
+        assert {"queued", "in_flight", "accepting"} <= set(stats)

@@ -1,0 +1,183 @@
+"""Planning service: responses, cache behavior, deadlines, round-trip
+checkpoint->inference determinism (the PR's satellite contract)."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import DeadlineExceeded, ServeError
+from repro.serve import (
+    ModelKey,
+    PlanningService,
+    PlanRequest,
+    PolicyRegistry,
+    ServiceConfig,
+)
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+
+def small_service(model_dir, **overrides) -> PlanningService:
+    defaults = dict(workers=2, queue_depth=8, cache_size=32, ilp_time_limit=20.0)
+    defaults.update(overrides)
+    return PlanningService(model_dir, ServiceConfig(**defaults))
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+class TestRoundTripDeterminism:
+    """A plan from a policy restored out of a checkpoint must be
+    identical to one from the live in-memory policy -- both horizons."""
+
+    @pytest.mark.parametrize("horizon", ["short", "long"])
+    def test_checkpoint_restore_plan_identical(
+        self, horizon, trained_agents, model_dir
+    ):
+        live = trained_agents[horizon]
+        live_plan = live.greedy_rollout()
+
+        registry = PolicyRegistry(model_dir)
+        restored, _ = registry.agent(ModelKey(TOPOLOGY, SCALE, horizon), seed=0)
+        restored_plan = restored.plan()
+        assert restored_plan.capacities == live_plan.capacities
+        assert restored_plan.metadata["steps"] == live_plan.metadata["steps"]
+        assert restored_plan.metadata["feasible"] == live_plan.metadata["feasible"]
+        registry.close()
+
+    @pytest.mark.parametrize("horizon", ["short", "long"])
+    def test_service_response_matches_live_rollout(
+        self, horizon, trained_agents, model_dir
+    ):
+        live_plan = trained_agents[horizon].greedy_rollout()
+        with small_service(model_dir) as service:
+            response = service.plan(request(horizon=horizon))
+        assert response["plan"] == live_plan.capacities
+        assert response["method"] == "rl-rollout"
+
+
+class TestResponses:
+    def test_response_shape(self, model_dir):
+        with small_service(model_dir) as service:
+            response = service.plan(request())
+        assert set(response) >= {
+            "plan",
+            "cost",
+            "feasible",
+            "method",
+            "degraded",
+            "lp_solves",
+            "model",
+            "timings",
+            "cache_hit",
+        }
+        assert response["feasible"] is True
+        assert response["cache_hit"] is False
+        assert response["lp_solves"] > 0
+        assert response["model"]["key"] == f"{TOPOLOGY}-s{SCALE:g}-short"
+        assert response["timings"]["rollout_s"] > 0
+
+    def test_second_stage_improves_or_matches_rollout(self, model_dir):
+        with small_service(model_dir) as service:
+            rollout = service.plan(request())
+            full = service.plan(request(second_stage=True))
+        assert full["method"] == "neuroplan"
+        assert full["second_stage_status"] is not None
+        assert full["cost"] <= rollout["cost"] + 1e-6
+
+    def test_degraded_ilp_budget_propagates_stamps(self, model_dir):
+        # An absurdly small ILP budget exhausts with no incumbent; the
+        # service must degrade to the rollout plan and say so.
+        with small_service(model_dir, ilp_time_limit=1e-9) as service:
+            response = service.plan(request(second_stage=True))
+        assert response["degraded"] is True
+        assert response["degraded_reason"]
+        assert response["second_stage_status"].endswith("fallback")
+
+    def test_unknown_fields_and_bad_values_are_typed(self):
+        with pytest.raises(ServeError, match="unknown request fields"):
+            PlanRequest.from_dict({"topology": "A", "bogus": 1})
+        with pytest.raises(ServeError, match="missing"):
+            PlanRequest.from_dict({"seed": 3})
+        with pytest.raises(ServeError, match="topology"):
+            request(topology="Z")
+        with pytest.raises(ServeError, match="scale"):
+            request(scale=7.0)
+        with pytest.raises(ServeError, match="deadline"):
+            request(deadline_s=-1.0)
+
+
+class TestCacheBehavior:
+    def test_repeat_request_is_served_from_cache(self, model_dir):
+        telemetry.enable()
+        with small_service(model_dir) as service:
+            first = service.plan(request())
+            second = service.plan(request())
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert second["plan"] == first["plan"]
+        # The hit bypassed rollout + ILP: no extra LP solves happened.
+        counters = telemetry.snapshot()["counters"]
+        assert counters["serve.cache.hits"] == 1
+        assert service.cache.stats()["hits"] == 1
+
+    def test_no_cache_requests_bypass_the_cache(self, model_dir):
+        with small_service(model_dir) as service:
+            service.plan(request())
+            again = service.plan(request(no_cache=True))
+            assert again["cache_hit"] is False
+            assert service.cache.stats()["hits"] == 0
+
+    def test_distinct_seeds_do_not_collide(self, model_dir):
+        with small_service(model_dir) as service:
+            a = service.plan(request(seed=0))
+            b = service.plan(request(seed=1))
+        assert a["cache_hit"] is False and b["cache_hit"] is False
+        assert a["plan"] != b["plan"]  # different instances
+
+    def test_version_pinning_separates_cache_entries(self, model_dir):
+        with small_service(model_dir) as service:
+            latest = service.plan(request())
+            pinned = service.plan(request(model_version=1))
+        # v1 *is* the latest here, so the resolved identity matches and
+        # the pinned request hits the alias's cache entry.
+        assert latest["model"]["version"] == 1
+        assert pinned["cache_hit"] is True
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_typed(self, model_dir):
+        with small_service(model_dir) as service:
+            service.plan(request())  # warm the agent so timing is tight
+            future = service.submit(request(seed=5, deadline_s=1e-9))
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+
+    def test_generous_deadline_succeeds(self, model_dir):
+        with small_service(model_dir) as service:
+            response = service.plan(request(deadline_s=300.0))
+        assert response["feasible"] is True
+
+
+class TestHealth:
+    def test_healthz_reports_version_and_state(self, model_dir):
+        from repro.version import __version__
+
+        with small_service(model_dir) as service:
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["version"] == __version__
+            assert health["pool"]["accepting"] is True
+            assert f"{TOPOLOGY}-s{SCALE:g}-short" in health["registry"]["keys"]
+        assert service.healthz()["status"] == "draining"
+
+    def test_metrics_exposes_cache_and_pool(self, model_dir):
+        telemetry.enable()
+        with small_service(model_dir) as service:
+            service.plan(request())
+            metrics = service.metrics()
+        assert metrics["cache"]["misses"] == 1
+        assert metrics["pool"]["workers"] == 2
+        assert metrics["telemetry"]["counters"]["serve.responses"] == 1
