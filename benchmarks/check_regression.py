@@ -19,10 +19,22 @@ meaningful on any CI runner:
   NeuroPlan ratio may drift by at most ``--tolerance`` (default 3x)
   from the committed baseline in the regressing direction.
 
+With ``--hotpath`` the gate instead re-runs the PR-5 hot-path
+micro-benchmarks (``bench_hotpath.py``) at the quick profile and
+compares against the committed ``results/hotpath.json``:
+
+- evaluator ``lp_solves`` and verdict ``fingerprint`` must match the
+  committed row exactly (both backends replay the same deterministic
+  trajectory, so any drift is a behavior change, not noise);
+- every row's ``speedup`` must stay within ``--tolerance`` of the
+  committed speedup (ratios of two timings taken on the same machine,
+  so they transfer across runners far better than raw times).
+
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 3.0]
         [--baseline benchmarks/results/fig7.json] [--update]
+    python benchmarks/check_regression.py --hotpath [--tolerance 3.0]
 """
 
 from __future__ import annotations
@@ -105,6 +117,49 @@ def compare(baseline: dict, fresh: list[dict], tolerance: float) -> list[str]:
     return problems
 
 
+def run_hotpath(profile: str) -> list[dict]:
+    import bench_hotpath
+
+    rows = []
+    rows += bench_hotpath.bench_evaluator(profile)
+    rows += bench_hotpath.bench_solver(profile)
+    rows += bench_hotpath.bench_gnn(profile)
+    rows += bench_hotpath.bench_mask(profile)
+    return rows
+
+
+def compare_hotpath(
+    baseline: list[dict], fresh: list[dict], tolerance: float
+) -> list[str]:
+    problems: list[str] = []
+    fresh_by_key = {(row["section"], row["key"]): row for row in fresh}
+    baseline_by_key = {(row["section"], row["key"]): row for row in baseline}
+
+    missing = set(baseline_by_key) - set(fresh_by_key)
+    if missing:
+        problems.append(f"baseline keys missing from fresh run: {sorted(missing)}")
+
+    for key, row in fresh_by_key.items():
+        base = baseline_by_key.get(key)
+        if base is None:
+            problems.append(f"{key}: not in the committed hotpath baseline")
+            continue
+        for exact_field in ("lp_solves", "fingerprint"):
+            if exact_field in base and row.get(exact_field) != base[exact_field]:
+                problems.append(
+                    f"{key}: {exact_field} changed "
+                    f"{base[exact_field]} -> {row.get(exact_field)} "
+                    f"(deterministic replay; behavior changed or the "
+                    f"baseline is stale)"
+                )
+        if row["speedup"] * tolerance < base["speedup"]:
+            problems.append(
+                f"{key}: speedup {row['speedup']:.2f}x fell more than "
+                f"{tolerance}x below the committed {base['speedup']:.2f}x"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -129,7 +184,45 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of comparing",
     )
+    parser.add_argument(
+        "--hotpath",
+        action="store_true",
+        help="gate the bench_hotpath micro-benchmarks instead of fig7",
+    )
     args = parser.parse_args(argv)
+
+    if args.hotpath:
+        baseline_path = RESULTS_DIR / "hotpath.json"
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        print(f"running hot-path benchmarks at profile={args.profile} ...")
+        fresh = run_hotpath(args.profile)
+        if args.update:
+            committed = json.loads(baseline_path.read_text())
+            committed[args.profile] = fresh
+            baseline_path.write_text(json.dumps(committed, indent=1))
+            print(f"baseline updated: {baseline_path} (profile={args.profile})")
+            return 0
+        committed = json.loads(baseline_path.read_text())
+        baseline_rows = committed.get(args.profile)
+        if baseline_rows is None:
+            print(
+                f"error: no '{args.profile}' section in {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        problems = compare_hotpath(baseline_rows, fresh, args.tolerance)
+        if problems:
+            print("hot-path regression gate FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"hot-path regression gate passed: {len(fresh)} rows within "
+            f"{args.tolerance}x of committed speedups"
+        )
+        return 0
 
     if not args.baseline.exists():
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)

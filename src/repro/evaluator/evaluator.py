@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro import telemetry
 from repro.errors import ConfigError
@@ -22,13 +23,30 @@ MODES = ("vanilla", "sa", "neuroplan")
 
 @dataclass
 class EvaluationResult:
-    """Outcome of evaluating one capacity assignment."""
+    """Outcome of evaluating one capacity assignment.
+
+    ``cost`` is computed lazily on first access: the RL environment
+    reads feasibility every step but derives its reward from
+    incremental cost, so the full cost-model pass only runs for callers
+    that actually ask for it.
+    """
 
     feasible: bool
-    cost: float
     violated_failure: str | None = None
     shortfall: float = 0.0
     checks: list[FailureCheckResult] = field(default_factory=list)
+    _cost: float | None = field(default=None, repr=False, compare=False)
+    _cost_fn: "Callable[[], float] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def cost(self) -> float:
+        if self._cost is None:
+            if self._cost_fn is None:
+                raise ConfigError("EvaluationResult has no cost provider")
+            self._cost = self._cost_fn()
+        return self._cost
 
 
 class PlanEvaluator:
@@ -93,6 +111,15 @@ class PlanEvaluator:
         """Plan cost under the instance's cost model (Eq. 1)."""
         return self.instance.cost_model.plan_cost(self.instance.network, capacities)
 
+    def _lazy_cost(self, capacities: dict[str, float]) -> "Callable[[], float]":
+        """Deferred cost thunk over a snapshot of ``capacities``.
+
+        The environment mutates its capacity dict in place between
+        steps, so the snapshot pins the assignment this result is for.
+        """
+        snapshot = dict(capacities)
+        return lambda: self.cost(snapshot)
+
     def evaluate(self, capacities: dict[str, float]) -> EvaluationResult:
         """Check ``capacities`` against every required failure.
 
@@ -109,14 +136,14 @@ class PlanEvaluator:
                 if violation is not None:
                     result = EvaluationResult(
                         feasible=False,
-                        cost=self.cost(capacities),
                         violated_failure=violation.failure_id,
                         shortfall=violation.shortfall,
                         checks=[violation],
+                        _cost_fn=self._lazy_cost(capacities),
                     )
                 else:
                     result = EvaluationResult(
-                        feasible=True, cost=self.cost(capacities)
+                        feasible=True, _cost_fn=self._lazy_cost(capacities)
                     )
             else:
                 result = self._evaluate_all(capacities)
@@ -150,13 +177,13 @@ class PlanEvaluator:
             if not result.satisfied:
                 return EvaluationResult(
                     feasible=False,
-                    cost=self.cost(capacities),
                     violated_failure=result.failure_id,
                     shortfall=result.shortfall,
                     checks=checks,
+                    _cost_fn=self._lazy_cost(capacities),
                 )
         return EvaluationResult(
-            feasible=True, cost=self.cost(capacities), checks=checks
+            feasible=True, checks=checks, _cost_fn=self._lazy_cost(capacities)
         )
 
     def reset(self) -> None:

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import telemetry
 from repro.errors import SolverError
 from repro.solver import Model, Status, quicksum
@@ -34,6 +36,21 @@ from repro.topology.failures import FailureScenario
 from repro.topology.instance import PlanningInstance
 
 _TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class _FailureTemplate:
+    """Precomputed bound template for one (failure, policy-filter) pair.
+
+    Computed on the first check of a failure and reused for every
+    subsequent check: which capacity rows zero out, the per-flow serve
+    upper bounds after exemptions, and the required demand (summed in
+    flow order once, so repeated checks reuse the exact float).
+    """
+
+    zero_rows: np.ndarray  # capacity-row positions forced to 0 (failed links)
+    serve_ub: np.ndarray  # per-flow serve upper bound after exemptions
+    required_demand: float
 
 
 @dataclass(frozen=True)
@@ -140,6 +157,21 @@ class FeasibilityChecker:
         self._flows = flows
         self._commodities = commodities
 
+        # Hot-path state: capacity rows in insertion order (two per
+        # link), the link index behind each row, and the bounds as they
+        # currently stand in the model.  check() diffs its target
+        # bounds against these so unchanged rows are never touched.
+        self._link_ids = link_ids
+        self._capacity_constr_list = list(self._capacity_constrs.values())
+        self._cap_link_index = np.arange(len(self._capacity_constr_list)) // 2
+        self._last_cap_ub = np.array(
+            [c.ub for c in self._capacity_constr_list], dtype=np.float64
+        )
+        self._last_serve_ub = np.array(
+            [flow.demand for flow in flows], dtype=np.float64
+        )
+        self._templates: dict[tuple, _FailureTemplate] = {}
+
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
@@ -156,6 +188,59 @@ class FeasibilityChecker:
         """Total LP solves performed by this checker (instrumentation)."""
         return self._lp_solves
 
+    def _failure_template(
+        self,
+        failure: FailureScenario | None,
+        required_flow_indices: "set[int] | None",
+    ) -> _FailureTemplate:
+        """Build (or fetch) the bound template for one failure."""
+        filter_key = (
+            None if required_flow_indices is None else frozenset(required_flow_indices)
+        )
+        key = (failure.id if failure is not None else None, filter_key)
+        template = self._templates.get(key)
+        if template is not None:
+            return template
+
+        network = self.instance.network
+        failed_links = (
+            failure.failed_link_ids(network) if failure is not None else frozenset()
+        )
+        failed_nodes = failure.nodes if failure is not None else frozenset()
+
+        zero_rows = np.array(
+            [
+                row
+                for position, link_id in enumerate(self._link_ids)
+                if link_id in failed_links
+                for row in (2 * position, 2 * position + 1)
+            ],
+            dtype=np.int64,
+        )
+
+        serve_ub = np.empty(len(self._flows), dtype=np.float64)
+        required_demand = 0.0
+        for i, flow in enumerate(self._flows):
+            exempt = (
+                flow.src in failed_nodes
+                or flow.dst in failed_nodes
+                or (
+                    required_flow_indices is not None
+                    and i not in required_flow_indices
+                )
+            )
+            serve_ub[i] = 0.0 if exempt else flow.demand
+            if not exempt:
+                required_demand += flow.demand
+
+        template = _FailureTemplate(
+            zero_rows=zero_rows,
+            serve_ub=serve_ub,
+            required_demand=required_demand,
+        )
+        self._templates[key] = template
+        return template
+
     def check(
         self,
         capacities: dict[str, float],
@@ -169,31 +254,36 @@ class FeasibilityChecker:
         dropped entirely (served forced to 0), matching the policy's
         "may be dropped under this failure" semantics.
         """
-        network = self.instance.network
-        failed_links = (
-            failure.failed_link_ids(network) if failure is not None else frozenset()
+        template = self._failure_template(failure, required_flow_indices)
+
+        # Capacity rows reflect surviving capacity; only rows whose
+        # bound actually moved since the last check are written.
+        num_links = len(self._link_ids)
+        cap_values = np.fromiter(
+            (capacities[link_id] for link_id in self._link_ids),
+            dtype=np.float64,
+            count=num_links,
         )
-        failed_nodes = failure.nodes if failure is not None else frozenset()
-
-        # Capacity rows reflect surviving capacity.
-        for (link_id, direction), constr in self._capacity_constrs.items():
-            capacity = 0.0 if link_id in failed_links else capacities[link_id]
-            constr.set_rhs(ub=capacity)
-
-        # Serve bounds reflect exemptions.
-        required_demand = 0.0
-        for i, flow in enumerate(self._flows):
-            exempt = (
-                flow.src in failed_nodes
-                or flow.dst in failed_nodes
-                or (
-                    required_flow_indices is not None
-                    and i not in required_flow_indices
-                )
+        cap_ub = cap_values[self._cap_link_index]
+        if template.zero_rows.size:
+            cap_ub[template.zero_rows] = 0.0
+        changed = np.nonzero(cap_ub != self._last_cap_ub)[0]
+        if changed.size:
+            self._model.set_row_ubs(
+                [self._capacity_constr_list[j] for j in changed],
+                cap_ub[changed],
             )
-            self._served_vars[i].set_bounds(ub=0.0 if exempt else flow.demand)
-            if not exempt:
-                required_demand += flow.demand
+            self._last_cap_ub[changed] = cap_ub[changed]
+
+        # Serve bounds reflect exemptions, same delta treatment.
+        serve_changed = np.nonzero(template.serve_ub != self._last_serve_ub)[0]
+        if serve_changed.size:
+            self._model.set_var_ubs(
+                [self._served_vars[i] for i in serve_changed],
+                template.serve_ub[serve_changed],
+            )
+            self._last_serve_ub[serve_changed] = template.serve_ub[serve_changed]
+        required_demand = template.required_demand
 
         with telemetry.timer("evaluator.feasibility.check"):
             status = self._model.optimize()

@@ -15,11 +15,19 @@ Both operate on a *transformed* topology (see
 :mod:`repro.topology.transform`): nodes are IP links, features are link
 capacities.  :class:`GraphEncoder` stacks ``num_layers`` of either kind
 and supports ``num_layers == 0`` (MLP-only ablation, Fig. 10).
+
+``adjacency_norm`` may be a dense array or a ``scipy.sparse`` matrix:
+GCN and SAGE propagate through a sparse matvec when given one (the
+environment caches a CSR copy for large topologies), while GAT --
+inherently dense because of its all-pairs attention logits --
+densifies the operand.  The dense path is untouched, so small
+topologies keep bitwise-identical training trajectories.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.errors import NNError
 from repro.nn import functional as F
@@ -47,6 +55,11 @@ def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
     return a_hat * inv_sqrt[:, None] * inv_sqrt[None, :]
 
 
+def normalized_adjacency_sparse(adjacency: np.ndarray) -> sp.csr_matrix:
+    """CSR form of :func:`normalized_adjacency` (identical values)."""
+    return sp.csr_matrix(normalized_adjacency(adjacency))
+
+
 class GCNLayer(Module):
     """One graph-convolution layer: ``H' = act(A_norm H W + b)``."""
 
@@ -65,8 +78,11 @@ class GCNLayer(Module):
         self.bias = Parameter(init.zeros(out_features))
         self.activation = activation
 
-    def forward(self, features: Tensor, adjacency_norm: np.ndarray) -> Tensor:
-        propagated = Tensor(adjacency_norm) @ features
+    def forward(self, features: Tensor, adjacency_norm) -> Tensor:
+        if sp.issparse(adjacency_norm):
+            propagated = Tensor.sparse_matmul(adjacency_norm, features)
+        else:
+            propagated = Tensor(adjacency_norm) @ features
         out = propagated @ self.weight + self.bias
         if self.activation == "relu":
             out = out.relu()
@@ -101,7 +117,10 @@ class GATLayer(Module):
         self.attn_dst = Parameter(init.xavier_uniform(rng, out_features, 1))
         self.bias = Parameter(init.zeros(out_features))
 
-    def forward(self, features: Tensor, adjacency_norm: np.ndarray) -> Tensor:
+    def forward(self, features: Tensor, adjacency_norm) -> Tensor:
+        # Attention logits are all-pairs, so GAT densifies sparse input.
+        if sp.issparse(adjacency_norm):
+            adjacency_norm = adjacency_norm.toarray()
         # Any positive entry (including the self-loop added by
         # normalized_adjacency) marks an attendable neighbor.
         mask = np.asarray(adjacency_norm) > 0.0
@@ -138,16 +157,35 @@ class SAGELayer(Module):
             init.xavier_uniform(rng, in_features, out_features)
         )
         self.bias = Parameter(init.zeros(out_features))
+        self._mean_cache: "tuple | None" = None
 
-    def forward(self, features: Tensor, adjacency_norm: np.ndarray) -> Tensor:
+    def _sparse_mean_op(self, adjacency) -> sp.csr_matrix:
+        """Row-normalized CSR mean operator, cached per adjacency object."""
+        cached = self._mean_cache
+        if cached is not None and cached[0] is adjacency:
+            return cached[1]
+        mean_op = adjacency.tocsr(copy=True)
+        row_sums = np.asarray(mean_op.sum(axis=1)).ravel()
+        row_sums[row_sums == 0.0] = 1.0
+        counts = np.repeat(row_sums, np.diff(mean_op.indptr))
+        mean_op.data = mean_op.data / counts
+        self._mean_cache = (adjacency, mean_op)
+        return mean_op
+
+    def forward(self, features: Tensor, adjacency_norm) -> Tensor:
         # Recover a row-stochastic (mean) operator from any nonnegative
         # adjacency: rows renormalized to sum to 1 (self-loops included
         # when the caller used normalized_adjacency).
-        weights = np.asarray(adjacency_norm, dtype=np.float64)
-        row_sums = weights.sum(axis=1, keepdims=True)
-        row_sums[row_sums == 0.0] = 1.0
-        mean_op = weights / row_sums
-        neighborhood = Tensor(mean_op) @ features
+        if sp.issparse(adjacency_norm):
+            neighborhood = Tensor.sparse_matmul(
+                self._sparse_mean_op(adjacency_norm), features
+            )
+        else:
+            weights = np.asarray(adjacency_norm, dtype=np.float64)
+            row_sums = weights.sum(axis=1, keepdims=True)
+            row_sums[row_sums == 0.0] = 1.0
+            mean_op = weights / row_sums
+            neighborhood = Tensor(mean_op) @ features
         out = (
             features @ self.weight_self
             + neighborhood @ self.weight_neighbor
@@ -205,7 +243,7 @@ class GraphEncoder(Module):
     def out_features(self) -> int:
         return self.hidden_features
 
-    def forward(self, features: Tensor, adjacency_norm: np.ndarray) -> Tensor:
+    def forward(self, features: Tensor, adjacency_norm) -> Tensor:
         """Encode node ``features`` (n x f) into embeddings (n x hidden)."""
         if self.num_layers == 0:
             return features @ self.projection

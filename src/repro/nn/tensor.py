@@ -465,6 +465,24 @@ class Tensor:
     # Static combinators
     # ------------------------------------------------------------------
     @staticmethod
+    def sparse_matmul(matrix, tensor: "Tensor") -> "Tensor":
+        """Left-multiply by a constant sparse matrix: ``matrix @ tensor``.
+
+        ``matrix`` is a ``scipy.sparse`` matrix treated as a constant
+        (no gradient flows into it); the gradient with respect to
+        ``tensor`` is ``matrix.T @ grad``.  This is the GNN propagation
+        primitive: one sparse matvec per layer instead of a dense
+        ``n x n`` product.
+        """
+        tensor = Tensor.ensure(tensor)
+        data = np.asarray(matrix @ tensor.data, dtype=np.float64)
+
+        def backward(grad: np.ndarray):
+            return (np.asarray(matrix.T @ grad, dtype=np.float64),)
+
+        return Tensor._from_op(data, (tensor,), backward)
+
+    @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.ensure(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)

@@ -23,13 +23,19 @@ import numpy as np
 
 from repro.errors import ConfigError, EnvironmentError_
 from repro.evaluator import PlanEvaluator
-from repro.nn.gnn import normalized_adjacency
+from repro.nn.gnn import normalized_adjacency, normalized_adjacency_sparse
 from repro.planning.greedy import GreedyPlanner
 from repro.rl.state import StateEncoder
 from repro.topology.instance import PlanningInstance
+from repro.topology.spectrum import SpectrumIndex
 from repro.topology.transform import node_link_transform
 
 TERMINAL_PENALTY = -1.0
+
+# Topologies at or above this many transformed nodes default to sparse
+# GNN propagation; smaller ones stay dense (bitwise-identical legacy
+# path, and dense matmul wins at tiny sizes anyway).
+SPARSE_ADJACENCY_THRESHOLD = 64
 
 
 @dataclass
@@ -54,6 +60,7 @@ class PlanningEnv:
         evaluator_mode: str = "neuroplan",
         feature_set: str = "capacity",
         reward_scale: float | None = None,
+        sparse_adjacency: bool | None = None,
     ):
         if max_units_per_step < 1:
             raise ConfigError("max_units_per_step must be >= 1")
@@ -63,7 +70,17 @@ class PlanningEnv:
         self.max_units = max_units_per_step
         self.max_steps = max_steps
         self.link_graph = node_link_transform(instance.network)
-        self.adjacency_norm = normalized_adjacency(self.link_graph.adjacency)
+        if sparse_adjacency is None:
+            sparse_adjacency = (
+                self.link_graph.num_nodes >= SPARSE_ADJACENCY_THRESHOLD
+            )
+        self.sparse_adjacency = bool(sparse_adjacency)
+        self.adjacency_norm = (
+            normalized_adjacency_sparse(self.link_graph.adjacency)
+            if self.sparse_adjacency
+            else normalized_adjacency(self.link_graph.adjacency)
+        )
+        self._spectrum = SpectrumIndex(instance.network)
         self.encoder = StateEncoder(instance, self.link_graph, feature_set)
         self.evaluator = PlanEvaluator(instance, mode=evaluator_mode)
         self.unit = instance.capacity_unit
@@ -106,6 +123,7 @@ class PlanningEnv:
             "evaluator_mode": self.evaluator.mode,
             "feature_set": self.encoder.feature_set,
             "reward_scale": self.reward_scale,
+            "sparse_adjacency": self.sparse_adjacency,
         }
 
     # ------------------------------------------------------------------
@@ -127,24 +145,17 @@ class PlanningEnv:
         return self.link_graph.link_ids[link_index], units_index + 1
 
     def action_mask(self) -> np.ndarray:
-        """Valid-action mask from the spectrum constraints (Eq. 4)."""
-        mask = np.zeros(self.num_actions, dtype=bool)
-        for link_index, link_id in enumerate(self.link_graph.link_ids):
-            headroom_units = int(
-                np.floor(
-                    round(
-                        self.instance.network.link_capacity_headroom(
-                            link_id, self._capacities
-                        )
-                        / self.unit,
-                        9,
-                    )
-                )
-            )
-            allowed = min(headroom_units, self.max_units)
-            base = link_index * self.max_units
-            mask[base : base + allowed] = True
-        return mask
+        """Valid-action mask from the spectrum constraints (Eq. 4).
+
+        Vectorized over the precomputed :class:`SpectrumIndex`: one
+        sparse matvec yields every link's headroom at once, and the
+        per-(link, units) mask falls out of a single comparison.
+        """
+        headroom = self._spectrum.link_headroom(self._capacities)
+        units = np.floor(np.round(headroom / self.unit, 9))
+        allowed = np.minimum(units, self.max_units)
+        mask = np.arange(self.max_units)[None, :] < allowed[:, None]
+        return mask.reshape(-1)
 
     # ------------------------------------------------------------------
     # Episode control
@@ -185,7 +196,7 @@ class PlanningEnv:
         amount = units * self.unit
         before = dict(self._capacities)
         self._capacities[link_id] = self._capacities[link_id] + amount
-        if not self.instance.network.spectrum_feasible(self._capacities):
+        if not self._spectrum.feasible(self._capacities):
             raise EnvironmentError_(
                 f"action on {link_id} violates spectrum; the action mask "
                 "must be applied before sampling"

@@ -49,7 +49,7 @@ class Variable:
             raise SolverError(
                 f"variable {self.name}: lb {self.lb} exceeds ub {self.ub}"
             )
-        self._model._mark_solution_stale()
+        self._model._sync_var_bounds(self.index, self.lb, self.ub)
 
     # -- expression algebra ---------------------------------------------
     def _as_expr(self) -> "LinExpr":

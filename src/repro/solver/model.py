@@ -12,10 +12,35 @@ failure only rewrites bounds, and re-solving reuses the compiled matrix
 (the paper's "only update the constraints that are influenced by the
 failure" optimization).
 
+Incremental arrays
+------------------
+Row bounds, variable bounds and the signed objective vector are
+mirrored into persistent numpy arrays that grow with the model and are
+updated in place: ``Constraint.set_rhs`` / ``Variable.set_bounds``
+write single cells, and the bulk APIs (:meth:`Model.set_row_ubs`,
+:meth:`Model.set_var_ubs`) write vectorized slices.  ``optimize()``
+therefore rebuilds nothing -- per-solve cost is proportional to what
+changed since the last solve, not to the model size.
+
+The MILP warm-start cutoff participates in the same scheme: instead of
+an add/pop pair that discarded the compiled matrix on every warm-started
+solve, the cutoff lives in a hidden persistent row (appended after the
+user rows at compile time) whose RHS is set to the hint objective during
+a warm-started solve and to ``+inf`` otherwise.  The row is invisible to
+:attr:`Model.constraints` / :attr:`Model.num_constraints`.
+
 Backends
 --------
-Pure-continuous models solve with ``scipy.optimize.linprog`` and models
-with integer variables with ``scipy.optimize.milp``; both run HiGHS.
+Models with integer variables solve with ``scipy.optimize.milp``
+(HiGHS).  Unbudgeted LP solves run on a *persistent* HiGHS instance
+(the bindings scipy vendors) created once per compiled matrix: bound
+and objective updates are pushed as deltas (``changeRowBounds`` /
+``changeColsBounds`` over the dirty indices only) and each re-solve
+starts from the previous optimal basis -- the incremental-update
+optimization that makes thousands of per-step feasibility re-checks
+affordable.  Budgeted LP solves (``time_limit`` / ``iteration_limit``)
+and environments without the vendored bindings fall back to
+``scipy.optimize.linprog``, preserving the documented budget semantics.
 ``optimize(relax=True)`` solves the LP relaxation of a MILP.  A
 warm-start hint is emulated with an objective cutoff (see
 :meth:`Model.optimize`).
@@ -24,6 +49,7 @@ warm-start hint is emulated with an objective cutoff (see
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Sequence
 
@@ -38,6 +64,120 @@ from repro.solver.expression import ConstraintSpec, LinExpr, Variable
 from repro.solver.status import Status
 
 _INF = math.inf
+
+try:  # scipy >= 1.15 vendors the highspy bindings
+    from scipy.optimize._highspy import _core as _highs_core
+except ImportError:  # pragma: no cover - exercised via the linprog fallback
+    _highs_core = None
+
+
+def persistent_backend_available() -> bool:
+    """Whether the persistent HiGHS LP backend can be used."""
+    return _highs_core is not None
+
+
+class _GrowableArray:
+    """Amortized-growth float64 array (capacity doubling).
+
+    Backs the model's incremental bound/objective vectors: ``append``
+    is amortized O(1) and :attr:`array` is a zero-copy view of the live
+    prefix, so per-solve access never rebuilds anything.
+    """
+
+    __slots__ = ("_buf", "_size")
+
+    def __init__(self, capacity: int = 16):
+        self._buf = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: float) -> None:
+        if self._size == self._buf.shape[0]:
+            grown = np.empty(self._buf.shape[0] * 2, dtype=np.float64)
+            grown[: self._size] = self._buf[: self._size]
+            self._buf = grown
+        self._buf[self._size] = value
+        self._size += 1
+
+    @property
+    def array(self) -> np.ndarray:
+        """Writable view of the live prefix (invalidated by growth)."""
+        return self._buf[: self._size]
+
+
+class _PersistentLPError(Exception):
+    """Internal: the persistent backend could not finish this solve."""
+
+
+class _PersistentLP:
+    """One HiGHS instance kept hot across re-solves of a fixed matrix.
+
+    The instance owns a C++ copy of the constraint matrix; callers push
+    bound/cost deltas and re-run, reusing the previous optimal basis.
+    """
+
+    __slots__ = ("_highs", "solve_count")
+
+    def __init__(self, matrix, row_lb, row_ub, var_lb, var_ub, cost):
+        csc = matrix.tocsc()
+        lp = _highs_core.HighsLp()
+        lp.num_col_ = int(matrix.shape[1])
+        lp.num_row_ = int(matrix.shape[0])
+        lp.col_cost_ = np.ascontiguousarray(cost, dtype=np.float64)
+        lp.col_lower_ = np.ascontiguousarray(var_lb, dtype=np.float64)
+        lp.col_upper_ = np.ascontiguousarray(var_ub, dtype=np.float64)
+        lp.row_lower_ = np.ascontiguousarray(row_lb, dtype=np.float64)
+        lp.row_upper_ = np.ascontiguousarray(row_ub, dtype=np.float64)
+        lp.a_matrix_.format_ = _highs_core.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = csc.indptr.astype(np.int32)
+        lp.a_matrix_.index_ = csc.indices.astype(np.int32)
+        lp.a_matrix_.value_ = np.ascontiguousarray(csc.data, dtype=np.float64)
+        highs = _highs_core._Highs()
+        highs.setOptionValue("output_flag", False)
+        if highs.passModel(lp) == _highs_core.HighsStatus.kError:
+            raise _PersistentLPError("HiGHS rejected the model")
+        self._highs = highs
+        self.solve_count = 0
+
+    def update_rows(self, indices, lower, upper) -> None:
+        highs = self._highs
+        for index, lb, ub in zip(indices, lower, upper):
+            highs.changeRowBounds(int(index), float(lb), float(ub))
+
+    def update_cols(self, indices, lower, upper) -> None:
+        idx = np.asarray(indices, dtype=np.int32)
+        self._highs.changeColsBounds(
+            idx.shape[0],
+            idx,
+            np.ascontiguousarray(lower, dtype=np.float64),
+            np.ascontiguousarray(upper, dtype=np.float64),
+        )
+
+    def update_cost(self, cost) -> None:
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        idx = np.arange(cost.shape[0], dtype=np.int32)
+        self._highs.changeColsCost(cost.shape[0], idx, cost)
+
+    def solve(self) -> "tuple[Status, float | None, np.ndarray | None]":
+        """Run HiGHS; return (status, signed objective, solution)."""
+        highs = self._highs
+        highs.run()
+        self.solve_count += 1
+        model_status = highs.getModelStatus()
+        core = _highs_core.HighsModelStatus
+        if model_status == core.kOptimal:
+            objective = float(highs.getInfo().objective_function_value)
+            solution = np.asarray(highs.getSolution().col_value, dtype=np.float64)
+            return Status.OPTIMAL, objective, solution
+        if model_status == core.kInfeasible:
+            return Status.INFEASIBLE, None, None
+        if model_status == core.kUnbounded:
+            return Status.UNBOUNDED, None, None
+        # kUnboundedOrInfeasible and anything exotic: let the linprog
+        # path (with its own presolve configuration) disambiguate.
+        raise _PersistentLPError(f"unexpected HiGHS status {model_status}")
 
 
 class Constraint:
@@ -61,7 +201,7 @@ class Constraint:
             self.ub = float(ub)
         if self.lb > self.ub + 1e-12:
             raise SolverError(f"constraint {self.name}: lb exceeds ub")
-        self._model._mark_solution_stale()
+        self._model._sync_row_bounds(self.index, self.lb, self.ub)
 
     @property
     def slack(self) -> float:
@@ -91,10 +231,23 @@ class Model:
         status = m.optimize()
         assert status is Status.OPTIMAL
         print(m.objective_value, x.x, y.x)
+
+    ``lp_backend`` selects how pure-LP solves run: ``"persistent"``
+    (default when available) keeps a hot HiGHS instance across
+    re-solves, ``"linprog"`` forces the stateless scipy path.  The
+    ``NEUROPLAN_LP_BACKEND`` environment variable overrides the
+    default for all models.
     """
 
-    def __init__(self, name: str = "model"):
+    def __init__(self, name: str = "model", lp_backend: str | None = None):
+        if lp_backend is None:
+            lp_backend = os.environ.get("NEUROPLAN_LP_BACKEND", "persistent")
+        if lp_backend not in ("persistent", "linprog"):
+            raise SolverError(
+                f"lp_backend must be 'persistent' or 'linprog', got {lp_backend!r}"
+            )
         self.name = name
+        self.lp_backend = lp_backend
         self.variables: list[Variable] = []
         self.constraints: list[Constraint] = []
         self._objective = LinExpr()
@@ -106,6 +259,26 @@ class Model:
         self._status = Status.NOT_SOLVED
         self._solve_time = 0.0
         self._solve_count = 0
+        # Incremental mirrors (see "Incremental arrays" in the module
+        # docstring): grown by add_var/add_constr, written in place by
+        # the bound setters, never rebuilt at solve time.
+        self._row_lb = _GrowableArray()
+        self._row_ub = _GrowableArray()
+        self._var_lb = _GrowableArray()
+        self._var_ub = _GrowableArray()
+        self._obj_signed = _GrowableArray()
+        self._integrality = _GrowableArray()
+        self._num_integer = 0
+        # Persistent-backend state: indices whose bounds changed since
+        # they were last pushed to the hot HiGHS instance.
+        self._persistent: _PersistentLP | None = None
+        self._dirty_rows: set[int] = set()
+        self._dirty_cols: set[int] = set()
+        self._objective_dirty = False
+        # Warm-start cutoff: a hidden row appended after the user rows.
+        self._cutoff_coeffs: dict[int, float] | None = None
+        self._cutoff_ub = _INF
+        self._cutoff_dirty = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -127,6 +300,12 @@ class Model:
         index = len(self.variables)
         var = Variable(index, name or f"x{index}", lb, ub, vtype, self)
         self.variables.append(var)
+        self._var_lb.append(var.lb)
+        self._var_ub.append(var.ub)
+        self._obj_signed.append(0.0)
+        integer = vtype != Variable.CONTINUOUS
+        self._integrality.append(1.0 if integer else 0.0)
+        self._num_integer += integer
         self._invalidate()
         return var
 
@@ -162,6 +341,8 @@ class Model:
         index = len(self.constraints)
         constr = Constraint(index, name or f"c{index}", coeffs, lb, ub, self)
         self.constraints.append(constr)
+        self._row_lb.append(lb)
+        self._row_ub.append(ub)
         self._invalidate()
         return constr
 
@@ -172,6 +353,75 @@ class Model:
             raise SolverError("sense must be 'min' or 'max'")
         self._objective = expr
         self._sense = 1 if sense == "min" else -1
+        signed = self._obj_signed.array
+        signed[:] = 0.0
+        for index, coeff in expr.coeffs.items():
+            signed[index] = coeff * self._sense
+        self._objective_dirty = True
+        self._mark_solution_stale()
+
+    # ------------------------------------------------------------------
+    # Incremental bound updates
+    # ------------------------------------------------------------------
+    def _sync_row_bounds(self, index: int, lb: float, ub: float) -> None:
+        """Write one row's bounds into the incremental arrays."""
+        self._row_lb.array[index] = lb
+        self._row_ub.array[index] = ub
+        self._dirty_rows.add(index)
+        self._mark_solution_stale()
+
+    def _sync_var_bounds(self, index: int, lb: float, ub: float) -> None:
+        """Write one variable's bounds into the incremental arrays."""
+        self._var_lb.array[index] = lb
+        self._var_ub.array[index] = ub
+        self._dirty_cols.add(index)
+        self._mark_solution_stale()
+
+    def set_row_ubs(self, constrs: Sequence[Constraint], values) -> None:
+        """Vectorized ``set_rhs(ub=...)`` over many constraints at once.
+
+        ``values`` must align with ``constrs``; lower bounds are left
+        untouched.  One numpy write replaces per-row ``set_rhs`` calls
+        on the evaluator's hot path.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (len(constrs),):
+            raise SolverError(
+                f"set_row_ubs: {len(constrs)} constraints but values shape "
+                f"{values.shape}"
+            )
+        if len(constrs) == 0:
+            return
+        indices = np.fromiter(
+            (c.index for c in constrs), dtype=np.int64, count=len(constrs)
+        )
+        if np.any(self._row_lb.array[indices] > values + 1e-12):
+            raise SolverError("set_row_ubs: lb exceeds ub for at least one row")
+        self._row_ub.array[indices] = values
+        for constr, value in zip(constrs, values.tolist()):
+            constr.ub = value
+        self._dirty_rows.update(indices.tolist())
+        self._mark_solution_stale()
+
+    def set_var_ubs(self, variables: Sequence[Variable], values) -> None:
+        """Vectorized ``set_bounds(ub=...)`` over many variables at once."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (len(variables),):
+            raise SolverError(
+                f"set_var_ubs: {len(variables)} variables but values shape "
+                f"{values.shape}"
+            )
+        if len(variables) == 0:
+            return
+        indices = np.fromiter(
+            (v.index for v in variables), dtype=np.int64, count=len(variables)
+        )
+        if np.any(self._var_lb.array[indices] > values + 1e-12):
+            raise SolverError("set_var_ubs: lb exceeds ub for at least one variable")
+        self._var_ub.array[indices] = values
+        for var, value in zip(variables, values.tolist()):
+            var.ub = value
+        self._dirty_cols.update(indices.tolist())
         self._mark_solution_stale()
 
     @property
@@ -184,7 +434,7 @@ class Model:
 
     @property
     def num_integer_variables(self) -> int:
-        return sum(1 for v in self.variables if v.vtype != Variable.CONTINUOUS)
+        return self._num_integer
 
     # ------------------------------------------------------------------
     # Compilation
@@ -197,6 +447,9 @@ class Model:
             telemetry.counter("solver.cache_invalidations")
         self._matrix = None
         self._lp_split = None
+        self._persistent = None
+        self._dirty_rows.clear()
+        self._dirty_cols.clear()
         self._mark_solution_stale()
 
     def _mark_solution_stale(self) -> None:
@@ -212,27 +465,53 @@ class Model:
                     rows.append(constr.index)
                     cols.append(var_index)
                     data.append(coeff)
+            num_rows = len(self.constraints)
+            if self._cutoff_coeffs is not None:
+                for var_index, coeff in self._cutoff_coeffs.items():
+                    rows.append(num_rows)
+                    cols.append(var_index)
+                    data.append(coeff)
+                num_rows += 1
             self._matrix = sp.csr_matrix(
                 (data, (rows, cols)),
-                shape=(len(self.constraints), len(self.variables)),
+                shape=(num_rows, len(self.variables)),
             )
         return self._matrix
 
     def _row_bounds(self) -> tuple[np.ndarray, np.ndarray]:
-        lb = np.array([c.lb for c in self.constraints])
-        ub = np.array([c.ub for c in self.constraints])
+        """Row bound views, including the hidden cutoff row if present."""
+        lb, ub = self._row_lb.array, self._row_ub.array
+        if self._cutoff_coeffs is not None:
+            lb = np.append(lb, -_INF)
+            ub = np.append(ub, self._cutoff_ub)
         return lb, ub
 
     def _var_bounds(self) -> tuple[np.ndarray, np.ndarray]:
-        lb = np.array([v.lb for v in self.variables])
-        ub = np.array([v.ub for v in self.variables])
-        return lb, ub
+        return self._var_lb.array, self._var_ub.array
 
     def _objective_vector(self) -> np.ndarray:
-        c = np.zeros(len(self.variables))
-        for index, coeff in self._objective.coeffs.items():
-            c[index] = coeff
-        return c * self._sense
+        """The signed objective vector (a live view; do not mutate)."""
+        return self._obj_signed.array
+
+    # ------------------------------------------------------------------
+    # Warm-start cutoff (hidden persistent row)
+    # ------------------------------------------------------------------
+    def _ensure_cutoff_row(self) -> None:
+        """Make the hidden cutoff row exist and match the objective."""
+        signed = {
+            index: coeff * self._sense
+            for index, coeff in self._objective.coeffs.items()
+        }
+        if self._cutoff_coeffs != signed:
+            self._cutoff_coeffs = signed
+            self._invalidate()
+
+    def _set_cutoff_ub(self, ub: float) -> None:
+        if ub == self._cutoff_ub:
+            return
+        self._cutoff_ub = ub
+        self._cutoff_dirty = True
+        self._mark_solution_stale()
 
     # ------------------------------------------------------------------
     # Solving
@@ -265,11 +544,14 @@ class Model:
             Solve the LP relaxation, ignoring integrality.
         warm_start:
             Emulated MIP start: the hint's objective value (plus
-            ``cutoff_tolerance``) becomes a temporary objective cutoff
-            constraint, which prunes branch-and-bound the way an
-            incumbent would.  The hint itself is not installed as a
+            ``cutoff_tolerance``) becomes the RHS of a persistent
+            objective-cutoff row, which prunes branch-and-bound the way
+            an incumbent would.  The hint itself is not installed as a
             solution, so an infeasible hint merely makes the cutoff
-            loose/void rather than corrupting the solve.
+            loose/void rather than corrupting the solve.  The row stays
+            in the compiled matrix with RHS ``+inf`` between
+            warm-started solves, so repeated warm starts never discard
+            the compiled matrix.
         node_limit:
             Branch-and-bound node budget (MILP only), mapped to HiGHS.
         iteration_limit:
@@ -290,28 +572,20 @@ class Model:
         use_milp = not relax and self.num_integer_variables > 0
         start = time.perf_counter()
 
-        cutoff_constraint: Constraint | None = None
         if warm_start is not None and use_milp:
             hint_values = np.zeros(len(self.variables))
             for var, value in warm_start.items():
                 hint_values[var.index] = value
             hint_objective = float(self._objective_vector() @ hint_values)
-            signed_objective = LinExpr(dict(self._objective.coeffs), 0.0) * self._sense
-            cutoff_constraint = self.add_constr(
-                signed_objective <= hint_objective + cutoff_tolerance,
-                name="_warm_start_cutoff",
-            )
+            self._ensure_cutoff_row()
+            self._set_cutoff_ub(hint_objective + cutoff_tolerance)
+        elif self._cutoff_coeffs is not None:
+            self._set_cutoff_ub(_INF)
 
-        try:
-            if use_milp:
-                status = self._solve_milp(time_limit, mip_gap, node_limit)
-            else:
-                status = self._solve_lp(time_limit, iteration_limit)
-        finally:
-            if cutoff_constraint is not None:
-                removed = self.constraints.pop()
-                assert removed is cutoff_constraint
-                self._matrix = None
+        if use_milp:
+            status = self._solve_milp(time_limit, mip_gap, node_limit)
+        else:
+            status = self._solve_lp(time_limit, iteration_limit)
         self._solve_time = time.perf_counter() - start
         self._solve_count += 1
         self._status = status
@@ -370,6 +644,74 @@ class Model:
     def _solve_lp(
         self, time_limit: float | None, iteration_limit: int | None = None
     ) -> Status:
+        budgeted = time_limit is not None or iteration_limit is not None
+        if (
+            _highs_core is None
+            or budgeted
+            or self.lp_backend != "persistent"
+        ):
+            # Budgeted solves keep linprog's maxiter/time-limit
+            # semantics (a zero budget must report TIME_LIMIT, not let
+            # presolve finish the solve).
+            return self._solve_lp_linprog(time_limit, iteration_limit)
+        try:
+            return self._solve_lp_persistent()
+        except _PersistentLPError:
+            telemetry.counter("solver.persistent_fallbacks")
+            self._persistent = None
+            return self._solve_lp_linprog(time_limit, iteration_limit)
+
+    def _solve_lp_persistent(self) -> Status:
+        """Solve on the hot HiGHS instance, pushing only dirty bounds."""
+        persistent = self._persistent
+        if persistent is None or self._matrix is None:
+            matrix = self._compiled_matrix()
+            row_lb, row_ub = self._row_bounds()
+            var_lb, var_ub = self._var_bounds()
+            persistent = _PersistentLP(
+                matrix, row_lb, row_ub, var_lb, var_ub, self._objective_vector()
+            )
+            self._persistent = persistent
+            self._dirty_rows.clear()
+            self._dirty_cols.clear()
+            self._objective_dirty = False
+            self._cutoff_dirty = False
+        else:
+            if self._dirty_rows:
+                indices = sorted(self._dirty_rows)
+                persistent.update_rows(
+                    indices,
+                    self._row_lb.array[indices],
+                    self._row_ub.array[indices],
+                )
+                self._dirty_rows.clear()
+            if self._dirty_cols:
+                indices = sorted(self._dirty_cols)
+                persistent.update_cols(
+                    indices,
+                    self._var_lb.array[indices],
+                    self._var_ub.array[indices],
+                )
+                self._dirty_cols.clear()
+            if self._objective_dirty:
+                persistent.update_cost(self._objective_vector())
+            if self._cutoff_dirty and self._cutoff_coeffs is not None:
+                persistent.update_rows(
+                    [len(self.constraints)], [-_INF], [self._cutoff_ub]
+                )
+            if persistent.solve_count:
+                telemetry.counter("solver.persistent_resolves")
+        self._objective_dirty = False
+        self._cutoff_dirty = False
+        status, objective, solution = persistent.solve()
+        if status is Status.OPTIMAL:
+            self._solution = solution
+            self._objective_value = objective * self._sense
+        return status
+
+    def _solve_lp_linprog(
+        self, time_limit: float | None, iteration_limit: int | None = None
+    ) -> Status:
         row_lb, row_ub = self._row_bounds()
         var_lb, var_ub = self._var_bounds()
         eq_mask, ub_mask, lb_mask, a_eq, a_ub = self._lp_matrices(row_lb, row_ub)
@@ -417,9 +759,7 @@ class Model:
         matrix = self._compiled_matrix()
         row_lb, row_ub = self._row_bounds()
         var_lb, var_ub = self._var_bounds()
-        integrality = np.array(
-            [0 if v.vtype == Variable.CONTINUOUS else 1 for v in self.variables]
-        )
+        integrality = self._integrality.array
         options: dict = {}
         if time_limit is not None:
             options["time_limit"] = time_limit
@@ -428,7 +768,7 @@ class Model:
         if node_limit is not None:
             options["node_limit"] = int(node_limit)
         constraints = (
-            LinearConstraint(matrix, row_lb, row_ub) if self.constraints else None
+            LinearConstraint(matrix, row_lb, row_ub) if matrix.shape[0] else None
         )
         result = milp(
             self._objective_vector(),
@@ -488,9 +828,10 @@ class Model:
     def _row_activity(self, constr: Constraint) -> float:
         if self._solution is None:
             raise SolverError("no solution available; call optimize() first")
-        return sum(
-            coeff * self._solution[idx] for idx, coeff in constr.coeffs.items()
-        )
+        matrix = self._compiled_matrix()
+        start, end = matrix.indptr[constr.index], matrix.indptr[constr.index + 1]
+        columns = matrix.indices[start:end]
+        return float(matrix.data[start:end] @ self._solution[columns])
 
     def values(self, variables: Sequence[Variable]) -> np.ndarray:
         """Vectorized solution access for a list of variables."""

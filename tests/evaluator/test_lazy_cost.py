@@ -1,0 +1,63 @@
+"""EvaluationResult.cost is lazy: no cost-model pass unless it is read.
+
+The RL environment evaluates after every step but derives rewards from
+incremental cost, so the full Eq. 1 plan-cost pass must only run for
+callers that actually access ``.cost``.
+"""
+
+import pytest
+
+from repro.evaluator import PlanEvaluator
+from repro.topology import datasets
+from repro.topology.cost import CostModel
+
+
+@pytest.fixture
+def instance():
+    return datasets.figure1_topology()
+
+
+@pytest.fixture
+def counted_plan_cost(monkeypatch):
+    """Count CostModel.plan_cost invocations process-wide."""
+    calls = []
+    original = CostModel.plan_cost
+
+    def counting(self, network, capacities):
+        calls.append(1)
+        return original(self, network, capacities)
+
+    monkeypatch.setattr(CostModel, "plan_cost", counting)
+    return calls
+
+
+class TestLazyCost:
+    def test_evaluate_makes_zero_cost_calls_when_cost_untouched(
+        self, instance, counted_plan_cost
+    ):
+        evaluator = PlanEvaluator(instance, mode="neuroplan")
+        capacities = instance.network.capacities()
+        result = evaluator.evaluate(capacities)
+        assert counted_plan_cost == []
+        # Feasibility machinery still ran.
+        assert result.feasible in (True, False)
+
+    def test_cost_computed_once_on_first_access(self, instance, counted_plan_cost):
+        evaluator = PlanEvaluator(instance, mode="vanilla")
+        capacities = instance.network.capacities()
+        result = evaluator.evaluate(capacities)
+        assert counted_plan_cost == []
+        first = result.cost
+        assert counted_plan_cost == [1]
+        assert result.cost == first  # cached, no second pass
+        assert counted_plan_cost == [1]
+
+    def test_cost_pins_the_evaluated_capacities(self, instance):
+        evaluator = PlanEvaluator(instance, mode="neuroplan")
+        capacities = instance.network.capacities()
+        result = evaluator.evaluate(capacities)
+        expected = evaluator.cost(dict(capacities))
+        # Mutate the dict after evaluation, as the env does in place.
+        link_id = next(iter(capacities))
+        capacities[link_id] += 1000.0
+        assert result.cost == pytest.approx(expected)

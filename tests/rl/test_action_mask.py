@@ -1,0 +1,107 @@
+"""Vectorized action mask and SpectrumIndex vs the scalar reference.
+
+The mask moved from a per-link Python loop over
+``Network.link_capacity_headroom`` to one sparse matvec through
+:class:`SpectrumIndex`; these tests pin exact agreement with the old
+formulation along real trajectories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rl.env import PlanningEnv
+from repro.topology import datasets, generators
+from repro.topology.spectrum import SpectrumIndex
+
+
+def reference_mask(env) -> np.ndarray:
+    """The pre-vectorization mask implementation, verbatim."""
+    mask = np.zeros(env.num_actions, dtype=bool)
+    for link_index, link_id in enumerate(env.link_graph.link_ids):
+        headroom_units = int(
+            np.floor(
+                round(
+                    env.instance.network.link_capacity_headroom(
+                        link_id, env._capacities
+                    )
+                    / env.unit,
+                    9,
+                )
+            )
+        )
+        allowed = min(headroom_units, env.max_units)
+        base = link_index * env.max_units
+        mask[base : base + allowed] = True
+    return mask
+
+
+@pytest.fixture(
+    params=["figure1", "bandA"],
+)
+def env(request) -> PlanningEnv:
+    if request.param == "figure1":
+        instance = datasets.figure1_topology()
+        return PlanningEnv(instance, max_units_per_step=2, max_steps=8)
+    instance = generators.make_instance("A", seed=3, scale=0.5)
+    return PlanningEnv(instance, max_units_per_step=4, max_steps=64)
+
+
+class TestMaskEquivalence:
+    def test_mask_matches_reference_along_a_trajectory(self, env):
+        env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            mask = env.action_mask()
+            np.testing.assert_array_equal(mask, reference_mask(env))
+            if env.done or not mask.any():
+                break
+            action = int(rng.choice(np.flatnonzero(mask)))
+            env.step(action)
+
+    def test_spectrum_index_matches_network_queries(self, env):
+        env.reset()
+        capacities = env.capacities()
+        index = SpectrumIndex(env.instance.network)
+        network = env.instance.network
+        headroom = index.link_headroom(capacities)
+        for position, link_id in enumerate(index.link_ids):
+            assert headroom[position] == network.link_capacity_headroom(
+                link_id, capacities
+            )
+        assert index.feasible(capacities) == network.spectrum_feasible(capacities)
+
+    def test_feasibility_agrees_when_a_fiber_overflows(self, env):
+        env.reset()
+        capacities = env.capacities()
+        index = SpectrumIndex(env.instance.network)
+        link_id = index.link_ids[0]
+        capacities[link_id] += 1e9  # blow through any spectrum budget
+        assert index.feasible(capacities) is False
+        assert env.instance.network.spectrum_feasible(capacities) is False
+
+
+class TestSparseAdjacencyKnob:
+    def test_small_topology_defaults_to_dense(self):
+        env = PlanningEnv(datasets.figure1_topology())
+        assert env.sparse_adjacency is False
+        assert isinstance(env.adjacency_norm, np.ndarray)
+
+    def test_explicit_override_and_replica_kwargs(self):
+        instance = datasets.figure1_topology()
+        env = PlanningEnv(instance, sparse_adjacency=True)
+        assert env.sparse_adjacency is True
+        assert not isinstance(env.adjacency_norm, np.ndarray)
+        kwargs = env.replica_kwargs()
+        assert kwargs["sparse_adjacency"] is True
+        replica = PlanningEnv(instance, **kwargs)
+        np.testing.assert_array_equal(
+            replica.adjacency_norm.toarray(), env.adjacency_norm.toarray()
+        )
+
+    def test_sparse_values_equal_dense_values(self):
+        instance = generators.make_instance("A", seed=3, scale=0.5)
+        dense_env = PlanningEnv(instance, sparse_adjacency=False)
+        sparse_env = PlanningEnv(instance, sparse_adjacency=True)
+        np.testing.assert_array_equal(
+            sparse_env.adjacency_norm.toarray(), dense_env.adjacency_norm
+        )

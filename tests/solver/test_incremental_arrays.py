@@ -1,0 +1,259 @@
+"""The incremental bound/objective arrays and the bulk update APIs.
+
+The model mirrors bounds and the objective into persistent numpy
+arrays (see "Incremental arrays" in ``model.py``).  The property test
+here is the oracle that keeps that mirroring honest: after ANY
+interleaving of single-cell updates, bulk updates, and model growth,
+the arrays must equal arrays rebuilt from scratch from the
+constraint/variable objects.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.errors import SolverError
+from repro.solver import Model, Status, Variable, quicksum
+
+
+def rebuilt_arrays(model):
+    """Reference arrays recomputed from the python objects."""
+    row_lb = np.array([c.lb for c in model.constraints], dtype=np.float64)
+    row_ub = np.array([c.ub for c in model.constraints], dtype=np.float64)
+    var_lb = np.array([v.lb for v in model.variables], dtype=np.float64)
+    var_ub = np.array([v.ub for v in model.variables], dtype=np.float64)
+    objective = np.zeros(len(model.variables), dtype=np.float64)
+    for index, coeff in model._objective.coeffs.items():
+        objective[index] = coeff * model._sense
+    return row_lb, row_ub, var_lb, var_ub, objective
+
+
+def assert_arrays_in_sync(model):
+    row_lb, row_ub, var_lb, var_ub, objective = rebuilt_arrays(model)
+    np.testing.assert_array_equal(model._row_lb.array, row_lb)
+    np.testing.assert_array_equal(model._row_ub.array, row_ub)
+    np.testing.assert_array_equal(model._var_lb.array, var_lb)
+    np.testing.assert_array_equal(model._var_ub.array, var_ub)
+    np.testing.assert_array_equal(model._obj_signed.array, objective)
+
+
+bound_values = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "set_rhs",
+                "set_bounds",
+                "bulk_rows",
+                "bulk_vars",
+                "add_constr",
+                "add_var",
+                "set_objective",
+            ]
+        ),
+        st.integers(min_value=0, max_value=3),
+        bound_values,
+    ),
+    max_size=30,
+)
+
+
+class TestIncrementalArraysProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_arrays_match_rebuild_after_any_interleaving(self, ops):
+        model = Model("prop", lp_backend="linprog")
+        variables = [model.add_var(lb=0.0, ub=10.0) for _ in range(4)]
+        constraints = [
+            model.add_constr(variables[i] + variables[(i + 1) % 4] <= 5.0)
+            for i in range(4)
+        ]
+        model.set_objective(quicksum(variables))
+
+        for name, index, value in ops:
+            if name == "set_rhs":
+                constraints[index % len(constraints)].set_rhs(ub=value)
+            elif name == "set_bounds":
+                variables[index % len(variables)].set_bounds(ub=value)
+            elif name == "bulk_rows":
+                chosen = constraints[: index + 1]
+                model.set_row_ubs(chosen, [value] * len(chosen))
+            elif name == "bulk_vars":
+                chosen = variables[: index + 1]
+                model.set_var_ubs(chosen, [value] * len(chosen))
+            elif name == "add_constr":
+                constraints.append(
+                    model.add_constr(variables[index % len(variables)] <= value)
+                )
+            elif name == "add_var":
+                variables.append(model.add_var(lb=0.0, ub=value))
+            elif name == "set_objective":
+                model.set_objective(
+                    quicksum(variables), sense="max" if index % 2 else "min"
+                )
+            assert_arrays_in_sync(model)
+
+
+class TestBulkAPIs:
+    def test_bulk_updates_affect_the_solve(self):
+        model = Model("bulk")
+        x = model.add_var(ub=10.0)
+        y = model.add_var(ub=10.0)
+        cx = model.add_constr(x <= 8.0)
+        cy = model.add_constr(y <= 8.0)
+        model.set_objective(x + y, sense="max")
+        assert model.optimize() is Status.OPTIMAL
+        assert model.objective_value == pytest.approx(16.0)
+
+        model.set_row_ubs([cx, cy], [3.0, 4.0])
+        assert model.optimize() is Status.OPTIMAL
+        assert model.objective_value == pytest.approx(7.0)
+        assert cx.ub == 3.0 and cy.ub == 4.0
+
+        model.set_var_ubs([x, y], [1.0, 2.0])
+        assert model.optimize() is Status.OPTIMAL
+        assert model.objective_value == pytest.approx(3.0)
+        assert x.ub == 1.0 and y.ub == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        model = Model("bad")
+        x = model.add_var(ub=1.0)
+        c = model.add_constr(x <= 1.0)
+        with pytest.raises(SolverError):
+            model.set_row_ubs([c], [1.0, 2.0])
+        with pytest.raises(SolverError):
+            model.set_var_ubs([x], np.zeros((1, 1)))
+
+    def test_bound_crossing_rejected(self):
+        model = Model("cross")
+        x = model.add_var(lb=2.0, ub=5.0)
+        c = model.add_constr(x >= 3.0)  # row lb = 3
+        with pytest.raises(SolverError):
+            model.set_row_ubs([c], [1.0])
+        with pytest.raises(SolverError):
+            model.set_var_ubs([x], [1.0])
+
+    def test_empty_bulk_update_is_a_noop(self):
+        model = Model("empty")
+        model.add_var(ub=1.0)
+        model.set_row_ubs([], [])
+        model.set_var_ubs([], [])
+
+
+class TestSlackAndActivity:
+    def test_hand_computed_values(self):
+        model = Model("slack")
+        x = model.add_var(ub=4.0)
+        y = model.add_var(ub=4.0)
+        c1 = model.add_constr(2.0 * x + 3.0 * y <= 12.0)
+        c2 = model.add_constr(x + y >= 1.0)
+        model.set_objective(x + y, sense="max")
+        assert model.optimize() is Status.OPTIMAL
+        # Optimum: x = 4 (its bound), then 3y <= 12 - 8 => y = 4/3.
+        assert x.x == pytest.approx(4.0)
+        assert y.x == pytest.approx(4.0 / 3.0)
+        assert c1.activity == pytest.approx(12.0)
+        assert c1.slack == pytest.approx(0.0, abs=1e-9)
+        assert c2.activity == pytest.approx(4.0 + 4.0 / 3.0)
+        assert np.isinf(c2.slack)  # ub is +inf
+
+
+class TestBackendEquivalence:
+    def _diet_model(self, backend):
+        model = Model("diet", lp_backend=backend)
+        x = model.add_var(lb=0.0)
+        y = model.add_var(lb=0.0)
+        model.add_constr(2.0 * x + y >= 8.0)
+        model.add_constr(x + 3.0 * y >= 9.0)
+        model.set_objective(3.0 * x + 2.0 * y)
+        return model, x, y
+
+    def test_same_optimum_both_backends(self):
+        persistent, px, py = self._diet_model("persistent")
+        linprog, lx, ly = self._diet_model("linprog")
+        assert persistent.optimize() is Status.OPTIMAL
+        assert linprog.optimize() is Status.OPTIMAL
+        assert persistent.objective_value == pytest.approx(linprog.objective_value)
+        assert px.x == pytest.approx(lx.x)
+        assert py.x == pytest.approx(ly.x)
+
+    def test_persistent_resolve_after_bound_updates(self):
+        model, x, y = self._diet_model("persistent")
+        assert model.optimize() is Status.OPTIMAL
+        first = model.objective_value
+        # Tighten, re-solve on the hot instance, then verify against a
+        # freshly compiled linprog model with the same bounds.
+        model.constraints[0].set_rhs(lb=12.0)
+        x.set_bounds(ub=5.0)
+        assert model.optimize() is Status.OPTIMAL
+        assert model.objective_value > first
+        reference, rx, _ = self._diet_model("linprog")
+        reference.constraints[0].set_rhs(lb=12.0)
+        rx.set_bounds(ub=5.0)
+        reference.optimize()
+        assert model.objective_value == pytest.approx(reference.objective_value)
+
+    def test_persistent_detects_infeasible_and_unbounded(self):
+        model = Model("bad-lp", lp_backend="persistent")
+        x = model.add_var(lb=0.0, ub=1.0)
+        c = model.add_constr(x >= 5.0)
+        model.set_objective(x)
+        assert model.optimize() is Status.INFEASIBLE
+        # Relax back to feasible, then make it unbounded.
+        c.set_rhs(lb=0.0)
+        assert model.optimize() is Status.OPTIMAL
+        free = Model("unbounded", lp_backend="persistent")
+        z = free.add_var(lb=0.0)
+        free.set_objective(z, sense="max")
+        assert free.optimize() is Status.UNBOUNDED
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError):
+            Model("nope", lp_backend="gurobi")
+
+
+class TestCacheInvalidationTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def _milp(self):
+        model = Model("milp")
+        x = model.add_var(ub=10.0, vtype=Variable.INTEGER)
+        y = model.add_var(ub=10.0, vtype=Variable.INTEGER)
+        model.add_constr(x + y <= 7.0)
+        model.set_objective(x + 2.0 * y, sense="max")
+        return model, x, y
+
+    def test_construction_does_not_tick(self):
+        telemetry.enable()
+        self._milp()
+        assert telemetry.counter_value("solver.cache_invalidations") == 0
+
+    def test_warm_start_ticks_once_not_per_solve(self):
+        model, x, y = self._milp()
+        assert model.optimize() is Status.OPTIMAL  # compiles the matrix
+        hint = {x: 0.0, y: 7.0}
+        telemetry.enable()
+        model.optimize(warm_start=hint)  # first warm start adds the cutoff row
+        assert telemetry.counter_value("solver.cache_invalidations") == 1
+        model.optimize(warm_start=hint)  # RHS update only
+        model.optimize(warm_start={x: 1.0, y: 6.0})
+        model.optimize()  # cutoff parked at +inf, matrix kept
+        assert telemetry.counter_value("solver.cache_invalidations") == 1
+        assert model.num_constraints == 1  # cutoff row stays hidden
+
+    def test_add_constr_after_compile_ticks(self):
+        model, x, y = self._milp()
+        model.optimize()
+        telemetry.enable()
+        model.add_constr(x <= 5.0)
+        assert telemetry.counter_value("solver.cache_invalidations") == 1
