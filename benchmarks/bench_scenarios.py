@@ -1,0 +1,59 @@
+"""Scenario-zoo baselines: every planner on every registered scenario.
+
+Each (scenario, method, seed) cell runs the planner, scores the plan
+with the standalone verifier, and records the *verifier's* re-derived
+cost -- the committed ``results/scenarios.json`` is therefore a
+planner-independent ground truth that ``check_regression.py
+--scenarios`` can gate against: greedy and ILP-heur costs must match
+exactly (both are deterministic), the exact ILP must stay optimal
+within float tolerance, and every cell must stay verifier-feasible.
+"""
+
+import os
+
+import repro.scenarios as zoo
+
+PROFILES = {
+    "quick": {"seeds": (0,)},
+    "standard": {"seeds": (0, 1)},
+    "full": {"seeds": (0, 1)},
+}
+
+
+def run_scenarios(profile: str) -> list[dict]:
+    seeds = PROFILES[profile]["seeds"]
+    return zoo.baseline_table(seeds=seeds)
+
+
+def test_scenario_baselines(benchmark, save_rows, profile_name):
+    rows = benchmark.pedantic(
+        run_scenarios, args=(profile_name,), rounds=1, iterations=1
+    )
+    save_rows("scenarios", rows)
+
+    print()
+    for row in rows:
+        print(
+            f"{row['scenario']:<16} {row['method']:<9} seed={row['seed']} "
+            f"verifier_cost={row['verifier_cost']:,.0f} "
+            f"({row['checked_failures']} failures, {row['solve_seconds']:.1f}s)"
+        )
+
+    by_cell = {(r["scenario"], r["method"], r["seed"]): r for r in rows}
+    for row in rows:
+        assert row["feasible"], (row["scenario"], row["method"], row["seed"])
+        assert row["cost_agrees"], (row["scenario"], row["method"], row["seed"])
+    # The optimality ordering the paper's evaluation relies on.
+    for (scenario, method, seed), row in by_cell.items():
+        if method != "ilp":
+            continue
+        for heuristic in ("greedy", "ilp-heur"):
+            other = by_cell.get((scenario, heuristic, seed))
+            if other is not None:
+                slack = 1e-6 * max(1.0, row["verifier_cost"])
+                assert row["verifier_cost"] <= other["verifier_cost"] + slack
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    for line in run_scenarios(os.environ.get("NEUROPLAN_BENCH_PROFILE", "quick")):
+        print(line)

@@ -19,6 +19,17 @@ meaningful on any CI runner:
   NeuroPlan ratio may drift by at most ``--tolerance`` (default 3x)
   from the committed baseline in the regressing direction.
 
+With ``--scenarios`` the gate re-runs the scenario-zoo baselines
+(``bench_scenarios.py``) at the quick profile and compares against the
+committed ``results/scenarios.json``:
+
+- every (scenario, method, seed) cell must stay verifier-feasible with
+  the verifier's cost equal to the planner's claim;
+- greedy and ILP-heur costs must match the committed cells exactly
+  (both planners are bitwise-deterministic by contract);
+- the exact ILP's cost is an optimal objective value, so it must match
+  within float tolerance and stay at or below both heuristics.
+
 With ``--hotpath`` the gate instead re-runs the PR-5 hot-path
 micro-benchmarks (``bench_hotpath.py``) at the quick profile and
 compares against the committed ``results/hotpath.json``:
@@ -160,6 +171,73 @@ def compare_hotpath(
     return problems
 
 
+ILP_RTOL = 1e-6  # optimal objectives transfer across machines to float noise
+
+
+def run_scenarios(profile: str) -> list[dict]:
+    import bench_scenarios
+
+    return bench_scenarios.run_scenarios(profile)
+
+
+def compare_scenarios(baseline: list[dict], fresh: list[dict]) -> list[str]:
+    problems: list[str] = []
+    key = lambda r: (r["scenario"], r["method"], r["seed"])  # noqa: E731
+    fresh_by_key = {key(r): r for r in fresh}
+    baseline_by_key = {key(r): r for r in baseline}
+
+    missing = set(baseline_by_key) - set(fresh_by_key)
+    if missing:
+        problems.append(f"baseline cells missing from fresh run: {sorted(missing)}")
+
+    for cell, row in fresh_by_key.items():
+        if not row["feasible"]:
+            problems.append(
+                f"{cell}: plan no longer passes the standalone verifier "
+                f"({row['problems']} {row['violations']})"
+            )
+            continue
+        if not row["cost_agrees"]:
+            problems.append(
+                f"{cell}: planner cost {row['planner_cost']} disagrees "
+                f"with verifier cost {row['verifier_cost']}"
+            )
+        base = baseline_by_key.get(cell)
+        if base is None:
+            problems.append(f"{cell}: not in the committed scenarios baseline")
+            continue
+        _, method, _ = cell
+        fresh_cost, base_cost = row["verifier_cost"], base["verifier_cost"]
+        if method in ("greedy", "ilp-heur"):
+            if fresh_cost != base_cost:
+                problems.append(
+                    f"{cell}: cost changed {base_cost} -> {fresh_cost} "
+                    f"(deterministic planner; behavior changed or the "
+                    f"baseline is stale)"
+                )
+        elif abs(fresh_cost - base_cost) > ILP_RTOL * max(1.0, abs(base_cost)):
+            problems.append(
+                f"{cell}: optimal ILP cost drifted {base_cost} -> {fresh_cost}"
+            )
+
+    # ILP stays at or below both heuristics on every fresh cell.
+    for (scenario, method, seed), row in fresh_by_key.items():
+        if method != "ilp":
+            continue
+        for heuristic in ("greedy", "ilp-heur"):
+            other = fresh_by_key.get((scenario, heuristic, seed))
+            if other is None:
+                continue
+            slack = ILP_RTOL * max(1.0, row["verifier_cost"])
+            if row["verifier_cost"] > other["verifier_cost"] + slack:
+                problems.append(
+                    f"({scenario}, seed {seed}): ilp cost "
+                    f"{row['verifier_cost']:.0f} exceeds {heuristic} "
+                    f"({other['verifier_cost']:.0f}) — optimality lost"
+                )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -189,7 +267,35 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="gate the bench_hotpath micro-benchmarks instead of fig7",
     )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="gate the scenario-zoo baselines instead of fig7",
+    )
     args = parser.parse_args(argv)
+
+    if args.scenarios:
+        baseline_path = RESULTS_DIR / "scenarios.json"
+        print(f"running scenario baselines at profile={args.profile} ...")
+        fresh = run_scenarios(args.profile)
+        if args.update:
+            baseline_path.write_text(json.dumps(fresh, indent=1) + "\n")
+            print(f"baseline updated: {baseline_path}")
+            return 0
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        problems = compare_scenarios(json.loads(baseline_path.read_text()), fresh)
+        if problems:
+            print("scenario regression gate FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"scenario regression gate passed: {len(fresh)} cells "
+            f"verifier-feasible and cost-stable"
+        )
+        return 0
 
     if args.hotpath:
         baseline_path = RESULTS_DIR / "hotpath.json"

@@ -7,6 +7,8 @@ Commands
 ``baseline``  -- run ILP / ILP-heur / greedy on a topology.
 ``table2``    -- print the paper's hyperparameter table.
 ``serve``     -- answer plan requests over HTTP from a model store.
+``scenarios`` -- the scenario zoo: list entries, verify plan files
+with the standalone verifier, record baselines.
 """
 
 from __future__ import annotations
@@ -175,6 +177,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request cap on the second-stage ILP budget (seconds)",
     )
     _add_profile_arg(serve, top_level=False)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="the scenario zoo: list, verify a plan file, run baselines",
+    )
+    zoo_sub = scenarios.add_subparsers(dest="zoo_command", required=True)
+    zoo_sub.add_parser("list", help="list registered scenarios")
+    zoo_verify = zoo_sub.add_parser(
+        "verify",
+        help="score a plan JSON with the standalone verifier "
+        "(exit 1 if infeasible)",
+    )
+    zoo_verify.add_argument("scenario", help="registered scenario name")
+    zoo_verify.add_argument(
+        "--plan", required=True, metavar="PLAN.json",
+        help="plan document written by `scenarios baseline --save-plans`",
+    )
+    zoo_verify.add_argument("--seed", type=int, default=0)
+    zoo_baseline = zoo_sub.add_parser(
+        "baseline", help="run baseline planners and verify every plan"
+    )
+    zoo_baseline.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="restrict to this scenario (repeatable; default: all)",
+    )
+    zoo_baseline.add_argument("--seed", type=int, default=None)
+    zoo_baseline.add_argument(
+        "--method", action="append", default=None,
+        choices=("greedy", "ilp-heur", "ilp"),
+        help="restrict to this planner (repeatable; default: all)",
+    )
+    zoo_baseline.add_argument(
+        "--save-plans", default=None, metavar="DIR",
+        help="also write each plan as DIR/<scenario>-<method>-<seed>.json",
+    )
     return parser
 
 
@@ -386,6 +423,70 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    import repro.scenarios as zoo
+
+    if args.zoo_command == "list":
+        for name in zoo.names():
+            scenario = zoo.get(name)
+            tags = ",".join(scenario.tags) or "-"
+            print(
+                f"{name:<16} seeds={list(scenario.seeds)} "
+                f"methods={list(scenario.baseline_methods)} [{tags}]"
+            )
+            print(f"  {scenario.description}")
+        return 0
+
+    if args.zoo_command == "verify":
+        from repro.planning.plan import NetworkPlan
+
+        scenario = zoo.get(args.scenario)
+        instance = scenario.build(args.seed)
+        plan = NetworkPlan.load(args.plan)
+        report = zoo.verify_plan(instance, plan.capacities, method=plan.method)
+        print(report.summary())
+        return 0 if report.feasible else 1
+
+    # baseline
+    import json
+    import pathlib
+
+    rows = zoo.baseline_table(
+        scenario_names=args.scenario,
+        seeds=None if args.seed is None else (args.seed,),
+        methods=tuple(args.method) if args.method else None,
+    )
+    failures = 0
+    for row in rows:
+        ok = row["feasible"] and row["cost_agrees"]
+        failures += not ok
+        cost = row["verifier_cost"]
+        cost_str = "n/a" if cost is None else f"{cost:,.0f}"
+        verdict = (
+            "ok" if ok else "FAILED " + "; ".join(row["problems"] + row["violations"])
+        )
+        print(
+            f"{row['scenario']:<16} {row['method']:<9} seed={row['seed']} "
+            f"cost={cost_str} {verdict} ({row['solve_seconds']:.1f}s)"
+        )
+    if args.save_plans:
+        out = pathlib.Path(args.save_plans)
+        out.mkdir(parents=True, exist_ok=True)
+        for row in rows:
+            scenario = zoo.get(row["scenario"])
+            instance = scenario.build(row["seed"])
+            plan = zoo.run_planner(
+                instance, row["method"], time_limit=scenario.ilp_time_limit
+            )
+            path = out / f"{row['scenario']}-{row['method']}-{row['seed']}.json"
+            plan.save(path)
+            print(f"wrote {path}")
+        (out / "baselines.json").write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -397,6 +498,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "render": _cmd_render,
         "compare": _cmd_compare,
         "serve": _cmd_serve,
+        "scenarios": _cmd_scenarios,
     }
     trace_path = getattr(args, "telemetry_profile", None)
     if trace_path is None:

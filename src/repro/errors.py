@@ -82,6 +82,41 @@ class Overloaded(ServeError):
     immediately instead of buffering without bound."""
 
 
+class ScenarioError(ReproError):
+    """Base class for benchmark-scenario errors (:mod:`repro.scenarios`).
+
+    The scenario zoo's standalone verifiers raise only this family, so a
+    harness driving arbitrary planners against arbitrary scenarios can
+    separate "the scenario input is bad" from "the plan is bad" from
+    ordinary planner failures.
+    """
+
+
+class UnknownScenarioError(ScenarioError):
+    """No scenario is registered under the requested name."""
+
+
+class MalformedInstanceError(ScenarioError, TopologyError):
+    """A planning instance (or its serialized form) is structurally
+    invalid: broken fiber paths, unreachable flows, unknown failure
+    references, spectrum violated at the starting capacities, or an
+    unparseable on-disk document.
+
+    Subclasses :class:`TopologyError` so existing callers that catch the
+    topology family keep working.
+    """
+
+
+class PlanVerificationError(ScenarioError, PlanError):
+    """A candidate plan document is unreadable or inconsistent with the
+    scenario it claims to solve (not merely infeasible -- infeasibility
+    is a verifier *verdict*, reported, not raised).
+
+    Subclasses :class:`PlanError` so existing callers that catch the
+    plan family keep working.
+    """
+
+
 class DeadlineExceeded(ServeError):
     """A request's end-to-end deadline expired (queue wait counts)
     before a response could be produced."""

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import PlanError
 from repro.topology.instance import PlanningInstance
+
+PLAN_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -76,6 +79,71 @@ class NetworkPlan:
         if not instance.network.spectrum_feasible(self.capacities):
             problems.append("spectrum constraints violated")
         return problems
+
+    def to_dict(self) -> dict:
+        """JSON-safe document (round-trips through :meth:`from_dict`)."""
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "instance_name": self.instance_name,
+            "method": self.method,
+            "solve_seconds": self.solve_seconds,
+            "capacities": {k: float(v) for k, v in self.capacities.items()},
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "NetworkPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Raises the typed
+        :class:`~repro.errors.PlanVerificationError` on malformed
+        documents, so callers (the CLI's ``scenarios verify``, the
+        conformance harness) can distinguish "bad plan file" from
+        "sound plan that fails verification".
+        """
+        from repro.errors import PlanVerificationError
+
+        if not isinstance(payload, dict):
+            raise PlanVerificationError(
+                f"plan document must be an object, got {type(payload).__name__}"
+            )
+        version = payload.get("format_version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise PlanVerificationError(
+                f"unsupported plan format_version {version!r}"
+            )
+        capacities = payload.get("capacities")
+        if not isinstance(capacities, dict) or not capacities:
+            raise PlanVerificationError("plan document has no capacities map")
+        try:
+            parsed = {str(k): float(v) for k, v in capacities.items()}
+        except (TypeError, ValueError) as exc:
+            raise PlanVerificationError(
+                f"non-numeric capacity in plan document: {exc}"
+            ) from exc
+        return cls(
+            instance_name=str(payload.get("instance_name", "")),
+            capacities=parsed,
+            method=str(payload.get("method", "unknown")),
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "NetworkPlan":
+        from repro.errors import PlanVerificationError
+
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PlanVerificationError(f"{path}: not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
 
     def _check_instance(self, instance: PlanningInstance) -> None:
         base_name = instance.name.split("-")[0]

@@ -1,0 +1,59 @@
+"""The scenario zoo: registered benchmark workloads with standalone verifiers.
+
+Every scenario ships the same three-part contract (see
+:mod:`repro.scenarios.base`):
+
+1. a deterministic instance builder,
+2. the standalone verifier (:mod:`repro.scenarios.verifier`): scores any
+   candidate plan for feasibility and Eq. 1 cost purely from the
+   instance, importing nothing from ``repro.planning``,
+   ``repro.evaluator`` or ``repro.solver``,
+3. baseline results from the repo's greedy / ILP-heur / ILP planners
+   (:mod:`repro.scenarios.baselines`).
+
+Importing this package registers the built-in scenarios:
+
+- ``fig7-reference`` -- the paper's topology band A (fig. 7 family);
+- ``dci-fattree`` -- cross-datacenter fat-tree/DCI rings;
+- ``rwa-ring`` -- optical RWA with route-diverse, fiber-reusing
+  lightpaths under a tight spectrum budget.
+
+The differential conformance harness (``tests/scenarios``) runs every
+registered planner against every registered scenario, so a new planner
+or a new scenario gets correctness coverage by registration alone.
+"""
+
+from repro.scenarios.base import (
+    Scenario,
+    all_scenarios,
+    get,
+    names,
+    register,
+    unregister,
+)
+from repro.scenarios.verifier import (
+    FailureCheck,
+    VerifierReport,
+    rederived_cost,
+    verify_plan,
+)
+from repro.scenarios.baselines import baseline_record, baseline_table, run_planner
+
+# Built-in scenarios register themselves on import.
+from repro.scenarios import reference, crossdc, rwa  # noqa: E402,F401
+
+__all__ = [
+    "Scenario",
+    "register",
+    "unregister",
+    "get",
+    "names",
+    "all_scenarios",
+    "VerifierReport",
+    "FailureCheck",
+    "verify_plan",
+    "rederived_cost",
+    "baseline_record",
+    "baseline_table",
+    "run_planner",
+]

@@ -1,0 +1,89 @@
+"""The scenario contract and the process-global registry.
+
+A *scenario* packages one benchmark workload the way the zoo's
+conformance harness expects every workload to ship:
+
+- a deterministic **instance builder** (``builder(seed)`` must return
+  byte-identical instances for equal seeds);
+- the **standalone verifier** (shared: :mod:`repro.scenarios.verifier`
+  scores any scenario's plans from first principles);
+- **baseline planners** it is meaningful to run (small scenarios run
+  the exact ILP too; larger ones may restrict to greedy/ILP-heur).
+
+Registering a scenario is all it takes for the differential conformance
+harness (``tests/scenarios``), the CLI (``neuroplan scenarios``) and the
+baseline benchmark (``benchmarks/bench_scenarios.py``) to pick it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ScenarioError, UnknownScenarioError
+from repro.topology.instance import PlanningInstance
+from repro.topology.validation import ensure_valid
+
+DEFAULT_METHODS = ("greedy", "ilp-heur", "ilp")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    description: str
+    builder: Callable[[int], PlanningInstance]
+    tags: tuple[str, ...] = ()
+    seeds: tuple[int, ...] = (0, 1)
+    baseline_methods: tuple[str, ...] = DEFAULT_METHODS
+    ilp_time_limit: float = 120.0
+    # Optional mapping onto the serving layer's (topology, scale,
+    # horizon) request space, for scenarios that are re-registrations
+    # of the built-in topology bands.
+    serve_request: "dict | None" = field(default=None)
+
+    def build(self, seed: "int | None" = None) -> PlanningInstance:
+        """Build (and validate) the instance for ``seed``.
+
+        Malformed builder output surfaces as the typed
+        :class:`~repro.errors.MalformedInstanceError`, so harnesses can
+        distinguish "scenario is broken" from "plan is bad".
+        """
+        instance = self.builder(self.seeds[0] if seed is None else seed)
+        ensure_valid(instance)
+        return instance
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the zoo (name must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ScenarioError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (tests register throwaway scenarios)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; registered: {names()}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    return list(_REGISTRY.values())

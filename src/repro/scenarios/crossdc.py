@@ -1,0 +1,43 @@
+"""Cross-datacenter fat-tree/DCI scenario.
+
+Wraps :func:`repro.topology.generators.make_fat_tree_dci`: dual-homed
+leaf pods behind gateway spine pairs, two disjoint long-haul DCI rings,
+east-west replication traffic, and gateway site failures.  Motivated by
+DRL topology-optimization work on inter-datacenter networks (Li et al.
+2022, PAPERS.md): the structure is regular where the WAN bands are
+irregular, which stresses a different planner failure mode (many
+near-symmetric parallel choices instead of a few critical long hauls).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import Scenario, register
+from repro.topology import generators
+
+NUM_DCS = 3
+LEAVES_PER_DC = 2
+
+
+def build(seed: int):
+    return generators.make_fat_tree_dci(
+        num_dcs=NUM_DCS,
+        leaves_per_dc=LEAVES_PER_DC,
+        seed=seed,
+        name="dci-fattree",
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="dci-fattree",
+        description=(
+            "Cross-datacenter fat-tree/DCI: dual-homed leaf pods, two "
+            "disjoint gateway rings, east-west gravity traffic, gateway "
+            "site failures"
+        ),
+        builder=build,
+        tags=("datacenter", "dci", "fat-tree"),
+        seeds=(0, 1),
+        baseline_methods=("greedy", "ilp-heur", "ilp"),
+    )
+)

@@ -1,0 +1,39 @@
+"""The reference scenario: the paper's fig-7 topology family.
+
+Re-registers topology band A (at the benchmark scale the serving tests
+and fig-7 experiments already use) as a zoo scenario, so the planners'
+original workload is scored by the same standalone verifier as every
+new workload -- the reproduction becomes one row of its own benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import Scenario, register
+from repro.topology import generators
+
+TOPOLOGY = "A"
+SCALE = 0.5
+HORIZON = "short"
+
+
+def build(seed: int):
+    return generators.make_instance(
+        TOPOLOGY, seed=seed, scale=SCALE, horizon=HORIZON
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig7-reference",
+        description=(
+            "Paper topology band A (fig. 7 family) at benchmark scale: "
+            "synthetic WAN, single-fiber cuts + site failures, "
+            "short-term horizon"
+        ),
+        builder=build,
+        tags=("paper", "wan", "reference"),
+        seeds=(0, 1),
+        baseline_methods=("greedy", "ilp-heur", "ilp"),
+        serve_request={"topology": TOPOLOGY, "scale": SCALE, "horizon": HORIZON},
+    )
+)

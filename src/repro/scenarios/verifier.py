@@ -1,0 +1,336 @@
+"""Standalone plan verifier: re-derive feasibility and cost from scratch.
+
+This module is the scenario zoo's trust anchor.  It scores a candidate
+capacity assignment against a :class:`~repro.topology.instance.PlanningInstance`
+**independently of whatever produced the plan**: nothing here imports
+``repro.planning``, ``repro.evaluator`` or ``repro.solver``, and nothing
+is cached between calls.  Every rule the planners optimize against is
+re-derived directly from the instance:
+
+- structural soundness (link coverage, capacity-unit integrality,
+  ``C_min`` floors) from the link set;
+- spectrum feasibility (Eq. 4) by re-accumulating per-fiber usage from
+  the links' fiber paths;
+- plan cost (Eq. 1) from the cost model's two published prices
+  (capacity per Gbps-km, fiber build charges);
+- survivability by building a fresh max-served-demand multi-commodity
+  LP per failure scenario with :func:`scipy.optimize.linprog` -- a
+  different formulation path than the incremental warm-basis checker
+  the planners use, which is exactly what makes agreement between the
+  two a meaningful differential test.
+
+A verdict is a :class:`VerifierReport`; infeasibility is *reported*,
+never raised.  The only exceptions raised are the typed
+:class:`~repro.errors.ScenarioError` family, for inputs too malformed
+to score (e.g. a plan document whose link set does not match the
+instance at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+import scipy.optimize
+import scipy.sparse as sp
+
+if TYPE_CHECKING:  # import kept type-only: the verifier stays standalone
+    from repro.topology.instance import PlanningInstance
+
+_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class FailureCheck:
+    """Re-derived verdict for one failure scenario (or the base case)."""
+
+    failure_id: str
+    required_gbps: float
+    served_gbps: float
+    satisfied: bool
+
+    @property
+    def shortfall(self) -> float:
+        return max(0.0, self.required_gbps - self.served_gbps)
+
+
+@dataclass(frozen=True)
+class VerifierReport:
+    """Everything the verifier re-derived about one candidate plan."""
+
+    instance_name: str
+    method: str
+    problems: tuple[str, ...]
+    checks: tuple[FailureCheck, ...]
+    cost: "float | None"
+
+    @property
+    def violations(self) -> tuple[FailureCheck, ...]:
+        return tuple(c for c in self.checks if not c.satisfied)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.problems and not self.violations
+
+    def summary(self) -> str:
+        verdict = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        lines = [
+            f"{self.instance_name} [{self.method or 'unknown'}]: {verdict}, "
+            f"re-derived cost "
+            f"{'n/a' if self.cost is None else format(self.cost, ',.0f')}, "
+            f"{len(self.checks)} failure scenarios checked"
+        ]
+        lines.extend(f"  problem: {p}" for p in self.problems)
+        lines.extend(
+            f"  violated {c.failure_id}: served {c.served_gbps:,.1f} of "
+            f"{c.required_gbps:,.1f} Gbps (short {c.shortfall:,.1f})"
+            for c in self.violations
+        )
+        return "\n".join(lines)
+
+
+def verify_plan(
+    instance: "PlanningInstance",
+    capacities: Mapping[str, float],
+    method: str = "",
+    tol: float = _TOLERANCE,
+) -> VerifierReport:
+    """Score ``capacities`` against ``instance`` from first principles."""
+    problems = list(_structural_problems(instance, capacities, tol))
+    link_ids = list(instance.network.links)
+    if set(capacities) != set(link_ids):
+        # Too malformed for the flow checks; cost over a partial plan
+        # would be misleading too.
+        return VerifierReport(
+            instance_name=instance.name,
+            method=method,
+            problems=tuple(problems),
+            checks=(),
+            cost=None,
+        )
+    checks = [
+        _check_failure(instance, capacities, failure, tol)
+        for failure in (None, *instance.failures)
+    ]
+    return VerifierReport(
+        instance_name=instance.name,
+        method=method,
+        problems=tuple(problems),
+        checks=tuple(checks),
+        cost=rederived_cost(instance, capacities),
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural rules (re-derived, not delegated to Network helpers)
+# ----------------------------------------------------------------------
+def _structural_problems(
+    instance: "PlanningInstance", capacities: Mapping[str, float], tol: float
+):
+    links = instance.network.links
+    missing = sorted(set(links) - set(capacities))
+    extra = sorted(set(capacities) - set(links))
+    if missing or extra:
+        yield (
+            f"link set mismatch: missing={missing[:3]}, extra={extra[:3]}"
+        )
+        return
+    unit = instance.capacity_unit
+    for link_id, link in links.items():
+        capacity = float(capacities[link_id])
+        if capacity < -tol:
+            yield f"{link_id}: negative capacity {capacity}"
+        if capacity < link.min_capacity - tol:
+            yield (
+                f"{link_id}: capacity {capacity} below floor {link.min_capacity}"
+            )
+        remainder = capacity % unit
+        if min(remainder, unit - remainder) > tol:
+            yield f"{link_id}: capacity {capacity} not a multiple of {unit}"
+    # Eq. 4: spectrum per fiber, re-accumulated from the fiber paths.
+    used: dict[str, float] = {fid: 0.0 for fid in instance.network.fibers}
+    for link_id, link in links.items():
+        for fiber_id in dict.fromkeys(link.fiber_path):
+            used[fiber_id] += float(capacities[link_id]) * link.spectral_efficiency
+    for fiber_id, fiber in instance.network.fibers.items():
+        if used[fiber_id] > fiber.max_spectrum + tol:
+            yield (
+                f"fiber {fiber_id}: spectrum {used[fiber_id]:.1f} GHz exceeds "
+                f"{fiber.max_spectrum:.1f} GHz"
+            )
+
+
+# ----------------------------------------------------------------------
+# Cost (Eq. 1), re-derived from the cost model's published prices
+# ----------------------------------------------------------------------
+def rederived_cost(
+    instance: "PlanningInstance", capacities: Mapping[str, float]
+) -> float:
+    """Eq. 1 from scratch: capacity Gbps-km term + fiber build charges."""
+    network = instance.network
+    price = instance.cost_model.cost_per_gbps_km
+    fiber_length = {fid: f.length_km for fid, f in network.fibers.items()}
+    total = 0.0
+    lit: set[str] = set()
+    for link_id, link in network.links.items():
+        capacity = float(capacities[link_id])
+        length = sum(fiber_length[fid] for fid in link.fiber_path)
+        total += capacity * price * length
+        if capacity > 0:
+            lit.update(link.fiber_path)
+    if instance.cost_model.fiber_fixed_charge:
+        total += sum(
+            network.fibers[fid].cost
+            for fid in lit
+            if not network.fibers[fid].in_service
+        )
+    return total
+
+
+# ----------------------------------------------------------------------
+# Survivability: one fresh max-served-demand LP per failure
+# ----------------------------------------------------------------------
+def _required_demands(
+    instance: "PlanningInstance", failure
+) -> dict[str, dict[str, float]]:
+    """Source-aggregated demand that must survive ``failure``.
+
+    Re-derives the evaluator's exemption rules: flows whose endpoint
+    site failed cannot be served and are exempt; flows whose class of
+    service does not require this failure (reliability policy) are
+    dropped from the requirement.
+    """
+    failed_nodes = failure.nodes if failure is not None else frozenset()
+    cos_sets = instance.policy.cos_failure_sets
+    demands: dict[str, dict[str, float]] = {}
+    for flow in instance.traffic:
+        if flow.src in failed_nodes or flow.dst in failed_nodes:
+            continue
+        if failure is not None and cos_sets:
+            subset = cos_sets.get(flow.cos.name)
+            if subset is not None and failure.id not in subset:
+                continue
+        sinks = demands.setdefault(flow.src, {})
+        sinks[flow.dst] = sinks.get(flow.dst, 0.0) + flow.demand
+    return demands
+
+
+def _failed_link_ids(instance: "PlanningInstance", failure) -> frozenset[str]:
+    """Cross-layer failure expansion, re-derived from the fiber paths."""
+    if failure is None:
+        return frozenset()
+    failed = set()
+    for link in instance.network.links.values():
+        if failure.nodes & {link.src, link.dst}:
+            failed.add(link.id)
+        elif failure.fibers.intersection(link.fiber_path):
+            failed.add(link.id)
+    return frozenset(failed)
+
+
+def _check_failure(
+    instance: "PlanningInstance",
+    capacities: Mapping[str, float],
+    failure,
+    tol: float,
+) -> FailureCheck:
+    """Max-served-demand multi-commodity LP for one failure, from scratch."""
+    failure_id = failure.id if failure is not None else "none"
+    demands = _required_demands(instance, failure)
+    required = sum(d for sinks in demands.values() for d in sinks.values())
+    if required <= 0.0:
+        return FailureCheck(failure_id, 0.0, 0.0, True)
+
+    network = instance.network
+    node_index = {name: i for i, name in enumerate(network.nodes)}
+    link_ids = list(network.links)
+    failed = _failed_link_ids(instance, failure)
+    arc_cap = []
+    arcs = []  # (tail, head) node indices, two per surviving link
+    for link_id in link_ids:
+        link = network.links[link_id]
+        cap = 0.0 if link_id in failed else float(capacities[link_id])
+        for tail, head in ((link.src, link.dst), (link.dst, link.src)):
+            arcs.append((node_index[tail], node_index[head]))
+            arc_cap.append(cap)
+
+    sources = list(demands)
+    num_nodes = len(node_index)
+    num_arcs = len(arcs)
+    num_commodities = len(sources)
+    sink_list = [
+        (k, node_index[sources[k]], node_index[t], demand)
+        for k in range(num_commodities)
+        for t, demand in demands[sources[k]].items()
+    ]
+    num_vars = num_arcs * num_commodities + len(sink_list)
+    z_offset = num_arcs * num_commodities
+
+    # Conservation: out - in - generated + absorbed = 0 per (node, k).
+    rows, cols, data = [], [], []
+    for k in range(num_commodities):
+        for a, (tail, head) in enumerate(arcs):
+            var = k * num_arcs + a
+            rows.append(k * num_nodes + tail)
+            cols.append(var)
+            data.append(1.0)
+            rows.append(k * num_nodes + head)
+            cols.append(var)
+            data.append(-1.0)
+    z_ub = np.empty(len(sink_list))
+    for z, (k, source, sink, demand) in enumerate(sink_list):
+        var = z_offset + z
+        rows.append(k * num_nodes + source)
+        cols.append(var)
+        data.append(-1.0)
+        rows.append(k * num_nodes + sink)
+        cols.append(var)
+        data.append(1.0)
+        z_ub[z] = demand
+    a_eq = sp.coo_matrix(
+        (data, (rows, cols)),
+        shape=(num_nodes * num_commodities, num_vars),
+    ).tocsr()
+    b_eq = np.zeros(num_nodes * num_commodities)
+
+    # Shared capacity per directed arc across commodities.
+    rows, cols, data = [], [], []
+    for k in range(num_commodities):
+        for a in range(num_arcs):
+            rows.append(a)
+            cols.append(k * num_arcs + a)
+            data.append(1.0)
+    a_ub = sp.coo_matrix((data, (rows, cols)), shape=(num_arcs, num_vars)).tocsr()
+    b_ub = np.asarray(arc_cap, dtype=np.float64)
+
+    objective = np.zeros(num_vars)
+    objective[z_offset:] = -1.0  # linprog minimizes; we maximize served
+    var_bounds = [(0.0, None)] * z_offset + [
+        (0.0, float(ub)) for ub in z_ub
+    ]
+    result = scipy.optimize.linprog(
+        objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=var_bounds,
+        method="highs",
+    )
+    if not result.success:
+        # The LP is always feasible (all-zero flow serves nothing), so a
+        # solver failure means the inputs are degenerate beyond scoring.
+        from repro.errors import ScenarioError
+
+        raise ScenarioError(
+            f"verifier LP failed for failure {failure_id}: {result.message}"
+        )
+    served = float(-result.fun)
+    scale_tol = tol * max(1.0, required)
+    return FailureCheck(
+        failure_id=failure_id,
+        required_gbps=required,
+        served_gbps=min(served, required),
+        satisfied=served >= required - scale_tol,
+    )

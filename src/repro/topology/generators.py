@@ -44,7 +44,7 @@ from repro.topology.failures import (
 )
 from repro.topology.instance import PlanningInstance
 from repro.topology.network import Network
-from repro.topology.traffic import TrafficMatrix, gravity_traffic
+from repro.topology.traffic import Flow, TrafficMatrix, gravity_traffic
 
 
 @dataclass(frozen=True)
@@ -183,6 +183,199 @@ def make_instance(
         cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=fixed_charge),
         capacity_unit=capacity_unit,
         horizon=horizon,
+    )
+
+
+def make_fat_tree_dci(
+    num_dcs: int = 3,
+    leaves_per_dc: int = 2,
+    seed: int = 0,
+    demand_gbps: float = 6_000.0,
+    intra_dc_fraction: float = 0.25,
+    capacity_unit: float = 100.0,
+    express_chords: int = 1,
+    name: str = "dci",
+) -> PlanningInstance:
+    """Cross-datacenter fat-tree/DCI topology (deterministic per seed).
+
+    Each datacenter is a two-tier fat-tree slice -- ``leaves_per_dc``
+    leaf pods dual-homed onto a pair of gateway spines -- and the
+    gateways of consecutive datacenters are chained into two disjoint
+    long-haul DCI rings (one per gateway plane), plus ``express_chords``
+    shortcut fibers between distant datacenters.  The fiber graph
+    therefore survives any single fiber cut, and any single *gateway*
+    site failure leaves every surviving node connected through the other
+    plane -- the invariants :func:`validate_instance` and the greedy
+    planner rely on.
+
+    Traffic is gravity-model east-west replication between leaf pods of
+    different datacenters, plus an ``intra_dc_fraction`` share of
+    intra-datacenter demand.  Failures are all single fiber cuts plus
+    one gateway site failure per datacenter.
+    """
+    if num_dcs < 3:
+        raise ConfigError("need at least 3 datacenters for a DCI ring")
+    if leaves_per_dc < 1:
+        raise ConfigError("need at least one leaf pod per datacenter")
+    rng = as_generator(seed + 104729)
+
+    # Datacenters on a metro-scale circle; leaves/gateways jittered
+    # around their DC's center so rendered topologies stay readable.
+    centers = np.stack(
+        [
+            _PLANE_KM / 2 + _PLANE_KM / 3 * np.cos(
+                2 * np.pi * np.arange(num_dcs) / num_dcs
+            ),
+            _PLANE_KM / 2 + _PLANE_KM / 3 * np.sin(
+                2 * np.pi * np.arange(num_dcs) / num_dcs
+            ),
+        ],
+        axis=1,
+    )
+    nodes: list[Node] = []
+    gateways: list[tuple[str, str]] = []
+    leaves: list[list[str]] = []
+    for d in range(num_dcs):
+        pair = (f"dc{d}-gw0", f"dc{d}-gw1")
+        gateways.append(pair)
+        pod_names = [f"dc{d}-leaf{j}" for j in range(leaves_per_dc)]
+        leaves.append(pod_names)
+        for local, node_name in enumerate((*pair, *pod_names)):
+            jitter = rng.normal(scale=8.0, size=2)
+            nodes.append(
+                Node(
+                    node_name,
+                    region=f"dc{d}",
+                    longitude=float(centers[d, 0] + 40.0 * local + jitter[0]),
+                    latitude=float(centers[d, 1] + jitter[1]),
+                )
+            )
+
+    def _fiber(a: str, b: str, length: float, fid: "str | None" = None) -> Fiber:
+        return Fiber(
+            id=fid or f"f:{a}--{b}",
+            endpoint_a=a,
+            endpoint_b=b,
+            length_km=length,
+            max_spectrum=_DEFAULT_SPECTRUM,
+            cost=0.0,
+            in_service=True,
+        )
+
+    fibers: list[Fiber] = []
+    # Intra-DC: every leaf dual-homed to both gateways + a gateway pair
+    # interconnect (short fabric runs).
+    for d in range(num_dcs):
+        gw0, gw1 = gateways[d]
+        fibers.append(_fiber(gw0, gw1, 2.0))
+        for leaf in leaves[d]:
+            fibers.append(_fiber(leaf, gw0, 1.0))
+            fibers.append(_fiber(leaf, gw1, 1.0))
+    # Inter-DC: two disjoint long-haul rings, one per gateway plane.
+    dc_distance = {}
+    for d in range(num_dcs):
+        nxt = (d + 1) % num_dcs
+        length = float(np.hypot(*(centers[d] - centers[nxt]))) + 50.0
+        dc_distance[(d, nxt)] = length
+        for plane in (0, 1):
+            fibers.append(
+                _fiber(gateways[d][plane], gateways[nxt][plane], length)
+            )
+    # Express chords between non-adjacent datacenters (plane 0).
+    non_adjacent = [
+        (a, b)
+        for a in range(num_dcs)
+        for b in range(a + 1, num_dcs)
+        if b - a not in (1, num_dcs - 1)
+    ]
+    if non_adjacent and express_chords > 0:
+        picks = rng.choice(
+            len(non_adjacent),
+            size=min(express_chords, len(non_adjacent)),
+            replace=False,
+        )
+        for index in picks:
+            a, b = non_adjacent[index]
+            length = float(np.hypot(*(centers[a] - centers[b]))) + 50.0
+            fibers.append(
+                _fiber(gateways[a][0], gateways[b][0], length, f"f:chord{a}-{b}")
+            )
+
+    # One direct IP link per fiber, plus express inter-DC IP links that
+    # ride the plane-0 ring between next-nearest gateway pairs (the DCI
+    # overlay production fabrics run on top of the optical rings).
+    fiber_id = {frozenset((f.endpoint_a, f.endpoint_b)): f.id for f in fibers}
+    links = [
+        IPLink(
+            id=f"ip:{f.endpoint_a}--{f.endpoint_b}",
+            src=f.endpoint_a,
+            dst=f.endpoint_b,
+            fiber_path=(f.id,),
+            spectral_efficiency=_SPECTRAL_EFFICIENCY,
+        )
+        for f in fibers
+    ]
+    for d in range(num_dcs):
+        mid = (d + 1) % num_dcs
+        far = (d + 2) % num_dcs
+        if far == d:
+            break
+        path = (
+            fiber_id[frozenset((gateways[d][0], gateways[mid][0]))],
+            fiber_id[frozenset((gateways[mid][0], gateways[far][0]))],
+        )
+        links.append(
+            IPLink(
+                id=f"ip:dc{d}--dc{far}:express",
+                src=gateways[d][0],
+                dst=gateways[far][0],
+                fiber_path=path,
+                spectral_efficiency=_SPECTRAL_EFFICIENCY,
+            )
+        )
+
+    network = Network(nodes, fibers, links)
+
+    # East-west gravity traffic between leaf pods of different DCs,
+    # plus a smaller intra-DC component between sibling leaves.
+    all_leaves = [leaf for pod in leaves for leaf in pod]
+    masses = rng.lognormal(mean=0.0, sigma=0.5, size=len(all_leaves))
+    dc_of = {leaf: d for d, pod in enumerate(leaves) for leaf in pod}
+    weights: dict[tuple[str, str], float] = {}
+    for i, a in enumerate(all_leaves):
+        for j, b in enumerate(all_leaves):
+            if i == j:
+                continue
+            share = (
+                intra_dc_fraction if dc_of[a] == dc_of[b] else 1.0
+            )
+            if share <= 0.0:
+                continue
+            weights[(a, b)] = masses[i] * masses[j] * share
+    norm = demand_gbps / sum(weights.values())
+    traffic = TrafficMatrix(
+        Flow(a, b, weight * norm) for (a, b), weight in weights.items()
+    )
+
+    _assign_initial_capacities(network, traffic, 0.6, capacity_unit)
+    _provision_spectrum(network)
+
+    failures = all_single_fiber_failures(network)
+    # One gateway outage per DC: the plane-0 gateway fails, traffic
+    # falls back to plane 1 (leaves are dual-homed, rings are disjoint).
+    failures.extend(
+        FailureScenario(id=f"site:{gateways[d][0]}", nodes=frozenset({gateways[d][0]}))
+        for d in range(num_dcs)
+    )
+
+    return PlanningInstance(
+        name=name,
+        network=network,
+        traffic=traffic,
+        failures=failures,
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=capacity_unit,
+        horizon="short",
     )
 
 

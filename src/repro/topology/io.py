@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import os
 
-from repro.errors import TopologyError
+from repro.errors import MalformedInstanceError, ReproError
 from repro.topology.cost import CostModel
 from repro.topology.elements import Fiber, IPLink, Node
 from repro.topology.failures import FailureScenario
@@ -98,10 +98,35 @@ def instance_to_dict(instance: PlanningInstance) -> dict:
 
 
 def instance_from_dict(payload: dict) -> PlanningInstance:
-    """Inverse of :func:`instance_to_dict`."""
+    """Inverse of :func:`instance_to_dict`.
+
+    Raises :class:`MalformedInstanceError` on any structural problem --
+    wrong format version, missing sections or fields, or element
+    constraints violated during reconstruction -- so scenario verifiers
+    see one typed error family instead of raw ``KeyError``/``TypeError``.
+    """
+    if not isinstance(payload, dict):
+        raise MalformedInstanceError(
+            f"instance document must be a JSON object, got {type(payload).__name__}"
+        )
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
-        raise TopologyError(f"unsupported format version {version!r}")
+        raise MalformedInstanceError(f"unsupported format version {version!r}")
+    try:
+        return _instance_from_dict(payload)
+    except MalformedInstanceError:
+        raise
+    except ReproError as exc:
+        # Element/instance constructors validate as they build; their
+        # message already names the offending element.
+        raise MalformedInstanceError(f"malformed instance: {exc}") from exc
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise MalformedInstanceError(
+            f"malformed instance document: missing or mistyped field ({exc!r})"
+        ) from exc
+
+
+def _instance_from_dict(payload: dict) -> PlanningInstance:
     network = Network(
         nodes=[
             Node(
@@ -183,7 +208,16 @@ def save_instance(instance: PlanningInstance, path: "str | os.PathLike") -> None
 
 
 def load_instance(path: "str | os.PathLike") -> PlanningInstance:
-    """Read an instance written by :func:`save_instance`."""
+    """Read an instance written by :func:`save_instance`.
+
+    Raises :class:`MalformedInstanceError` when the file is not valid
+    JSON or does not describe a sound instance.
+    """
     with open(path) as handle:
-        payload = json.load(handle)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise MalformedInstanceError(
+                f"instance file {path} is not valid JSON: {exc}"
+            ) from exc
     return instance_from_dict(payload)

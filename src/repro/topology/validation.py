@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.errors import TopologyError
+from repro.errors import MalformedInstanceError, TopologyError
 from repro.topology.instance import PlanningInstance
 
 
@@ -74,9 +74,16 @@ def validate_instance(instance: PlanningInstance) -> list[str]:
 
 
 def ensure_valid(instance: PlanningInstance) -> None:
-    """Raise :class:`TopologyError` when the instance is malformed."""
+    """Raise :class:`MalformedInstanceError` when the instance is malformed.
+
+    The error type doubles as :class:`TopologyError` (legacy callers)
+    and :class:`~repro.errors.ScenarioError` (scenario verifiers treat a
+    malformed instance as one typed family, not ad-hoc exceptions).
+    """
     problems = validate_instance(instance)
     if problems:
         summary = "; ".join(problems[:5])
         more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
-        raise TopologyError(f"invalid instance {instance.name}: {summary}{more}")
+        raise MalformedInstanceError(
+            f"invalid instance {instance.name}: {summary}{more}"
+        )

@@ -1,0 +1,50 @@
+"""Shared state for the differential conformance harness.
+
+Planner runs are the expensive part, so each (scenario, method, seed)
+cell is planned at most once per session and shared by every test that
+scores it.  Instances are likewise built once per (scenario, seed) --
+except in the tests that *assert* build determinism, which construct
+their own fresh copies on purpose.
+"""
+
+import pytest
+
+import repro.scenarios as zoo
+from repro.scenarios.baselines import run_planner
+
+SEED = 0
+METHODS = ("greedy", "ilp-heur", "ilp")
+
+_instances: dict = {}
+_plans: dict = {}
+
+
+def scenario_names() -> list[str]:
+    return zoo.names()
+
+
+def cached_instance(name: str, seed: int = SEED):
+    key = (name, seed)
+    if key not in _instances:
+        _instances[key] = zoo.get(name).build(seed)
+    return _instances[key]
+
+
+def cached_plan(name: str, method: str, seed: int = SEED):
+    key = (name, method, seed)
+    if key not in _plans:
+        scenario = zoo.get(name)
+        _plans[key] = run_planner(
+            cached_instance(name, seed), method, time_limit=scenario.ilp_time_limit
+        )
+    return _plans[key]
+
+
+@pytest.fixture(params=scenario_names())
+def scenario_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=METHODS)
+def method(request) -> str:
+    return request.param

@@ -1,0 +1,132 @@
+"""Differential planner-conformance harness.
+
+Every registered planner runs against every registered scenario; the
+standalone verifier (which shares no code with the planners) is the
+judge.  A planner or scenario added later inherits these checks by
+registration alone -- the parametrization reads the registry.
+"""
+
+import pytest
+
+import repro.scenarios as zoo
+from repro.scenarios.verifier import verify_plan
+
+from tests.scenarios.conftest import SEED, cached_instance, cached_plan
+
+
+class TestCells:
+    """One (planner, scenario) cell at a time."""
+
+    def test_verifier_accepts_plan(self, scenario_name, method):
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, method)
+        report = verify_plan(instance, plan.capacities, method=method)
+        assert report.feasible, report.summary()
+        # every failure scenario plus the no-failure base case was checked
+        assert len(report.checks) == len(instance.failures) + 1
+
+    def test_verifier_cost_matches_planner_cost(self, scenario_name, method):
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, method)
+        report = verify_plan(instance, plan.capacities, method=method)
+        planner_cost = plan.cost(instance)
+        assert report.cost == pytest.approx(planner_cost, rel=1e-9, abs=1e-6)
+
+    def test_plan_is_deterministic_per_seed(self, scenario_name, method):
+        # A fresh instance and a fresh planner must reproduce the cached
+        # run bitwise -- dict equality on floats, no tolerance.
+        rerun = zoo.run_planner(
+            zoo.get(scenario_name).build(SEED),
+            method,
+            time_limit=zoo.get(scenario_name).ilp_time_limit,
+        )
+        assert rerun.capacities == cached_plan(scenario_name, method).capacities
+
+
+class TestCrossPlanner:
+    """Properties relating the planners to each other."""
+
+    def test_ilp_at_most_heuristic_cost(self, scenario_name):
+        instance = cached_instance(scenario_name)
+        costs = {
+            method: cached_plan(scenario_name, method).cost(instance)
+            for method in ("greedy", "ilp-heur", "ilp")
+        }
+        slack = 1e-6 * max(1.0, costs["ilp"])
+        assert costs["ilp"] <= costs["ilp-heur"] + slack
+        assert costs["ilp"] <= costs["greedy"] + slack
+
+
+class TestCorruption:
+    """The verifier must reject plans that planners would never emit."""
+
+    def test_unit_removal_is_rejected_somewhere(self, scenario_name):
+        # The ILP plan is cost-minimal, so at least one link must be
+        # tight: dropping one capacity unit there breaks feasibility.
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, "ilp")
+        unit = instance.capacity_unit
+        rejected = []
+        for link_id in sorted(plan.capacities):
+            if plan.capacities[link_id] < unit:
+                continue
+            mutated = dict(plan.capacities)
+            mutated[link_id] -= unit
+            if not verify_plan(instance, mutated).feasible:
+                rejected.append(link_id)
+                break
+        assert rejected, f"no single-unit mutation rejected on {scenario_name}"
+
+    def test_missing_link_is_structural_problem(self, scenario_name):
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, "greedy")
+        mutated = dict(plan.capacities)
+        mutated.pop(sorted(mutated)[0])
+        report = verify_plan(instance, mutated)
+        assert not report.feasible
+        assert any("link set mismatch" in p for p in report.problems)
+        assert report.cost is None and report.checks == ()
+
+    def test_floor_and_unit_violations_reported(self, scenario_name):
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, "greedy")
+        link_id = sorted(plan.capacities)[0]
+        mutated = dict(plan.capacities)
+        mutated[link_id] += 0.5 * instance.capacity_unit
+        report = verify_plan(instance, mutated)
+        assert any("not a multiple" in p for p in report.problems)
+
+    def test_summary_mentions_verdict(self, scenario_name):
+        instance = cached_instance(scenario_name)
+        plan = cached_plan(scenario_name, "greedy")
+        text = verify_plan(instance, plan.capacities, method="greedy").summary()
+        assert "FEASIBLE" in text and instance.name in text
+
+
+class TestRegistry:
+    def test_builds_are_deterministic(self, scenario_name):
+        scenario = zoo.get(scenario_name)
+        for seed in scenario.seeds:
+            a, b = scenario.build(seed), scenario.build(seed)
+            assert a.network.capacities() == b.network.capacities()
+            assert [
+                (f.src, f.dst, f.demand) for f in a.traffic
+            ] == [(f.src, f.dst, f.demand) for f in b.traffic]
+            assert [f.id for f in a.failures] == [f.id for f in b.failures]
+            assert {
+                fid: fib.max_spectrum for fid, fib in a.network.fibers.items()
+            } == {fid: fib.max_spectrum for fid, fib in b.network.fibers.items()}
+
+    def test_zoo_has_the_three_built_ins(self):
+        assert {"fig7-reference", "dci-fattree", "rwa-ring"} <= set(zoo.names())
+
+    def test_scenarios_have_distinct_structure(self):
+        # the zoo is only useful if its members stress different shapes
+        fingerprints = {
+            name: (
+                len(cached_instance(name).network.links),
+                len(cached_instance(name).traffic),
+            )
+            for name in zoo.names()
+        }
+        assert len(set(fingerprints.values())) == len(fingerprints)

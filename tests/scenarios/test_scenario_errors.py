@@ -1,0 +1,196 @@
+"""The typed ScenarioError family and the verifier's independence.
+
+Satellite contract: scenario-facing code raises one typed error family
+(`repro.errors.ScenarioError` and friends) instead of ad-hoc
+``ValueError``s, and the standalone verifier really is standalone -- a
+subprocess proves importing it pulls in none of the planner stack.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+import repro.scenarios as zoo
+from repro.errors import (
+    MalformedInstanceError,
+    PlanError,
+    PlanVerificationError,
+    ReproError,
+    ScenarioError,
+    TopologyError,
+    UnknownScenarioError,
+)
+from repro.planning.plan import NetworkPlan
+from repro.scenarios.base import Scenario, register, unregister
+from repro.topology import io
+
+
+class TestErrorFamily:
+    def test_hierarchy(self):
+        assert issubclass(ScenarioError, ReproError)
+        assert issubclass(UnknownScenarioError, ScenarioError)
+        # back-compat: callers catching the old base classes still work
+        assert issubclass(MalformedInstanceError, ScenarioError)
+        assert issubclass(MalformedInstanceError, TopologyError)
+        assert issubclass(PlanVerificationError, ScenarioError)
+        assert issubclass(PlanVerificationError, PlanError)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(UnknownScenarioError, match="no-such-zoo-entry"):
+            zoo.get("no-such-zoo-entry")
+
+    def test_duplicate_registration(self):
+        scenario = Scenario(
+            name="dup-probe", description="", builder=lambda seed: None
+        )
+        register(scenario)
+        try:
+            with pytest.raises(ScenarioError, match="already registered"):
+                register(scenario)
+        finally:
+            unregister("dup-probe")
+
+    def test_unknown_baseline_method(self):
+        instance = zoo.get("fig7-reference").build(0)
+        with pytest.raises(ScenarioError, match="unknown baseline method"):
+            zoo.run_planner(instance, "simulated-annealing")
+
+
+class TestMalformedInstances:
+    def test_non_dict_payload(self):
+        with pytest.raises(MalformedInstanceError):
+            io.instance_from_dict([1, 2, 3])
+
+    def test_missing_sections(self):
+        with pytest.raises(MalformedInstanceError):
+            io.instance_from_dict({"format_version": 1})
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(MalformedInstanceError):
+            io.load_instance(path)
+
+    def test_old_catch_sites_still_work(self):
+        # Anything that used to catch TopologyError keeps working.
+        with pytest.raises(TopologyError):
+            io.instance_from_dict({"format_version": 999})
+
+
+class TestPlanDocuments:
+    def test_round_trip(self, tmp_path):
+        plan = NetworkPlan(
+            instance_name="x", capacities={"l1": 100.0}, method="greedy"
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = NetworkPlan.load(path)
+        assert loaded.capacities == plan.capacities
+        assert loaded.method == "greedy"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [1, 2],
+            {"format_version": 2, "capacities": {"l1": 1.0}},
+            {"capacities": {}},
+            {"capacities": {"l1": "plenty"}},
+        ],
+    )
+    def test_malformed_documents(self, payload):
+        with pytest.raises(PlanVerificationError):
+            NetworkPlan.from_dict(payload)
+
+    def test_bad_json_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("][", encoding="utf-8")
+        with pytest.raises(PlanVerificationError):
+            NetworkPlan.load(path)
+
+
+_PROBE = """
+import json
+import sys
+import types
+from importlib import util
+
+# Load verifier.py straight off the disk, with no parent package, in an
+# interpreter that has never imported repro: if it reaches for ANY repo
+# module at import or verification time, this probe crashes.
+spec = util.spec_from_file_location("standalone_verifier", sys.argv[1])
+verifier = util.module_from_spec(spec)
+sys.modules["standalone_verifier"] = verifier  # dataclasses resolve via here
+spec.loader.exec_module(verifier)
+
+link = types.SimpleNamespace(
+    id="l0", src="a", dst="b", fiber_path=("f0",),
+    min_capacity=0.0, spectral_efficiency=0.1,
+)
+instance = types.SimpleNamespace(
+    name="stub",
+    capacity_unit=100.0,
+    network=types.SimpleNamespace(
+        nodes={"a": None, "b": None},
+        links={"l0": link},
+        fibers={
+            "f0": types.SimpleNamespace(
+                max_spectrum=1000.0, length_km=10.0, cost=0.0, in_service=True
+            )
+        },
+    ),
+    traffic=[
+        types.SimpleNamespace(
+            src="a", dst="b", demand=100.0,
+            cos=types.SimpleNamespace(name="protected"),
+        )
+    ],
+    failures=[],
+    cost_model=types.SimpleNamespace(
+        cost_per_gbps_km=1.0, fiber_fixed_charge=False
+    ),
+    policy=types.SimpleNamespace(cos_failure_sets={}),
+)
+good = verifier.verify_plan(instance, {"l0": 100.0})
+bad = verifier.verify_plan(instance, {"l0": 0.0})
+repo_modules = sorted(m for m in sys.modules if m.startswith("repro"))
+print(json.dumps({
+    "good": good.feasible, "bad": bad.feasible,
+    "cost": good.cost, "repo_modules": repo_modules,
+}))
+"""
+
+
+class TestVerifierIndependence:
+    def test_verifier_runs_with_zero_repo_imports(self):
+        # A fresh interpreter is the only honest way to test imports:
+        # the repo's root __init__ eagerly imports the planner stack,
+        # so the probe loads verifier.py by file path and scores a
+        # duck-typed stub instance end to end.
+        import repro.scenarios.verifier as verifier
+
+        result = subprocess.run(
+            [sys.executable, "-c", _PROBE, verifier.__file__],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        outcome = json.loads(result.stdout)
+        assert outcome["repo_modules"] == []
+        assert outcome["good"] is True
+        assert outcome["bad"] is False
+        assert outcome["cost"] == pytest.approx(1000.0)  # 100 Gbps * 10 km
+
+    def test_verifier_source_has_no_planner_imports(self):
+        import repro.scenarios.verifier as verifier
+
+        source = open(verifier.__file__, encoding="utf-8").read()
+        for line in source.splitlines():
+            stripped = line.strip()
+            if stripped.startswith(("import ", "from ")) and "TYPE_CHECKING" not in (
+                stripped
+            ):
+                assert "repro.planning" not in stripped
+                assert "repro.evaluator" not in stripped
+                assert "repro.solver" not in stripped

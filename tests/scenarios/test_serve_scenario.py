@@ -1,0 +1,88 @@
+"""Serve-layer scenario smoke test.
+
+End-to-end through the real HTTP stack: train a tiny model, publish it
+to a model store, POST the ``fig7-reference`` scenario's serve request
+to ``/v1/plan``, then score the returned capacities with the standalone
+verifier against a locally built copy of the same instance.  The
+serving path and the zoo never exchange objects -- only the JSON plan
+crosses over, exactly as it would for a real client.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+import repro.scenarios as zoo
+from repro import telemetry
+from repro.scenarios.verifier import verify_plan
+from repro.serve import ModelStore, PlanningService, ServiceConfig
+from repro.serve.http import make_server
+
+from tests.serve.conftest import publish, tiny_agent
+
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    telemetry.disable()
+    telemetry.reset()
+    agent = tiny_agent("short")
+    agent.train()
+    store = ModelStore(tmp_path_factory.mktemp("scenario-store"))
+    publish(store, agent, "short")
+    service = PlanningService(
+        str(store.root), ServiceConfig(workers=1, queue_depth=4, cache_size=4)
+    )
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=10)
+    telemetry.disable()
+    telemetry.reset()
+
+
+def post_plan(server, payload: dict) -> dict:
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}/v1/plan",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.status == 200
+        return json.load(response)
+
+
+def test_served_plan_passes_standalone_verifier(server):
+    scenario = zoo.get("fig7-reference")
+    assert scenario.serve_request is not None
+    body = post_plan(server, {**scenario.serve_request, "seed": SEED})
+    assert body["feasible"] is True
+
+    instance = scenario.build(SEED)
+    report = verify_plan(instance, body["plan"], method=body["method"])
+    assert report.feasible, report.summary()
+    # The service's reported cost is the verifier's re-derived cost.
+    assert report.cost == pytest.approx(body["cost"], rel=1e-9)
+
+
+def test_served_plan_survives_json_round_trip(server):
+    # Corrupt the wire payload the way a buggy client would: the
+    # verifier must catch it even after a JSON round trip.
+    scenario = zoo.get("fig7-reference")
+    body = post_plan(server, {**scenario.serve_request, "seed": SEED})
+    wire = json.loads(json.dumps(body["plan"]))
+    instance = scenario.build(SEED)
+    assert verify_plan(instance, wire).feasible
+
+    corrupted = dict(wire)
+    victim = max(corrupted, key=corrupted.get)
+    corrupted[victim] = 0.0
+    assert not verify_plan(instance, corrupted).feasible

@@ -1,0 +1,164 @@
+"""Property tests: the standalone verifier vs. the stateful checker.
+
+The two feasibility oracles share no code -- the verifier builds fresh
+``scipy.optimize.linprog`` models, the :class:`FeasibilityChecker` keeps
+one warm incremental LP -- so agreement across random instances is
+strong evidence both encode the paper's constraints.  Two properties:
+
+1. **Agreement**: on random ring instances and random unit-multiple
+   capacity assignments, the verifier's verdict equals the checker's,
+   failure scenario by failure scenario.
+2. **Mutation rejection**: trim a feasible plan to a checker-local
+   minimum (no link can lose a unit and stay checker-feasible); the
+   verifier must then reject *every* single-unit downward mutation.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.evaluator.feasibility import FeasibilityChecker
+from repro.scenarios.verifier import verify_plan
+from repro.topology.cost import CostModel
+from repro.topology.elements import Fiber, IPLink, Node
+from repro.topology.failures import all_single_fiber_failures
+from repro.topology.instance import PlanningInstance
+from repro.topology.network import Network
+from repro.topology.traffic import Flow, TrafficMatrix
+
+UNIT = 100.0
+
+
+def ring_instance(num_nodes: int, demand_units: list[int]) -> PlanningInstance:
+    """A ring WAN whose only redundancy is the other way around.
+
+    ``demand_units[i]`` is the demand (in capacity units) from node i to
+    node (i + 1 + i % (n - 1)) % n -- a deterministic scatter of sources
+    and sinks so flows overlap in interesting ways.
+    """
+    names = [f"r{i}" for i in range(num_nodes)]
+    nodes = [Node(n) for n in names]
+    fibers, links = [], []
+    for i in range(num_nodes):
+        j = (i + 1) % num_nodes
+        fibers.append(
+            Fiber(
+                id=f"f{i}",
+                endpoint_a=names[i],
+                endpoint_b=names[j],
+                length_km=100.0,
+                max_spectrum=1e9,
+                in_service=True,
+            )
+        )
+        links.append(
+            IPLink(
+                id=f"l{i}",
+                src=names[i],
+                dst=names[j],
+                fiber_path=(f"f{i}",),
+                capacity=0.0,
+                min_capacity=0.0,
+                spectral_efficiency=0.1,
+            )
+        )
+    network = Network(nodes, fibers, links)
+    flows = []
+    for i, units in enumerate(demand_units):
+        if units <= 0:
+            continue
+        src = i % num_nodes
+        dst = (i + 1 + i % (num_nodes - 1)) % num_nodes
+        if src == dst:
+            continue
+        flows.append(Flow(names[src], names[dst], units * UNIT))
+    return PlanningInstance(
+        name="prop-ring",
+        network=network,
+        traffic=TrafficMatrix(flows),
+        failures=all_single_fiber_failures(network),
+        cost_model=CostModel(cost_per_gbps_km=1.0, fiber_fixed_charge=False),
+        capacity_unit=UNIT,
+        horizon="short",
+    )
+
+
+def checker_feasible(checker, instance, capacities) -> bool:
+    return all(
+        checker.check(capacities, failure).satisfied
+        for failure in (None, *instance.failures)
+    )
+
+
+instances = st.builds(
+    ring_instance,
+    num_nodes=st.integers(min_value=4, max_value=6),
+    # at least one positive demand: the stateful checker's LP (unlike
+    # the verifier) cannot model an instance with no traffic at all
+    demand_units=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=2, max_size=6
+    ).filter(any),
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    instance=instances,
+    cap_units=st.lists(
+        st.integers(min_value=0, max_value=12), min_size=6, max_size=6
+    ),
+)
+def test_verifier_agrees_with_stateful_checker(instance, cap_units):
+    capacities = {
+        link_id: cap_units[i % len(cap_units)] * UNIT
+        for i, link_id in enumerate(sorted(instance.network.links))
+    }
+    checker = FeasibilityChecker(instance)
+    report = verify_plan(instance, capacities)
+    assert not report.problems  # unit multiples with zero floors by design
+    expected = {
+        (f.id if f else "none"): checker.check(capacities, f).satisfied
+        for f in (None, *instance.failures)
+    }
+    actual = {c.failure_id: c.satisfied for c in report.checks}
+    assert actual == expected
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(instance=instances)
+def test_verifier_rejects_every_unit_removal_at_local_minimum(instance):
+    if instance.traffic.total_demand == 0:
+        return  # the all-zero plan is a degenerate local minimum
+    checker = FeasibilityChecker(instance)
+    # Start from the trivially feasible "total demand everywhere" plan
+    # (a ring survives any single cut) and trim to a local minimum.
+    total_units = int(instance.traffic.total_demand / UNIT)
+    capacities = dict.fromkeys(instance.network.links, total_units * UNIT)
+    assert checker_feasible(checker, instance, capacities)
+    trimming = True
+    while trimming:
+        trimming = False
+        for link_id in sorted(capacities):
+            while capacities[link_id] >= UNIT:
+                capacities[link_id] -= UNIT
+                if checker_feasible(checker, instance, capacities):
+                    trimming = True
+                else:
+                    capacities[link_id] += UNIT
+                    break
+    # The trimmed plan is feasible for both oracles...
+    assert verify_plan(instance, capacities).feasible
+    # ...and EVERY single-unit removal is rejected by the verifier.
+    for link_id in sorted(capacities):
+        if capacities[link_id] < UNIT:
+            continue
+        mutated = dict(capacities)
+        mutated[link_id] -= UNIT
+        assert not verify_plan(instance, mutated).feasible, link_id
