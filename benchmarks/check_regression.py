@@ -41,11 +41,25 @@ compares against the committed ``results/hotpath.json``:
   committed speedup (ratios of two timings taken on the same machine,
   so they transfer across runners far better than raw times).
 
+With ``--batched`` the gate re-runs the batched-environment scaling
+benchmark (``bench_batched_envs.py``) at the quick profile and compares
+against the committed ``results/batched_envs.json``:
+
+- the K=16 speedup over the K=1 serial baseline must stay at or above
+  the hard ``MIN_BATCHED_SPEEDUP`` floor (3x, the tentpole's acceptance
+  criterion) — this is an absolute requirement, not relative drift;
+- every batched row's speedup must additionally stay within
+  ``--tolerance`` of the committed speedup (speedups are ratios of two
+  timings from the same machine, so they transfer across runners);
+- the merged reward stream invariance across env counts is asserted
+  inside the benchmark itself, so a completed run already proves it.
+
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 3.0]
         [--baseline benchmarks/results/fig7.json] [--update]
     python benchmarks/check_regression.py --hotpath [--tolerance 3.0]
+    python benchmarks/check_regression.py --batched [--tolerance 3.0]
 """
 
 from __future__ import annotations
@@ -171,6 +185,54 @@ def compare_hotpath(
     return problems
 
 
+# Hard acceptance floor for batched collection: merged steps/sec at
+# K=16 must be at least this multiple of the K=1 serial baseline.
+MIN_BATCHED_SPEEDUP = 3.0
+
+
+def run_batched(profile: str) -> list[dict]:
+    import bench_batched_envs
+
+    return bench_batched_envs.run_scaling(profile)
+
+
+def compare_batched(
+    baseline: list[dict], fresh: list[dict], tolerance: float
+) -> list[str]:
+    problems: list[str] = []
+    fresh_by_envs = {row["num_envs"]: row for row in fresh}
+    baseline_by_envs = {row["num_envs"]: row for row in baseline}
+
+    missing = set(baseline_by_envs) - set(fresh_by_envs)
+    if missing:
+        problems.append(
+            f"baseline env counts missing from fresh run: {sorted(missing)}"
+        )
+
+    k16 = fresh_by_envs.get(16)
+    if k16 is None:
+        problems.append("fresh run has no K=16 row")
+    elif k16["speedup_vs_serial"] < MIN_BATCHED_SPEEDUP:
+        problems.append(
+            f"K=16 batched collection is {k16['speedup_vs_serial']:.2f}x "
+            f"the serial baseline — below the {MIN_BATCHED_SPEEDUP}x "
+            f"acceptance floor"
+        )
+
+    for num_envs, row in fresh_by_envs.items():
+        base = baseline_by_envs.get(num_envs)
+        if base is None:
+            problems.append(f"K={num_envs}: not in the committed batched baseline")
+            continue
+        if row["speedup_vs_serial"] * tolerance < base["speedup_vs_serial"]:
+            problems.append(
+                f"K={num_envs}: speedup {row['speedup_vs_serial']:.2f}x "
+                f"fell more than {tolerance}x below the committed "
+                f"{base['speedup_vs_serial']:.2f}x"
+            )
+    return problems
+
+
 ILP_RTOL = 1e-6  # optimal objectives transfer across machines to float noise
 
 
@@ -272,7 +334,39 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="gate the scenario-zoo baselines instead of fig7",
     )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="gate the batched-environment scaling benchmark instead of fig7",
+    )
     args = parser.parse_args(argv)
+
+    if args.batched:
+        baseline_path = RESULTS_DIR / "batched_envs.json"
+        print(f"running batched-env scaling at profile={args.profile} ...")
+        fresh = run_batched(args.profile)
+        if args.update:
+            baseline_path.write_text(json.dumps(fresh, indent=1) + "\n")
+            print(f"baseline updated: {baseline_path}")
+            return 0
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        problems = compare_batched(
+            json.loads(baseline_path.read_text()), fresh, args.tolerance
+        )
+        if problems:
+            print("batched-env regression gate FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        k16 = next(r for r in fresh if r["num_envs"] == 16)
+        print(
+            f"batched-env regression gate passed: K=16 at "
+            f"{k16['speedup_vs_serial']:.2f}x serial "
+            f"(floor {MIN_BATCHED_SPEEDUP}x)"
+        )
+        return 0
 
     if args.scenarios:
         baseline_path = RESULTS_DIR / "scenarios.json"

@@ -23,7 +23,11 @@ from repro.topology import datasets
 def check(instance, capacities) -> str:
     evaluator = PlanEvaluator(instance, mode="sa")
     result = evaluator.evaluate(capacities)
-    verdict = "feasible" if result.feasible else f"INFEASIBLE ({result.violated_failure})"
+    verdict = (
+        "feasible"
+        if result.feasible
+        else f"INFEASIBLE ({result.violated_failure})"
+    )
     fibers = len(instance.cost_model.lit_fibers(instance.network, capacities))
     return f"{verdict}, {fibers} fibers lit, cost {result.cost:.2f}"
 

@@ -82,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rollout-collection worker processes (1 = serial, "
         "byte-identical to the single-process trainer)",
     )
+    plan.add_argument(
+        "--num-envs", type=int, default=1,
+        help="lockstep environments per rollout group (>1 batches the "
+        "policy forward over all of them; composes with --workers)",
+    )
     plan.add_argument("--alpha", type=float, default=1.5, help="relax factor")
     plan.add_argument("--max-units", type=int, default=4)
     plan.add_argument("--gnn-layers", type=int, default=2)
@@ -246,6 +251,7 @@ def _cmd_plan(args) -> int:
         ),
         seed=args.seed,
         num_workers=args.workers,
+        num_envs=args.num_envs,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume_from=args.resume,

@@ -52,6 +52,7 @@ class NeuroPlanConfig:
     ilp_mip_gap: "float | None" = None
     seed: int = 0
     num_workers: int = 1  # rollout-collection worker processes (1 = serial)
+    num_envs: int = 1  # lockstep environments per rollout group (1 = serial)
     checkpoint_every: int = 0  # resume checkpoints every N training epochs
     checkpoint_dir: "str | None" = None
     resume_from: "str | None" = None  # checkpoint file or directory
@@ -78,6 +79,7 @@ class NeuroPlanConfig:
                 patience=self.patience,
                 seed=self.seed,
                 num_workers=self.num_workers,
+                num_envs=self.num_envs,
                 checkpoint_every=self.checkpoint_every,
                 checkpoint_dir=self.checkpoint_dir,
                 resume_from=self.resume_from,

@@ -81,7 +81,10 @@ def run(
         if a1_rows:
             print_table(
                 "Figure 12(b): epoch reward vs epochs on A-1",
-                ["max_units", *[f"ep{i}" for i in range(len(a1_rows[0].epoch_rewards))]],
+                [
+                    "max_units",
+                    *[f"ep{i}" for i in range(len(a1_rows[0].epoch_rewards))],
+                ],
                 [[r.max_units, *r.epoch_rewards] for r in a1_rows],
             )
     return rows

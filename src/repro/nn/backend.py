@@ -1,0 +1,180 @@
+"""The array-API seam under :mod:`repro.nn`.
+
+Every array operation in the nn substrate (the autodiff tape, the
+layers, the GNN propagation) resolves its array namespace through this
+module instead of importing ``numpy`` directly.  Today the only fully
+supported backend is numpy + scipy.sparse; the seam exists so an
+accelerator namespace (CuPy + ``cupyx.scipy.sparse``) can be dropped in
+later without touching model code: the CuPy factory below is already
+registered and activates whenever the package is importable.
+
+Design notes
+------------
+- A backend is a frozen :class:`ArrayBackend` bundle: the dense array
+  namespace (``xp``), the sparse namespace (``sparse``), and the three
+  operations whose spelling is genuinely backend-specific (scatter-add,
+  host transfer, sparse detection).  Everything else is assumed to be
+  numpy-compatible per the array-API convention.
+- Weight initialization stays on the *host* RNG
+  (:class:`numpy.random.Generator`) and transfers via
+  :meth:`ArrayBackend.asarray`, so parameter values are bitwise
+  identical across backends for a fixed seed.
+- The active backend is process-global, resolved once from
+  ``NEUROPLAN_NN_BACKEND`` (default ``numpy``) and switchable with
+  :func:`set_backend` / :func:`use_backend`.  Tests register tracing
+  fakes through :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+
+ENV_VAR = "NEUROPLAN_NN_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One resolved array namespace bundle."""
+
+    name: str
+    xp: object  # dense array namespace (numpy-compatible)
+    sparse: object  # sparse matrix namespace (scipy.sparse-compatible)
+    index_add: Callable  # (target, indices, values) -> in-place scatter-add
+    to_numpy: Callable  # device array -> host numpy array
+    issparse: Callable = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.issparse is None:
+            object.__setattr__(self, "issparse", self.sparse.issparse)
+
+    def asarray(self, value, dtype=None):
+        """Coerce ``value`` onto this backend's dense namespace."""
+        if dtype is None:
+            return self.xp.asarray(value)
+        return self.xp.asarray(value, dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# Built-in factories
+# ----------------------------------------------------------------------
+def _numpy_backend() -> ArrayBackend:
+    import numpy as np
+    import scipy.sparse as sp
+
+    def index_add(target, indices, values):
+        np.add.at(target, indices, values)
+
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        sparse=sp,
+        index_add=index_add,
+        to_numpy=np.asarray,
+    )
+
+
+def _cupy_backend() -> ArrayBackend:
+    try:
+        import cupy
+        import cupyx
+        import cupyx.scipy.sparse as cusparse
+    except ImportError as exc:  # pragma: no cover - depends on the host
+        raise ConfigError(
+            "the 'cupy' backend needs the cupy package (and a CUDA "
+            "runtime); install cupy or switch NEUROPLAN_NN_BACKEND back "
+            "to 'numpy'"
+        ) from exc
+
+    def index_add(target, indices, values):  # pragma: no cover - GPU only
+        cupyx.scatter_add(target, indices, values)
+
+    return ArrayBackend(  # pragma: no cover - GPU only
+        name="cupy",
+        xp=cupy,
+        sparse=cusparse,
+        index_add=index_add,
+        to_numpy=cupy.asnumpy,
+    )
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _numpy_backend,
+    "cupy": _cupy_backend,
+}
+_CACHE: dict[str, ArrayBackend] = {}
+_ACTIVE: "ArrayBackend | None" = None
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend], overwrite: bool = False
+) -> None:
+    """Register a backend factory (tests use this for tracing fakes)."""
+    if name in _FACTORIES and not overwrite:
+        raise ConfigError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _CACHE.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Build (and cache) the backend registered under ``name``."""
+    if name not in _FACTORIES:
+        raise ConfigError(
+            f"unknown nn backend {name!r}; available: {available_backends()}"
+        )
+    if name not in _CACHE:
+        backend = _FACTORIES[name]()
+        if not isinstance(backend, ArrayBackend):
+            raise ConfigError(
+                f"backend factory {name!r} returned {type(backend).__name__}, "
+                "expected ArrayBackend"
+            )
+        _CACHE[name] = backend
+    return _CACHE[name]
+
+
+# ----------------------------------------------------------------------
+# Active-backend resolution
+# ----------------------------------------------------------------------
+def active() -> ArrayBackend:
+    """The process-global active backend (resolving the env var once)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+    return _ACTIVE
+
+
+def xp():
+    """The active dense array namespace (``numpy`` by default)."""
+    return active().xp
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Switch the active backend; returns the new one."""
+    global _ACTIVE
+    _ACTIVE = get_backend(name)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily switch the active backend (mainly for tests)."""
+    global _ACTIVE
+    previous = active()
+    _ACTIVE = get_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

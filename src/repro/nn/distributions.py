@@ -3,6 +3,13 @@
 :class:`Categorical` supports an action mask: the paper masks out IP
 links whose spectrum budget is exhausted, and the policy samples only
 among valid actions (Section 4.2, "action mask").
+
+:class:`BatchedCategorical` is the row-wise generalization used by the
+batched multi-environment collector (:mod:`repro.rl.batched`): one
+``(m, A)`` logit matrix holds ``m`` independent masked categoricals.
+Every row-local operation (sampling, log-prob, entropy) uses exactly
+the arithmetic of the 1-D class, so a row's results do not depend on
+which other rows share the batch.
 """
 
 from __future__ import annotations
@@ -68,3 +75,78 @@ class Categorical:
         if self.mask is not None:
             raw = Tensor.where(self.mask, raw, Tensor(np.zeros(raw.shape)))
         return -raw.sum()
+
+
+class BatchedCategorical:
+    """``m`` independent masked categoricals over one (m, A) logit matrix.
+
+    Parameters
+    ----------
+    logits:
+        2-D tensor of unnormalized log-probabilities, one row per slot.
+    mask:
+        Optional boolean (m, A) array; every row must keep at least one
+        valid action.
+    """
+
+    def __init__(self, logits: Tensor, mask: np.ndarray | None = None):
+        if logits.ndim != 2:
+            raise NNError(
+                f"BatchedCategorical expects 2-D logits, got {logits.shape}"
+            )
+        self.mask = None if mask is None else np.asarray(mask, dtype=bool)
+        if self.mask is not None:
+            if self.mask.shape != logits.shape:
+                raise NNError(
+                    f"mask shape {self.mask.shape} != logits shape "
+                    f"{logits.shape}"
+                )
+            if not self.mask.any(axis=-1).all():
+                raise NNError(
+                    "BatchedCategorical mask disables every action in a row"
+                )
+            self.log_probs = F.masked_log_softmax(logits, self.mask)
+        else:
+            self.log_probs = F.log_softmax(logits)
+
+    @property
+    def num_slots(self) -> int:
+        return self.log_probs.shape[0]
+
+    def probs_row(self, row: int) -> np.ndarray:
+        return np.exp(self.log_probs.data[row])
+
+    def sample_row(self, row: int, rng: np.random.Generator) -> int:
+        """Draw one action for slot ``row`` from its own RNG stream.
+
+        Row-local arithmetic identical to :meth:`Categorical.sample`, so
+        a slot's draw depends only on its logits row and its generator.
+        """
+        probs = self.probs_row(row)
+        probs = probs / probs.sum()  # guard tiny numeric drift
+        return int(rng.choice(len(probs), p=probs))
+
+    def mode_row(self, row: int) -> int:
+        """Most likely action for slot ``row``."""
+        return int(np.argmax(self.log_probs.data[row]))
+
+    def log_prob(self, actions) -> Tensor:
+        """Differentiable per-slot log-probabilities, shape (m,)."""
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.num_slots,):
+            raise NNError(
+                f"expected {self.num_slots} actions, got shape {actions.shape}"
+            )
+        if self.mask is not None and not self.mask[
+            np.arange(self.num_slots), actions
+        ].all():
+            raise NNError("an action is masked out in its slot")
+        return self.log_probs.take(np.arange(self.num_slots), actions)
+
+    def entropy(self) -> Tensor:
+        """Differentiable per-slot entropies, shape (m,)."""
+        probs = self.log_probs.exp()
+        raw = probs * self.log_probs
+        if self.mask is not None:
+            raw = Tensor.where(self.mask, raw, Tensor(np.zeros(raw.shape)))
+        return -raw.sum(axis=-1)

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NNError
+from repro.nn import backend as _backend
 from repro.nn.tensor import Tensor
 
 MASK_FILL = -1e9
@@ -54,10 +55,11 @@ def masked_log_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tens
     Masked entries receive :data:`MASK_FILL` before normalization, so
     their probability is (numerically) zero and no gradient flows to them.
     """
-    mask = np.asarray(mask, dtype=bool)
+    xp = _backend.xp()
+    mask = xp.asarray(mask, dtype=bool)
     if not mask.any(axis=-1).all():
         raise NNError("masked_log_softmax: at least one entry must be valid")
-    filled = Tensor.where(mask, logits, Tensor(np.full(logits.shape, MASK_FILL)))
+    filled = Tensor.where(mask, logits, Tensor(xp.full(logits.shape, MASK_FILL)))
     return log_softmax(filled, axis=axis)
 
 
@@ -68,7 +70,9 @@ def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     return (diff * diff).mean()
 
 
-def huber_loss(prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1.0) -> Tensor:
+def huber_loss(
+    prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1.0
+) -> Tensor:
     """Huber (smooth L1) loss, elementwise-mean."""
     target = Tensor.ensure(target).detach()
     diff = prediction - target

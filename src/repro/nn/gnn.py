@@ -30,6 +30,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import NNError
+from repro.nn import backend as _backend
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -79,7 +80,7 @@ class GCNLayer(Module):
         self.activation = activation
 
     def forward(self, features: Tensor, adjacency_norm) -> Tensor:
-        if sp.issparse(adjacency_norm):
+        if _backend.active().issparse(adjacency_norm):
             propagated = Tensor.sparse_matmul(adjacency_norm, features)
         else:
             propagated = Tensor(adjacency_norm) @ features
@@ -119,7 +120,7 @@ class GATLayer(Module):
 
     def forward(self, features: Tensor, adjacency_norm) -> Tensor:
         # Attention logits are all-pairs, so GAT densifies sparse input.
-        if sp.issparse(adjacency_norm):
+        if _backend.active().issparse(adjacency_norm):
             adjacency_norm = adjacency_norm.toarray()
         # Any positive entry (including the self-loop added by
         # normalized_adjacency) marks an attendable neighbor.
@@ -152,7 +153,9 @@ class SAGELayer(Module):
         rng = as_generator(rng)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight_self = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.weight_self = Parameter(
+            init.xavier_uniform(rng, in_features, out_features)
+        )
         self.weight_neighbor = Parameter(
             init.xavier_uniform(rng, in_features, out_features)
         )
@@ -176,7 +179,7 @@ class SAGELayer(Module):
         # Recover a row-stochastic (mean) operator from any nonnegative
         # adjacency: rows renormalized to sum to 1 (self-loops included
         # when the caller used normalized_adjacency).
-        if sp.issparse(adjacency_norm):
+        if _backend.active().issparse(adjacency_norm):
             neighborhood = Tensor.sparse_matmul(
                 self._sparse_mean_op(adjacency_norm), features
             )

@@ -1,12 +1,17 @@
 """Weight initializers.
 
 All initializers take an explicit :class:`numpy.random.Generator` so model
-construction is deterministic under a fixed seed.
+construction is deterministic under a fixed seed.  Values are always
+drawn on the *host* RNG and then transferred to the active
+:mod:`repro.nn.backend` namespace, so a fixed seed produces bitwise
+identical parameters on every backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn import backend as _backend
 
 
 def xavier_uniform(
@@ -14,17 +19,23 @@ def xavier_uniform(
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialization for a (fan_in x fan_out) matrix."""
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    return _backend.active().asarray(
+        rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    )
 
 
-def kaiming_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+def kaiming_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
     """He/Kaiming uniform initialization, suited to ReLU networks."""
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    return _backend.active().asarray(
+        rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    )
 
 
 def zeros(*shape: int) -> np.ndarray:
-    return np.zeros(shape)
+    return _backend.xp().zeros(shape)
 
 
 def orthogonal(
@@ -36,4 +47,4 @@ def orthogonal(
     q = q * np.sign(np.diag(r))
     if fan_in < fan_out:
         q = q.T
-    return gain * q[:fan_in, :fan_out]
+    return _backend.active().asarray(gain * q[:fan_in, :fan_out])

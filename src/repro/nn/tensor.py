@@ -1,7 +1,7 @@
-"""Reverse-mode automatic differentiation over numpy arrays.
+"""Reverse-mode automatic differentiation over array-API arrays.
 
 This is the core of the PyTorch substitute.  A :class:`Tensor` wraps a
-``numpy.ndarray`` together with an optional gradient and a closure that
+dense array together with an optional gradient and a closure that
 back-propagates into its parents.  Calling :meth:`Tensor.backward` on a
 scalar output walks the recorded graph in reverse topological order.
 
@@ -9,6 +9,12 @@ The op set is deliberately the subset NeuroPlan's networks need: dense
 linear algebra, elementwise activations, reductions, row-wise softmax
 machinery, concatenation and row gathering.  Binary ops support numpy
 broadcasting; gradients are un-broadcast back to each parent's shape.
+
+Array operations resolve their namespace through
+:mod:`repro.nn.backend` (numpy today, CuPy-ready), so the same tape
+records and replays on whichever backend is active.  ``numpy`` is still
+imported directly for dtypes and host-side metadata (shapes, axis
+bookkeeping), which stay on the host under every backend.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.errors import NNError
+from repro.nn import backend as _backend
 
 _GRAD_ENABLED = True
 
@@ -55,17 +62,16 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
-    array = np.asarray(value, dtype=np.float64)
-    return array
+    return _backend.active().asarray(value, dtype=np.float64)
 
 
 class Tensor:
-    """A numpy array with reverse-mode autodiff.
+    """A dense array with reverse-mode autodiff.
 
     Parameters
     ----------
     data:
-        Anything coercible to a float64 numpy array.
+        Anything coercible to a float64 array on the active backend.
     requires_grad:
         If True, gradients accumulate into :attr:`grad` during
         :meth:`backward`.
@@ -120,8 +126,12 @@ class Tensor:
         return self.data.size
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (not a copy)."""
-        return self.data
+        """Return the underlying data as a host numpy array.
+
+        Under the numpy backend this is the array itself (not a copy);
+        accelerator backends transfer to host.
+        """
+        return _backend.active().to_numpy(self.data)
 
     def item(self) -> float:
         return float(self.data)
@@ -145,7 +155,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64)
+            self.grad = _backend.xp().array(grad, dtype=np.float64)
         else:
             self.grad = self.grad + grad
 
@@ -161,8 +171,8 @@ class Tensor:
                     "backward() without an explicit gradient requires a "
                     f"scalar output, got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            grad = _backend.xp().ones_like(self.data)
+        grad = _as_array(grad)
         if grad.shape != self.data.shape:
             raise NNError(
                 f"gradient shape {grad.shape} does not match tensor shape "
@@ -290,16 +300,17 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray):
+            xp = _backend.xp()
             a_data, b_data = a.data, b.data
             if a_data.ndim == 1 and b_data.ndim == 1:
                 # Dot product: grad is a scalar.
                 return (grad * b_data, grad * a_data)
             if a_data.ndim == 1:
                 # (k,) @ (k, m) -> (m,)
-                return (b_data @ grad, np.outer(a_data, grad))
+                return (b_data @ grad, xp.outer(a_data, grad))
             if b_data.ndim == 1:
                 # (n, k) @ (k,) -> (n,)
-                return (np.outer(grad, b_data), a_data.T @ grad)
+                return (xp.outer(grad, b_data), a_data.T @ grad)
             grad_a = grad @ b_data.swapaxes(-1, -2)
             grad_b = a_data.swapaxes(-1, -2) @ grad
             return (_unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape))
@@ -314,12 +325,13 @@ class Tensor:
         src = self
 
         def backward(grad: np.ndarray):
+            xp = _backend.xp()
             g = grad
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            return (np.broadcast_to(g, src.shape).copy(),)
+                g = xp.expand_dims(g, axis)
+            return (xp.broadcast_to(g, src.shape).copy(),)
 
-        return Tensor._from_op(np.asarray(data, dtype=np.float64), (self,), backward)
+        return Tensor._from_op(_as_array(data), (self,), backward)
 
     def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else self.data.shape[axis]
@@ -330,23 +342,28 @@ class Tensor:
         src = self
 
         def backward(grad: np.ndarray):
+            xp = _backend.xp()
             g = grad
             d = data
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-                d = np.expand_dims(d, axis)
+                g = xp.expand_dims(g, axis)
+                d = xp.expand_dims(d, axis)
             mask = (src.data == d).astype(np.float64)
             # Split gradient evenly among ties to keep the Jacobian finite.
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            counts = (
+                mask.sum(axis=axis, keepdims=True)
+                if axis is not None
+                else mask.sum()
+            )
             return (mask * g / counts,)
 
-        return Tensor._from_op(np.asarray(data, dtype=np.float64), (self,), backward)
+        return Tensor._from_op(_as_array(data), (self,), backward)
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
-        data = np.maximum(self.data, 0.0)
+        data = _backend.xp().maximum(self.data, 0.0)
         src = self
 
         def backward(grad: np.ndarray):
@@ -355,16 +372,18 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        data = np.where(self.data > 0.0, self.data, negative_slope * self.data)
+        xp = _backend.xp()
+        data = xp.where(self.data > 0.0, self.data, negative_slope * self.data)
         src = self
 
         def backward(grad: np.ndarray):
-            return (grad * np.where(src.data > 0.0, 1.0, negative_slope),)
+            slope = _backend.xp().where(src.data > 0.0, 1.0, negative_slope)
+            return (grad * slope,)
 
         return Tensor._from_op(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        data = _backend.xp().tanh(self.data)
 
         def backward(grad: np.ndarray):
             return (grad * (1.0 - data**2),)
@@ -372,7 +391,7 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
+        data = 1.0 / (1.0 + _backend.xp().exp(-self.data))
 
         def backward(grad: np.ndarray):
             return (grad * data * (1.0 - data),)
@@ -380,7 +399,7 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = _backend.xp().exp(self.data)
 
         def backward(grad: np.ndarray):
             return (grad * data,)
@@ -388,7 +407,7 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        data = _backend.xp().log(self.data)
         src = self
 
         def backward(grad: np.ndarray):
@@ -397,11 +416,11 @@ class Tensor:
         return Tensor._from_op(data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
+        data = _backend.xp().abs(self.data)
         src = self
 
         def backward(grad: np.ndarray):
-            return (grad * np.sign(src.data),)
+            return (grad * _backend.xp().sign(src.data),)
 
         return Tensor._from_op(data, (self,), backward)
 
@@ -435,28 +454,31 @@ class Tensor:
         return self.transpose()
 
     def gather_rows(self, indices) -> "Tensor":
-        """Select rows ``indices`` from a 2-D tensor (keeps gradients)."""
-        idx = np.asarray(indices, dtype=np.int64)
+        """Select rows ``indices`` along the first axis (keeps gradients)."""
+        idx = _backend.xp().asarray(indices, dtype=np.int64)
         data = self.data[idx]
         src = self
 
         def backward(grad: np.ndarray):
-            out = np.zeros_like(src.data)
-            np.add.at(out, idx, grad)
+            bk = _backend.active()
+            out = bk.xp.zeros_like(src.data)
+            bk.index_add(out, idx, grad)
             return (out,)
 
         return Tensor._from_op(data, (self,), backward)
 
     def take(self, row_indices, col_indices) -> "Tensor":
         """Fancy-index elements ``(row_indices[i], col_indices[i])``."""
-        rows = np.asarray(row_indices, dtype=np.int64)
-        cols = np.asarray(col_indices, dtype=np.int64)
+        xp = _backend.xp()
+        rows = xp.asarray(row_indices, dtype=np.int64)
+        cols = xp.asarray(col_indices, dtype=np.int64)
         data = self.data[rows, cols]
         src = self
 
         def backward(grad: np.ndarray):
-            out = np.zeros_like(src.data)
-            np.add.at(out, (rows, cols), grad)
+            bk = _backend.active()
+            out = bk.xp.zeros_like(src.data)
+            bk.index_add(out, (rows, cols), grad)
             return (out,)
 
         return Tensor._from_op(data, (self,), backward)
@@ -468,55 +490,58 @@ class Tensor:
     def sparse_matmul(matrix, tensor: "Tensor") -> "Tensor":
         """Left-multiply by a constant sparse matrix: ``matrix @ tensor``.
 
-        ``matrix`` is a ``scipy.sparse`` matrix treated as a constant
-        (no gradient flows into it); the gradient with respect to
-        ``tensor`` is ``matrix.T @ grad``.  This is the GNN propagation
-        primitive: one sparse matvec per layer instead of a dense
-        ``n x n`` product.
+        ``matrix`` is a sparse matrix on the active backend's sparse
+        namespace, treated as a constant (no gradient flows into it);
+        the gradient with respect to ``tensor`` is ``matrix.T @ grad``.
+        This is the GNN propagation primitive: one sparse matvec per
+        layer instead of a dense ``n x n`` product.
         """
         tensor = Tensor.ensure(tensor)
-        data = np.asarray(matrix @ tensor.data, dtype=np.float64)
+        data = _as_array(matrix @ tensor.data)
 
         def backward(grad: np.ndarray):
-            return (np.asarray(matrix.T @ grad, dtype=np.float64),)
+            return (_as_array(matrix.T @ grad),)
 
         return Tensor._from_op(data, (tensor,), backward)
 
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.ensure(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
+        data = _backend.xp().concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
         splits = np.cumsum(sizes)[:-1]
 
         def backward(grad: np.ndarray):
-            return tuple(np.split(grad, splits, axis=axis))
+            return tuple(_backend.xp().split(grad, splits, axis=axis))
 
         return Tensor._from_op(data, tuple(tensors), backward)
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.ensure(t) for t in tensors]
-        data = np.stack([t.data for t in tensors], axis=axis)
+        data = _backend.xp().stack([t.data for t in tensors], axis=axis)
 
         def backward(grad: np.ndarray):
-            pieces = np.split(grad, len(tensors), axis=axis)
-            return tuple(np.squeeze(p, axis=axis) for p in pieces)
+            xp = _backend.xp()
+            pieces = xp.split(grad, len(tensors), axis=axis)
+            return tuple(xp.squeeze(p, axis=axis) for p in pieces)
 
         return Tensor._from_op(data, tuple(tensors), backward)
 
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
         """Elementwise select; ``condition`` is a constant boolean array."""
-        cond = np.asarray(condition, dtype=bool)
+        xp = _backend.xp()
+        cond = xp.asarray(condition, dtype=bool)
         a = Tensor.ensure(a)
         b = Tensor.ensure(b)
-        data = np.where(cond, a.data, b.data)
+        data = xp.where(cond, a.data, b.data)
 
         def backward(grad: np.ndarray):
+            xp = _backend.xp()
             return (
-                _unbroadcast(np.where(cond, grad, 0.0), a.shape),
-                _unbroadcast(np.where(cond, 0.0, grad), b.shape),
+                _unbroadcast(xp.where(cond, grad, 0.0), a.shape),
+                _unbroadcast(xp.where(cond, 0.0, grad), b.shape),
             )
 
         return Tensor._from_op(data, (a, b), backward)

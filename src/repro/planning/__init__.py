@@ -27,7 +27,12 @@ from repro.planning.tunnel_formulation import (
     candidate_tunnels,
 )
 from repro.planning.pruning import capacity_caps_from_plan
-from repro.planning.workorder import WorkItem, WorkOrder, build_work_order, render_work_order
+from repro.planning.workorder import (
+    WorkItem,
+    WorkOrder,
+    build_work_order,
+    render_work_order,
+)
 
 __all__ = [
     "NetworkPlan",

@@ -13,6 +13,10 @@
   (byte-identical to the legacy inline loops) and a multiprocessing
   worker pool whose merged batches are bitwise independent of worker
   count and scheduling.
+- :mod:`repro.rl.batched` -- batched multi-environment collection
+  (``num_envs`` lockstep environments share one policy forward) and the
+  block-diagonal batched training forward; merged batches are bitwise
+  identical to the worker-pool backend for any ``num_envs``.
 - :mod:`repro.rl.a2c` -- the actor-critic trainer.
 - :mod:`repro.rl.agent` -- the train/rollout facade that produces the
   first-stage plan.
@@ -30,13 +34,25 @@ from repro.rl.rollouts import (
     SerialRolloutCollector,
     Transition,
     make_collector,
+    merge_fragments,
+)
+from repro.rl.batched import (
+    BatchedForward,
+    BatchedPlanningEnv,
+    BatchedPolicyEvaluator,
+    BatchedRolloutCollector,
 )
 from repro.rl.a2c import A2CConfig, A2CTrainer, TrainingResult
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.rl.agent import NeuroPlanAgent
 
 __all__ = [
+    "BatchedForward",
+    "BatchedPlanningEnv",
+    "BatchedPolicyEvaluator",
+    "BatchedRolloutCollector",
     "Fragment",
+    "merge_fragments",
     "ParallelRolloutCollector",
     "RolloutBatch",
     "SerialRolloutCollector",

@@ -23,12 +23,13 @@ from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.rl.batched import BatchedForward
 from repro.rl.buffer import EpochBuffer
 from repro.rl.checkpointing import CheckpointingTrainer
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
 from repro.rl.policy import ActorCriticPolicy
-from repro.rl.rollouts import make_collector, resolve_backend
+from repro.rl.rollouts import RolloutBatch, make_collector, resolve_backend
 from repro.seeding import as_generator
 
 
@@ -49,7 +50,8 @@ class A2CConfig:
     patience: int = 0  # early stop after N stagnant epochs (0 = off)
     seed: int = 0
     num_workers: int = 1
-    rollout_backend: str = "auto"  # auto | serial | parallel
+    num_envs: int = 1  # lockstep environments per rollout group
+    rollout_backend: str = "auto"  # auto | serial | parallel | batched
     checkpoint_every: int = 0  # write a resume checkpoint every N epochs
     checkpoint_dir: "str | None" = None
     resume_from: "str | None" = None  # checkpoint file or directory
@@ -59,10 +61,16 @@ class A2CConfig:
             raise ConfigError("epochs and steps_per_epoch must be >= 1")
         if self.max_trajectory_length < 1:
             raise ConfigError("max_trajectory_length must be >= 1")
-        resolve_backend(self.rollout_backend, self.num_workers)
+        resolve_backend(self.rollout_backend, self.num_workers, self.num_envs)
         if self.num_workers > self.steps_per_epoch:
             raise ConfigError(
                 f"num_workers={self.num_workers} exceeds the available "
+                f"trajectories per epoch (steps_per_epoch="
+                f"{self.steps_per_epoch})"
+            )
+        if self.num_envs > self.steps_per_epoch:
+            raise ConfigError(
+                f"num_envs={self.num_envs} exceeds the available "
                 f"trajectories per epoch (steps_per_epoch="
                 f"{self.steps_per_epoch})"
             )
@@ -106,6 +114,14 @@ class A2CTrainer(CheckpointingTrainer):
         self.critic_optimizer = Adam(groups["critic"], lr=self.config.critic_lr)
         self.rng = as_generator(self.config.seed)
         self._collector = None
+        # Built on demand for num_envs > 1: one autodiff graph over the
+        # whole epoch instead of one per transition (also validates the
+        # gnn_type restriction up front).
+        self._batched_forward = (
+            BatchedForward(policy, env.adjacency_norm)
+            if self.config.num_envs > 1
+            else None
+        )
 
     # ------------------------------------------------------------------
     def train(self) -> TrainingResult:
@@ -131,6 +147,7 @@ class A2CTrainer(CheckpointingTrainer):
             self.rng,
             rollout_backend=config.rollout_backend,
             num_workers=config.num_workers,
+            num_envs=config.num_envs,
             seed=config.seed,
         )
         try:
@@ -187,42 +204,67 @@ class A2CTrainer(CheckpointingTrainer):
                     best_cost = fragment.plan_cost
                     best_capacities = fragment.capacities
 
-            # Re-evaluate the collected states under the current (same)
-            # parameters to build the live autodiff graph the two-loss
-            # update differentiates; collection itself runs grad-free
-            # (and possibly out of process).
-            buffer = EpochBuffer()
-            for fragment in batch.fragments:
-                buffer.start_trajectory()
-                for transition in fragment.transitions:
-                    distribution, value = self.policy(
-                        transition.observation, env.adjacency_norm, transition.mask
-                    )
-                    buffer.append(
-                        distribution.log_prob(transition.action),
-                        distribution.entropy(),
-                        value,
-                        transition.reward,
-                    )
-                buffer.finish_trajectory(
-                    completed=fragment.completed,
-                    bootstrap_value=fragment.final_value,
+            if config.num_envs > 1:
+                # One batched re-evaluation over the whole epoch (block-
+                # diagonal adjacency) replaces the per-transition graphs.
+                metrics = self._update_batched(batch)
+                fragments = batch.fragments
+                rewards = [
+                    sum(t.reward for t in fragment.transitions)
+                    for fragment in fragments
+                ]
+                epoch_reward = float(np.mean(rewards)) if rewards else 0.0
+                completion_rate = (
+                    float(np.mean([f.completed for f in fragments]))
+                    if fragments
+                    else 0.0
                 )
+                num_trajectories = len(fragments)
+                num_steps = batch.num_steps
+            else:
+                # Re-evaluate the collected states under the current
+                # (same) parameters to build the live autodiff graph the
+                # two-loss update differentiates; collection itself runs
+                # grad-free (and possibly out of process).
+                buffer = EpochBuffer()
+                for fragment in batch.fragments:
+                    buffer.start_trajectory()
+                    for transition in fragment.transitions:
+                        distribution, value = self.policy(
+                            transition.observation,
+                            env.adjacency_norm,
+                            transition.mask,
+                        )
+                        buffer.append(
+                            distribution.log_prob(transition.action),
+                            distribution.entropy(),
+                            value,
+                            transition.reward,
+                        )
+                    buffer.finish_trajectory(
+                        completed=fragment.completed,
+                        bootstrap_value=fragment.final_value,
+                    )
 
-            metrics = self._update(buffer)
+                metrics = self._update(buffer)
+                epoch_reward = buffer.epoch_reward
+                completion_rate = buffer.completion_rate
+                num_trajectories = buffer.num_trajectories
+                num_steps = buffer.num_steps
+
             entry = {
                 "epoch": epoch,
-                "epoch_reward": buffer.epoch_reward,
-                "completion_rate": buffer.completion_rate,
-                "num_trajectories": buffer.num_trajectories,
+                "epoch_reward": epoch_reward,
+                "completion_rate": completion_rate,
+                "num_trajectories": num_trajectories,
                 "best_cost": best_cost if best_capacities else None,
                 **metrics,
             }
             history.append(entry)
             if telemetry.enabled():
                 telemetry.counter("rl.a2c.epochs")
-                telemetry.counter("rl.env_steps", buffer.num_steps)
-                telemetry.counter("rl.episodes", buffer.num_trajectories)
+                telemetry.counter("rl.env_steps", num_steps)
+                telemetry.counter("rl.episodes", num_trajectories)
                 telemetry.event("rl.a2c.epoch", **entry)
 
             # Early stopping on stagnation of the best plan.
@@ -280,6 +322,71 @@ class A2CTrainer(CheckpointingTrainer):
         log_probs = Tensor.stack(all_log_probs)
         entropies = Tensor.stack(all_entropies)
         values = Tensor.stack(all_values)
+
+        # -- ComputePLoss: update actor + shared GNN --
+        policy_loss = -(log_probs * Tensor(advantages)).mean()
+        entropy_bonus = entropies.mean()
+        actor_objective = policy_loss - config.entropy_coef * entropy_bonus
+        self.actor_optimizer.zero_grad()
+        self.critic_optimizer.zero_grad()
+        actor_objective.backward()
+        self.actor_optimizer.clip_grad_norm(config.max_grad_norm)
+        self.actor_optimizer.step()
+
+        # -- ComputeVLoss: update critic + shared GNN --
+        value_loss = F.mse_loss(values, returns)
+        self.actor_optimizer.zero_grad()
+        self.critic_optimizer.zero_grad()
+        value_loss.backward()
+        self.critic_optimizer.clip_grad_norm(config.max_grad_norm)
+        self.critic_optimizer.step()
+
+        return {
+            "policy_loss": policy_loss.item(),
+            "value_loss": value_loss.item(),
+            "entropy": entropy_bonus.item(),
+        }
+
+    # ------------------------------------------------------------------
+    def _update_batched(self, batch: RolloutBatch) -> dict:
+        """The Algorithm 1 update over one batched forward (num_envs > 1).
+
+        Same two-loss split and the same GAE arithmetic as
+        :meth:`_update`, but log-probs, entropies and values for every
+        collected transition come from a single block-diagonal graph
+        forward instead of one tiny graph per transition.
+        """
+        config = self.config
+        steps = batch.transitions()
+        if not steps:
+            return {"policy_loss": 0.0, "value_loss": 0.0}
+
+        observations = np.stack([t.observation for t in steps])
+        masks = np.stack([t.mask for t in steps])
+        actions = np.array([t.action for t in steps], dtype=np.int64)
+        log_probs, entropies, values = self._batched_forward.evaluate(
+            observations, masks, actions
+        )
+
+        advantages = np.zeros(len(steps))
+        returns = np.zeros(len(steps))
+        for start, end, _done, bootstrap in batch.bounds():
+            rewards = np.array([t.reward for t in steps[start:end]])
+            trajectory_values = values.data[start:end]
+            advantages[start:end] = gae_advantages(
+                rewards,
+                trajectory_values,
+                config.gamma,
+                config.gae_lambda,
+                bootstrap_value=bootstrap,
+            )
+            returns[start:end] = discounted_returns(
+                rewards, config.gamma, bootstrap_value=bootstrap
+            )
+        if config.normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
 
         # -- ComputePLoss: update actor + shared GNN --
         policy_loss = -(log_probs * Tensor(advantages)).mean()

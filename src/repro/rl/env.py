@@ -32,6 +32,12 @@ from repro.topology.transform import node_link_transform
 
 TERMINAL_PENALTY = -1.0
 
+# Slack (in Gbps) kept on the provable-shortfall bound before the
+# environment trusts it instead of re-solving the feasibility LP.  Must
+# dominate the LP tolerance (1e-6) plus solver numerical noise so a
+# skipped check can never disagree with the check it replaces.
+INFEASIBILITY_SKIP_SLACK = 1e-5
+
 # Topologies at or above this many transformed nodes default to sparse
 # GNN propagation; smaller ones stay dense (bitwise-identical legacy
 # path, and dense matmul wins at tiny sizes anyway).
@@ -93,6 +99,13 @@ class PlanningEnv:
         self._steps = 0
         self._done = True
         self._feasible = False
+        # Provable lower bound on the violated scenario's shortfall.
+        # Adding x Gbps to one link raises the feasibility LP's served
+        # demand by at most 2x (each direction row relaxes by x), so the
+        # bound decays by 2x per step and the LP solve is skipped while
+        # it stays clearly positive -- same verdicts, far fewer solves.
+        self._infeasibility_gap = 0.0
+        self._last_violated: "str | None" = None
 
     # ------------------------------------------------------------------
     def _default_reward_scale(self) -> float:
@@ -168,6 +181,8 @@ class PlanningEnv:
         result = self.evaluator.evaluate(self._capacities)
         self._feasible = result.feasible
         self._done = result.feasible  # nothing to plan
+        self._infeasibility_gap = 0.0 if result.feasible else result.shortfall
+        self._last_violated = result.violated_failure
         return self.observation()
 
     def observation(self) -> np.ndarray:
@@ -207,9 +222,23 @@ class PlanningEnv:
         reward = -added_cost / self.reward_scale
         self._steps += 1
 
-        result = self.evaluator.evaluate(self._capacities)
-        self._feasible = result.feasible
-        if result.feasible:
+        self._infeasibility_gap -= 2.0 * amount
+        if self._infeasibility_gap > INFEASIBILITY_SKIP_SLACK:
+            # The violated scenario's shortfall is provably still
+            # positive: the evaluator would return the same verdict,
+            # so don't pay for the LP solve.
+            feasible = False
+            violated = self._last_violated
+            shortfall = self._infeasibility_gap
+        else:
+            result = self.evaluator.evaluate(self._capacities)
+            feasible = result.feasible
+            violated = result.violated_failure
+            shortfall = result.shortfall
+            self._infeasibility_gap = 0.0 if feasible else result.shortfall
+            self._last_violated = result.violated_failure
+        self._feasible = feasible
+        if feasible:
             self._done = True
         elif self._steps >= self.max_steps:
             self._done = True
@@ -220,8 +249,8 @@ class PlanningEnv:
             done=self._done,
             feasible=self._feasible,
             info={
-                "violated_failure": result.violated_failure,
-                "shortfall": result.shortfall,
+                "violated_failure": violated,
+                "shortfall": shortfall,
                 "added_cost": added_cost,
                 "link": link_id,
                 "units": units,

@@ -29,6 +29,7 @@ from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.rl.a2c import TrainingResult
+from repro.rl.batched import BatchedForward
 from repro.rl.checkpointing import CheckpointingTrainer
 from repro.rl.env import PlanningEnv
 from repro.rl.gae import discounted_returns, gae_advantages
@@ -55,7 +56,8 @@ class PPOConfig:
     max_grad_norm: float = 10.0
     seed: int = 0
     num_workers: int = 1
-    rollout_backend: str = "auto"  # auto | serial | parallel
+    num_envs: int = 1  # lockstep environments per rollout group
+    rollout_backend: str = "auto"  # auto | serial | parallel | batched
     checkpoint_every: int = 0  # write a resume checkpoint every N epochs
     checkpoint_dir: "str | None" = None
     resume_from: "str | None" = None  # checkpoint file or directory
@@ -67,10 +69,16 @@ class PPOConfig:
             raise ConfigError("clip_ratio must be in (0, 1)")
         if self.update_iterations < 1:
             raise ConfigError("update_iterations must be >= 1")
-        resolve_backend(self.rollout_backend, self.num_workers)
+        resolve_backend(self.rollout_backend, self.num_workers, self.num_envs)
         if self.num_workers > self.steps_per_epoch:
             raise ConfigError(
                 f"num_workers={self.num_workers} exceeds the available "
+                f"trajectories per epoch (steps_per_epoch="
+                f"{self.steps_per_epoch})"
+            )
+        if self.num_envs > self.steps_per_epoch:
+            raise ConfigError(
+                f"num_envs={self.num_envs} exceeds the available "
                 f"trajectories per epoch (steps_per_epoch="
                 f"{self.steps_per_epoch})"
             )
@@ -103,6 +111,13 @@ class PPOTrainer(CheckpointingTrainer):
         self.optimizer = Adam(list(seen.values()), lr=self.config.lr)
         self.rng = as_generator(self.config.seed)
         self._collector = None
+        # One autodiff graph per PPO iteration instead of one per
+        # transition when num_envs > 1 (also validates gnn_type up front).
+        self._batched_forward = (
+            BatchedForward(policy, env.adjacency_norm)
+            if self.config.num_envs > 1
+            else None
+        )
 
     def _optimizers(self) -> dict:
         return {"optimizer": self.optimizer}
@@ -130,6 +145,7 @@ class PPOTrainer(CheckpointingTrainer):
             self.rng,
             rollout_backend=config.rollout_backend,
             num_workers=config.num_workers,
+            num_envs=config.num_envs,
             seed=config.seed,
         )
         try:
@@ -224,6 +240,32 @@ class PPOTrainer(CheckpointingTrainer):
             )
         return advantages, returns
 
+    def _evaluate_steps(self, steps) -> tuple:
+        """(log_probs, entropies, values) Tensors under current params.
+
+        ``num_envs == 1`` keeps the legacy per-transition graphs (byte-
+        identical results); ``num_envs > 1`` builds one block-diagonal
+        graph over every transition at once.
+        """
+        if self._batched_forward is not None:
+            observations = np.stack([s.observation for s in steps])
+            masks = np.stack([s.mask for s in steps])
+            actions = np.array([s.action for s in steps], dtype=np.int64)
+            return self._batched_forward.evaluate(observations, masks, actions)
+        log_probs, entropies, values = [], [], []
+        for step in steps:
+            distribution, value = self.policy(
+                step.observation, self.env.adjacency_norm, step.mask
+            )
+            log_probs.append(distribution.log_prob(step.action))
+            entropies.append(distribution.entropy())
+            values.append(value)
+        return (
+            Tensor.stack(log_probs),
+            Tensor.stack(entropies),
+            Tensor.stack(values),
+        )
+
     def _update(self, steps, advantages, returns) -> dict:
         """Clipped-surrogate updates with KL early stopping."""
         config = self.config
@@ -231,15 +273,7 @@ class PPOTrainer(CheckpointingTrainer):
         last_value_loss = 0.0
         kl = 0.0
         for iteration in range(config.update_iterations):
-            log_probs, entropies, values = [], [], []
-            for step in steps:
-                distribution, value = self.policy(
-                    step.observation, self.env.adjacency_norm, step.mask
-                )
-                log_probs.append(distribution.log_prob(step.action))
-                entropies.append(distribution.entropy())
-                values.append(value)
-            log_probs_t = Tensor.stack(log_probs)
+            log_probs_t, entropies_t, values_t = self._evaluate_steps(steps)
             old_log_probs = np.array([s.log_prob for s in steps])
 
             kl = float(np.mean(old_log_probs - log_probs_t.data))
@@ -265,8 +299,8 @@ class PPOTrainer(CheckpointingTrainer):
                 unclipped.data < clipped.data, unclipped, clipped
             )
             policy_loss = -surrogate.mean()
-            value_loss = F.mse_loss(Tensor.stack(values), returns)
-            entropy_bonus = Tensor.stack(entropies).mean()
+            value_loss = F.mse_loss(values_t, returns)
+            entropy_bonus = entropies_t.mean()
             loss = (
                 policy_loss
                 + config.value_coef * value_loss

@@ -57,22 +57,42 @@ from repro.rl.env import PlanningEnv
 from repro.rl.policy import ActorCriticPolicy
 from repro.seeding import stream_generator
 
-BACKENDS = ("auto", "serial", "parallel")
+BACKENDS = ("auto", "serial", "parallel", "batched")
 
 
-def resolve_backend(rollout_backend: str, num_workers: int) -> str:
-    """Map an ``(backend, num_workers)`` pair to a concrete backend."""
+def resolve_backend(
+    rollout_backend: str, num_workers: int, num_envs: int = 1
+) -> str:
+    """Map ``(backend, num_workers, num_envs)`` to a concrete backend.
+
+    ``num_envs > 1`` selects the batched multi-environment collector
+    (:mod:`repro.rl.batched`); it composes with ``num_workers`` (each
+    worker rolls out whole groups of ``num_envs`` streams) but not with
+    an explicit serial/parallel backend request, whose per-trajectory
+    contracts a batch cannot honor.
+    """
     if rollout_backend not in BACKENDS:
         raise ConfigError(
             f"rollout_backend must be one of {BACKENDS}, got {rollout_backend!r}"
         )
     if num_workers < 1:
         raise ConfigError("num_workers must be >= 1")
+    if num_envs < 1:
+        raise ConfigError("num_envs must be >= 1")
     if rollout_backend == "serial" and num_workers > 1:
         raise ConfigError(
             f"rollout_backend='serial' cannot use num_workers={num_workers}"
         )
+    if num_envs > 1 and rollout_backend in ("serial", "parallel"):
+        raise ConfigError(
+            f"rollout_backend={rollout_backend!r} cannot use "
+            f"num_envs={num_envs}; use 'auto' or 'batched'"
+        )
+    if rollout_backend == "batched":
+        return "batched"
     if rollout_backend == "auto":
+        if num_envs > 1:
+            return "batched"
         return "serial" if num_workers == 1 else "parallel"
     return rollout_backend
 
@@ -189,6 +209,45 @@ class ReplicaSpec:
         # deterministic.
         policy = ActorCriticPolicy(rng=0, **self.policy_kwargs)
         return env, policy
+
+
+def merge_fragments(fragments: list[Fragment], budget: int) -> RolloutBatch:
+    """Keep fragments in stream order up to ``budget`` steps.
+
+    The overflowing fragment is cut at the boundary and bootstrapped
+    with the collector's critic estimate of the first dropped state;
+    later fragments (speculative round overshoot) are discarded.  Shared
+    by every budget-bounded collector, so the merged batch depends only
+    on the ordered fragment stream — never on which backend, worker
+    count or batch width produced it.
+    """
+    kept: list[Fragment] = []
+    total = 0
+    for fragment in fragments:
+        if total >= budget:
+            break
+        if len(fragment) == 0:
+            continue
+        room = budget - total
+        if len(fragment) <= room:
+            kept.append(fragment)
+            total += len(fragment)
+        else:
+            cut = fragment.transitions[:room]
+            bootstrap = fragment.transitions[room].value
+            kept.append(
+                Fragment(
+                    transitions=cut,
+                    stream=fragment.stream,
+                    done=False,
+                    feasible=False,
+                    plan_cost=None,
+                    capacities=None,
+                    final_value=bootstrap,
+                )
+            )
+            total = budget
+    return RolloutBatch(kept)
 
 
 # ----------------------------------------------------------------------
@@ -523,41 +582,9 @@ class ParallelRolloutCollector:
                 error = exc
         raise error
 
-    @staticmethod
-    def _merge(fragments: list[Fragment], budget: int) -> RolloutBatch:
-        """Keep fragments in stream order up to ``budget`` steps.
-
-        The overflowing fragment is cut at the boundary and bootstrapped
-        with the worker's critic estimate of the first dropped state;
-        later fragments (speculative round overshoot) are discarded.
-        """
-        kept: list[Fragment] = []
-        total = 0
-        for fragment in fragments:
-            if total >= budget:
-                break
-            if len(fragment) == 0:
-                continue
-            room = budget - total
-            if len(fragment) <= room:
-                kept.append(fragment)
-                total += len(fragment)
-            else:
-                cut = fragment.transitions[:room]
-                bootstrap = fragment.transitions[room].value
-                kept.append(
-                    Fragment(
-                        transitions=cut,
-                        stream=fragment.stream,
-                        done=False,
-                        feasible=False,
-                        plan_cost=None,
-                        capacities=None,
-                        final_value=bootstrap,
-                    )
-                )
-                total = budget
-        return RolloutBatch(kept)
+    # Kept as an alias so existing callers and tests keep working; the
+    # shared implementation lives at module level (merge_fragments).
+    _merge = staticmethod(merge_fragments)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -591,10 +618,21 @@ def make_collector(
     *,
     rollout_backend: str = "auto",
     num_workers: int = 1,
+    num_envs: int = 1,
     seed: int = 0,
 ):
     """Build the collector a trainer asked for via its config knobs."""
-    backend = resolve_backend(rollout_backend, num_workers)
+    backend = resolve_backend(rollout_backend, num_workers, num_envs)
     if backend == "serial":
         return SerialRolloutCollector(env, policy, rng)
+    if backend == "batched":
+        from repro.rl.batched import BatchedRolloutCollector
+
+        return BatchedRolloutCollector(
+            env,
+            policy,
+            num_envs=num_envs,
+            num_workers=num_workers,
+            seed=seed,
+        )
     return ParallelRolloutCollector(env, policy, num_workers=num_workers, seed=seed)

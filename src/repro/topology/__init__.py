@@ -19,7 +19,12 @@ from repro.topology.failures import (
     all_single_node_failures,
     srlg_failures,
 )
-from repro.topology.traffic import ClassOfService, Flow, ReliabilityPolicy, TrafficMatrix
+from repro.topology.traffic import (
+    ClassOfService,
+    Flow,
+    ReliabilityPolicy,
+    TrafficMatrix,
+)
 from repro.topology.cost import CostModel
 from repro.topology.transform import LinkGraph, node_link_transform
 from repro.topology.instance import PlanningInstance

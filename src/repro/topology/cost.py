@@ -38,6 +38,22 @@ class CostModel:
         """Cost of one Gbps of capacity on ``link_id`` (the C_l term)."""
         return self.cost_per_gbps_km * network.link_length_km(link_id)
 
+    def _unit_costs(self, network: Network) -> dict[str, float]:
+        """Per-link unit costs, memoized on the network's length cache.
+
+        The cached floats are exactly the ``link_unit_cost`` products,
+        so sums over them are bitwise identical to the uncached path.
+        """
+        cache = getattr(network, "_unit_cost_cache", None)
+        if cache is None or cache[0] != self.cost_per_gbps_km:
+            costs = {
+                link_id: self.cost_per_gbps_km * network.link_length_km(link_id)
+                for link_id in network.links
+            }
+            cache = (self.cost_per_gbps_km, costs)
+            network._unit_cost_cache = cache
+        return cache[1]
+
     def lit_fibers(
         self, network: Network, capacities: Mapping[str, float]
     ) -> set[str]:
@@ -64,8 +80,9 @@ class CostModel:
         self, network: Network, capacities: Mapping[str, float]
     ) -> float:
         """The Sum_l C_l * cost_IP * length_l term."""
+        unit_costs = self._unit_costs(network)
         return sum(
-            capacity * self.link_unit_cost(network, link_id)
+            capacity * unit_costs[link_id]
             for link_id, capacity in capacities.items()
         )
 

@@ -421,7 +421,9 @@ def _build_fiber_graph(
     # Real backbones survive any single fiber cut: augment to
     # 2-edge-connectivity with the shortest available extra fibers.
     augmentation = nx.k_edge_augmentation(
-        graph, k=2, avail=[(a, b, d["length"]) for a, b, d in complete.edges(data=True)],
+        graph,
+        k=2,
+        avail=[(a, b, d["length"]) for a, b, d in complete.edges(data=True)],
         weight="length",
     )
     for a, b in augmentation:

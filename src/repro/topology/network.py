@@ -28,6 +28,10 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.fibers: dict[str, Fiber] = {}
         self.links: dict[str, IPLink] = {}
+        # Fiber paths and lengths are fixed once built, so the per-link
+        # length sum is memoized; structural mutation invalidates it.
+        self._link_length_cache: dict[str, float] = {}
+        self._unit_cost_cache: "tuple | None" = None
         for node in nodes:
             self.add_node(node)
         for fiber in fibers:
@@ -50,6 +54,8 @@ class Network:
             if endpoint not in self.nodes:
                 raise TopologyError(f"fiber {fiber.id}: unknown node {endpoint}")
         self.fibers[fiber.id] = fiber
+        self._link_length_cache.clear()
+        self._unit_cost_cache = None
 
     def add_link(self, link: IPLink) -> None:
         if link.id in self.links:
@@ -59,6 +65,8 @@ class Network:
                 raise TopologyError(f"ip link {link.id}: unknown node {endpoint}")
         self._check_fiber_path(link)
         self.links[link.id] = link
+        self._link_length_cache.clear()
+        self._unit_cost_cache = None
 
     def _check_fiber_path(self, link: IPLink) -> None:
         """Verify the fiber path is contiguous from link.src to link.dst."""
@@ -114,8 +122,12 @@ class Network:
         return [self.fibers[f] for f in link.fiber_path]
 
     def link_length_km(self, link_id: str) -> float:
-        """Total fiber length under an IP link."""
-        return sum(f.length_km for f in self.fibers_of_link(link_id))
+        """Total fiber length under an IP link (memoized)."""
+        length = self._link_length_cache.get(link_id)
+        if length is None:
+            length = sum(f.length_km for f in self.fibers_of_link(link_id))
+            self._link_length_cache[link_id] = length
+        return length
 
     def links_at_node(self, node_name: str) -> list[IPLink]:
         if node_name not in self.nodes:

@@ -51,7 +51,9 @@ class LinkGraph:
         except KeyError:
             raise TopologyError(f"link {link_id} not in transformed graph") from None
 
-    def feature_matrix(self, capacities: "dict[str, float] | None", network: Network) -> np.ndarray:
+    def feature_matrix(
+        self, capacities: "dict[str, float] | None", network: Network
+    ) -> np.ndarray:
         """Raw (unnormalized) node features: current link capacity."""
         if capacities is None:
             capacities = network.capacities()

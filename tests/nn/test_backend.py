@@ -1,0 +1,129 @@
+"""Tests for the array-API seam (repro.nn.backend).
+
+The seam's contract is small: named factories resolve to frozen
+:class:`ArrayBackend` bundles, the active backend is process-global
+with an env-var default, and tests can register tracing fakes without
+touching model code.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.nn import backend
+
+
+@pytest.fixture(autouse=True)
+def restore_active():
+    """Every test leaves the process-global active backend untouched."""
+    previous = backend.active()
+    yield
+    backend.set_backend(previous.name)
+
+
+def tracing_backend(calls):
+    """A numpy-backed fake that records scatter-add invocations."""
+
+    def index_add(target, indices, values):
+        calls.append((np.asarray(indices).tolist()))
+        np.add.at(target, indices, values)
+
+    return backend.ArrayBackend(
+        name="tracing",
+        xp=np,
+        sparse=sp,
+        index_add=index_add,
+        to_numpy=np.asarray,
+    )
+
+
+class TestRegistry:
+    def test_numpy_is_registered_and_default(self):
+        assert "numpy" in backend.available_backends()
+        assert backend.active().name in backend.available_backends()
+        assert backend.xp() is backend.active().xp
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigError, match="unknown nn backend"):
+            backend.get_backend("no-such-accelerator")
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            backend.register_backend("numpy", backend._numpy_backend)
+
+    def test_factory_must_return_arraybackend(self):
+        backend.register_backend(
+            "broken-test-backend", lambda: object(), overwrite=True
+        )
+        try:
+            with pytest.raises(ConfigError, match="expected ArrayBackend"):
+                backend.get_backend("broken-test-backend")
+        finally:
+            backend._FACTORIES.pop("broken-test-backend", None)
+            backend._CACHE.pop("broken-test-backend", None)
+
+    def test_get_backend_caches_instances(self):
+        assert backend.get_backend("numpy") is backend.get_backend("numpy")
+
+
+class TestBundle:
+    def test_asarray_dtype_coercion(self):
+        bundle = backend.get_backend("numpy")
+        out = bundle.asarray([1, 2, 3], dtype=np.float64)
+        assert out.dtype == np.float64
+        assert bundle.asarray([1.5]).dtype == np.float64
+
+    def test_issparse_defaults_to_sparse_namespace(self):
+        bundle = backend.get_backend("numpy")
+        assert bundle.issparse(sp.eye(3, format="csr"))
+        assert not bundle.issparse(np.eye(3))
+
+    def test_numpy_index_add_accumulates_duplicates(self):
+        bundle = backend.get_backend("numpy")
+        target = np.zeros(3)
+        bundle.index_add(target, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0]))
+        assert target.tolist() == [3.0, 0.0, 5.0]
+
+
+class TestActiveSwitching:
+    def test_use_backend_switches_and_restores(self):
+        calls = []
+        backend.register_backend(
+            "tracing", lambda: tracing_backend(calls), overwrite=True
+        )
+        try:
+            before = backend.active()
+            with backend.use_backend("tracing") as bundle:
+                assert backend.active() is bundle
+                assert bundle.name == "tracing"
+                target = np.zeros(2)
+                backend.active().index_add(
+                    target, np.array([1]), np.array([4.0])
+                )
+            assert backend.active() is before
+            assert calls == [[1]]
+        finally:
+            backend._FACTORIES.pop("tracing", None)
+            backend._CACHE.pop("tracing", None)
+
+    def test_use_backend_restores_on_error(self):
+        before = backend.active()
+        with pytest.raises(RuntimeError, match="boom"):
+            with backend.use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert backend.active() is before
+
+    def test_set_backend_returns_new_active(self):
+        bundle = backend.set_backend("numpy")
+        assert bundle is backend.active()
+
+    def test_cupy_backend_unavailable_raises_config_error(self):
+        try:
+            import cupy  # noqa: F401
+
+            pytest.skip("cupy installed; unavailability path not testable")
+        except ImportError:
+            pass
+        with pytest.raises(ConfigError, match="cupy"):
+            backend.get_backend("cupy")

@@ -61,7 +61,10 @@ class TestNormalizedAdjacency:
 class TestGCNLayer:
     def test_output_shape(self, rng):
         layer = GCNLayer(3, 8, rng=0)
-        out = layer(Tensor(rng.standard_normal((5, 3))), normalized_adjacency(path_graph(5)))
+        out = layer(
+            Tensor(rng.standard_normal((5, 3))),
+            normalized_adjacency(path_graph(5)),
+        )
         assert out.shape == (5, 8)
 
     def test_messages_propagate_one_hop(self):
@@ -84,7 +87,10 @@ class TestGCNLayer:
 
     def test_gradients_flow(self, rng):
         layer = GCNLayer(2, 4, rng=0)
-        out = layer(Tensor(rng.standard_normal((4, 2))), normalized_adjacency(path_graph(4)))
+        out = layer(
+            Tensor(rng.standard_normal((4, 2))),
+            normalized_adjacency(path_graph(4)),
+        )
         (out * out).sum().backward()
         assert layer.weight.grad is not None
         assert layer.bias.grad is not None
@@ -110,12 +116,18 @@ class TestGCNLayer:
 class TestGATLayer:
     def test_output_shape(self, rng):
         layer = GATLayer(3, 6, rng=0)
-        out = layer(Tensor(rng.standard_normal((4, 3))), normalized_adjacency(path_graph(4)))
+        out = layer(
+            Tensor(rng.standard_normal((4, 3))),
+            normalized_adjacency(path_graph(4)),
+        )
         assert out.shape == (4, 6)
 
     def test_gradients_flow(self, rng):
         layer = GATLayer(2, 4, rng=0)
-        out = layer(Tensor(rng.standard_normal((3, 2))), normalized_adjacency(path_graph(3)))
+        out = layer(
+            Tensor(rng.standard_normal((3, 2))),
+            normalized_adjacency(path_graph(3)),
+        )
         (out * out).sum().backward()
         for name, param in layer.named_parameters():
             assert param.grad is not None, name
@@ -148,7 +160,10 @@ class TestGraphEncoder:
     @pytest.mark.parametrize("layers", [1, 2, 4])
     def test_depth_and_type_combinations(self, rng, gnn_type, layers):
         enc = GraphEncoder(2, 8, num_layers=layers, gnn_type=gnn_type, rng=0)
-        out = enc(Tensor(rng.standard_normal((5, 2))), normalized_adjacency(path_graph(5)))
+        out = enc(
+            Tensor(rng.standard_normal((5, 2))),
+            normalized_adjacency(path_graph(5)),
+        )
         assert out.shape == (5, 8)
         assert enc.out_features == 8
 

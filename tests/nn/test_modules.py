@@ -5,7 +5,15 @@ import pytest
 
 from repro.errors import NNError
 from repro.nn import functional as F
-from repro.nn.layers import MLP, Identity, Linear, ReLU, Sequential, Tanh, make_activation
+from repro.nn.layers import (
+    MLP,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+    make_activation,
+)
 from repro.nn.module import Module
 from repro.nn.serialization import load_state_dict, save_state_dict
 from repro.nn.tensor import Tensor

@@ -1,0 +1,272 @@
+"""Tests for the batched multi-environment collector (repro.rl.batched).
+
+The load-bearing contract: the merged trajectory stream a batched
+collector produces is bitwise identical to the per-trajectory stream
+backend (the worker pool) for any (seed, epoch, num_envs) — batching is
+a pure throughput optimization, never a behavior change.  Also covered:
+composition with ``num_workers``, the configuration guards, the
+environment's provable LP-skip bound, and the batched distribution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, NNError
+from repro.nn.distributions import BatchedCategorical, Categorical
+from repro.nn.tensor import Tensor
+from repro.rl.batched import BatchedForward, BatchedRolloutCollector
+from repro.rl.env import PlanningEnv
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.rollouts import (
+    ParallelRolloutCollector,
+    make_collector,
+    resolve_backend,
+)
+from repro.topology import datasets, generators
+
+BUDGET = 24
+MAX_TRAJECTORY = 8
+
+
+def fresh_env():
+    return PlanningEnv(
+        datasets.figure1_topology(), max_units_per_step=1, max_steps=12
+    )
+
+
+def fresh_policy(**overrides):
+    kwargs = {"feature_dim": 1, "max_units": 1, "rng": 0}
+    kwargs.update(overrides)
+    return ActorCriticPolicy(**kwargs)
+
+
+def stream(batch):
+    """Every per-transition field, flattened in merged order."""
+    return [
+        (
+            t.observation.tobytes(),
+            t.mask.tobytes(),
+            t.action,
+            t.reward,
+            t.value,
+            t.log_prob,
+        )
+        for f in batch.fragments
+        for t in f.transitions
+    ]
+
+
+def bounds(batch):
+    return [
+        (
+            len(f.transitions),
+            f.stream,
+            f.done,
+            f.feasible,
+            f.plan_cost,
+            f.final_value,
+        )
+        for f in batch.fragments
+    ]
+
+
+def collect_batched(num_envs, seed=0, epoch=0, budget=BUDGET):
+    collector = BatchedRolloutCollector(
+        fresh_env(), fresh_policy(), num_envs=num_envs, seed=seed
+    )
+    try:
+        return collector.collect(
+            budget=budget, max_trajectory_length=MAX_TRAJECTORY, epoch=epoch
+        )
+    finally:
+        collector.close()
+
+
+def collect_pool(seed=0, epoch=0, budget=BUDGET):
+    with ParallelRolloutCollector(
+        fresh_env(), fresh_policy(), num_workers=1, seed=seed
+    ) as collector:
+        return collector.collect(
+            budget=budget, max_trajectory_length=MAX_TRAJECTORY, epoch=epoch
+        )
+
+
+# ----------------------------------------------------------------------
+# The bitwise contract
+# ----------------------------------------------------------------------
+class TestBatchedSerialParity:
+    @pytest.mark.parametrize("num_envs", [1, 2, 8])
+    def test_stream_matches_pool(self, num_envs):
+        """K stacked envs replay the pool's per-trajectory streams."""
+        reference = collect_pool()
+        batched = collect_batched(num_envs)
+        assert stream(batched) == stream(reference)
+        assert bounds(batched) == bounds(reference)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        epoch=st.integers(min_value=0, max_value=64),
+        num_envs=st.sampled_from([1, 2, 8]),
+    )
+    def test_stream_matches_pool_any_seed(self, seed, epoch, num_envs):
+        reference = collect_pool(seed=seed, epoch=epoch)
+        batched = collect_batched(num_envs, seed=seed, epoch=epoch)
+        assert stream(batched) == stream(reference)
+
+    def test_batched_stream_invariant_in_num_envs(self):
+        first = collect_batched(2)
+        for num_envs in (4, 8):
+            assert stream(collect_batched(num_envs)) == stream(first)
+
+    def test_composes_with_num_workers(self):
+        """num_envs x num_workers never changes the merged stream."""
+        reference = collect_batched(2)
+        collector = make_collector(
+            fresh_env(),
+            fresh_policy(),
+            np.random.default_rng(0),
+            rollout_backend="auto",
+            num_workers=2,
+            num_envs=2,
+            seed=0,
+        )
+        try:
+            batch = collector.collect(
+                budget=BUDGET, max_trajectory_length=MAX_TRAJECTORY, epoch=0
+            )
+        finally:
+            collector.close()
+        assert stream(batch) == stream(reference)
+
+
+# ----------------------------------------------------------------------
+# Configuration guards
+# ----------------------------------------------------------------------
+class TestConfigGuards:
+    def test_auto_resolution(self):
+        assert resolve_backend("auto", 1, 1) == "serial"
+        assert resolve_backend("auto", 2, 1) == "parallel"
+        assert resolve_backend("auto", 1, 4) == "batched"
+        assert resolve_backend("auto", 2, 4) == "batched"
+        assert resolve_backend("batched", 1, 1) == "batched"
+
+    @pytest.mark.parametrize("backend", ["serial", "parallel"])
+    def test_explicit_backend_rejects_num_envs(self, backend):
+        workers = 1 if backend == "serial" else 2
+        with pytest.raises(ConfigError, match="num_envs"):
+            resolve_backend(backend, workers, 2)
+
+    def test_num_envs_must_be_positive(self):
+        with pytest.raises(ConfigError, match="num_envs"):
+            resolve_backend("auto", 1, 0)
+
+    def test_gat_rejected_by_batched_update(self):
+        policy = fresh_policy(gnn_type="gat")
+        env = fresh_env()
+        with pytest.raises(ConfigError, match="gat"):
+            BatchedForward(policy, env.adjacency_norm)
+
+
+# ----------------------------------------------------------------------
+# The environment's provable LP-skip
+# ----------------------------------------------------------------------
+class TestInfeasibilitySkip:
+    def make_env(self):
+        instance = generators.make_instance(
+            "A", seed=0, scale=0.7, horizon="short", capacity_unit=2.5
+        )
+        return PlanningEnv(instance, max_units_per_step=2, max_steps=40)
+
+    def test_skip_preserves_trajectory_bitwise(self):
+        """The 2x-shortfall bound never changes a verdict, only solves.
+
+        The reference environment has its tracked infeasibility gap
+        zeroed before every step, which forces a real LP evaluate each
+        time; the skipping environment must produce bitwise-identical
+        observations, rewards, and termination anyway — while solving
+        strictly fewer LPs.
+        """
+        skipping, reference = self.make_env(), self.make_env()
+        obs_a, obs_b = skipping.reset(), reference.reset()
+        assert obs_a.tobytes() == obs_b.tobytes()
+        rng = np.random.default_rng(7)
+        done = False
+        while not done:
+            mask = skipping.action_mask()
+            assert mask.tobytes() == reference.action_mask().tobytes()
+            action = int(rng.choice(np.flatnonzero(mask)))
+            reference._infeasibility_gap = 0.0  # force a real evaluate
+            a = skipping.step(action)
+            b = reference.step(action)
+            assert a.reward == b.reward
+            assert a.done == b.done
+            assert a.observation.tobytes() == b.observation.tobytes()
+            assert skipping.feasible == reference.feasible
+            # The bound is conservative: when the skip path reports a
+            # shortfall it must under-estimate the true one, never
+            # claim infeasibility the LP would not.
+            if not reference.feasible:
+                assert a.info["shortfall"] <= b.info["shortfall"] + 1e-9
+            done = a.done
+        assert skipping.evaluator.lp_solves < reference.evaluator.lp_solves
+
+    def test_gap_reseeds_after_each_real_evaluate(self):
+        env = self.make_env()
+        env.reset()
+        gap = env._infeasibility_gap
+        assert gap > 0.0  # topology A at 0.7 scale starts infeasible
+        mask = env.action_mask()
+        env.step(int(np.flatnonzero(mask)[0]))
+        # One unit of 2.5 Gbps decays the bound by at most 2 * 2.5.
+        assert env._infeasibility_gap >= gap - 2 * 2.5 * 2 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# BatchedCategorical
+# ----------------------------------------------------------------------
+class TestBatchedCategorical:
+    def test_rows_match_independent_categoricals(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 6))
+        mask = rng.random(size=(4, 6)) > 0.3
+        mask[:, 0] = True  # keep every row satisfiable
+        batched = BatchedCategorical(Tensor(logits), mask)
+        for row in range(4):
+            single = Categorical(Tensor(logits[row]), mask[row])
+            assert batched.probs_row(row).tobytes() == single.probs.tobytes()
+            draw_a = batched.sample_row(row, np.random.default_rng(row))
+            draw_b = single.sample(np.random.default_rng(row))
+            assert draw_a == draw_b
+            assert batched.mode_row(row) == single.mode()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(NNError, match="2-D"):
+            BatchedCategorical(Tensor(np.zeros(3)))
+        with pytest.raises(NNError, match="mask shape"):
+            BatchedCategorical(
+                Tensor(np.zeros((2, 3))), np.ones((3, 2), dtype=bool)
+            )
+        dead_row = np.array([[True, True], [False, False]])
+        with pytest.raises(NNError, match="disables"):
+            BatchedCategorical(Tensor(np.zeros((2, 2))), dead_row)
+
+    def test_log_prob_and_entropy_match_rows(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        batched = BatchedCategorical(Tensor(logits))
+        actions = [2, 0, 4]
+        joint = batched.log_prob(actions)
+        entropy = batched.entropy()
+        for row, action in enumerate(actions):
+            single = Categorical(Tensor(logits[row]))
+            assert joint.data[row] == pytest.approx(
+                single.log_prob(action).item()
+            )
+            assert entropy.data[row] == pytest.approx(single.entropy().item())

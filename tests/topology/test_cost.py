@@ -52,7 +52,10 @@ class TestCostModel:
     def test_fiber_build_cost_only_for_candidates(self, candidate_network):
         model = CostModel(fiber_fixed_charge=True)
         # Using only the in-service fiber costs nothing extra.
-        assert model.fiber_build_cost(candidate_network, {"ab": 100.0, "ac": 0.0}) == 0.0
+        assert (
+            model.fiber_build_cost(candidate_network, {"ab": 100.0, "ac": 0.0})
+            == 0.0
+        )
         # Lighting the candidate BC pays its 500 build cost once.
         assert (
             model.fiber_build_cost(candidate_network, {"ab": 0.0, "ac": 100.0})
