@@ -181,6 +181,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ilp-time-limit", type=float, default=30.0,
         help="per-request cap on the second-stage ILP budget (seconds)",
     )
+    serve.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="serve from N crash-only worker processes behind a "
+        "supervisor + dispatcher (0 = single-process, the default)",
+    )
+    serve.add_argument(
+        "--shed-policy", default="default", metavar="SPEC",
+        help="replicated-mode load shedding: 'off', 'default', or three "
+        "load thresholds 'CACHE_ONLY,SKIP_ILP,REJECT' as fractions of "
+        "capacity (e.g. '0.5,0.75,0.95')",
+    )
+    serve.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="replicated-mode tail-latency hedging: duplicate a request "
+        "to a second replica after this long (default: off)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="replicated-mode retry budget when a replica dies "
+        "mid-request",
+    )
     _add_profile_arg(serve, top_level=False)
 
     scenarios = sub.add_parser(
@@ -413,17 +434,41 @@ def _cmd_serve(args) -> int:
     # for a server process (a --profile path additionally gets a trace).
     if not telemetry.enabled():
         telemetry.enable()
-    service = PlanningService(
-        args.model_dir,
-        ServiceConfig(
-            workers=args.serve_workers,
-            queue_depth=args.queue_depth,
-            cache_size=args.cache_size,
-            ilp_time_limit=args.ilp_time_limit,
-        ),
+    service_config = ServiceConfig(
+        workers=args.serve_workers,
+        queue_depth=args.queue_depth,
+        cache_size=args.cache_size,
+        ilp_time_limit=args.ilp_time_limit,
     )
-    keys = service.registry.store.keys()
-    print(f"model store {args.model_dir}: {keys or 'EMPTY (publish first)'}")
+    if args.replicas > 0:
+        from repro.serve.dispatcher import (
+            Dispatcher,
+            DispatcherConfig,
+            ShedPolicy,
+        )
+        from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+        supervisor = Supervisor(
+            args.model_dir,
+            service_config=service_config,
+            config=SupervisorConfig(replicas=args.replicas),
+        ).start()
+        service = Dispatcher(
+            supervisor,
+            DispatcherConfig(
+                max_retries=args.max_retries,
+                hedge_after_s=args.hedge_after,
+                shed_policy=ShedPolicy.parse(args.shed_policy),
+            ),
+        )
+        print(
+            f"model store {args.model_dir}: "
+            f"{supervisor.healthy_count()}/{args.replicas} replicas healthy"
+        )
+    else:
+        service = PlanningService(args.model_dir, service_config)
+        keys = service.registry.store.keys()
+        print(f"model store {args.model_dir}: {keys or 'EMPTY (publish first)'}")
     run(service, host=args.host, port=args.port)
     print("drained; bye")
     return 0

@@ -120,3 +120,12 @@ class PlanVerificationError(ScenarioError, PlanError):
 class DeadlineExceeded(ServeError):
     """A request's end-to-end deadline expired (queue wait counts)
     before a response could be produced."""
+
+
+class ReplicaUnavailable(ServeError):
+    """A serving replica died (or its dispatch channel broke) while a
+    request was in flight and no retry was possible.
+
+    The dispatcher retries idempotent plan requests on another replica
+    transparently; this error surfaces only when every retry budget --
+    attempts, deadline, healthy replicas -- is exhausted."""

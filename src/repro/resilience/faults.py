@@ -17,6 +17,18 @@ A :class:`FaultPlan` is a set of specs, one per *site*::
     train.abort@3           hard-exit the process after epoch 3's
                             checkpoint (the kill-at-epoch-k harness)
 
+and for the replicated serving layer (keyed by replica index, with the
+replica *generation* as the attempt -- so ``serve.replica.crash@0``
+kills generation 0 of replica 0 and the respawn serves normally)::
+
+    serve.replica.crash@0   replica 0 exits hard on its next plan request
+    serve.replica.hang@1    replica 1 wedges its receive loop (heartbeats
+                            stop; the supervisor SIGKILLs it)
+    serve.heartbeat.miss@0  replica 0 swallows pings (looks dead without
+                            being dead)
+    serve.dispatch.drop     the dispatcher "loses" a dispatch parent-side
+                            and exercises its retry path (unkeyed)
+
 Sites are instrumented with :func:`maybe_fail` (raises
 :class:`~repro.errors.InjectedFault`) or :func:`fires` (boolean, for
 sites that corrupt state rather than raise).  Activation is either

@@ -8,13 +8,22 @@ requests with a deterministic greedy rollout of the registered policy
 plus an optional budgeted second-stage ILP -- no training, no optimizer
 state, no unbounded queues.
 
+With ``--replicas N`` the same surface is served by N crash-only
+worker *processes* behind a supervisor (heartbeat health checks,
+exponential-backoff restarts, a crash-loop circuit breaker) and a
+dispatcher (least-loaded routing, deadline-aware retry of idempotent
+requests, optional tail-latency hedging, tiered load shedding).
+
 Components: :mod:`registry` (model store + policy registry),
 :mod:`service` (request -> response orchestration), :mod:`pool`
 (bounded workers + typed backpressure), :mod:`cache` (LRU response
-cache), :mod:`http` (stdlib JSON transport).
+cache), :mod:`http` (stdlib JSON transport), :mod:`replica`
+(crash-only worker process), :mod:`supervisor` (process lifecycle),
+:mod:`dispatcher` (replicated-serving front end).
 """
 
 from repro.serve.cache import ResponseCache, canonical_key
+from repro.serve.dispatcher import Dispatcher, DispatcherConfig, ShedPolicy
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import (
     InferenceAgent,
@@ -24,8 +33,11 @@ from repro.serve.registry import (
     PolicyRegistry,
 )
 from repro.serve.service import PlanRequest, PlanningService, ServiceConfig
+from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
+    "Dispatcher",
+    "DispatcherConfig",
     "InferenceAgent",
     "ModelKey",
     "ModelRecord",
@@ -35,6 +47,9 @@ __all__ = [
     "PolicyRegistry",
     "ResponseCache",
     "ServiceConfig",
+    "ShedPolicy",
+    "Supervisor",
+    "SupervisorConfig",
     "WorkerPool",
     "canonical_key",
 ]

@@ -1,0 +1,478 @@
+"""Replicated-serving front end: routing, retry, hedging, shedding.
+
+The dispatcher is the request-robustness half of crash-only serving
+(the supervisor is the process-robustness half).  It routes each
+request to the least-loaded healthy replica and layers three defenses
+on top:
+
+**Deadline-aware retry.**  ``POST /v1/plan`` is idempotent -- planning
+is a deterministic function of the request identity -- so when a
+replica dies mid-request (typed :class:`ReplicaUnavailable` from the
+supervisor's death path, or the deterministic ``serve.dispatch.drop``
+fault), the dispatcher re-sends the request to a different replica
+with the *remaining* deadline, up to ``max_retries`` attempts.
+
+**Tail-latency hedging (optional).**  With ``hedge_after_s`` set, a
+request still unanswered after that long is duplicated to a second
+replica; the first successful response wins and the loser is forgotten.
+
+**Tiered load shedding.**  Load is admitted in-flight work over
+routable capacity.  Crossing the policy's thresholds escalates -- per
+priority class -- from full service to ``cache_only`` answers, to
+rollout-only service (``skip_ilp``, stamped ``degraded``), to typed
+:class:`Overloaded`::
+
+    tier (load >=)        p0 interactive   p1 normal     p2 background
+    0                     full             full          full
+    1 cache_only_at       full             full          cache_only
+    2 skip_ilp_at         full             skip_ilp      cache_only
+    3 reject_at           skip_ilp         cache_only    reject
+
+Background traffic degrades first and interactive traffic never gets a
+hard rejection from the shedder itself (a cache-only miss or a full
+replica queue can still surface one), so saturation shows up as a
+graceful quality ramp instead of an error cliff.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.errors import (
+    ConfigError,
+    DeadlineExceeded,
+    Overloaded,
+    ReplicaUnavailable,
+)
+from repro.resilience import faults
+from repro.serve.service import PlanRequest
+from repro.serve.supervisor import ReplicaHandle, Supervisor
+
+_REJECT = "reject"
+_FULL = None
+
+# Shed matrix rows by tier; columns by priority class (0, 1, 2).
+_SHED_MATRIX = (
+    (_FULL, _FULL, _FULL),
+    (_FULL, _FULL, "cache_only"),
+    (_FULL, "skip_ilp", "cache_only"),
+    ("skip_ilp", "cache_only", _REJECT),
+)
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Load thresholds (fractions of routable capacity) per shed tier."""
+
+    cache_only_at: float = 0.5
+    skip_ilp_at: float = 0.75
+    reject_at: float = 0.95
+    enabled: bool = True
+
+    def __post_init__(self):
+        if not 0.0 < self.cache_only_at <= self.skip_ilp_at <= self.reject_at:
+            raise ConfigError(
+                "shed thresholds must satisfy "
+                "0 < cache_only_at <= skip_ilp_at <= reject_at"
+            )
+
+    @classmethod
+    def off(cls) -> "ShedPolicy":
+        return cls(enabled=False)
+
+    @classmethod
+    def parse(cls, text: str) -> "ShedPolicy":
+        """``"off"``, ``"default"``, or ``"0.5,0.75,0.95"``."""
+        text = text.strip().lower()
+        if text == "off":
+            return cls.off()
+        if text in ("", "default", "on"):
+            return cls()
+        parts = text.split(",")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"bad shed policy {text!r}: expected 'off', 'default', or "
+                "three comma-separated load thresholds like '0.5,0.75,0.95'"
+            )
+        try:
+            cache_only, skip_ilp, reject = (float(part) for part in parts)
+        except ValueError:
+            raise ConfigError(f"bad shed policy {text!r}") from None
+        return cls(cache_only, skip_ilp, reject)
+
+    def tier(self, load: float) -> int:
+        if not self.enabled:
+            return 0
+        if load >= self.reject_at:
+            return 3
+        if load >= self.skip_ilp_at:
+            return 2
+        if load >= self.cache_only_at:
+            return 1
+        return 0
+
+
+@dataclass
+class DispatcherConfig:
+    """Request-robustness knobs for one :class:`Dispatcher`."""
+
+    max_retries: int = 2
+    hedge_after_s: "float | None" = None  # None disables hedging
+    replica_wait_s: float = 10.0  # empty-rotation grace (respawn budget)
+    shed_policy: ShedPolicy = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ConfigError("hedge_after_s must be positive")
+        if self.replica_wait_s < 0:
+            raise ConfigError("replica_wait_s must be >= 0")
+        if self.shed_policy is None:
+            self.shed_policy = ShedPolicy()
+
+
+class Dispatcher:
+    """Route :class:`PlanRequest` objects over a supervisor's replicas.
+
+    Exposes the same ``submit``/``plan``/``healthz``/``metrics``/
+    ``close`` surface as :class:`PlanningService`, so the HTTP transport
+    and the load benchmark drive either interchangeably.
+    """
+
+    def __init__(
+        self, supervisor: Supervisor, config: "DispatcherConfig | None" = None
+    ):
+        self.supervisor = supervisor
+        self.config = config or DispatcherConfig()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._in_flight = 0
+        self._in_flight_by_priority = [0, 0, 0]
+        self._rr = 0  # round-robin tiebreaker
+        capacity = self._capacity(max(1, self.supervisor.config.replicas))
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, capacity), thread_name_prefix="dispatch"
+        )
+
+    # ------------------------------------------------------------------
+    # Admission + shedding
+    # ------------------------------------------------------------------
+    def _capacity(self, replicas: int) -> int:
+        service = self.supervisor.service_config
+        return replicas * (service.workers + service.queue_depth)
+
+    def load(self) -> dict:
+        """Current admitted load vs routable capacity, plus the tier."""
+        routable = len(self.supervisor.routable())
+        capacity = self._capacity(routable)
+        with self._lock:
+            in_flight = self._in_flight
+            by_priority = list(self._in_flight_by_priority)
+        load = (in_flight / capacity) if capacity else float("inf")
+        return {
+            "in_flight": in_flight,
+            "by_priority": by_priority,
+            "capacity": capacity,
+            "load": round(load, 4) if capacity else None,
+            "tier": self.config.shed_policy.tier(load),
+        }
+
+    def _admit(self, request: PlanRequest) -> "str | None":
+        """Pick the shed action for this request; raise on rejection."""
+        with self._lock:
+            if self._closed:
+                telemetry.counter("serve.dispatch.rejected_draining")
+                raise Overloaded("dispatcher is draining; not accepting work")
+        state = self.load()
+        tier = state["tier"]
+        action = _SHED_MATRIX[tier][request.priority]
+        if action is _REJECT:
+            telemetry.counter("serve.shed.rejected")
+            raise Overloaded(
+                f"load {state['load']} is past the reject threshold; "
+                f"priority-{request.priority} requests are shed "
+                f"(tier {tier})"
+            )
+        if action is not None:
+            telemetry.counter(f"serve.shed.tier{tier}")
+        with self._lock:
+            self._in_flight += 1
+            self._in_flight_by_priority[request.priority] += 1
+        telemetry.gauge("serve.dispatch.in_flight", self._in_flight)
+        return action
+
+    def _release(self, request: PlanRequest) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._in_flight_by_priority[request.priority] -= 1
+
+    # ------------------------------------------------------------------
+    # Public request surface
+    # ------------------------------------------------------------------
+    def submit(self, request: PlanRequest) -> Future:
+        """Admit + shed synchronously (so backpressure is immediate),
+        then run route/retry/hedge on the dispatch executor."""
+        telemetry.counter("serve.requests")
+        action = self._admit(request)
+        admitted_at = time.monotonic()
+        future = self._executor.submit(
+            self._run_admitted, request, action, admitted_at
+        )
+        future.add_done_callback(lambda _f: self._release(request))
+        return future
+
+    def plan(self, request: PlanRequest) -> dict:
+        return self.submit(request).result()
+
+    # ------------------------------------------------------------------
+    # Routing, retry, hedging
+    # ------------------------------------------------------------------
+    def _pick(
+        self, exclude: "set[int]", remaining: "float | None"
+    ) -> ReplicaHandle:
+        """Least-loaded routable replica, preferring untried ones.
+
+        An empty rotation (every replica dead at once) is *transient* by
+        design -- the supervisor is already respawning -- so instead of
+        failing instantly we wait out the respawn, bounded by both the
+        configured grace and the request's remaining deadline.
+        """
+        grace = self.config.replica_wait_s
+        if remaining is not None:
+            grace = min(grace, remaining)
+        wait_until = time.monotonic() + grace
+        waited = False
+        while True:
+            routable = self.supervisor.routable()
+            if routable:
+                break
+            if not waited:
+                waited = True
+                telemetry.counter("serve.dispatch.no_replicas")
+            if time.monotonic() >= wait_until:
+                raise Overloaded(
+                    "no healthy replicas in rotation (and none came back "
+                    f"within {grace:.1f}s); retry later"
+                )
+            time.sleep(0.02)
+        fresh = [h for h in routable if h.index not in exclude] or routable
+        with self._lock:
+            self._rr += 1
+            tiebreak = self._rr
+        return min(
+            fresh,
+            key=lambda h: (h.in_flight, (h.index + tiebreak) % len(fresh)),
+        )
+
+    def _remaining(self, request: PlanRequest, admitted_at: float) -> "float | None":
+        if request.deadline_s is None:
+            return None
+        remaining = request.deadline_s - (time.monotonic() - admitted_at)
+        if remaining <= 0:
+            telemetry.counter("serve.deadline_exceeded")
+            raise DeadlineExceeded(
+                f"deadline {request.deadline_s}s expired at the dispatcher "
+                "(retries and queueing count against it)"
+            )
+        return remaining
+
+    def _run_admitted(
+        self, request: PlanRequest, action: "str | None", admitted_at: float
+    ) -> dict:
+        attempts = 0
+        tried: "set[int]" = set()
+        while True:
+            remaining = self._remaining(request, admitted_at)
+            replica = self._pick(tried, remaining)
+            tried.add(replica.index)
+            remaining = self._remaining(request, admitted_at)
+            # The replica re-validates and re-times the deadline from its
+            # own admission, so only the *remaining* budget is forwarded.
+            fields = {
+                name: getattr(request, name)
+                for name in request.__dataclass_fields__
+            }
+            fields["deadline_s"] = remaining
+            try:
+                if faults.fires("serve.dispatch.drop"):
+                    # A deterministically "lost" dispatch: the request
+                    # never reaches the replica, exactly as if the pipe
+                    # broke under it.
+                    telemetry.counter("serve.dispatch.dropped")
+                    raise ReplicaUnavailable(
+                        f"injected dispatch drop towards replica {replica.index}"
+                    )
+                future = replica.dispatch(fields, action)
+                response, served_by = self._await(
+                    future, replica, fields, action, remaining
+                )
+            except ReplicaUnavailable as exc:
+                attempts += 1
+                if attempts > self.config.max_retries:
+                    telemetry.counter("serve.dispatch.retries_exhausted")
+                    raise ReplicaUnavailable(
+                        f"{exc} (after {attempts} attempt(s))"
+                    ) from exc
+                telemetry.counter("serve.dispatch.retries")
+                continue
+            response["replica"] = served_by.index
+            response["attempts"] = attempts + 1
+            if action is not None and "shed" not in response:
+                response["shed"] = action
+            telemetry.counter("serve.responses")
+            return response
+
+    def _await(
+        self,
+        future: Future,
+        replica: ReplicaHandle,
+        fields: dict,
+        action: "str | None",
+        remaining: "float | None",
+    ) -> "tuple[dict, ReplicaHandle]":
+        """Wait for a dispatched request, optionally racing a hedge.
+
+        Returns the response and the replica that actually served it
+        (the hedge target, when the hedge wins the race)."""
+        hedge_after = self.config.hedge_after_s
+        if hedge_after is None or (
+            remaining is not None and remaining <= hedge_after
+        ):
+            return self._wait_one(future, replica, remaining), replica
+        try:
+            # Probe wait: a timeout here means "slow", not "failed" -- the
+            # original future stays pending while we raise a hedge.
+            return future.result(timeout=hedge_after), replica
+        except FutureTimeout:
+            pass
+        budget = None if remaining is None else remaining - hedge_after
+        hedge_replica = None
+        for candidate in self.supervisor.routable():
+            if candidate.index != replica.index:
+                hedge_replica = candidate
+                break
+        if hedge_replica is None:  # nobody to hedge onto; keep waiting
+            return self._wait_one(future, replica, budget), replica
+        telemetry.counter("serve.dispatch.hedges")
+        try:
+            hedge_future = hedge_replica.dispatch(fields, action)
+        except ReplicaUnavailable:
+            return self._wait_one(future, replica, budget), replica
+        deadline = None if budget is None else time.monotonic() + budget
+        pairs = [(future, replica), (hedge_future, hedge_replica)]
+        last_error: "BaseException | None" = None
+        while pairs:
+            for pair in list(pairs):
+                pending, owner = pair
+                if not pending.done():
+                    continue
+                pairs.remove(pair)
+                error = pending.exception()
+                if error is None:
+                    if owner is hedge_replica:
+                        telemetry.counter("serve.dispatch.hedge_wins")
+                    for other_future, other_owner in pairs:
+                        other_owner.forget(other_future)
+                    return pending.result(), owner
+                last_error = error
+            if not pairs:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                for other_future, other_owner in pairs:
+                    other_owner.forget(other_future)
+                telemetry.counter("serve.deadline_exceeded")
+                raise DeadlineExceeded(
+                    "deadline expired while racing a hedged request"
+                )
+            time.sleep(0.002)
+        assert last_error is not None
+        raise last_error
+
+    def _wait_one(
+        self, future: Future, replica: ReplicaHandle, timeout: "float | None"
+    ) -> dict:
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            replica.forget(future)
+            telemetry.counter("serve.deadline_exceeded")
+            raise DeadlineExceeded(
+                "deadline expired waiting for a replica response"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Health, metrics, lifecycle
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        from repro.version import __version__
+
+        replicas = self.supervisor.describe()
+        healthy = sum(1 for row in replicas if row["state"] == "healthy")
+        target = self.supervisor.config.replicas
+        if self._closed:
+            status = "draining"
+        elif healthy == 0:
+            status = "unavailable"
+        elif healthy < target:
+            status = "degraded"
+        else:
+            status = "ok"
+        queue_depth = sum(
+            stats.get("pool", {}).get("queued", 0)
+            for stats in self.supervisor.replica_stats().values()
+        )
+        return {
+            "status": status,
+            "draining": self._closed,
+            "version": __version__,
+            "replicas": replicas,
+            "healthy": healthy,
+            "target": target,
+            "queue": {"depth": queue_depth},
+            "load": self.load(),
+            "model_dir": self.supervisor.model_dir,
+        }
+
+    def metrics(self) -> dict:
+        """Parent-side telemetry plus a cross-replica counter rollup."""
+        per_replica = self.supervisor.replica_stats()
+        rollup: dict = {}
+        for stats in per_replica.values():
+            for name, value in stats.get("counters", {}).items():
+                rollup[name] = rollup.get(name, 0) + value
+        return {
+            "telemetry": telemetry.snapshot(),
+            "replicas": per_replica,
+            "rollup": rollup,
+            "load": self.load(),
+        }
+
+    def close(self) -> None:
+        """Graceful drain: stop admitting, let in-flight requests finish
+        (their retries included), then stop the supervisor."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._in_flight == 0:
+                    break
+            time.sleep(0.02)
+        self._executor.shutdown(wait=False)
+        self.supervisor.stop()
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+

@@ -6,7 +6,8 @@ Endpoints
     JSON :class:`~repro.serve.service.PlanRequest` body -> response dict.
     Typed errors map to status codes: ``Overloaded`` -> 429,
     ``DeadlineExceeded`` -> 504, ``ModelNotFoundError`` -> 404,
-    ``ModelMismatchError`` -> 409, other ``ServeError`` -> 400.
+    ``ModelMismatchError`` -> 409, ``ReplicaUnavailable`` -> 503,
+    other ``ServeError`` -> 400.
 ``GET /healthz``
     Liveness + registry/pool/cache state + package version.
 ``GET /metrics``
@@ -34,6 +35,7 @@ from repro.errors import (
     ModelMismatchError,
     ModelNotFoundError,
     Overloaded,
+    ReplicaUnavailable,
     ReproError,
     ServeError,
 )
@@ -45,6 +47,7 @@ _ERROR_STATUS = (
     (DeadlineExceeded, 504, "deadline_exceeded"),
     (ModelNotFoundError, 404, "model_not_found"),
     (ModelMismatchError, 409, "model_mismatch"),
+    (ReplicaUnavailable, 503, "replica_unavailable"),
     (ServeError, 400, "bad_request"),
     (ReproError, 500, "planning_error"),
 )

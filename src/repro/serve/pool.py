@@ -56,9 +56,13 @@ class WorkerPool:
             self._queue.put_nowait((fn, args, kwargs, future))
         except queue.Full:
             telemetry.counter("serve.pool.rejected_full")
+            telemetry.gauge("serve.pool.queue_depth", self.queue_depth)
             raise Overloaded(
                 f"serving queue is full ({self.queue_depth} deep); retry later"
             ) from None
+        # Sampled on every submit so saturation is visible in /metrics
+        # well before the queue fills and Overloaded starts firing.
+        telemetry.gauge("serve.pool.queue_depth", self._queue.qsize())
         return future
 
     def _worker_loop(self) -> None:

@@ -178,6 +178,13 @@ class ModelStore:
         """Published versions of ``key``, oldest first."""
         return self._versions_in(os.path.join(self.root, key.dirname()))
 
+    def inventory(self) -> dict:
+        """Every published key with its version list (for ``/healthz``)."""
+        return {
+            name: self._versions_in(os.path.join(self.root, name))
+            for name in self.keys()
+        }
+
     @staticmethod
     def _versions_in(directory: str) -> list[int]:
         try:

@@ -1,0 +1,175 @@
+"""The crash-only worker replica: one :class:`PlanningService` per
+process, driven over a duplex pipe.
+
+A replica is deliberately *crash-only*: it holds no durable state (the
+model store on disk is read-only to it, the response cache is a pure
+performance artifact), so the supervisor's only repair action is
+SIGKILL + respawn.  There is no "gentle" recovery protocol to get
+wrong -- the restart path IS the recovery path, and the chaos harness
+exercises it with real SIGKILLs.
+
+Wire protocol (pickled dicts over a :class:`multiprocessing.Pipe`)::
+
+    parent -> replica   {"kind": "ping", "id": n}
+                        {"kind": "plan", "id": n, "request": {...},
+                         "shed": None | "cache_only" | "skip_ilp"}
+                        {"kind": "shutdown"}
+    replica -> parent   {"kind": "pong", "id": n, "stats": {...}}
+                        {"kind": "result", "id": n, "ok": True,
+                         "response": {...}}
+                        {"kind": "result", "id": n, "ok": False,
+                         "error_type": "Overloaded", "error": "..."}
+
+The receive loop stays single-threaded and cheap -- plan execution
+happens on the service's worker pool, results are sent from pool
+threads under a write lock -- so heartbeats keep flowing while rollouts
+run.  A replica that stops answering pings is, by definition, wedged,
+and the supervisor kills it.
+
+Deterministic fault sites (:mod:`repro.resilience.faults`), all keyed
+by replica index with the *generation* (restart count) as the attempt,
+so ``serve.replica.crash@0`` kills generation 0 of replica 0 exactly
+once and the respawned generation serves normally::
+
+    serve.replica.crash    os._exit(70) on receiving a plan request
+    serve.replica.hang     wedge the receive loop (heartbeats stop)
+    serve.heartbeat.miss   swallow ping messages (replica looks dead)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro import telemetry
+from repro.errors import ReproError, ServeError
+from repro.resilience import faults
+from repro.serve.service import PlanRequest, PlanningService, ServiceConfig
+
+# Exit codes the supervisor can tell apart in logs/tests.
+EXIT_INJECTED_CRASH = 70
+EXIT_PARENT_GONE = 71
+
+
+def replica_stats(service: PlanningService, index: int, generation: int) -> dict:
+    """The per-replica stats blob piggybacked on every heartbeat pong."""
+    return {
+        "index": index,
+        "generation": generation,
+        "pid": os.getpid(),
+        "pool": service.pool.stats(),
+        "cache": service.cache.stats(),
+        "models": service.registry.store.inventory(),
+        "loaded_agents": service.registry.stats()["loaded_agents"],
+        "counters": telemetry.snapshot()["counters"],
+    }
+
+
+def _error_payload(exc: BaseException) -> dict:
+    """Serialize an exception as (class name, message) -- never pickle
+    the exception object itself across the trust boundary."""
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "ServeError"
+    detail = str(exc) if isinstance(exc, ReproError) else f"{type(exc).__name__}: {exc}"
+    return {"ok": False, "error_type": name, "error": detail}
+
+
+def rebuild_error(error_type: str, message: str) -> ReproError:
+    """Parent-side inverse of :func:`_error_payload`: re-raise the same
+    typed error class so HTTP status mapping survives the hop."""
+    from repro import errors
+
+    cls = getattr(errors, error_type, ServeError)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ServeError
+    return cls(message)
+
+
+def replica_main(
+    index: int,
+    generation: int,
+    conn,
+    model_dir: str,
+    service_kwargs: dict,
+    faults_env: "str | None" = None,
+) -> None:
+    """Entry point of one replica process (target of ``Process``).
+
+    ``faults_env`` is the supervisor's snapshot of ``NEUROPLAN_FAULTS``
+    at spawn time; re-exporting it here makes fault propagation
+    independent of the multiprocessing start method (a forkserver child
+    inherits the *forkserver's* environment, frozen at first use).
+    """
+    if faults_env is not None:
+        os.environ[faults.ENV_VAR] = faults_env
+    else:
+        os.environ.pop(faults.ENV_VAR, None)
+    faults.clear()
+
+    # Per-replica metrics are always on; the parent's /metrics rollup
+    # sums them across replicas from the heartbeat stats.
+    telemetry.enable()
+    service = PlanningService(model_dir, ServiceConfig(**service_kwargs))
+    send_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        try:
+            with send_lock:
+                conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            # Parent is gone; nothing left to serve.
+            os._exit(EXIT_PARENT_GONE)
+
+    def handle_sigterm(signum, _frame):
+        # Graceful drain on SIGTERM, mirroring the single-process HTTP
+        # server; SIGKILL (the supervisor's force path) never gets here.
+        service.close()
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, handle_sigterm)
+
+    def finish(request_id: int, future) -> None:
+        exc = future.exception()
+        if exc is None:
+            send({"kind": "result", "id": request_id, "ok": True,
+                  "response": future.result()})
+        else:
+            send({"kind": "result", "id": request_id, **_error_payload(exc)})
+
+    key = str(index)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent closed the pipe: drain and exit
+        kind = message.get("kind")
+        if kind == "ping":
+            if faults.fires("serve.heartbeat.miss", key=key, attempt=generation):
+                continue  # swallowed: the supervisor sees a dead replica
+            send({
+                "kind": "pong",
+                "id": message.get("id"),
+                "stats": replica_stats(service, index, generation),
+            })
+        elif kind == "plan":
+            if faults.fires("serve.replica.crash", key=key, attempt=generation):
+                os._exit(EXIT_INJECTED_CRASH)
+            if faults.fires("serve.replica.hang", key=key, attempt=generation):
+                # Wedge the receive loop: no result, no more pongs.  The
+                # supervisor's heartbeat timeout is the only way out.
+                while True:
+                    time.sleep(3600)
+            request_id = message["id"]
+            try:
+                request = PlanRequest(**message["request"])
+                future = service.submit(request, shed=message.get("shed"))
+            except BaseException as exc:  # typed errors flow back
+                send({"kind": "result", "id": request_id, **_error_payload(exc)})
+                continue
+            future.add_done_callback(
+                lambda fut, request_id=request_id: finish(request_id, fut)
+            )
+        elif kind == "shutdown":
+            break
+    service.close()

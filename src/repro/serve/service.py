@@ -15,6 +15,7 @@ stay thin and identical.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from concurrent.futures import Future
@@ -37,7 +38,19 @@ REQUEST_FIELDS = (
     "deadline_s",
     "model_version",
     "no_cache",
+    "priority",
 )
+
+# Priority classes: 0 = interactive (shed last), 1 = normal,
+# 2 = background/batch (shed first).  The dispatcher's tiered
+# load-shedding matrix keys off this field.
+PRIORITIES = (0, 1, 2)
+
+# Load-shedding execution modes, escalating in severity.  ``None`` is
+# full service; ``"cache_only"`` answers from the response cache or
+# rejects; ``"skip_ilp"`` runs the rollout but skips the second-stage
+# ILP, stamping the response ``degraded``.
+SHED_MODES = (None, "cache_only", "skip_ilp")
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,7 @@ class PlanRequest:
     deadline_s: "float | None" = None
     model_version: "int | str" = "latest"
     no_cache: bool = False
+    priority: int = 1
 
     def __post_init__(self):
         if self.topology not in generators.list_topologies():
@@ -64,10 +78,24 @@ class PlanRequest:
             raise ServeError("scale must be in (0, 1]")
         if self.horizon not in ("short", "long"):
             raise ServeError("horizon must be 'short' or 'long'")
-        if self.alpha < 1.0:
-            raise ServeError("alpha (relax factor) must be >= 1.0")
-        if self.deadline_s is not None and self.deadline_s <= 0:
-            raise ServeError("deadline_s must be positive")
+        # `alpha < 1.0` / `deadline <= 0` alone would let NaN slip
+        # through (every comparison with NaN is False) and poison the
+        # downstream remaining-time arithmetic, so finiteness is checked
+        # explicitly.
+        if not (math.isfinite(self.alpha) and self.alpha >= 1.0):
+            raise ServeError("alpha (relax factor) must be finite and >= 1.0")
+        if self.deadline_s is not None:
+            try:
+                deadline = float(self.deadline_s)
+            except (TypeError, ValueError):
+                raise ServeError("deadline_s must be a number") from None
+            if not math.isfinite(deadline) or deadline <= 0:
+                raise ServeError("deadline_s must be a positive finite number")
+        if self.priority not in PRIORITIES:
+            raise ServeError(
+                f"priority must be one of {PRIORITIES} "
+                "(0 interactive, 1 normal, 2 background)"
+            )
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PlanRequest":
@@ -89,9 +117,9 @@ class PlanRequest:
     def identity(self, resolved_version: int) -> dict:
         """The plan-identity fields hashed into the cache key.
 
-        ``deadline_s`` and ``no_cache`` shape *how* the request runs,
-        not *what* plan it yields, so they stay out of the hash; the
-        resolved version replaces any ``latest`` alias.
+        ``deadline_s``, ``no_cache`` and ``priority`` shape *how* the
+        request runs, not *what* plan it yields, so they stay out of
+        the hash; the resolved version replaces any ``latest`` alias.
         """
         return {
             "topology": self.topology,
@@ -137,22 +165,65 @@ class PlanningService:
         self._closed = False
 
     # ------------------------------------------------------------------
-    def submit(self, request: PlanRequest) -> Future:
+    def submit(self, request: PlanRequest, shed: "str | None" = None) -> Future:
         """Admit a request; the future resolves to the response dict.
 
         Raises :class:`Overloaded` immediately when the queue is full or
-        the service is draining -- admission never blocks.
+        the service is draining -- admission never blocks.  ``shed``
+        selects a degraded execution mode (see :data:`SHED_MODES`):
+        ``"cache_only"`` answers from the response cache *without
+        touching the pool* (a hit costs one dict copy, a miss is a typed
+        :class:`Overloaded`), ``"skip_ilp"`` runs the rollout but skips
+        the second-stage ILP with a ``degraded`` stamp.
         """
+        if shed not in SHED_MODES:
+            raise ServeError(f"unknown shed mode {shed!r}; options: {SHED_MODES}")
         telemetry.counter("serve.requests")
         admitted_at = time.perf_counter()
-        return self.pool.submit(self._execute, request, admitted_at)
+        if shed == "cache_only":
+            return self._cache_only(request, admitted_at)
+        return self.pool.submit(self._execute, request, admitted_at, shed)
 
-    def plan(self, request: PlanRequest) -> dict:
+    def plan(self, request: PlanRequest, shed: "str | None" = None) -> dict:
         """Synchronous submit + wait (in-process callers, benchmark)."""
-        return self.submit(request).result()
+        return self.submit(request, shed=shed).result()
 
     # ------------------------------------------------------------------
-    def _execute(self, request: PlanRequest, admitted_at: float) -> dict:
+    def _cache_only(self, request: PlanRequest, admitted_at: float) -> Future:
+        """Answer from the cache, bypassing the pool queue entirely --
+        this tier must keep working precisely when the queue is full."""
+        future: Future = Future()
+        record = self.registry.resolve(request.model_key(), request.model_version)
+        cached = (
+            None
+            if request.no_cache
+            else self.cache.get(canonical_key(request.identity(record.version)))
+        )
+        if cached is None:
+            telemetry.counter("serve.shed.cache_only_miss")
+            future.set_exception(
+                Overloaded(
+                    "shed to the cache-only tier with no cached response; "
+                    "retry later or lower the request priority tier"
+                )
+            )
+            return future
+        telemetry.counter("serve.shed.cache_only")
+        response = dict(cached)
+        response["cache_hit"] = True
+        response["shed"] = "cache_only"
+        response["timings"] = {
+            **cached["timings"],
+            "queue_s": 0.0,
+            "total_s": time.perf_counter() - admitted_at,
+        }
+        telemetry.counter("serve.responses")
+        future.set_result(response)
+        return future
+
+    def _execute(
+        self, request: PlanRequest, admitted_at: float, shed: "str | None" = None
+    ) -> dict:
         started = time.perf_counter()
         queue_s = started - admitted_at
         deadline = request.deadline_s
@@ -188,7 +259,10 @@ class PlanningService:
 
         ilp_s = 0.0
         status = None
-        if request.second_stage:
+        ilp_shed = bool(request.second_stage) and shed == "skip_ilp"
+        if ilp_shed:
+            telemetry.counter("serve.shed.skip_ilp")
+        if request.second_stage and not ilp_shed:
             budget = self.config.ilp_time_limit
             if deadline is not None:
                 remaining = deadline - (time.perf_counter() - admitted_at)
@@ -215,9 +289,14 @@ class PlanningService:
             "cost": plan.cost(agent.instance),
             "feasible": feasible,
             "method": plan.method,
-            "degraded": bool(plan.metadata.get("degraded", False)),
-            "degraded_reason": plan.metadata.get("degraded_reason"),
+            "degraded": bool(plan.metadata.get("degraded", False)) or ilp_shed,
+            "degraded_reason": (
+                "load shed: second-stage ILP skipped"
+                if ilp_shed
+                else plan.metadata.get("degraded_reason")
+            ),
             "second_stage_status": status,
+            "shed": "skip_ilp" if ilp_shed else None,
             "lp_solves": agent.lp_solves - lp_before,
             "model": {"key": record.key.dirname(), "version": record.version},
             "timings": {
@@ -228,7 +307,10 @@ class PlanningService:
             },
             "cache_hit": False,
         }
-        if not request.no_cache:
+        # A shed response answers *this* request but is not what the
+        # identity promises (it includes second_stage=True), so it must
+        # never poison the cache.
+        if not request.no_cache and not ilp_shed:
             self.cache.put(cache_key, response)
         telemetry.counter("serve.responses")
         telemetry.observe("serve.request", time.perf_counter() - admitted_at)
@@ -238,11 +320,19 @@ class PlanningService:
     def healthz(self) -> dict:
         from repro.version import __version__
 
+        pool = self.pool.stats()
         return {
             "status": "draining" if self._closed else "ok",
+            "draining": self._closed,
             "version": __version__,
+            "queue": {
+                "depth": pool["queued"],
+                "capacity": pool["queue_depth"],
+                "in_flight": pool["in_flight"],
+            },
+            "models": self.registry.store.inventory(),
             "registry": self.registry.stats(),
-            "pool": self.pool.stats(),
+            "pool": pool,
             "cache": self.cache.stats(),
         }
 

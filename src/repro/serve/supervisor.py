@@ -1,0 +1,534 @@
+"""Multi-process supervisor: spawn, watch, and restart worker replicas.
+
+The supervisor owns N *slots*; each slot runs one crash-only replica
+process (:mod:`repro.serve.replica`) over a duplex pipe.  Liveness is
+heartbeat-based: the monitor thread pings every replica on an interval,
+and a replica whose last pong is older than the timeout is declared
+wedged and SIGKILLed -- from the supervisor's point of view a hang and
+a crash are the same event, and both end in respawn.
+
+Restart policy per slot:
+
+* **Exponential backoff** -- the k-th consecutive failure waits
+  ``backoff * 2**k`` (capped) before respawning, so a fast crash loop
+  cannot busy-spin the host.
+* **Crash-loop circuit breaker** -- more than ``crash_loop_threshold``
+  failures inside ``crash_loop_window_s`` marks the slot *broken* (out
+  of rotation, no restarts) until a cooldown expires, after which the
+  failure history resets and the slot gets a fresh chance.
+
+Every replica death fails that replica's in-flight request futures with
+a typed :class:`~repro.errors.ReplicaUnavailable`, which is the
+dispatcher's cue to retry the (idempotent) requests elsewhere.
+
+The default start method prefers ``forkserver`` (fork-safety with
+threads in the parent, fast respawns after the first) and falls back to
+``spawn``; both re-import the package, so replicas never inherit the
+parent's mutable state -- crash-only all the way down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass
+
+from repro import telemetry
+from repro.errors import ConfigError, ReplicaUnavailable, ServeError
+from repro.resilience import faults
+from repro.serve.replica import rebuild_error, replica_main
+from repro.serve.service import ServiceConfig
+
+
+@dataclass
+class SupervisorConfig:
+    """Knobs for one :class:`Supervisor`."""
+
+    replicas: int = 2
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 3.0
+    startup_timeout_s: float = 60.0
+    restart_backoff_s: float = 0.25
+    restart_backoff_max_s: float = 5.0
+    crash_loop_threshold: int = 5
+    crash_loop_window_s: float = 30.0
+    crash_loop_cooldown_s: float = 15.0
+    start_method: "str | None" = None  # None = forkserver if available
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if self.crash_loop_threshold < 1:
+            raise ConfigError("crash_loop_threshold must be >= 1")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ConfigError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+
+
+def default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+class CrashLoopBreaker:
+    """Windowed failure counter with a cooldown (one per slot).
+
+    Pure bookkeeping -- no clocks of its own, no threads -- so the
+    policy is unit-testable without spawning a single process.
+    """
+
+    def __init__(self, threshold: int, window_s: float, cooldown_s: float):
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.failures: "deque[float]" = deque()
+        self.broken_until: "float | None" = None
+
+    def record_failure(self, now: float) -> bool:
+        """Record a failure; returns True when the breaker trips."""
+        self.failures.append(now)
+        self._prune(now)
+        if len(self.failures) >= self.threshold:
+            self.broken_until = now + self.cooldown_s
+            return True
+        return False
+
+    def reopen_due(self, now: float) -> bool:
+        return self.broken_until is not None and now >= self.broken_until
+
+    def reset(self) -> None:
+        self.failures.clear()
+        self.broken_until = None
+
+    @property
+    def broken(self) -> bool:
+        return self.broken_until is not None
+
+    def _prune(self, now: float) -> None:
+        while self.failures and now - self.failures[0] > self.window_s:
+            self.failures.popleft()
+
+
+class ReplicaHandle:
+    """Parent-side view of one live replica process.
+
+    Owns the pipe, a reader thread resolving request futures by id, and
+    the liveness timestamps the supervisor's heartbeat check reads.
+    """
+
+    def __init__(self, index: int, generation: int, process, conn, on_death):
+        self.index = index
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        self.state = "starting"  # -> healthy -> dead
+        self.started_at = time.monotonic()
+        self.last_pong: "float | None" = None
+        self.last_ping_sent = 0.0
+        self.stats: dict = {}
+        self._on_death = on_death
+        self._pending: "dict[int, Future]" = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"replica-{index}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> "int | None":
+        return self.process.pid
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def dispatch(self, request_fields: dict, shed: "str | None") -> Future:
+        """Send one plan request; the future resolves with the response
+        dict or the replica's typed error, or fails with
+        :class:`ReplicaUnavailable` if the replica dies first."""
+        with self._lock:
+            if self.state == "dead":
+                raise ReplicaUnavailable(
+                    f"replica {self.index} (gen {self.generation}) is dead"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            future: Future = Future()
+            self._pending[request_id] = future
+        try:
+            self._send({
+                "kind": "plan",
+                "id": request_id,
+                "request": request_fields,
+                "shed": shed,
+            })
+        except ReplicaUnavailable:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise
+        return future
+
+    def forget(self, future: Future) -> None:
+        """Drop a pending future the dispatcher no longer wants (an
+        abandoned hedge); a late result is then silently discarded."""
+        with self._lock:
+            for request_id, pending in list(self._pending.items()):
+                if pending is future:
+                    del self._pending[request_id]
+
+    def maybe_ping(self, now: float, interval_s: float) -> None:
+        if now - self.last_ping_sent < interval_s:
+            return
+        self.last_ping_sent = now
+        try:
+            self._send({"kind": "ping", "id": int(now * 1000)})
+        except ReplicaUnavailable:
+            pass  # the reader's EOF path handles the death
+
+    def request_shutdown(self) -> None:
+        try:
+            self._send({"kind": "shutdown"})
+        except ReplicaUnavailable:
+            pass
+
+    def kill(self) -> None:
+        """SIGKILL the process; the reader's EOF wakes the death path."""
+        try:
+            self.process.kill()
+        except (OSError, AttributeError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        try:
+            with self._send_lock:
+                self.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            raise ReplicaUnavailable(
+                f"replica {self.index} (gen {self.generation}) pipe is broken"
+            ) from None
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message.get("kind")
+            if kind == "pong":
+                with self._lock:
+                    self.last_pong = time.monotonic()
+                    self.stats = message.get("stats", {})
+                    if self.state == "starting":
+                        self.state = "healthy"
+            elif kind == "result":
+                with self._lock:
+                    future = self._pending.pop(message["id"], None)
+                if future is None:
+                    continue  # abandoned hedge or retried request
+                if message.get("ok"):
+                    future.set_result(message["response"])
+                else:
+                    future.set_exception(
+                        rebuild_error(message["error_type"], message["error"])
+                    )
+        self._die()
+
+    def _die(self) -> None:
+        with self._lock:
+            already_dead = self.state == "dead"
+            self.state = "dead"
+            pending = list(self._pending.values())
+            self._pending.clear()
+        error = ReplicaUnavailable(
+            f"replica {self.index} (gen {self.generation}) died with "
+            f"{len(pending)} request(s) in flight"
+        )
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        if not already_dead:
+            self._on_death(self)
+
+    def describe(self, now: float) -> dict:
+        with self._lock:
+            last_pong = self.last_pong
+            stats = dict(self.stats)
+        return {
+            "state": self.state,
+            "pid": self.pid,
+            "generation": self.generation,
+            "in_flight": self.in_flight,
+            "last_heartbeat_age_s": (
+                None if last_pong is None else round(now - last_pong, 3)
+            ),
+            "models": stats.get("models", {}),
+        }
+
+
+class _Slot:
+    """One replica slot: the handle plus its restart bookkeeping."""
+
+    def __init__(self, index: int, breaker: CrashLoopBreaker):
+        self.index = index
+        self.handle: "ReplicaHandle | None" = None
+        self.generation = -1  # bumped to 0 on first spawn
+        self.restarts = 0  # respawns after the initial start
+        self.consecutive_failures = 0
+        self.restart_at: "float | None" = None
+        self.breaker = breaker
+
+
+class Supervisor:
+    """Keep ``config.replicas`` crash-only replicas alive and reachable."""
+
+    def __init__(
+        self,
+        model_dir: str,
+        service_config: "ServiceConfig | None" = None,
+        config: "SupervisorConfig | None" = None,
+    ):
+        self.model_dir = os.fspath(model_dir)
+        self.service_config = service_config or ServiceConfig()
+        self.config = config or SupervisorConfig()
+        self._ctx = multiprocessing.get_context(
+            self.config.start_method or default_start_method()
+        )
+        self._slots = [
+            _Slot(
+                index,
+                CrashLoopBreaker(
+                    self.config.crash_loop_threshold,
+                    self.config.crash_loop_window_s,
+                    self.config.crash_loop_cooldown_s,
+                ),
+            )
+            for index in range(self.config.replicas)
+        ]
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: "threading.Thread | None" = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self, wait_healthy: bool = True) -> "Supervisor":
+        """Spawn every replica and start the monitor; with
+        ``wait_healthy`` block until all replicas pong (or the startup
+        timeout passes -- at least one healthy replica is required)."""
+        if self._started:
+            return self
+        self._started = True
+        with self._lock:
+            for slot in self._slots:
+                self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-supervisor", daemon=True
+        )
+        self._monitor.start()
+        if wait_healthy:
+            deadline = time.monotonic() + self.config.startup_timeout_s
+            while time.monotonic() < deadline:
+                if self.healthy_count() == self.config.replicas:
+                    break
+                time.sleep(0.02)
+            if self.healthy_count() == 0:
+                self.stop()
+                raise ServeError(
+                    f"no replica became healthy within "
+                    f"{self.config.startup_timeout_s}s of startup"
+                )
+        return self
+
+    def stop(self) -> None:
+        """Graceful stop: ask replicas to drain, then escalate."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+        with self._lock:
+            handles = [s.handle for s in self._slots if s.handle is not None]
+            for slot in self._slots:
+                slot.handle = None
+                slot.restart_at = None
+        for handle in handles:
+            handle.request_shutdown()
+        for handle in handles:
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.kill()
+                handle.process.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def routable(self) -> "list[ReplicaHandle]":
+        """Replicas currently accepting dispatches."""
+        with self._lock:
+            return [
+                slot.handle
+                for slot in self._slots
+                if slot.handle is not None and slot.handle.state == "healthy"
+            ]
+
+    def healthy_count(self) -> int:
+        return len(self.routable())
+
+    def describe(self) -> list[dict]:
+        now = time.monotonic()
+        with self._lock:
+            rows = []
+            for slot in self._slots:
+                row = {
+                    "index": slot.index,
+                    "restarts": slot.restarts,
+                    "broken": slot.breaker.broken,
+                }
+                if slot.handle is not None:
+                    row.update(slot.handle.describe(now))
+                else:
+                    row.update({
+                        "state": "broken" if slot.breaker.broken else "restarting",
+                        "pid": None,
+                        "generation": slot.generation,
+                        "in_flight": 0,
+                        "last_heartbeat_age_s": None,
+                        "models": {},
+                    })
+                rows.append(row)
+        return rows
+
+    def replica_stats(self) -> dict:
+        """Last-known per-replica stats blobs (from heartbeat pongs)."""
+        with self._lock:
+            return {
+                str(slot.index): dict(slot.handle.stats)
+                for slot in self._slots
+                if slot.handle is not None and slot.handle.stats
+            }
+
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: _Slot) -> None:
+        """Start the next generation in ``slot`` (caller holds _lock)."""
+        slot.generation += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=replica_main,
+            args=(
+                slot.index,
+                slot.generation,
+                child_conn,
+                self.model_dir,
+                asdict(self.service_config),
+                os.environ.get(faults.ENV_VAR),
+            ),
+            name=f"neuroplan-replica-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        slot.handle = ReplicaHandle(
+            slot.index, slot.generation, process, parent_conn, self._on_death
+        )
+        slot.restart_at = None
+        telemetry.counter("serve.supervisor.spawns")
+        telemetry.gauge("serve.supervisor.replicas_alive", self._alive_locked())
+
+    def _alive_locked(self) -> int:
+        return sum(
+            1
+            for slot in self._slots
+            if slot.handle is not None and slot.handle.state != "dead"
+        )
+
+    def _on_death(self, handle: ReplicaHandle) -> None:
+        """Reader-thread callback: schedule the slot's restart."""
+        if self._stop.is_set():
+            return
+        now = time.monotonic()
+        with self._lock:
+            slot = self._slots[handle.index]
+            if slot.handle is not handle:
+                return  # a stale generation's reader winding down
+            telemetry.counter("serve.supervisor.replica_deaths")
+            if slot.breaker.record_failure(now):
+                slot.restart_at = None
+                telemetry.counter("serve.supervisor.crash_loop_trips")
+            else:
+                delay = min(
+                    self.config.restart_backoff_max_s,
+                    self.config.restart_backoff_s
+                    * (2.0**slot.consecutive_failures),
+                )
+                slot.consecutive_failures += 1
+                slot.restart_at = now + delay
+            telemetry.gauge(
+                "serve.supervisor.replicas_alive", self._alive_locked()
+            )
+
+    def _monitor_loop(self) -> None:
+        poll = min(0.05, self.config.heartbeat_interval_s / 2)
+        while not self._stop.wait(poll):
+            now = time.monotonic()
+            with self._lock:
+                slots = list(self._slots)
+            for slot in slots:
+                handle = slot.handle
+                if handle is not None and handle.state in ("starting", "healthy"):
+                    handle.maybe_ping(now, self.config.heartbeat_interval_s)
+                    if handle.state == "healthy":
+                        slot.consecutive_failures = 0
+                    timeout = (
+                        self.config.startup_timeout_s
+                        if handle.state == "starting"
+                        else self.config.heartbeat_timeout_s
+                    )
+                    reference = handle.last_pong or handle.started_at
+                    if now - reference > timeout:
+                        # Wedged: no pong inside the window.  Crash-only
+                        # repair -- SIGKILL, then the death path restarts.
+                        telemetry.counter("serve.supervisor.heartbeat_timeouts")
+                        handle.kill()
+                    continue
+                # Dead or never started: is a restart due?
+                with self._lock:
+                    if slot.handle is not None and slot.handle.state != "dead":
+                        continue
+                    if slot.handle is not None:
+                        slot.handle.process.join(timeout=0)  # reap zombie
+                    if slot.breaker.broken:
+                        if slot.breaker.reopen_due(now):
+                            slot.breaker.reset()
+                            slot.consecutive_failures = 0
+                            slot.restarts += 1
+                            telemetry.counter("serve.supervisor.restarts")
+                            self._spawn(slot)
+                    elif slot.restart_at is not None and now >= slot.restart_at:
+                        slot.restarts += 1
+                        telemetry.counter("serve.supervisor.restarts")
+                        self._spawn(slot)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,203 @@
+"""Chaos harness: SIGKILL replicas mid-request and assert the serving
+contract -- every in-flight request completes with a verifier-correct
+response or a typed error; it never hangs and is never corrupt; the
+supervisor restores the replica count within the backoff budget.
+
+All tests here spawn real replica processes and are marked
+``faultinjection`` (selected explicitly by the CI chaos job; they also
+run in the default suite because they are fast enough)."""
+
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import faults
+from repro.scenarios import verify_plan
+from repro.serve import (
+    Dispatcher,
+    DispatcherConfig,
+    PlanRequest,
+    ServiceConfig,
+    Supervisor,
+    SupervisorConfig,
+)
+from repro.topology import generators
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+from tests.serve.test_supervisor import wait_for
+
+pytestmark = pytest.mark.faultinjection
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(
+        topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short", no_cache=True
+    )
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+def check_response(response: dict) -> None:
+    """A completed response must be verifier-correct: if it claims
+    feasibility, the standalone scenario verifier must agree from first
+    principles (no planner-stack trust involved)."""
+    assert set(response) >= {"plan", "cost", "feasible", "method"}
+    if response["feasible"]:
+        instance = generators.make_instance(
+            TOPOLOGY, seed=0, scale=SCALE, horizon="short"
+        )
+        report = verify_plan(instance, response["plan"], response["method"])
+        assert report.feasible, report.problems
+
+
+def replicated(model_dir, replicas=2, **supervisor_overrides):
+    defaults = dict(
+        replicas=replicas,
+        startup_timeout_s=120.0,
+        restart_backoff_s=0.05,
+        heartbeat_interval_s=0.1,
+    )
+    defaults.update(supervisor_overrides)
+    supervisor = Supervisor(
+        model_dir,
+        service_config=ServiceConfig(workers=2, queue_depth=8),
+        config=SupervisorConfig(**defaults),
+    ).start()
+    return Dispatcher(supervisor, DispatcherConfig(max_retries=3))
+
+
+class TestSigkillDrill:
+    def test_no_request_hangs_or_corrupts_across_a_sigkill(self, model_dir):
+        """The headline drill: concurrent load, a replica SIGKILLed in
+        the middle of it, zero hung or silently-dropped requests."""
+        with replicated(model_dir, replicas=2) as dispatcher:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(dispatcher.plan, request())
+                    for _ in range(16)
+                ]
+                # Let requests reach the replicas, then murder one.
+                wait_for(
+                    lambda: any(
+                        h.in_flight > 0
+                        for h in dispatcher.supervisor.routable()
+                    ),
+                    timeout=30.0,
+                )
+                victim = dispatcher.supervisor.describe()[0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+
+                outcomes = []
+                for future in futures:
+                    # result(timeout=) IS the no-hang assertion.
+                    try:
+                        outcomes.append(future.result(timeout=120))
+                    except ReproError as exc:
+                        outcomes.append(exc)
+            assert len(outcomes) == 16
+            completed = [o for o in outcomes if isinstance(o, dict)]
+            # Retries make replica death invisible: everything completes.
+            assert len(completed) == 16, [repr(o) for o in outcomes][:3]
+            for response in completed:
+                check_response(response)
+            # The killed replica is restored within the backoff budget.
+            assert wait_for(
+                lambda: dispatcher.supervisor.healthy_count() == 2,
+                timeout=60.0,
+            )
+            restarts = sum(
+                row["restarts"] for row in dispatcher.supervisor.describe()
+            )
+            assert restarts >= 1
+
+
+class TestInjectedFaults:
+    def test_replica_crash_fault_is_retried_transparently(
+        self, model_dir, monkeypatch
+    ):
+        """``serve.replica.crash@0``: generation 0 of replica 0 exits
+        hard on its first plan request; the respawn serves normally."""
+        monkeypatch.setenv(faults.ENV_VAR, "serve.replica.crash@0")
+        with replicated(model_dir, replicas=2) as dispatcher:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(dispatcher.plan, request()) for _ in range(4)
+                ]
+                responses = [f.result(timeout=120) for f in futures]
+            for response in responses:
+                check_response(response)
+            # Least-loaded routing guarantees replica 0 saw a request,
+            # so the crash fired and exactly one restart happened.
+            assert wait_for(
+                lambda: dispatcher.supervisor.describe()[0]["restarts"] == 1
+            )
+            assert wait_for(
+                lambda: dispatcher.supervisor.healthy_count() == 2,
+                timeout=60.0,
+            )
+
+    def test_hung_replica_is_detected_killed_and_replaced(
+        self, model_dir, monkeypatch
+    ):
+        """``serve.replica.hang@0``: the replica wedges its receive loop
+        mid-request.  Only the heartbeat timeout can notice; the request
+        must still complete via retry on the respawned generation."""
+        monkeypatch.setenv(faults.ENV_VAR, "serve.replica.hang@0")
+        with replicated(
+            model_dir, replicas=1, heartbeat_timeout_s=0.8
+        ) as dispatcher:
+            response = dispatcher.plan(request())
+            check_response(response)
+            assert response["attempts"] >= 2  # first attempt hit the hang
+            (row,) = dispatcher.supervisor.describe()
+            assert row["generation"] == 1
+
+    def test_heartbeat_miss_restarts_the_silent_replica(
+        self, model_dir, monkeypatch
+    ):
+        """``serve.heartbeat.miss@0``: generation 0 swallows pings, so
+        it never becomes healthy and the startup timeout replaces it."""
+        monkeypatch.setenv(faults.ENV_VAR, "serve.heartbeat.miss@0")
+        supervisor = Supervisor(
+            model_dir,
+            service_config=ServiceConfig(workers=1, queue_depth=4),
+            config=SupervisorConfig(
+                replicas=1,
+                startup_timeout_s=3.0,
+                restart_backoff_s=0.05,
+                heartbeat_interval_s=0.1,
+            ),
+        ).start(wait_healthy=False)
+        try:
+            assert wait_for(
+                lambda: supervisor.describe()[0]["state"] == "healthy"
+                and supervisor.describe()[0]["generation"] == 1,
+                timeout=60.0,
+            ), supervisor.describe()
+        finally:
+            supervisor.stop()
+
+
+class TestDrainRace:
+    def test_drain_completes_while_requests_are_in_flight(self, model_dir):
+        """close() during live traffic: in-flight requests finish (or
+        fail typed), nothing hangs, the supervisor shuts down."""
+        dispatcher = replicated(model_dir, replicas=2)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(dispatcher.plan, request()) for _ in range(4)
+            ]
+            time.sleep(0.1)
+            closer = pool.submit(dispatcher.close)
+            for future in futures:
+                try:
+                    check_response(future.result(timeout=120))
+                except ReproError:
+                    pass  # typed rejection is an acceptable outcome
+            closer.result(timeout=120)
+        assert dispatcher.healthz()["status"] == "draining"
+        assert dispatcher.supervisor.healthy_count() == 0

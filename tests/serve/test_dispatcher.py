@@ -1,0 +1,326 @@
+"""Dispatcher: shed policy, routing, retry, hedging -- driven through
+fake replicas so every schedule is deterministic and no process spawns.
+The real-process paths live in test_chaos.py."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro import telemetry
+from repro.errors import (
+    ConfigError,
+    DeadlineExceeded,
+    Overloaded,
+    ReplicaUnavailable,
+)
+from repro.resilience import faults
+from repro.serve import (
+    Dispatcher,
+    DispatcherConfig,
+    PlanRequest,
+    ServiceConfig,
+    ShedPolicy,
+    SupervisorConfig,
+)
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+class FakeReplica:
+    """Scriptable stand-in for a ReplicaHandle."""
+
+    def __init__(self, index, behavior="ok", delay_s=0.0):
+        self.index = index
+        self.behavior = behavior  # ok | dead | fail_future | never
+        self.delay_s = delay_s
+        self.in_flight = 0
+        self.dispatches = []  # (fields, shed) per dispatch
+        self.forgotten = []
+
+    def dispatch(self, fields, shed):
+        self.dispatches.append((fields, shed))
+        if self.behavior == "dead":
+            raise ReplicaUnavailable(f"replica {self.index} is dead")
+        future: Future = Future()
+        if self.behavior == "never":
+            return future
+
+        def finish():
+            if self.delay_s:
+                time.sleep(self.delay_s)
+            if self.behavior == "fail_future":
+                future.set_exception(
+                    ReplicaUnavailable(f"replica {self.index} died in flight")
+                )
+            else:
+                future.set_result(
+                    {"feasible": True, "served_by_fake": self.index}
+                )
+
+        threading.Thread(target=finish, daemon=True).start()
+        return future
+
+    def forget(self, future):
+        self.forgotten.append(future)
+
+
+class FakeSupervisor:
+    """Just enough surface for the Dispatcher: config + rotation."""
+
+    def __init__(self, replicas, workers=2, queue_depth=8):
+        self.replicas = replicas
+        self.config = SupervisorConfig(replicas=max(1, len(replicas)))
+        self.service_config = ServiceConfig(
+            workers=workers, queue_depth=queue_depth
+        )
+        self.model_dir = "/nonexistent"
+        self.stopped = False
+
+    def routable(self):
+        return list(self.replicas)
+
+    def describe(self):
+        return [
+            {"index": replica.index, "state": "healthy"}
+            for replica in self.replicas
+        ]
+
+    def replica_stats(self):
+        return {}
+
+    def stop(self):
+        self.stopped = True
+
+
+def dispatcher(replicas, **config_overrides) -> Dispatcher:
+    defaults = dict(replica_wait_s=0.1)
+    defaults.update(config_overrides)
+    return Dispatcher(FakeSupervisor(replicas), DispatcherConfig(**defaults))
+
+
+class TestShedPolicy:
+    def test_parse_named_forms(self):
+        assert ShedPolicy.parse("off").enabled is False
+        assert ShedPolicy.parse("default") == ShedPolicy()
+        assert ShedPolicy.parse("0.3,0.6,0.9") == ShedPolicy(0.3, 0.6, 0.9)
+
+    @pytest.mark.parametrize("bad", ["0.5", "a,b,c", "0.9,0.5,0.7", "1,2"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            ShedPolicy.parse(bad)
+
+    def test_tier_thresholds(self):
+        policy = ShedPolicy(0.5, 0.75, 0.95)
+        assert policy.tier(0.0) == 0
+        assert policy.tier(0.5) == 1
+        assert policy.tier(0.75) == 2
+        assert policy.tier(0.95) == 3
+        assert policy.tier(5.0) == 3
+        assert ShedPolicy.off().tier(5.0) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DispatcherConfig(max_retries=-1)
+        with pytest.raises(ConfigError):
+            DispatcherConfig(hedge_after_s=0.0)
+        with pytest.raises(ConfigError):
+            DispatcherConfig(replica_wait_s=-1.0)
+
+
+class TestRouting:
+    def test_routes_to_least_loaded_replica(self):
+        idle = FakeReplica(0)
+        busy = FakeReplica(1)
+        busy.in_flight = 5
+        disp = dispatcher([idle, busy])
+        response = disp.plan(request())
+        assert response["replica"] == 0
+        assert response["attempts"] == 1
+        assert busy.dispatches == []
+
+    def test_empty_rotation_is_typed_after_the_grace(self):
+        disp = dispatcher([], replica_wait_s=0.05)
+        with pytest.raises(Overloaded):
+            disp.plan(request())
+
+    def test_draining_dispatcher_rejects_new_work(self):
+        replica = FakeReplica(0)
+        disp = dispatcher([replica])
+        disp.supervisor.stopped = False
+        disp.close()
+        with pytest.raises(Overloaded):
+            disp.plan(request())
+        assert disp.supervisor.stopped
+
+
+class TestRetry:
+    def test_dead_replica_retries_on_another(self):
+        dead = FakeReplica(0, behavior="dead")
+        live = FakeReplica(1)
+        live.in_flight = 1  # make the dead replica the first pick
+        disp = dispatcher([dead, live])
+        response = disp.plan(request())
+        assert response["replica"] == 1
+        assert response["attempts"] == 2
+
+    def test_midflight_death_retries_on_another(self):
+        flaky = FakeReplica(0, behavior="fail_future")
+        live = FakeReplica(1)
+        live.in_flight = 1
+        disp = dispatcher([flaky, live])
+        response = disp.plan(request())
+        assert response["replica"] == 1
+        assert response["attempts"] == 2
+
+    def test_retry_budget_exhaustion_is_typed(self):
+        dead = [FakeReplica(i, behavior="dead") for i in range(3)]
+        disp = dispatcher(dead, max_retries=1)
+        with pytest.raises(ReplicaUnavailable, match="2 attempt"):
+            disp.plan(request())
+
+    def test_retry_forwards_remaining_deadline(self):
+        flaky = FakeReplica(0, behavior="fail_future", delay_s=0.05)
+        live = FakeReplica(1)
+        live.in_flight = 1
+        disp = dispatcher([flaky, live])
+        disp.plan(request(deadline_s=30.0))
+        (first, _), (second, _) = flaky.dispatches[0], live.dispatches[0]
+        assert first["deadline_s"] <= 30.0
+        assert second["deadline_s"] < first["deadline_s"]
+
+    def test_expired_deadline_fails_before_any_dispatch(self):
+        replica = FakeReplica(0, behavior="never")
+        disp = dispatcher([replica])
+        with pytest.raises(DeadlineExceeded):
+            disp.plan(request(deadline_s=0.05))
+        assert replica.forgotten  # the pending future was abandoned
+
+    def test_injected_dispatch_drop_exercises_the_retry_path(self):
+        telemetry.enable()
+        try:
+            faults.install("serve.dispatch.drop")
+            replica = FakeReplica(0)
+            disp = dispatcher([replica])
+            response = disp.plan(request())
+            assert response["attempts"] == 2
+            counters = telemetry.snapshot()["counters"]
+            assert counters["serve.dispatch.dropped"] == 1
+            assert counters["serve.dispatch.retries"] == 1
+        finally:
+            faults.clear()
+            telemetry.disable()
+            telemetry.reset()
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged_and_the_hedge_wins(self):
+        slow = FakeReplica(0, behavior="never")
+        fast = FakeReplica(1)
+        fast.in_flight = 1  # primary pick is the slow replica
+        disp = dispatcher([slow, fast], hedge_after_s=0.05)
+        response = disp.plan(request())
+        assert response["replica"] == 1
+        assert response["served_by_fake"] == 1
+        assert slow.forgotten  # the abandoned primary future
+
+    def test_fast_primary_never_hedges(self):
+        fast = FakeReplica(0)
+        other = FakeReplica(1)
+        other.in_flight = 1
+        disp = dispatcher([fast, other], hedge_after_s=5.0)
+        response = disp.plan(request())
+        assert response["replica"] == 0
+        assert other.dispatches == []
+
+    def test_single_replica_cannot_hedge_but_still_serves(self):
+        only = FakeReplica(0, delay_s=0.1)
+        disp = dispatcher([only], hedge_after_s=0.02)
+        response = disp.plan(request())
+        assert response["replica"] == 0
+        assert len(only.dispatches) == 1
+
+
+class TestShedding:
+    def make_loaded(self, replica, load):
+        """A dispatcher whose admitted in-flight count fakes ``load``."""
+        disp = dispatcher([replica])
+        capacity = disp.load()["capacity"]
+        with disp._lock:
+            disp._in_flight = int(capacity * load)
+        return disp
+
+    def test_tier0_serves_everyone_fully(self):
+        replica = FakeReplica(0)
+        disp = self.make_loaded(replica, 0.0)
+        for priority in (0, 1, 2):
+            disp.plan(request(priority=priority))
+        assert [shed for _, shed in replica.dispatches] == [None, None, None]
+
+    def test_tier1_sheds_background_to_cache_only(self):
+        replica = FakeReplica(0)
+        disp = self.make_loaded(replica, 0.5)
+        disp.plan(request(priority=2))
+        assert replica.dispatches[-1][1] == "cache_only"
+        disp.plan(request(priority=1))
+        assert replica.dispatches[-1][1] is None
+
+    def test_tier2_sheds_normal_to_skip_ilp(self):
+        replica = FakeReplica(0)
+        disp = self.make_loaded(replica, 0.8)
+        disp.plan(request(priority=1))
+        assert replica.dispatches[-1][1] == "skip_ilp"
+        disp.plan(request(priority=0))
+        assert replica.dispatches[-1][1] is None
+
+    def test_tier3_rejects_background_but_serves_interactive(self):
+        replica = FakeReplica(0)
+        disp = self.make_loaded(replica, 1.0)
+        with pytest.raises(Overloaded):
+            disp.plan(request(priority=2))
+        response = disp.plan(request(priority=0))
+        assert response["shed"] == "skip_ilp"
+        assert replica.dispatches[-1][1] == "skip_ilp"
+
+    def test_shed_policy_off_never_sheds(self):
+        replica = FakeReplica(0)
+        disp = dispatcher([replica], shed_policy=ShedPolicy.off())
+        capacity = disp.load()["capacity"]
+        with disp._lock:
+            disp._in_flight = capacity * 3
+        disp.plan(request(priority=2))
+        assert replica.dispatches[-1][1] is None
+
+
+class TestHealthAndMetrics:
+    def test_healthz_rolls_up_replica_state(self):
+        disp = dispatcher([FakeReplica(0), FakeReplica(1)])
+        health = disp.healthz()
+        assert health["status"] == "ok"
+        assert health["healthy"] == 2
+        assert health["target"] == 2
+        assert health["load"]["tier"] == 0
+        disp.close()
+        assert disp.healthz()["status"] == "draining"
+
+    def test_degraded_status_when_below_target(self):
+        supervisor = FakeSupervisor([FakeReplica(0)])
+        supervisor.config = SupervisorConfig(replicas=2)
+        disp = Dispatcher(supervisor, DispatcherConfig(replica_wait_s=0.1))
+        assert disp.healthz()["status"] == "degraded"
+
+    def test_metrics_sums_counters_across_replicas(self):
+        supervisor = FakeSupervisor([FakeReplica(0), FakeReplica(1)])
+        supervisor.replica_stats = lambda: {
+            "0": {"counters": {"serve.responses": 3}},
+            "1": {"counters": {"serve.responses": 4}},
+        }
+        disp = Dispatcher(supervisor, DispatcherConfig(replica_wait_s=0.1))
+        assert disp.metrics()["rollup"]["serve.responses"] == 7

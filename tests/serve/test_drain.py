@@ -1,0 +1,80 @@
+"""Drain races: graceful shutdown overlapping in-flight requests whose
+deadlines expire mid-drain (the satellite contract for this PR).
+
+The single-process drain path (``PlanningService.close`` /
+``WorkerPool.shutdown``) must finish every admitted request -- even
+when finishing means a typed ``DeadlineExceeded`` because the request's
+budget ran out while the drain was holding it in the queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded, Overloaded
+from repro.serve import PlanningService, ServiceConfig, PlanRequest
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+class TestDrainDeadlineRace:
+    def test_deadline_expiring_during_drain_is_typed_not_hung(self, model_dir):
+        """A queued request whose deadline expires while close() drains
+        must resolve with DeadlineExceeded -- never hang, never vanish."""
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=1, queue_depth=4)
+        )
+        service.plan(request())  # warm the agent cache
+
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def blocker():
+            occupied.set()
+            release.wait(timeout=60)
+            return None
+
+        # Occupy the single worker so the next request sits in queue.
+        service.pool.submit(blocker)
+        assert occupied.wait(timeout=30)
+        racing = service.submit(request(seed=1, deadline_s=0.2, no_cache=True))
+
+        drained = threading.Event()
+
+        def drain():
+            service.close()  # blocks until the queue is empty
+            drained.set()
+
+        closer = threading.Thread(target=drain, daemon=True)
+        closer.start()
+        time.sleep(0.4)  # let the deadline expire while draining
+        release.set()
+
+        with pytest.raises(DeadlineExceeded):
+            racing.result(timeout=60)
+        assert drained.wait(timeout=60), "close() hung on the drained queue"
+        closer.join(timeout=10)
+
+    def test_submissions_during_drain_are_typed_rejections(self, model_dir):
+        service = PlanningService(
+            model_dir, ServiceConfig(workers=1, queue_depth=4)
+        )
+        service.plan(request())
+
+        release = threading.Event()
+        service.pool.submit(release.wait, 60)
+        closer = threading.Thread(target=service.close, daemon=True)
+        closer.start()
+        time.sleep(0.1)  # close() has flipped the pool to draining
+        with pytest.raises(Overloaded):
+            service.submit(request(seed=2))
+        release.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert service.healthz()["status"] == "draining"

@@ -93,3 +93,25 @@ class TestWorkerPool:
         assert stats["workers"] == 3
         assert stats["queue_depth"] == 5
         assert {"queued", "in_flight", "accepting"} <= set(stats)
+
+    def test_queue_depth_gauge_is_sampled_on_every_submit(self):
+        from repro import telemetry
+
+        telemetry.enable()
+        try:
+            pool = WorkerPool(workers=1, queue_depth=2)
+            release, _busy = occupy(pool, 1)
+            pool.submit(lambda: "queued")  # depth 1
+            pool.submit(lambda: "queued")  # depth 2 (full)
+            gauges = telemetry.snapshot()["gauges"]
+            assert gauges["serve.pool.queue_depth"] == 2
+            with pytest.raises(Overloaded):
+                pool.submit(lambda: "rejected")
+            # The rejection pins the gauge at capacity, so saturation is
+            # visible in /metrics even between successful submits.
+            assert telemetry.snapshot()["gauges"]["serve.pool.queue_depth"] == 2
+            release.set()
+            pool.shutdown()
+        finally:
+            telemetry.disable()
+            telemetry.reset()

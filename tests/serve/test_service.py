@@ -108,6 +108,69 @@ class TestResponses:
         with pytest.raises(ServeError, match="deadline"):
             request(deadline_s=-1.0)
 
+    def test_nonfinite_numbers_are_typed_rejections(self):
+        # nan slips past a plain `<= 0` check; the validation must
+        # demand *finite* positives (the satellite fix for this PR).
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ServeError, match="finite"):
+                request(deadline_s=bad)
+        with pytest.raises(ServeError, match="finite"):
+            request(alpha=float("nan"))
+        with pytest.raises(ServeError, match="number"):
+            request(deadline_s="soon")
+
+    def test_priority_is_validated(self):
+        for priority in (0, 1, 2):
+            assert request(priority=priority).priority == priority
+        with pytest.raises(ServeError, match="priority"):
+            request(priority=3)
+        with pytest.raises(ServeError, match="priority"):
+            request(priority=-1)
+
+
+class TestShedModes:
+    def test_unknown_shed_mode_is_typed(self, model_dir):
+        with small_service(model_dir) as service:
+            with pytest.raises(ServeError, match="shed"):
+                service.plan(request(), shed="everything")
+
+    def test_cache_only_hit_serves_without_the_pool(self, model_dir):
+        telemetry.enable()
+        with small_service(model_dir) as service:
+            warm = service.plan(request())
+            hit = service.plan(request(), shed="cache_only")
+        assert hit["cache_hit"] is True
+        assert hit["shed"] == "cache_only"
+        assert hit["plan"] == warm["plan"]
+        counters = telemetry.snapshot()["counters"]
+        assert counters["serve.shed.cache_only"] == 1
+
+    def test_cache_only_miss_is_typed_overloaded(self, model_dir):
+        from repro.errors import Overloaded
+
+        with small_service(model_dir) as service:
+            with pytest.raises(Overloaded, match="cache"):
+                service.plan(request(seed=7), shed="cache_only")
+
+    def test_skip_ilp_degrades_and_never_poisons_the_cache(self, model_dir):
+        with small_service(model_dir) as service:
+            shed = service.plan(request(second_stage=True), shed="skip_ilp")
+            assert shed["method"] == "rl-rollout"
+            assert shed["degraded"] is True
+            assert shed["shed"] == "skip_ilp"
+            assert "ILP skipped" in shed["degraded_reason"]
+            # The shed answer must not satisfy a later full request.
+            full = service.plan(request(second_stage=True))
+            assert full["cache_hit"] is False
+            assert full["method"] == "neuroplan"
+            assert full["degraded"] is False
+
+    def test_skip_ilp_is_a_noop_for_rollout_only_requests(self, model_dir):
+        with small_service(model_dir) as service:
+            response = service.plan(request(), shed="skip_ilp")
+        assert response["degraded"] is False
+        assert response["shed"] is None
+
 
 class TestCacheBehavior:
     def test_repeat_request_is_served_from_cache(self, model_dir):
@@ -171,7 +234,13 @@ class TestHealth:
             assert health["version"] == __version__
             assert health["pool"]["accepting"] is True
             assert f"{TOPOLOGY}-s{SCALE:g}-short" in health["registry"]["keys"]
+            # The PR 8 enrichment: queue depth, drain flag, model versions.
+            assert health["draining"] is False
+            assert health["queue"]["capacity"] == service.pool.queue_depth
+            assert health["queue"]["depth"] == 0
+            assert health["models"][f"{TOPOLOGY}-s{SCALE:g}-short"] == [1]
         assert service.healthz()["status"] == "draining"
+        assert service.healthz()["draining"] is True
 
     def test_metrics_exposes_cache_and_pool(self, model_dir):
         telemetry.enable()

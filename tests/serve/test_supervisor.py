@@ -1,0 +1,102 @@
+"""Supervisor: restart policy bookkeeping (pure units) and the real
+process lifecycle (spawn, heartbeat, kill-respawn, graceful stop)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import ServiceConfig, Supervisor, SupervisorConfig
+from repro.serve.supervisor import CrashLoopBreaker, default_start_method
+
+
+def wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestCrashLoopBreaker:
+    def test_trips_at_threshold_inside_window(self):
+        breaker = CrashLoopBreaker(threshold=3, window_s=10.0, cooldown_s=5.0)
+        assert breaker.record_failure(now=100.0) is False
+        assert breaker.record_failure(now=101.0) is False
+        assert breaker.record_failure(now=102.0) is True
+        assert breaker.broken
+
+    def test_old_failures_age_out_of_the_window(self):
+        breaker = CrashLoopBreaker(threshold=3, window_s=10.0, cooldown_s=5.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=1.0)
+        # Both prior failures are outside the window by now.
+        assert breaker.record_failure(now=50.0) is False
+        assert not breaker.broken
+
+    def test_cooldown_gates_the_reopen(self):
+        breaker = CrashLoopBreaker(threshold=1, window_s=10.0, cooldown_s=5.0)
+        assert breaker.record_failure(now=100.0) is True
+        assert breaker.reopen_due(now=104.9) is False
+        assert breaker.reopen_due(now=105.0) is True
+        breaker.reset()
+        assert not breaker.broken
+        assert breaker.reopen_due(now=1000.0) is False
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(replicas=0)
+        with pytest.raises(ConfigError):
+            SupervisorConfig(crash_loop_threshold=0)
+        with pytest.raises(ConfigError):
+            SupervisorConfig(heartbeat_interval_s=1.0, heartbeat_timeout_s=0.5)
+
+    def test_default_start_method_is_fork_safe(self):
+        assert default_start_method() in ("forkserver", "spawn")
+
+
+class TestSupervisorLifecycle:
+    def test_start_serve_stop(self, model_dir):
+        config = SupervisorConfig(replicas=2, startup_timeout_s=120.0)
+        with Supervisor(
+            model_dir,
+            service_config=ServiceConfig(workers=1, queue_depth=4),
+            config=config,
+        ) as supervisor:
+            assert supervisor.healthy_count() == 2
+            rows = supervisor.describe()
+            assert [row["index"] for row in rows] == [0, 1]
+            for row in rows:
+                assert row["state"] == "healthy"
+                assert row["generation"] == 0
+                assert row["restarts"] == 0
+                assert row["pid"] is not None
+            # Heartbeat stats flow back and carry the store inventory.
+            assert wait_for(lambda: len(supervisor.replica_stats()) == 2)
+            stats = supervisor.replica_stats()
+            assert all("models" in blob for blob in stats.values())
+        # After stop() every replica process is gone.
+        for row in rows:
+            with pytest.raises(OSError):
+                os.kill(row["pid"], 0)
+
+    def test_sigkilled_replica_is_respawned(self, model_dir):
+        config = SupervisorConfig(
+            replicas=1, startup_timeout_s=120.0, restart_backoff_s=0.05
+        )
+        with Supervisor(
+            model_dir,
+            service_config=ServiceConfig(workers=1, queue_depth=4),
+            config=config,
+        ) as supervisor:
+            (row,) = supervisor.describe()
+            os.kill(row["pid"], signal.SIGKILL)
+            assert wait_for(
+                lambda: supervisor.describe()[0]["generation"] == 1
+                and supervisor.describe()[0]["state"] == "healthy"
+            )
+            (row,) = supervisor.describe()
+            assert row["restarts"] == 1
