@@ -54,12 +54,26 @@ against the committed ``results/batched_envs.json``:
 - the merged reward stream invariance across env counts is asserted
   inside the benchmark itself, so a completed run already proves it.
 
+With ``--solverfarm`` the gate re-runs the drift-workload benchmark
+(``bench_solverfarm.py``) at the quick profile and compares against the
+committed ``results/solverfarm.json``:
+
+- the summary ``warm_speedup`` (cold plan vs warm replan over the drift
+  stream) must stay at or above the hard ``MIN_REPLAN_SPEEDUP`` floor
+  (3x, the ISSUE 9 acceptance criterion) — absolute, not relative;
+- ``plans_match`` must be true and every true replan period must have
+  warm-started off a verified prior (the equivalence anchor: the
+  speedup is never bought with a different plan);
+- ``warm_speedup`` and ``hit_speedup`` must additionally stay within
+  ``--tolerance`` of the committed summary (same-machine ratios).
+
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 3.0]
         [--baseline benchmarks/results/fig7.json] [--update]
     python benchmarks/check_regression.py --hotpath [--tolerance 3.0]
     python benchmarks/check_regression.py --batched [--tolerance 3.0]
+    python benchmarks/check_regression.py --solverfarm [--tolerance 3.0]
 """
 
 from __future__ import annotations
@@ -233,6 +247,65 @@ def compare_batched(
     return problems
 
 
+# Hard acceptance floor for incremental replanning: warm replans over
+# the drift stream must be at least this multiple faster than planning
+# each drifted period cold (ISSUE 9 acceptance criterion).
+MIN_REPLAN_SPEEDUP = 3.0
+
+
+def run_solverfarm(profile: str) -> list[dict]:
+    import bench_solverfarm
+
+    return bench_solverfarm.run_drift(profile)
+
+
+def compare_solverfarm(
+    baseline: list[dict], fresh: list[dict], tolerance: float
+) -> list[str]:
+    problems: list[str] = []
+    summary = next((r for r in fresh if r.get("period") == "summary"), None)
+    base = next((r for r in baseline if r.get("period") == "summary"), None)
+    if summary is None:
+        return ["fresh run has no summary row"]
+    if base is None:
+        problems.append("committed baseline has no summary row")
+
+    if summary["warm_speedup"] < MIN_REPLAN_SPEEDUP:
+        problems.append(
+            f"warm replan is {summary['warm_speedup']:.2f}x the cold plan "
+            f"— below the {MIN_REPLAN_SPEEDUP}x acceptance floor"
+        )
+    # The equivalence anchor: a faster wrong plan is a regression.
+    if summary["plans_match"] is not True:
+        problems.append("warm replans no longer match the cold plans")
+    if summary["warm_starts"] != summary["periods"] - 1:
+        problems.append(
+            f"only {summary['warm_starts']} of {summary['periods'] - 1} "
+            f"replan periods warm-started — the delta path disengaged"
+        )
+    for row in fresh:
+        if row.get("period") == "summary" or row.get("period") == 0:
+            continue
+        if not row.get("prior_verified"):
+            problems.append(
+                f"period {row['period']}: prior no longer verified on-path"
+            )
+        if not row.get("hit_cached"):
+            problems.append(
+                f"period {row['period']}: repeat replan missed the "
+                f"solver-layer rollout cache"
+            )
+
+    if base is not None:
+        for field in ("warm_speedup", "hit_speedup"):
+            if summary[field] * tolerance < base[field]:
+                problems.append(
+                    f"{field} {summary[field]:.2f}x fell more than "
+                    f"{tolerance}x below the committed {base[field]:.2f}x"
+                )
+    return problems
+
+
 ILP_RTOL = 1e-6  # optimal objectives transfer across machines to float noise
 
 
@@ -339,7 +412,40 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="gate the batched-environment scaling benchmark instead of fig7",
     )
+    parser.add_argument(
+        "--solverfarm",
+        action="store_true",
+        help="gate the solver-farm drift benchmark instead of fig7",
+    )
     args = parser.parse_args(argv)
+
+    if args.solverfarm:
+        baseline_path = RESULTS_DIR / "solverfarm.json"
+        print(f"running solver-farm drift benchmark at profile={args.profile} ...")
+        fresh = run_solverfarm(args.profile)
+        if args.update:
+            baseline_path.write_text(json.dumps(fresh, indent=1) + "\n")
+            print(f"baseline updated: {baseline_path}")
+            return 0
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        problems = compare_solverfarm(
+            json.loads(baseline_path.read_text()), fresh, args.tolerance
+        )
+        if problems:
+            print("solver-farm regression gate FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        summary = next(r for r in fresh if r.get("period") == "summary")
+        print(
+            f"solver-farm regression gate passed: warm replan "
+            f"{summary['warm_speedup']:.2f}x, cache hit "
+            f"{summary['hit_speedup']:.2f}x over cold "
+            f"(floor {MIN_REPLAN_SPEEDUP}x, plans identical)"
+        )
+        return 0
 
     if args.batched:
         baseline_path = RESULTS_DIR / "batched_envs.json"

@@ -202,6 +202,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replicated-mode retry budget when a replica dies "
         "mid-request",
     )
+    serve.add_argument(
+        "--pipeline", choices=("pool", "farm"), default="pool",
+        help="execution pipeline: 'pool' (classic worker pool) or "
+        "'farm' (staged solver-farm pipeline with leased warm LP "
+        "backends and a solver-layer cache); POST /v1/replan works "
+        "under both",
+    )
+    serve.add_argument(
+        "--farm-backends", type=int, default=None, metavar="K",
+        help="solver-farm pool capacity per model signature "
+        "(default: the farm's built-in default)",
+    )
     _add_profile_arg(serve, top_level=False)
 
     scenarios = sub.add_parser(
@@ -434,11 +446,16 @@ def _cmd_serve(args) -> int:
     # for a server process (a --profile path additionally gets a trace).
     if not telemetry.enabled():
         telemetry.enable()
+    farm_overrides = {}
+    if args.farm_backends is not None:
+        farm_overrides["backends"] = args.farm_backends
     service_config = ServiceConfig(
         workers=args.serve_workers,
         queue_depth=args.queue_depth,
         cache_size=args.cache_size,
         ilp_time_limit=args.ilp_time_limit,
+        pipeline=args.pipeline,
+        farm=farm_overrides,
     )
     if args.replicas > 0:
         from repro.serve.dispatcher import (

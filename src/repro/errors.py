@@ -129,3 +129,10 @@ class ReplicaUnavailable(ServeError):
     The dispatcher retries idempotent plan requests on another replica
     transparently; this error surfaces only when every retry budget --
     attempts, deadline, healthy replicas -- is exhausted."""
+
+
+class ReplanError(ServeError):
+    """An incremental replan request could not be applied: the drift
+    spec is malformed, names unknown flows, or the supplied prior plan
+    is structurally inconsistent with the target instance (unknown
+    links, capacities below the originals, or off-unit values)."""

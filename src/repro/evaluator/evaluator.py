@@ -80,6 +80,27 @@ class PlanEvaluator:
         self.total_check_time = 0.0
 
     # ------------------------------------------------------------------
+    # Incremental retargeting (solver-farm replanning)
+    # ------------------------------------------------------------------
+    def retarget_demands(self, traffic) -> int:
+        """Repoint this evaluator at a drifted demand matrix.
+
+        Delegates the LP bound swap to the compiled checker (structure
+        must match; see :meth:`FeasibilityChecker.retarget_demands`),
+        then invalidates everything demand-derived on this layer: the
+        per-failure required-flow cache and the stateful sweep cursor
+        (a demand increase can break a previously survived prefix, so
+        the monotonic-resume contract no longer holds across the swap).
+        Returns the number of flows whose demand changed.
+        """
+        changed = self.checker.retarget_demands(traffic)
+        self.instance = self.checker.instance
+        self._required_cache.clear()
+        if self._stateful is not None:
+            self._stateful.reset()
+        return changed
+
+    # ------------------------------------------------------------------
     # Reliability policy
     # ------------------------------------------------------------------
     def required_flow_indices(self, failure_id: str) -> "set[int] | None":

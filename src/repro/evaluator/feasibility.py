@@ -25,15 +25,16 @@ matches production plan evaluators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro import telemetry
-from repro.errors import SolverError
+from repro.errors import SolverError, TrafficError
 from repro.solver import Model, Status, quicksum
 from repro.topology.failures import FailureScenario
 from repro.topology.instance import PlanningInstance
+from repro.topology.traffic import TrafficMatrix
 
 _TOLERANCE = 1e-6
 
@@ -171,6 +172,46 @@ class FeasibilityChecker:
             [flow.demand for flow in flows], dtype=np.float64
         )
         self._templates: dict[tuple, _FailureTemplate] = {}
+
+    # ------------------------------------------------------------------
+    # Incremental retargeting (solver-farm replanning)
+    # ------------------------------------------------------------------
+    def retarget_demands(self, traffic: TrafficMatrix) -> int:
+        """Repoint the compiled LP at a drifted demand matrix.
+
+        The LP structure (flow variables, conservation and capacity
+        rows) depends only on the network and the ordered set of
+        ``(src, dst, cos)`` flow keys; demand values appear solely in
+        the served-variable upper bounds and the per-failure templates.
+        Retargeting therefore swaps the flow list and drops the cached
+        templates — the next :meth:`check` delta-diffs the fresh serve
+        bounds against the model's current state, pushing only changed
+        bounds into the persistent backend (warm basis intact).
+
+        Returns the number of flows whose demand changed.  Raises
+        :class:`TrafficError` if the flow keys differ (a structural
+        change needs a full rebuild, not a retarget).
+        """
+        new_flows = list(traffic)
+        old_keys = [(f.src, f.dst, f.cos.name) for f in self._flows]
+        new_keys = [(f.src, f.dst, f.cos.name) for f in new_flows]
+        if old_keys != new_keys:
+            raise TrafficError(
+                "retarget_demands requires an identical ordered flow key set; "
+                f"got {len(new_keys)} flows vs {len(old_keys)} compiled "
+                "(structural drift needs a rebuilt checker)"
+            )
+        changed = sum(
+            1
+            for old, new in zip(self._flows, new_flows)
+            if old.demand != new.demand
+        )
+        self.instance = replace(self.instance, traffic=traffic)
+        self._flows = new_flows
+        self._templates.clear()
+        telemetry.counter("solverfarm.retarget.calls")
+        telemetry.counter("solverfarm.retarget.flows_changed", changed)
+        return changed
 
     # ------------------------------------------------------------------
     # Checking

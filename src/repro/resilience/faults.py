@@ -29,6 +29,16 @@ kills generation 0 of replica 0 and the respawn serves normally)::
     serve.dispatch.drop     the dispatcher "loses" a dispatch parent-side
                             and exercises its retry path (unkeyed)
 
+and for the solver farm (:mod:`repro.solverfarm`, keyed by model
+signature dirname / stage name)::
+
+    solverfarm.lease.stall@<model>   a worker "forgets" to release its
+                                     backend lease; the pool reclaims it
+                                     after ``stall_timeout_s``
+    solverfarm.stage.crash@rollout   the named pipeline stage worker
+                                     raises mid-job (keys: rollout,
+                                     check, polish)
+
 Sites are instrumented with :func:`maybe_fail` (raises
 :class:`~repro.errors.InjectedFault`) or :func:`fires` (boolean, for
 sites that corrupt state rather than raise).  Activation is either

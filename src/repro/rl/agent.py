@@ -32,14 +32,24 @@ def greedy_rollout(
     env: PlanningEnv,
     policy: ActorCriticPolicy,
     max_steps: "int | None" = None,
+    start_capacities: "dict[str, float] | None" = None,
 ) -> NetworkPlan:
     """Deterministic rollout with mode actions (policy evaluation).
 
     Shared by the training agent and the inference-only serving agent so
     a policy restored from a checkpoint provably emits the same plan as
     the live in-memory one (``tests/serve`` pins this round-trip).
+
+    ``start_capacities`` warm-starts the trajectory from a prior plan
+    instead of the original network (incremental replanning): with
+    demand-independent observations and action masks, a rollout resumed
+    from any point on the policy's greedy trajectory continues along the
+    exact same path a from-scratch rollout would take.
     """
-    observation = env.reset()
+    if start_capacities is None:
+        observation = env.reset()
+    else:
+        observation = env.reset_from(start_capacities)
     limit = max_steps or env.max_steps
     steps = 0
     while not env.done and steps < limit:
@@ -54,7 +64,11 @@ def greedy_rollout(
         instance_name=env.instance.name,
         capacities=env.capacities(),
         method="rl-rollout",
-        metadata={"feasible": env.feasible, "steps": steps},
+        metadata={
+            "feasible": env.feasible,
+            "steps": steps,
+            "warm_start": start_capacities is not None,
+        },
     )
 
 

@@ -175,7 +175,35 @@ class PlanningEnv:
     # ------------------------------------------------------------------
     def reset(self) -> np.ndarray:
         """Start a trajectory from the original capacities."""
-        self._capacities = self.instance.network.capacities()
+        return self._reset_at(self.instance.network.capacities())
+
+    def reset_from(self, capacities: dict[str, float]) -> np.ndarray:
+        """Start a trajectory from a prior plan's capacities (warm start).
+
+        Used by incremental replanning: instead of rebuilding from the
+        original network, the rollout resumes from where a prior plan
+        left off.  Capacities below the original are clamped up (a plan
+        never removes capacity), missing links inherit their original
+        value, and unknown link ids are rejected.
+        """
+        base = self.instance.network.capacities()
+        unknown = set(capacities) - set(base)
+        if unknown:
+            raise EnvironmentError_(
+                f"reset_from got unknown link ids: {sorted(unknown)[:5]}"
+            )
+        merged = {
+            link_id: max(float(capacities.get(link_id, original)), original)
+            for link_id, original in base.items()
+        }
+        if not self._spectrum.feasible(merged):
+            raise EnvironmentError_(
+                "reset_from capacities violate the spectrum constraints"
+            )
+        return self._reset_at(merged)
+
+    def _reset_at(self, capacities: dict[str, float]) -> np.ndarray:
+        self._capacities = capacities
         self._steps = 0
         self.evaluator.reset()
         result = self.evaluator.evaluate(self._capacities)
@@ -184,6 +212,22 @@ class PlanningEnv:
         self._infeasibility_gap = 0.0 if result.feasible else result.shortfall
         self._last_violated = result.violated_failure
         return self.observation()
+
+    def retarget_demands(self, traffic) -> int:
+        """Repoint the environment at a drifted demand matrix.
+
+        Observations (capacity features) and action masks (spectrum
+        headroom) are demand-independent, so only the evaluator layer
+        needs to move: the compiled feasibility LP swaps its serve
+        bounds in place (warm basis intact) and this env's ``instance``
+        follows.  The current episode is invalidated — call ``reset()``
+        or ``reset_from()`` before stepping.  Returns the number of
+        flows whose demand changed.
+        """
+        changed = self.evaluator.retarget_demands(traffic)
+        self.instance = self.evaluator.instance
+        self._done = True
+        return changed
 
     def observation(self) -> np.ndarray:
         return self.encoder.encode(self._capacities)

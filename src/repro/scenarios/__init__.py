@@ -16,7 +16,11 @@ Importing this package registers the built-in scenarios:
 - ``fig7-reference`` -- the paper's topology band A (fig. 7 family);
 - ``dci-fattree`` -- cross-datacenter fat-tree/DCI rings;
 - ``rwa-ring`` -- optical RWA with route-diverse, fiber-reusing
-  lightpaths under a tight spectrum budget.
+  lightpaths under a tight spectrum budget;
+- ``multi-period-growth`` -- per-period demand schedules on band A
+  with near-term periods protected and speculative growth deferred
+  (plan-now-vs-defer); doubles as the drift-workload generator for
+  the replanning benchmark.
 
 The differential conformance harness (``tests/scenarios``) runs every
 registered planner against every registered scenario, so a new planner
@@ -40,7 +44,7 @@ from repro.scenarios.verifier import (
 from repro.scenarios.baselines import baseline_record, baseline_table, run_planner
 
 # Built-in scenarios register themselves on import.
-from repro.scenarios import reference, crossdc, rwa  # noqa: E402,F401
+from repro.scenarios import reference, crossdc, rwa, multiperiod  # noqa: E402,F401
 
 __all__ = [
     "Scenario",

@@ -1,0 +1,138 @@
+"""Multi-period planning under demand growth (plan now vs. defer).
+
+The workload family the ROADMAP sketches: demand arrives as a
+per-period growth schedule ``D_1 <= D_2 <= ... <= D_T`` over a fixed
+flow set, and the operator must decide how much capacity to protect
+*now* versus defer for speculative growth.
+
+Encoding — the scenario contract (one :class:`PlanningInstance`)
+already fits, because the reliability policy is per-CoS:
+
+- each (src, dst) pair contributes one **increment flow per period**,
+  with demand ``D_t - D_{t-1}`` and class of service ``period-t``
+  (zero increments are dropped);
+- the base (no-failure) feasibility case requires *all* flows, i.e.
+  the full final-period demand ``D_T`` — capacity must be planned now
+  for the whole horizon;
+- the reliability policy protects near-term periods only: increments
+  up to :data:`PROTECT_THROUGH` must survive every failure scenario,
+  while later (speculative) increments carry
+  ``cos_failure_sets[period-t] = frozenset()`` — served in the
+  healthy network, unprotected under failures.  That is exactly the
+  "plan now vs. defer protection" trade-off.
+
+Because the ILP formulation, the heuristic planners, the evaluator and
+the standalone scipy verifier all honour ``cos_failure_sets``,
+registration alone buys full conformance coverage.
+
+The module also exports :func:`growth_schedule` — the deterministic
+per-flow growth generator — which doubles as the drift-workload
+source for the replanning benchmark (``benchmarks/bench_solverfarm.py``
+replays the cumulative schedule as ``POST /v1/replan`` drifts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.scenarios.base import Scenario, register
+from repro.topology import generators
+from repro.topology.instance import PlanningInstance
+from repro.topology.traffic import ClassOfService, ReliabilityPolicy, TrafficMatrix
+
+TOPOLOGY = "A"
+SCALE = 0.5
+HORIZON = "short"
+PERIODS = 3
+PROTECT_THROUGH = 2  # periods 1..2 survive failures; period 3 is speculative
+
+
+def growth_schedule(
+    traffic: TrafficMatrix,
+    periods: int = PERIODS,
+    seed: int = 0,
+    spread: float = 0.6,
+) -> "list[TrafficMatrix]":
+    """Deterministic per-flow growth schedule over a fixed flow set.
+
+    Returns ``periods`` cumulative demand matrices ``D_1 <= ... <= D_T``
+    with ``D_T`` scaled so the *final* period carries ~``1 + spread/2``
+    times the input demand.  Growth rates are heterogeneous per flow
+    (drawn from ``seed``), so the drift shifts emphasis between flows
+    while staying pointwise non-decreasing — the family the warm-start
+    replan path is exact on.
+    """
+    flows = list(traffic)
+    rng = np.random.default_rng(seed)
+    # Per-flow total growth in [1, 1 + spread]; per-period fractions of
+    # that growth from a Dirichlet draw (deterministic given the seed).
+    totals = 1.0 + spread * rng.random(len(flows))
+    fractions = rng.dirichlet(np.ones(periods), size=len(flows))
+    schedule: "list[TrafficMatrix]" = []
+    cumulative = np.zeros(len(flows))
+    for period in range(periods):
+        cumulative += fractions[:, period]
+        period_flows = []
+        for i, flow in enumerate(flows):
+            factor = 1.0 + (totals[i] - 1.0) * cumulative[i]
+            period_flows.append(replace(flow, demand=round(flow.demand * factor, 6)))
+        schedule.append(TrafficMatrix(period_flows))
+    return schedule
+
+
+def build(seed: int) -> PlanningInstance:
+    base = generators.make_instance(
+        TOPOLOGY, seed=seed, scale=SCALE, horizon=HORIZON
+    )
+    schedule = growth_schedule(base.traffic, periods=PERIODS, seed=seed)
+    base_flows = list(base.traffic)
+    period_cos = [
+        ClassOfService(name=f"period-{t + 1}", priority=t) for t in range(PERIODS)
+    ]
+    increment_flows = []
+    for i, flow in enumerate(base_flows):
+        previous = 0.0
+        for t in range(PERIODS):
+            demand = list(schedule[t])[i].demand
+            increment = round(demand - previous, 6)
+            previous = demand
+            if increment <= 0:
+                continue
+            increment_flows.append(
+                replace(flow, demand=increment, cos=period_cos[t])
+            )
+    # Near-term periods stay fully protected (absent from the map means
+    # "all failures"); speculative periods survive nothing — they are
+    # only required in the healthy network (the base check sums every
+    # increment, i.e. the full D_T).
+    policy = ReliabilityPolicy(
+        cos_failure_sets={
+            f"period-{t + 1}": frozenset()
+            for t in range(PROTECT_THROUGH, PERIODS)
+        }
+    )
+    return replace(
+        base,
+        name=f"{base.name}-multiperiod",
+        traffic=TrafficMatrix(increment_flows),
+        policy=policy,
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="multi-period-growth",
+        description=(
+            "Multi-period demand growth on paper band A: per-period "
+            "increment flows, near-term periods protected under all "
+            "failures, speculative growth served unprotected "
+            "(plan-now-vs-defer)"
+        ),
+        builder=build,
+        tags=("paper", "wan", "multi-period", "drift"),
+        seeds=(0, 1),
+        baseline_methods=("greedy", "ilp-heur", "ilp"),
+    )
+)

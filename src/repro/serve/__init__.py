@@ -32,7 +32,12 @@ from repro.serve.registry import (
     ModelStore,
     PolicyRegistry,
 )
-from repro.serve.service import PlanRequest, PlanningService, ServiceConfig
+from repro.serve.service import (
+    PlanRequest,
+    PlanningService,
+    ReplanRequest,
+    ServiceConfig,
+)
 from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
@@ -45,6 +50,7 @@ __all__ = [
     "PlanRequest",
     "PlanningService",
     "PolicyRegistry",
+    "ReplanRequest",
     "ResponseCache",
     "ServiceConfig",
     "ShedPolicy",

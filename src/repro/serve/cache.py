@@ -28,12 +28,20 @@ def canonical_key(fields: dict) -> str:
 
 
 class ResponseCache:
-    """Thread-safe LRU over response dicts; ``capacity=0`` disables it."""
+    """Thread-safe LRU over response dicts; ``capacity=0`` disables it.
 
-    def __init__(self, capacity: int = 256):
+    ``telemetry_prefix`` names the counter family the cache reports
+    under (``<prefix>.hits`` / ``.misses`` / ``.evictions``): the
+    request-layer cache uses the default ``serve.cache``, while the
+    solver-layer caches in :mod:`repro.solverfarm` reuse this class
+    under ``solverfarm.cache.*`` prefixes.
+    """
+
+    def __init__(self, capacity: int = 256, telemetry_prefix: str = "serve.cache"):
         if capacity < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity = capacity
+        self.telemetry_prefix = telemetry_prefix
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -45,11 +53,11 @@ class ResponseCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                telemetry.counter("serve.cache.misses")
+                telemetry.counter(f"{self.telemetry_prefix}.misses")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            telemetry.counter("serve.cache.hits")
+            telemetry.counter(f"{self.telemetry_prefix}.hits")
             return dict(entry)
 
     def put(self, key: str, response: dict) -> None:
@@ -61,7 +69,7 @@ class ResponseCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-                telemetry.counter("serve.cache.evictions")
+                telemetry.counter(f"{self.telemetry_prefix}.evictions")
 
     def __len__(self) -> int:
         with self._lock:

@@ -50,7 +50,7 @@ from repro.errors import (
     ReplicaUnavailable,
 )
 from repro.resilience import faults
-from repro.serve.service import PlanRequest
+from repro.serve.service import PlanRequest, ReplanRequest
 from repro.serve.supervisor import ReplicaHandle, Supervisor
 
 _REJECT = "reject"
@@ -230,6 +230,22 @@ class Dispatcher:
     def plan(self, request: PlanRequest) -> dict:
         return self.submit(request).result()
 
+    def submit_replan(self, request, shed: "str | None" = None) -> Future:
+        """Replan entry point mirroring :meth:`PlanningService.submit_replan`.
+
+        Replans ride the same admission/shed/retry machinery as plans
+        (they are just as idempotent — the result is prior-independent);
+        the ``kind`` discriminator routes them to ``submit_replan`` on
+        the replica side.  The optional ``shed`` is accepted for surface
+        compatibility and folded into the admission decision.
+        """
+        del shed  # admission decides shedding; kept for surface parity
+        telemetry.counter("serve.replan.requests")
+        return self.submit(request)
+
+    def replan(self, request, shed: "str | None" = None) -> dict:
+        return self.submit_replan(request, shed=shed).result()
+
     # ------------------------------------------------------------------
     # Routing, retry, hedging
     # ------------------------------------------------------------------
@@ -287,6 +303,7 @@ class Dispatcher:
     ) -> dict:
         attempts = 0
         tried: "set[int]" = set()
+        kind = "replan" if isinstance(request, ReplanRequest) else "plan"
         while True:
             remaining = self._remaining(request, admitted_at)
             replica = self._pick(tried, remaining)
@@ -308,9 +325,9 @@ class Dispatcher:
                     raise ReplicaUnavailable(
                         f"injected dispatch drop towards replica {replica.index}"
                     )
-                future = replica.dispatch(fields, action)
+                future = replica.dispatch(fields, action, kind)
                 response, served_by = self._await(
-                    future, replica, fields, action, remaining
+                    future, replica, fields, action, remaining, kind
                 )
             except ReplicaUnavailable as exc:
                 attempts += 1
@@ -335,6 +352,7 @@ class Dispatcher:
         fields: dict,
         action: "str | None",
         remaining: "float | None",
+        kind: str = "plan",
     ) -> "tuple[dict, ReplicaHandle]":
         """Wait for a dispatched request, optionally racing a hedge.
 
@@ -361,7 +379,7 @@ class Dispatcher:
             return self._wait_one(future, replica, budget), replica
         telemetry.counter("serve.dispatch.hedges")
         try:
-            hedge_future = hedge_replica.dispatch(fields, action)
+            hedge_future = hedge_replica.dispatch(fields, action, kind)
         except ReplicaUnavailable:
             return self._wait_one(future, replica, budget), replica
         deadline = None if budget is None else time.monotonic() + budget

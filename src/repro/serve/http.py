@@ -7,7 +7,12 @@ Endpoints
     Typed errors map to status codes: ``Overloaded`` -> 429,
     ``DeadlineExceeded`` -> 504, ``ModelNotFoundError`` -> 404,
     ``ModelMismatchError`` -> 409, ``ReplicaUnavailable`` -> 503,
-    other ``ServeError`` -> 400.
+    other ``ServeError`` (including ``ReplanError``) -> 400.
+``POST /v1/replan``
+    JSON :class:`~repro.serve.service.ReplanRequest` body -> response
+    dict: a plan request expressed as a demand drift against a prior
+    plan, answered incrementally by the solver farm (delta LP bound
+    push + warm-started rollout for pointwise-growth drifts).
 ``GET /healthz``
     Liveness + registry/pool/cache state + package version.
 ``GET /metrics``
@@ -39,7 +44,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
-from repro.serve.service import PlanRequest, PlanningService
+from repro.serve.service import PlanRequest, PlanningService, ReplanRequest
 from repro.version import __version__
 
 _ERROR_STATUS = (
@@ -75,7 +80,7 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "not_found", "path": self.path})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/v1/plan":
+        if self.path not in ("/v1/plan", "/v1/replan"):
             self._send_json(404, {"error": "not_found", "path": self.path})
             return
         try:
@@ -91,8 +96,12 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length))
             if not isinstance(payload, dict):
                 raise ServeError("request body must be a JSON object")
-            request = PlanRequest.from_dict(payload)
-            response = self.service.plan(request)
+            if self.path == "/v1/replan":
+                request = ReplanRequest.from_dict(payload)
+                response = self.service.replan(request)
+            else:
+                request = PlanRequest.from_dict(payload)
+                response = self.service.plan(request)
         except json.JSONDecodeError as exc:
             self._send_json(
                 400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}

@@ -13,6 +13,8 @@ Wire protocol (pickled dicts over a :class:`multiprocessing.Pipe`)::
     parent -> replica   {"kind": "ping", "id": n}
                         {"kind": "plan", "id": n, "request": {...},
                          "shed": None | "cache_only" | "skip_ilp"}
+                        {"kind": "replan", "id": n, "request": {...},
+                         "shed": ...}   (ReplanRequest fields)
                         {"kind": "shutdown"}
     replica -> parent   {"kind": "pong", "id": n, "stats": {...}}
                         {"kind": "result", "id": n, "ok": True,
@@ -46,7 +48,12 @@ import time
 from repro import telemetry
 from repro.errors import ReproError, ServeError
 from repro.resilience import faults
-from repro.serve.service import PlanRequest, PlanningService, ServiceConfig
+from repro.serve.service import (
+    PlanRequest,
+    PlanningService,
+    ReplanRequest,
+    ServiceConfig,
+)
 
 # Exit codes the supervisor can tell apart in logs/tests.
 EXIT_INJECTED_CRASH = 70
@@ -55,7 +62,7 @@ EXIT_PARENT_GONE = 71
 
 def replica_stats(service: PlanningService, index: int, generation: int) -> dict:
     """The per-replica stats blob piggybacked on every heartbeat pong."""
-    return {
+    stats = {
         "index": index,
         "generation": generation,
         "pid": os.getpid(),
@@ -65,6 +72,9 @@ def replica_stats(service: PlanningService, index: int, generation: int) -> dict
         "loaded_agents": service.registry.stats()["loaded_agents"],
         "counters": telemetry.snapshot()["counters"],
     }
+    if service._farm is not None:
+        stats["solverfarm"] = service._farm.stats()
+    return stats
 
 
 def _error_payload(exc: BaseException) -> dict:
@@ -152,7 +162,7 @@ def replica_main(
                 "id": message.get("id"),
                 "stats": replica_stats(service, index, generation),
             })
-        elif kind == "plan":
+        elif kind in ("plan", "replan"):
             if faults.fires("serve.replica.crash", key=key, attempt=generation):
                 os._exit(EXIT_INJECTED_CRASH)
             if faults.fires("serve.replica.hang", key=key, attempt=generation):
@@ -162,8 +172,14 @@ def replica_main(
                     time.sleep(3600)
             request_id = message["id"]
             try:
-                request = PlanRequest(**message["request"])
-                future = service.submit(request, shed=message.get("shed"))
+                if kind == "replan":
+                    request = ReplanRequest(**message["request"])
+                    future = service.submit_replan(
+                        request, shed=message.get("shed")
+                    )
+                else:
+                    request = PlanRequest(**message["request"])
+                    future = service.submit(request, shed=message.get("shed"))
             except BaseException as exc:  # typed errors flow back
                 send({"kind": "result", "id": request_id, **_error_payload(exc)})
                 continue

@@ -16,6 +16,7 @@ stay thin and identical.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from concurrent.futures import Future
@@ -40,6 +41,15 @@ REQUEST_FIELDS = (
     "no_cache",
     "priority",
 )
+
+# Extra fields accepted by ``POST /v1/replan`` on top of REQUEST_FIELDS.
+REPLAN_FIELDS = REQUEST_FIELDS + ("demands", "prior_plan", "prior_demands")
+
+# Pipeline modes: "pool" is the classic worker-pool execution path,
+# "farm" routes plan requests through the staged repro.solverfarm
+# pipeline (shared leased backends, solver-layer cache).  Replanning
+# always runs on the farm (lazily created under "pool").
+PIPELINES = ("pool", "farm")
 
 # Priority classes: 0 = interactive (shed last), 1 = normal,
 # 2 = background/batch (shed first).  The dispatcher's tiered
@@ -132,6 +142,61 @@ class PlanRequest:
         }
 
 
+@dataclass(frozen=True)
+class ReplanRequest(PlanRequest):
+    """A plan request expressed as a drift against a prior plan.
+
+    ``demands`` / ``prior_demands`` are drift specs relative to the
+    model's baseline demand matrix (``None`` = the baseline itself; see
+    :mod:`repro.solverfarm.replan`), and ``prior_plan`` is the prior
+    plan's ``{link_id: Gbps}`` capacities.  When the new demands
+    dominate the prior demands pointwise, the rollout warm-starts from
+    the prior plan and the leased backend absorbs the drift as a pure
+    LP bound swap; otherwise the farm falls back to a from-scratch
+    rollout on the same leased backend.  Either way the result is
+    prior-independent, so the response-cache identity hashes the drift
+    spec but never the prior.
+    """
+
+    demands: "dict | None" = None
+    prior_plan: "dict | None" = None
+    prior_demands: "dict | None" = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        from repro.solverfarm.replan import validate_drift_spec
+
+        validate_drift_spec(self.demands)
+        validate_drift_spec(self.prior_demands)
+        if self.prior_plan is not None and (
+            not isinstance(self.prior_plan, dict) or not self.prior_plan
+        ):
+            raise ServeError(
+                "prior_plan must be a non-empty {link_id: Gbps} object or null"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReplanRequest":
+        unknown = set(payload) - set(REPLAN_FIELDS)
+        if unknown:
+            raise ServeError(
+                f"unknown replan fields {sorted(unknown)}; "
+                f"accepted: {list(REPLAN_FIELDS)}"
+            )
+        if "topology" not in payload:
+            raise ServeError("request is missing the 'topology' field")
+        return cls(**payload)
+
+    def identity(self, resolved_version: int) -> dict:
+        identity = super().identity(resolved_version)
+        # Prior-plan independence (docstring) keeps the prior out of
+        # the hash; the drift specs are what the response answers.
+        identity["demands"] = self.demands
+        identity["prior_demands"] = self.prior_demands
+        identity["replan"] = True
+        return identity
+
+
 @dataclass
 class ServiceConfig:
     """Knobs for one :class:`PlanningService`."""
@@ -141,6 +206,8 @@ class ServiceConfig:
     cache_size: int = 256
     ilp_time_limit: float = 30.0  # cap per second-stage solve (seconds)
     rollout_max_steps: "int | None" = None  # None = model's trained horizon
+    pipeline: str = "pool"  # see PIPELINES
+    farm: dict = field(default_factory=dict)  # FarmConfig overrides
     extra: dict = field(default_factory=dict)
 
 
@@ -153,6 +220,11 @@ class PlanningService:
         config: "ServiceConfig | None" = None,
     ):
         self.config = config or ServiceConfig()
+        if self.config.pipeline not in PIPELINES:
+            raise ServeError(
+                f"pipeline must be one of {PIPELINES}, "
+                f"got {self.config.pipeline!r}"
+            )
         self.registry = (
             model_dir
             if isinstance(model_dir, PolicyRegistry)
@@ -162,7 +234,62 @@ class PlanningService:
             workers=self.config.workers, queue_depth=self.config.queue_depth
         )
         self.cache = ResponseCache(self.config.cache_size)
+        self._farm = None
+        self._farm_lock = threading.Lock()
         self._closed = False
+        if self.config.pipeline == "farm":
+            self._ensure_farm()
+
+    # ------------------------------------------------------------------
+    def _ensure_farm(self):
+        """The solver farm, created on first use (always under ``farm``
+        pipeline mode, lazily for replans under ``pool`` mode)."""
+        if self._farm is None:
+            with self._farm_lock:
+                if self._farm is None:
+                    from repro.solverfarm import FarmConfig, SolverFarm
+
+                    self._farm = SolverFarm(
+                        self.registry,
+                        FarmConfig(**self.config.farm),
+                        service_config=self.config,
+                        response_cache=self.cache,
+                    )
+        return self._farm
+
+    def _submit_farm(self, request, admitted_at: float, shed: "str | None"):
+        """Admission for the farm pipeline: response-cache lookup up
+        front (it is one dict probe), then the staged pipeline."""
+        from repro.solverfarm import FarmJob
+
+        farm = self._ensure_farm()
+        record = self.registry.resolve(request.model_key(), request.model_version)
+        cache_key = canonical_key(request.identity(record.version))
+        if not request.no_cache:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                future: Future = Future()
+                response = dict(cached)
+                response["cache_hit"] = True
+                response["timings"] = {
+                    **cached["timings"],
+                    "queue_s": 0.0,
+                    "total_s": time.perf_counter() - admitted_at,
+                }
+                telemetry.counter("serve.responses")
+                future.set_result(response)
+                return future
+        job = FarmJob(
+            request=request,
+            record=record,
+            signature=(record.key.dirname(), record.version, int(request.seed)),
+            future=Future(),
+            admitted_at=admitted_at,
+            shed=shed,
+            cache_key=cache_key,
+            is_replan=isinstance(request, ReplanRequest),
+        )
+        return farm.submit(job)
 
     # ------------------------------------------------------------------
     def submit(self, request: PlanRequest, shed: "str | None" = None) -> Future:
@@ -182,11 +309,31 @@ class PlanningService:
         admitted_at = time.perf_counter()
         if shed == "cache_only":
             return self._cache_only(request, admitted_at)
+        if self.config.pipeline == "farm":
+            return self._submit_farm(request, admitted_at, shed)
         return self.pool.submit(self._execute, request, admitted_at, shed)
 
     def plan(self, request: PlanRequest, shed: "str | None" = None) -> dict:
         """Synchronous submit + wait (in-process callers, benchmark)."""
         return self.submit(request, shed=shed).result()
+
+    def submit_replan(
+        self, request: ReplanRequest, shed: "str | None" = None
+    ) -> Future:
+        """Admit an incremental replan; always runs on the solver farm
+        (the delta path needs the leased persistent LP backends)."""
+        if shed not in SHED_MODES:
+            raise ServeError(f"unknown shed mode {shed!r}; options: {SHED_MODES}")
+        telemetry.counter("serve.requests")
+        telemetry.counter("serve.replan.requests")
+        admitted_at = time.perf_counter()
+        if shed == "cache_only":
+            return self._cache_only(request, admitted_at)
+        return self._submit_farm(request, admitted_at, shed)
+
+    def replan(self, request: ReplanRequest, shed: "str | None" = None) -> dict:
+        """Synchronous replan (in-process callers, benchmark)."""
+        return self.submit_replan(request, shed=shed).result()
 
     # ------------------------------------------------------------------
     def _cache_only(self, request: PlanRequest, admitted_at: float) -> Future:
@@ -321,10 +468,11 @@ class PlanningService:
         from repro.version import __version__
 
         pool = self.pool.stats()
-        return {
+        health = {
             "status": "draining" if self._closed else "ok",
             "draining": self._closed,
             "version": __version__,
+            "pipeline": self.config.pipeline,
             "queue": {
                 "depth": pool["queued"],
                 "capacity": pool["queue_depth"],
@@ -335,13 +483,19 @@ class PlanningService:
             "pool": pool,
             "cache": self.cache.stats(),
         }
+        if self._farm is not None:
+            health["solverfarm"] = self._farm.stats()
+        return health
 
     def metrics(self) -> dict:
-        return {
+        metrics = {
             "telemetry": telemetry.snapshot(),
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
         }
+        if self._farm is not None:
+            metrics["solverfarm"] = self._farm.stats()
+        return metrics
 
     def close(self) -> None:
         """Graceful drain: stop accepting, finish in-flight work, then
@@ -350,6 +504,8 @@ class PlanningService:
             return
         self._closed = True
         self.pool.shutdown(drain=True)
+        if self._farm is not None:
+            self._farm.close()
         self.registry.close()
 
     def __enter__(self) -> "PlanningService":
@@ -362,6 +518,7 @@ class PlanningService:
 # Re-exported so transports can import everything from one module.
 __all__ = [
     "PlanRequest",
+    "ReplanRequest",
     "PlanningService",
     "ServiceConfig",
     "Overloaded",

@@ -153,9 +153,14 @@ class ReplicaHandle:
         with self._lock:
             return len(self._pending)
 
-    def dispatch(self, request_fields: dict, shed: "str | None") -> Future:
-        """Send one plan request; the future resolves with the response
-        dict or the replica's typed error, or fails with
+    def dispatch(
+        self,
+        request_fields: dict,
+        shed: "str | None",
+        kind: str = "plan",
+    ) -> Future:
+        """Send one plan/replan request; the future resolves with the
+        response dict or the replica's typed error, or fails with
         :class:`ReplicaUnavailable` if the replica dies first."""
         with self._lock:
             if self.state == "dead":
@@ -168,7 +173,7 @@ class ReplicaHandle:
             self._pending[request_id] = future
         try:
             self._send({
-                "kind": "plan",
+                "kind": kind,
                 "id": request_id,
                 "request": request_fields,
                 "shed": shed,

@@ -1,0 +1,48 @@
+"""Async planning pipeline with a cross-request solver farm.
+
+``repro.solverfarm`` decouples the serially-executed plan request into
+staged, queued work over shared warm solver state:
+
+- :mod:`repro.solverfarm.pool` — lease pool of persistent warm-basis
+  planning backends, shared across concurrent requests per model
+  signature, with stalled-lease reclaim (never leaks a HiGHS model);
+- :mod:`repro.solverfarm.cache` — solver-layer result cache keyed on
+  canonical plan identity (rollout / feasibility / ILP-polish
+  segments, ``solverfarm.cache.*`` telemetry);
+- :mod:`repro.solverfarm.pipeline` — the bounded-queue rollout ->
+  check -> polish pipeline with per-priority fairness and typed
+  backpressure;
+- :mod:`repro.solverfarm.replan` — incremental replanning: demand
+  drift specs, the pointwise-growth warm-start rule, and prior-plan
+  validation.
+
+The farm wires under :class:`repro.serve.PlanningService` behind
+``ServiceConfig(pipeline="farm")`` and powers ``POST /v1/replan`` in
+every pipeline mode.
+"""
+
+from repro.solverfarm.backend import PlanningBackend, build_backend
+from repro.solverfarm.cache import SolverResultCache
+from repro.solverfarm.pipeline import FarmConfig, FarmJob, SolverFarm
+from repro.solverfarm.pool import BackendLease, BackendPool
+from repro.solverfarm.replan import (
+    drift_traffic,
+    is_growth,
+    validate_drift_spec,
+    validate_prior_plan,
+)
+
+__all__ = [
+    "BackendLease",
+    "BackendPool",
+    "FarmConfig",
+    "FarmJob",
+    "PlanningBackend",
+    "SolverFarm",
+    "SolverResultCache",
+    "build_backend",
+    "drift_traffic",
+    "is_growth",
+    "validate_drift_spec",
+    "validate_prior_plan",
+]

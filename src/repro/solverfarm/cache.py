@@ -1,0 +1,98 @@
+"""Solver-layer result cache keyed on canonical plan identity.
+
+The PR-4 response cache memoizes whole responses keyed by *request*
+identity.  This cache sits one layer down, inside the pipeline, and
+memoizes the three expensive solver artifacts by what they actually
+depend on — so work computed for one request is reused by *any*
+request that reaches the same canonical state, across entry points
+(plan vs replan) and across request shapes:
+
+- **rollout** ``(signature, demands, max_steps) -> first-stage plan``:
+  the greedy rollout is deterministic in the model signature and the
+  demand matrix, so a replan for already-seen demands skips the
+  rollout entirely.  Warm-started results are only admitted when the
+  supplied prior is verified on-path (see the pipeline), keeping the
+  demands-keyed entry equal to the from-scratch plan.
+- **feasibility** ``(signature, demands, capacities) -> verdict``: a
+  verdict is a property of the demand matrix and the capacity vector,
+  independent of how the plan was produced — always safe to cache.
+- **polish** ``(signature, demands, capacities, alpha) -> ILP plan``:
+  only proven-optimal, non-degraded polishes are cached; a timeout
+  fallback under one request's budget must not masquerade as the
+  optimum for the next.
+
+Counters surface as ``solverfarm.cache.<segment>.{hits,misses,
+evictions}`` via the shared LRU implementation.
+"""
+
+from __future__ import annotations
+
+from repro.serve.cache import ResponseCache, canonical_key
+
+
+def _capacities_fields(capacities: dict) -> dict:
+    # Round onto a fine grid so float noise can't split identical plans.
+    return {link: round(float(cap), 6) for link, cap in capacities.items()}
+
+
+def rollout_key(signature: tuple, demand_fp: str, max_steps) -> str:
+    return canonical_key(
+        {
+            "kind": "rollout",
+            "signature": list(signature),
+            "demands": demand_fp,
+            "max_steps": max_steps,
+        }
+    )
+
+
+def feasibility_key(signature: tuple, demand_fp: str, capacities: dict) -> str:
+    return canonical_key(
+        {
+            "kind": "feasibility",
+            "signature": list(signature),
+            "demands": demand_fp,
+            "capacities": _capacities_fields(capacities),
+        }
+    )
+
+
+def polish_key(
+    signature: tuple, demand_fp: str, capacities: dict, alpha: float
+) -> str:
+    return canonical_key(
+        {
+            "kind": "polish",
+            "signature": list(signature),
+            "demands": demand_fp,
+            "capacities": _capacities_fields(capacities),
+            "alpha": alpha,
+        }
+    )
+
+
+class SolverResultCache:
+    """Three LRU segments with ``solverfarm.cache.*`` telemetry."""
+
+    def __init__(self, capacity: int = 256):
+        self.rollout = ResponseCache(
+            capacity, telemetry_prefix="solverfarm.cache.rollout"
+        )
+        self.feasibility = ResponseCache(
+            capacity, telemetry_prefix="solverfarm.cache.feasibility"
+        )
+        self.polish = ResponseCache(
+            capacity, telemetry_prefix="solverfarm.cache.polish"
+        )
+
+    def stats(self) -> dict:
+        return {
+            "rollout": self.rollout.stats(),
+            "feasibility": self.feasibility.stats(),
+            "polish": self.polish.stats(),
+        }
+
+    def clear(self) -> None:
+        self.rollout.clear()
+        self.feasibility.clear()
+        self.polish.clear()

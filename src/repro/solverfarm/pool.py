@@ -1,0 +1,277 @@
+"""Cross-request lease pool of persistent warm-basis planning backends.
+
+Before the solver farm, every request that wanted LP work rebuilt the
+feasibility model from scratch (or monopolized the registry agent's
+single env behind a lock).  The pool keeps up to ``capacity`` warm
+backends *per model signature* ``(model dirname, version, seed)`` and
+leases them to pipeline stages:
+
+- ``lease(signature)`` hands out an idle backend, builds a fresh one
+  while below capacity, and otherwise blocks (bounded by
+  ``lease_wait_s``) until a lease frees — raising a typed
+  :class:`Overloaded` on timeout so admission control stays visible.
+- ``release(lease)`` returns the backend; ``discard=True`` retires it
+  instead (used after a stage crashed mid-work, so a possibly dirty
+  backend is rebuilt rather than reused).
+- Stalled leases — held longer than ``stall_timeout_s``, e.g. by a
+  stage that hit an injected crash *after* a lost release — are
+  reclaimed on the next lease attempt: the old backend is closed and
+  its capacity slot freed, so the pool always recovers to full
+  capacity without leaking HiGHS models.
+
+Fault sites (``NEUROPLAN_FAULTS``):
+
+- ``solverfarm.lease.stall`` (keyed by signature dirname) — swallows a
+  release, simulating a holder that died without returning its lease;
+  exercises the reclaim path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import telemetry
+from repro.errors import Overloaded
+from repro.resilience import faults
+
+
+class BackendLease:
+    """Handle for one leased backend; release through the pool."""
+
+    __slots__ = ("backend", "signature", "token", "leased_at")
+
+    def __init__(self, backend, signature, token: int, leased_at: float):
+        self.backend = backend
+        self.signature = signature
+        self.token = token
+        self.leased_at = leased_at
+
+
+class _Entry:
+    __slots__ = ("backend", "token", "state", "leased_at")
+
+    def __init__(self, backend, token: int):
+        self.backend = backend
+        self.token = token
+        self.state = "idle"  # idle | leased | building
+        self.leased_at = 0.0
+
+
+class BackendPool:
+    """Signature-keyed lease pool over :class:`PlanningBackend`-likes."""
+
+    def __init__(
+        self,
+        builder,
+        capacity: int = 2,
+        lease_wait_s: float = 30.0,
+        stall_timeout_s: float = 120.0,
+    ):
+        if capacity < 1:
+            raise ValueError("pool capacity must be >= 1")
+        self._builder = builder
+        self.capacity = capacity
+        self.lease_wait_s = lease_wait_s
+        self.stall_timeout_s = stall_timeout_s
+        self._entries: dict[tuple, list[_Entry]] = {}
+        self._cond = threading.Condition()
+        self._next_token = 0
+        self._closed = False
+        self.leases = 0
+        self.releases = 0
+        self.reclaims = 0
+        self.late_releases = 0
+        self.discards = 0
+        # Per-signature release ordinals, fed to the stall fault site as
+        # its attempt number so ``...stall@sig#N`` stalls the first N
+        # releases deterministically.
+        self._stall_attempts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def lease(self, signature: tuple, wait_s: "float | None" = None):
+        """Lease a backend for ``signature`` (see module docstring)."""
+        deadline = time.monotonic() + (
+            wait_s if wait_s is not None else self.lease_wait_s
+        )
+        to_close = []
+        try:
+            with self._cond:
+                while True:
+                    if self._closed:
+                        raise Overloaded("solver-farm backend pool is closed")
+                    entries = self._entries.setdefault(signature, [])
+                    to_close.extend(self._reclaim_locked(entries))
+                    for entry in entries:
+                        if entry.state == "idle":
+                            return self._lease_entry(signature, entry)
+                    if len(entries) < self.capacity:
+                        return self._build_and_lease(signature, entries)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        telemetry.counter("solverfarm.lease.timeout")
+                        raise Overloaded(
+                            f"no backend for {signature} freed within the "
+                            f"lease wait budget ({self.lease_wait_s}s)"
+                        )
+                    self._cond.wait(min(remaining, 1.0))
+        finally:
+            for backend in to_close:
+                _close_quietly(backend)
+
+    def leased(self, signature: tuple, wait_s: "float | None" = None):
+        """Context manager: lease, then release (discard on exception)."""
+        return _LeaseContext(self, signature, wait_s)
+
+    def release(self, lease: BackendLease, discard: bool = False) -> None:
+        stall_key = str(lease.signature[0])
+        with self._cond:
+            attempt = self._stall_attempts.get(stall_key, 0)
+            self._stall_attempts[stall_key] = attempt + 1
+        if faults.fires("solverfarm.lease.stall", key=stall_key, attempt=attempt):
+            # The holder "died" before returning its lease: the backend
+            # stays marked leased until the stall reclaim frees it.
+            telemetry.counter("solverfarm.lease.stalled")
+            return
+        to_close = None
+        with self._cond:
+            entries = self._entries.get(lease.signature, [])
+            entry = next(
+                (e for e in entries if e.token == lease.token), None
+            )
+            if entry is None:
+                # Reclaimed while held: the pool already rebuilt the
+                # slot, so this copy of the backend just gets closed.
+                self.late_releases += 1
+                telemetry.counter("solverfarm.lease.late_release")
+                to_close = lease.backend
+            elif discard:
+                entries.remove(entry)
+                self.discards += 1
+                telemetry.counter("solverfarm.lease.discarded")
+                to_close = entry.backend
+            else:
+                entry.state = "idle"
+                self.releases += 1
+                telemetry.counter("solverfarm.lease.released")
+            self._update_gauges()
+            self._cond.notify_all()
+        if to_close is not None:
+            _close_quietly(to_close)
+
+    # ------------------------------------------------------------------
+    def _reclaim_locked(self, entries: list) -> list:
+        """Drop stalled leases; returns backends to close outside the lock."""
+        now = time.monotonic()
+        stalled = [
+            e
+            for e in entries
+            if e.state == "leased" and now - e.leased_at > self.stall_timeout_s
+        ]
+        for entry in stalled:
+            entries.remove(entry)
+            self.reclaims += 1
+            telemetry.counter("solverfarm.lease.reclaimed")
+        return [e.backend for e in stalled]
+
+    def _lease_entry(self, signature: tuple, entry: _Entry) -> BackendLease:
+        entry.state = "leased"
+        entry.leased_at = time.monotonic()
+        self.leases += 1
+        telemetry.counter("solverfarm.lease.acquired")
+        self._update_gauges()
+        return BackendLease(
+            entry.backend, signature, entry.token, entry.leased_at
+        )
+
+    def _build_and_lease(self, signature: tuple, entries: list) -> BackendLease:
+        """Build a new backend (outside the lock) into a reserved slot."""
+        self._next_token += 1
+        placeholder = _Entry(None, self._next_token)
+        placeholder.state = "building"
+        entries.append(placeholder)
+        self._cond.release()
+        try:
+            backend = self._builder(signature)
+        except BaseException:
+            self._cond.acquire()
+            if placeholder in entries:
+                entries.remove(placeholder)
+            self._cond.notify_all()
+            raise
+        self._cond.acquire()
+        placeholder.backend = backend
+        return self._lease_entry(signature, placeholder)
+
+    def _update_gauges(self) -> None:
+        total = sum(len(v) for v in self._entries.values())
+        leased = sum(
+            1
+            for v in self._entries.values()
+            for e in v
+            if e.state == "leased"
+        )
+        telemetry.gauge("solverfarm.pool.size", total)
+        telemetry.gauge("solverfarm.pool.leased", leased)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._cond:
+            signatures = {
+                "/".join(str(part) for part in sig): {
+                    "backends": len(entries),
+                    "idle": sum(1 for e in entries if e.state == "idle"),
+                    "leased": sum(1 for e in entries if e.state == "leased"),
+                    "building": sum(
+                        1 for e in entries if e.state == "building"
+                    ),
+                }
+                for sig, entries in self._entries.items()
+            }
+            return {
+                "capacity_per_signature": self.capacity,
+                "signatures": signatures,
+                "leases": self.leases,
+                "releases": self.releases,
+                "reclaims": self.reclaims,
+                "late_releases": self.late_releases,
+                "discards": self.discards,
+            }
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            backends = [
+                e.backend
+                for entries in self._entries.values()
+                for e in entries
+                if e.backend is not None
+            ]
+            self._entries.clear()
+            self._cond.notify_all()
+        for backend in backends:
+            _close_quietly(backend)
+
+
+class _LeaseContext:
+    def __init__(self, pool: BackendPool, signature: tuple, wait_s):
+        self._pool = pool
+        self._signature = signature
+        self._wait_s = wait_s
+        self._lease: "BackendLease | None" = None
+
+    def __enter__(self):
+        self._lease = self._pool.lease(self._signature, self._wait_s)
+        return self._lease.backend
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._lease is not None:
+            self._pool.release(self._lease, discard=exc_type is not None)
+
+
+def _close_quietly(backend) -> None:
+    try:
+        if backend is not None:
+            backend.close()
+    except Exception:
+        pass

@@ -1,0 +1,189 @@
+"""Drift specs and warm-start validation for incremental replanning.
+
+A replan request describes its demand matrix as a *drift spec* relative
+to the model's baseline instance rather than as a full matrix:
+
+- ``None`` -- the baseline demands themselves;
+- ``{"scale": f}`` -- every demand multiplied by ``f > 0``;
+- ``{"flows": [{"src", "dst", "cos"?, "demand"}, ...]}`` -- sparse
+  per-flow overrides (unlisted flows keep their baseline demand).
+
+Specs never add or remove flows, only move demand values, which is
+exactly the family of drifts the compiled feasibility LP can absorb as
+a pure bound swap (:meth:`FeasibilityChecker.retarget_demands`).
+
+Warm-start soundness
+--------------------
+With the ``capacity`` feature set, observations and action masks are
+demand-independent, so for a fixed policy the greedy rollout walks a
+demand-independent trajectory of capacity states ``C_0 < C_1 < ...``;
+the demand matrix only picks the stopping step (first feasible state).
+If the drifted demands dominate the prior demands pointwise, every
+state infeasible for the prior is infeasible for the drift, so the
+from-scratch drifted rollout passes *through* the prior plan's state —
+resuming from it yields the exact from-scratch plan.  ``is_growth``
+checks that dominance; non-growth drifts fall back to a cold rollout on
+the (already leased, already retargeted) backend, which is equally
+exact and still skips the per-request model rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.errors import ReplanError
+from repro.serve.cache import canonical_key
+from repro.topology.traffic import TrafficMatrix
+
+# Fingerprint of "the baseline demands, untouched".
+BASELINE_FP = "baseline"
+
+_GROWTH_TOLERANCE = 1e-9
+
+
+def validate_drift_spec(spec: "dict | None") -> None:
+    """Shape-check a drift spec (request parse time; cheap)."""
+    if spec is None:
+        return
+    if not isinstance(spec, dict):
+        raise ReplanError("demand drift spec must be a JSON object or null")
+    keys = set(spec)
+    if keys == {"scale"}:
+        factor = spec["scale"]
+        if not isinstance(factor, (int, float)) or isinstance(factor, bool):
+            raise ReplanError("drift 'scale' must be a number")
+        if not (math.isfinite(factor) and factor > 0):
+            raise ReplanError("drift 'scale' must be finite and > 0")
+        return
+    if keys == {"flows"}:
+        overrides = spec["flows"]
+        if not isinstance(overrides, list) or not overrides:
+            raise ReplanError("drift 'flows' must be a non-empty list")
+        for entry in overrides:
+            if not isinstance(entry, dict):
+                raise ReplanError("each drift flow override must be an object")
+            missing = {"src", "dst", "demand"} - set(entry)
+            if missing:
+                raise ReplanError(
+                    f"drift flow override is missing {sorted(missing)}"
+                )
+            unknown = set(entry) - {"src", "dst", "cos", "demand"}
+            if unknown:
+                raise ReplanError(
+                    f"drift flow override has unknown fields {sorted(unknown)}"
+                )
+            demand = entry["demand"]
+            if not isinstance(demand, (int, float)) or isinstance(demand, bool):
+                raise ReplanError("drift flow 'demand' must be a number")
+            if not (math.isfinite(demand) and demand >= 0):
+                raise ReplanError("drift flow 'demand' must be finite and >= 0")
+        return
+    raise ReplanError(
+        "drift spec must be exactly {'scale': f} or {'flows': [...]}, "
+        f"got keys {sorted(keys)}"
+    )
+
+
+def drift_traffic(baseline: TrafficMatrix, spec: "dict | None") -> TrafficMatrix:
+    """Materialize a drift spec against the baseline demand matrix.
+
+    Preserves the baseline's flow order exactly — the compiled LP's
+    retarget path requires an identical ordered key set.
+    """
+    if spec is None:
+        return baseline
+    flows = list(baseline)
+    if "scale" in spec:
+        factor = float(spec["scale"])
+        return TrafficMatrix(
+            [replace(flow, demand=flow.demand * factor) for flow in flows]
+        )
+    by_key = {(f.src, f.dst, f.cos.name): i for i, f in enumerate(flows)}
+    out = list(flows)
+    for entry in spec["flows"]:
+        cos = entry.get("cos")
+        if cos is None:
+            candidates = [
+                key for key in by_key if key[:2] == (entry["src"], entry["dst"])
+            ]
+            if len(candidates) != 1:
+                raise ReplanError(
+                    f"drift override ({entry['src']}, {entry['dst']}) is "
+                    f"ambiguous or unknown ({len(candidates)} matching flows); "
+                    "specify 'cos'"
+                )
+            key = candidates[0]
+        else:
+            key = (entry["src"], entry["dst"], cos)
+            if key not in by_key:
+                raise ReplanError(
+                    f"drift override names unknown flow {key} "
+                    "(drifts may move demand, not add flows)"
+                )
+        index = by_key[key]
+        out[index] = replace(out[index], demand=float(entry["demand"]))
+    return TrafficMatrix(out)
+
+
+def demand_fingerprint(baseline: TrafficMatrix, traffic: TrafficMatrix) -> str:
+    """Canonical identity of a demand matrix (solver-cache key part)."""
+    if traffic is baseline:
+        return BASELINE_FP
+    return canonical_key(
+        {
+            "demands": [
+                [f.src, f.dst, f.cos.name, f.demand] for f in traffic
+            ]
+        }
+    )
+
+
+def is_growth(new: TrafficMatrix, prior: TrafficMatrix) -> bool:
+    """True iff ``new`` dominates ``prior`` pointwise (same flow keys)."""
+    new_flows, prior_flows = list(new), list(prior)
+    if len(new_flows) != len(prior_flows):
+        return False
+    for a, b in zip(new_flows, prior_flows):
+        if (a.src, a.dst, a.cos.name) != (b.src, b.dst, b.cos.name):
+            return False
+        if a.demand < b.demand - _GROWTH_TOLERANCE:
+            return False
+    return True
+
+
+def validate_prior_plan(instance, capacities: dict) -> dict:
+    """Check a client-supplied prior plan against the target instance.
+
+    Returns a normalized ``{link_id: float}`` dict; raises
+    :class:`ReplanError` on unknown links, capacities below the
+    original network, or values off the instance's capacity-unit grid.
+    """
+    if not isinstance(capacities, dict) or not capacities:
+        raise ReplanError("prior_plan must be a non-empty {link_id: Gbps} object")
+    base = instance.network.capacities()
+    unit = instance.capacity_unit
+    normalized: dict[str, float] = {}
+    for link_id, value in capacities.items():
+        if link_id not in base:
+            raise ReplanError(f"prior_plan names unknown link {link_id!r}")
+        try:
+            cap = float(value)
+        except (TypeError, ValueError):
+            raise ReplanError(
+                f"prior_plan capacity for {link_id!r} is not a number"
+            ) from None
+        if not math.isfinite(cap) or cap < base[link_id] - _GROWTH_TOLERANCE:
+            raise ReplanError(
+                f"prior_plan capacity for {link_id!r} ({cap}) is below the "
+                f"original network capacity ({base[link_id]})"
+            )
+        added = cap - base[link_id]
+        units = added / unit
+        if abs(units - round(units)) > 1e-6:
+            raise ReplanError(
+                f"prior_plan capacity for {link_id!r} is not on the "
+                f"{unit} Gbps capacity-unit grid"
+            )
+        normalized[link_id] = cap
+    return normalized

@@ -45,7 +45,7 @@ class FakeReplica:
         self.dispatches = []  # (fields, shed) per dispatch
         self.forgotten = []
 
-    def dispatch(self, fields, shed):
+    def dispatch(self, fields, shed, kind="plan"):
         self.dispatches.append((fields, shed))
         if self.behavior == "dead":
             raise ReplicaUnavailable(f"replica {self.index} is dead")

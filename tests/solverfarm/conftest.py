@@ -1,0 +1,49 @@
+"""Solver-farm test fixtures: one tiny trained short-horizon model.
+
+The farm suite only exercises the short horizon, so it trains its own
+single agent (cheaper than the serve suite's two-horizon store) and
+publishes it into a session-scoped model store.  Telemetry is reset
+around every test because the farm flips the process-global registry.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.serve import ModelStore, PlanningService, ServiceConfig
+
+from tests.serve.conftest import publish, tiny_agent
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture(scope="session")
+def farm_agent():
+    """One tiny trained short-horizon agent (session-scoped: slow)."""
+    agent = tiny_agent("short")
+    agent.train()
+    return agent
+
+
+@pytest.fixture(scope="session")
+def farm_model_dir(tmp_path_factory, farm_agent) -> str:
+    root = tmp_path_factory.mktemp("farm-model-store")
+    store = ModelStore(root)
+    publish(store, farm_agent, "short")
+    return str(root)
+
+
+def farm_service(model_dir, *, service=None, **farm_overrides) -> PlanningService:
+    """A PlanningService on the farm pipeline with small test knobs."""
+    defaults = dict(workers=2, queue_depth=8, ilp_time_limit=20.0)
+    defaults.update(service or {})
+    return PlanningService(
+        model_dir,
+        ServiceConfig(pipeline="farm", farm=farm_overrides, **defaults),
+    )

@@ -1,0 +1,216 @@
+"""Chaos tests for the solver farm: injected stage crashes, stalled
+leases, and a SIGKILL mid-lease at the replica level.  The contract
+under fire is lease hygiene -- a backend held by a crashed stage or a
+dead process is returned, reclaimed or rebuilt, never leaked -- and the
+pool always recovers to full working capacity.
+
+Marked ``faultinjection`` (the CI chaos job selects the marker; the
+tests also run in the default suite)."""
+
+import os
+import signal
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.errors import InjectedFault, ReproError
+from repro.resilience import faults
+from repro.serve import (
+    Dispatcher,
+    DispatcherConfig,
+    PlanRequest,
+    ReplanRequest,
+    ServiceConfig,
+    Supervisor,
+    SupervisorConfig,
+)
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+from tests.serve.test_supervisor import wait_for
+from tests.solverfarm.conftest import farm_service
+
+pytestmark = pytest.mark.faultinjection
+
+MODEL_DIRNAME = f"{TOPOLOGY}-s{SCALE:g}-short"
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(
+        topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short", no_cache=True
+    )
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+class TestStageCrash:
+    def test_crash_is_typed_and_the_farm_keeps_serving(self, farm_model_dir):
+        """``solverfarm.stage.crash@rollout``: the first job entering the
+        rollout stage gets a typed InjectedFault on its future; the stage
+        worker survives and the next request is served normally."""
+        faults.install("solverfarm.stage.crash@rollout")
+        telemetry.enable()
+        try:
+            with farm_service(farm_model_dir) as service:
+                with pytest.raises(InjectedFault, match="solverfarm.stage.crash"):
+                    service.plan(request())
+                response = service.plan(request())
+                assert response["feasible"] is True
+                stats = service.healthz()["solverfarm"]
+                # No lease leaked: the crash fired before the lease, and
+                # the follow-up cycle returned its backend.
+                for row in stats["pool"]["signatures"].values():
+                    assert row["leased"] == 0
+            counters = telemetry.snapshot()["counters"]
+            assert counters["solverfarm.stage.rollout.errors"] == 1
+        finally:
+            faults.clear()
+
+    def test_check_stage_crash_does_not_leak_the_rollout_lease(
+        self, farm_model_dir
+    ):
+        faults.install("solverfarm.stage.crash@check")
+        try:
+            with farm_service(farm_model_dir, backends=1) as service:
+                with pytest.raises(InjectedFault):
+                    service.plan(request())
+                # The rollout stage released its lease before the handoff,
+                # so the single backend is immediately reusable -- a drift
+                # replan needs a fresh cold rollout (no cache entry).
+                response = service.replan(
+                    ReplanRequest(
+                        topology=TOPOLOGY,
+                        scale=SCALE,
+                        seed=0,
+                        horizon="short",
+                        demands={"scale": 1.1},
+                        no_cache=True,
+                    )
+                )
+                assert response["feasible"] is True
+        finally:
+            faults.clear()
+
+
+class TestLeaseStall:
+    def test_stalled_lease_is_reclaimed_to_full_capacity(self, farm_model_dir):
+        """``solverfarm.lease.stall``: a release is swallowed (the holder
+        "died" without returning the lease).  With a single backend the
+        next cold rollout must wait out stall_timeout_s, reclaim the
+        slot, rebuild, and serve -- no deadlock, no leak."""
+        faults.install(f"solverfarm.lease.stall@{MODEL_DIRNAME}")
+        telemetry.enable()
+        try:
+            with farm_service(
+                farm_model_dir, backends=1, stall_timeout_s=0.3
+            ) as service:
+                first = service.plan(request())  # release swallowed
+                assert first["feasible"] is True
+                # A drift replan misses the rollout cache, so it must
+                # lease -- which only the stall reclaim can satisfy.
+                second = service.replan(
+                    ReplanRequest(
+                        topology=TOPOLOGY,
+                        scale=SCALE,
+                        seed=0,
+                        horizon="short",
+                        demands={"scale": 1.1},
+                        no_cache=True,
+                    )
+                )
+                assert second["feasible"] is True
+                stats = service.healthz()["solverfarm"]["pool"]
+                assert stats["reclaims"] == 1
+                # Full capacity restored: one idle backend, none leased.
+                row = stats["signatures"][f"{MODEL_DIRNAME}/1/0"]
+                assert row == {"backends": 1, "idle": 1, "leased": 0,
+                               "building": 0}
+            counters = telemetry.snapshot()["counters"]
+            assert counters["solverfarm.lease.stalled"] == 1
+            assert counters["solverfarm.lease.reclaimed"] == 1
+        finally:
+            faults.clear()
+
+
+class TestReplicaSigkill:
+    def test_sigkill_mid_lease_recovers_pool_and_requests(self, farm_model_dir):
+        """SIGKILL a farm-pipeline replica while requests are in flight
+        (leases held).  Every request completes via dispatcher retry,
+        the supervisor respawns the replica, and the respawned farm's
+        pool reports full capacity with zero leaked leases."""
+        supervisor = Supervisor(
+            farm_model_dir,
+            service_config=ServiceConfig(
+                workers=2,
+                queue_depth=8,
+                pipeline="farm",
+                farm={"backends": 1},
+            ),
+            config=SupervisorConfig(
+                replicas=2,
+                startup_timeout_s=120.0,
+                restart_backoff_s=0.05,
+                heartbeat_interval_s=0.1,
+            ),
+        ).start()
+        with Dispatcher(supervisor, DispatcherConfig(max_retries=3)) as dispatcher:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(dispatcher.plan, request()) for _ in range(8)
+                ]
+                wait_for(
+                    lambda: any(
+                        h.in_flight > 0
+                        for h in dispatcher.supervisor.routable()
+                    ),
+                    timeout=30.0,
+                )
+                victim = dispatcher.supervisor.describe()[0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(future.result(timeout=120))
+                    except ReproError as exc:  # pragma: no cover - slack
+                        outcomes.append(exc)
+            completed = [o for o in outcomes if isinstance(o, dict)]
+            assert len(completed) == 8, [repr(o) for o in outcomes][:3]
+            for response in completed:
+                assert response["pipeline"] == "farm"
+                assert response["feasible"] is True
+            assert wait_for(
+                lambda: dispatcher.supervisor.healthy_count() == 2,
+                timeout=60.0,
+            )
+            # Replanning over the wire still works on the healed fleet.
+            replanned = dispatcher.replan(
+                ReplanRequest(
+                    topology=TOPOLOGY,
+                    scale=SCALE,
+                    seed=0,
+                    horizon="short",
+                    demands={"scale": 1.2},
+                    prior_plan=completed[0]["plan"],
+                )
+            )
+            assert replanned["replan"]["warm_start"] is True
+            assert replanned["feasible"] is True
+
+            # Heartbeat stats from every live replica must show the farm
+            # pool at full working capacity: nothing stuck leased.
+            def pools_clean() -> bool:
+                stats = dispatcher.supervisor.replica_stats()
+                farms = [
+                    blob["solverfarm"]
+                    for blob in stats.values()
+                    if "solverfarm" in blob
+                ]
+                return bool(farms) and all(
+                    row["leased"] == 0 and row["building"] == 0
+                    for farm in farms
+                    for row in farm["pool"]["signatures"].values()
+                )
+
+            assert wait_for(pools_clean, timeout=30.0), (
+                dispatcher.supervisor.replica_stats()
+            )

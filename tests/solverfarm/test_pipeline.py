@@ -1,0 +1,263 @@
+"""The staged farm pipeline behind PlanningService: correctness vs the
+classic pool path, the solver-layer cache, replanning, fairness and
+admission control."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import Overloaded, ReplanError, ServeError
+from repro.serve import PlanRequest, ReplanRequest
+from repro.solverfarm.pipeline import _FairQueue
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+from tests.solverfarm.conftest import farm_service
+
+
+def request(**overrides) -> PlanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+def replan_request(**overrides) -> ReplanRequest:
+    fields = dict(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    fields.update(overrides)
+    return ReplanRequest(**fields)
+
+
+class TestFarmPlans:
+    def test_farm_plan_matches_the_live_rollout(self, farm_model_dir, farm_agent):
+        live = farm_agent.greedy_rollout()
+        with farm_service(farm_model_dir) as service:
+            response = service.plan(request())
+        assert response["pipeline"] == "farm"
+        assert response["plan"] == live.capacities
+        assert response["method"] == "rl-rollout"
+        assert response["feasible"] is True
+        assert response["lp_solves"] > 0
+        assert response["solver_cache"] == {
+            "rollout": False,
+            "feasibility": False,
+            "polish": False,
+        }
+
+    def test_response_cache_hit_skips_the_pipeline(self, farm_model_dir):
+        with farm_service(farm_model_dir) as service:
+            first = service.plan(request())
+            second = service.plan(request())
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert second["plan"] == first["plan"]
+
+    def test_solver_cache_serves_repeat_rollouts(self, farm_model_dir):
+        """no_cache bypasses the response cache but the solver-layer
+        cache still recognizes the same canonical plan identity."""
+        telemetry.enable()
+        with farm_service(farm_model_dir) as service:
+            cold = service.plan(request(no_cache=True))
+            warm = service.plan(request(no_cache=True))
+        assert cold["solver_cache"]["rollout"] is False
+        assert warm["solver_cache"]["rollout"] is True
+        assert warm["solver_cache"]["feasibility"] is True
+        assert warm["plan"] == cold["plan"]
+        counters = telemetry.snapshot()["counters"]
+        assert counters["solverfarm.cache.rollout.hits"] == 1
+        assert counters["solverfarm.cache.feasibility.hits"] == 1
+
+    def test_second_stage_polish_runs_and_caches(self, farm_model_dir):
+        with farm_service(farm_model_dir) as service:
+            rollout = service.plan(request(no_cache=True))
+            full = service.plan(request(second_stage=True, no_cache=True))
+            again = service.plan(request(second_stage=True, no_cache=True))
+        assert full["method"] == "neuroplan"
+        assert full["second_stage_status"] is not None
+        assert full["cost"] <= rollout["cost"] + 1e-6
+        if full["second_stage_status"] == "optimal":
+            assert again["solver_cache"]["polish"] is True
+            assert again["plan"] == full["plan"]
+
+    def test_cache_only_shed_works_on_the_farm(self, farm_model_dir):
+        with farm_service(farm_model_dir) as service:
+            warm = service.plan(request())
+            hit = service.plan(request(), shed="cache_only")
+            assert hit["cache_hit"] is True
+            assert hit["plan"] == warm["plan"]
+            with pytest.raises(Overloaded, match="cache"):
+                service.plan(request(seed=7), shed="cache_only")
+
+    def test_healthz_and_metrics_expose_farm_stats(self, farm_model_dir):
+        with farm_service(farm_model_dir, backends=1) as service:
+            service.plan(request())
+            health = service.healthz()
+            assert health["pipeline"] == "farm"
+            farm = health["solverfarm"]
+            assert farm["pool"]["capacity_per_signature"] == 1
+            assert farm["pool"]["leases"] >= 1
+            assert set(farm["queues"]) == {"rollout", "check", "polish"}
+            assert "rollout" in service.metrics()["solverfarm"]["cache"]
+        assert service.healthz()["solverfarm"]["draining"] is True
+
+    def test_unknown_pipeline_is_typed(self, farm_model_dir):
+        from repro.serve import PlanningService, ServiceConfig
+
+        with pytest.raises(ServeError, match="pipeline"):
+            PlanningService(farm_model_dir, ServiceConfig(pipeline="swarm"))
+
+
+class TestReplan:
+    def drift(self, scale=1.3):
+        return {"scale": scale}
+
+    def test_growth_replan_warm_starts_and_matches_scratch(
+        self, farm_model_dir
+    ):
+        with farm_service(farm_model_dir) as service:
+            base = service.plan(request())
+            warm = service.replan(
+                replan_request(demands=self.drift(), prior_plan=base["plan"])
+            )
+        # Scratch in a fresh service: empty solver cache, cold rollout.
+        with farm_service(farm_model_dir) as fresh:
+            scratch = fresh.replan(replan_request(demands=self.drift()))
+        assert scratch["replan"] == {"warm_start": False, "prior_verified": False}
+        assert warm["replan"]["warm_start"] is True
+        # The base plan came through the farm's rollout cache, so the
+        # warm start is provably on-path and the plans are identical.
+        assert warm["replan"]["prior_verified"] is True
+        assert warm["plan"] == scratch["plan"]
+        assert warm["feasible"] is True
+
+    def test_shrink_drift_falls_back_to_cold_rollout(self, farm_model_dir):
+        with farm_service(farm_model_dir) as service:
+            base = service.plan(request())
+            shrunk = service.replan(
+                replan_request(
+                    demands={"scale": 0.7}, prior_plan=base["plan"]
+                )
+            )
+            scratch = service.replan(
+                replan_request(demands={"scale": 0.7}, no_cache=True)
+            )
+        assert shrunk["replan"]["warm_start"] is False
+        assert shrunk["plan"] == scratch["plan"]
+
+    def test_null_drift_replans_the_baseline(self, farm_model_dir):
+        with farm_service(farm_model_dir) as service:
+            base = service.plan(request())
+            replanned = service.replan(replan_request(no_cache=True))
+        assert replanned["plan"] == base["plan"]
+
+    def test_unverified_prior_is_warm_but_untrusted(self, farm_model_dir):
+        """A syntactically valid prior the farm has never produced must
+        not poison the demands-keyed caches."""
+        with farm_service(farm_model_dir) as service:
+            base = service.plan(request())
+            # Inflate one link by a unit: valid, but off the rollout path.
+            link, cap = next(iter(base["plan"].items()))
+            inflated = dict(base["plan"], **{link: cap + 100.0})
+            warm = service.replan(
+                replan_request(demands=self.drift(), prior_plan=inflated)
+            )
+            scratch = service.replan(
+                replan_request(demands=self.drift(), no_cache=True)
+            )
+        assert warm["replan"]["warm_start"] is True
+        assert warm["replan"]["prior_verified"] is False
+        # The untrusted warm result stayed out of the caches: the
+        # scratch rollout was computed fresh, not served from cache.
+        assert scratch["solver_cache"]["rollout"] is False
+        assert scratch["cache_hit"] is False
+
+    def test_drift_spec_validation_is_typed_at_parse_time(self):
+        with pytest.raises(ReplanError, match="scale"):
+            replan_request(demands={"scale": -2.0})
+        with pytest.raises(ReplanError, match="flows"):
+            replan_request(demands={"flows": []})
+        with pytest.raises(ReplanError, match="exactly"):
+            replan_request(demands={"scale": 2.0, "flows": []})
+        with pytest.raises(ServeError, match="prior_plan"):
+            replan_request(prior_plan={})
+        with pytest.raises(ServeError, match="unknown replan fields"):
+            ReplanRequest.from_dict({"topology": TOPOLOGY, "bogus": 1})
+
+    def test_unknown_flow_and_bad_prior_are_typed_at_run_time(
+        self, farm_model_dir
+    ):
+        with farm_service(farm_model_dir) as service:
+            with pytest.raises(ReplanError, match="unknown flow"):
+                service.replan(
+                    replan_request(
+                        demands={
+                            "flows": [
+                                {"src": "X0", "dst": "X1", "cos": "gold",
+                                 "demand": 10.0}
+                            ]
+                        }
+                    )
+                )
+            with pytest.raises(ReplanError, match="unknown link"):
+                service.replan(
+                    replan_request(prior_plan={"no-such-link": 100.0})
+                )
+            base = service.plan(request())
+            link, cap = next(iter(base["plan"].items()))
+            with pytest.raises(ReplanError, match="grid"):
+                service.replan(
+                    replan_request(prior_plan={link: cap + 37.5})
+                )
+
+    def test_replan_identity_is_prior_independent(self, farm_model_dir):
+        """Two replans with the same drift but different priors must
+        share one response-cache entry (the result is prior-free)."""
+        with farm_service(farm_model_dir) as service:
+            base = service.plan(request())
+            first = service.replan(
+                replan_request(demands=self.drift(), prior_plan=base["plan"])
+            )
+            second = service.replan(replan_request(demands=self.drift()))
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert second["plan"] == first["plan"]
+
+
+class TestFairQueue:
+    def test_weighted_round_robin_prefers_interactive(self):
+        queue = _FairQueue(maxsize=64, name="test")
+        for i in range(4):
+            queue.put(("interactive", i), priority=0)
+            queue.put(("normal", i), priority=1)
+            queue.put(("background", i), priority=2)
+        drained = [queue.get() for _ in range(12)]
+        first_cycle = drained[:7]  # one full weight cycle is 4+2+1
+        assert [x for x in first_cycle if x[0] == "interactive"] == [
+            ("interactive", i) for i in range(4)
+        ]
+        assert sum(1 for x in first_cycle if x[0] == "background") <= 1
+        # Everything drains eventually; FIFO holds within each class.
+        assert [x for x in drained if x[0] == "normal"] == [
+            ("normal", i) for i in range(4)
+        ]
+
+    def test_background_is_not_starved(self):
+        queue = _FairQueue(maxsize=64, name="test")
+        for i in range(8):
+            queue.put(("interactive", i), priority=0)
+        queue.put(("background", 0), priority=2)
+        drained = [queue.get() for _ in range(9)]
+        # The lone background item gets a turn before the interactive
+        # lane fully drains (weighted RR, not strict priority).
+        assert drained.index(("background", 0)) < 8
+
+    def test_nonblocking_put_rejects_when_full(self):
+        queue = _FairQueue(maxsize=2, name="test")
+        queue.put("a", priority=1, block=False)
+        queue.put("b", priority=1, block=False)
+        with pytest.raises(Overloaded, match="queue is full"):
+            queue.put("c", priority=1, block=False)
+
+    def test_close_drains_then_returns_none(self):
+        queue = _FairQueue(maxsize=4, name="test")
+        queue.put("a", priority=1)
+        queue.close()
+        assert queue.get() == "a"
+        assert queue.get() is None

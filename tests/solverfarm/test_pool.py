@@ -1,0 +1,145 @@
+"""Backend lease pool: lease/release hygiene, capacity, stall reclaim.
+
+Pure unit tests over a fake backend -- no model, no LP -- so the lease
+protocol's edge cases (timeout, discard, stall, late release, close)
+are cheap and deterministic.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.solverfarm import BackendPool
+
+SIG = ("A-s0.5-short", 1, 0)
+
+
+class FakeBackend:
+    def __init__(self, signature):
+        self.signature = signature
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def make_pool(**overrides) -> BackendPool:
+    defaults = dict(capacity=2, lease_wait_s=0.2, stall_timeout_s=60.0)
+    defaults.update(overrides)
+    return BackendPool(FakeBackend, **defaults)
+
+
+class TestLeaseRelease:
+    def test_release_returns_the_backend_for_reuse(self):
+        pool = make_pool()
+        lease = pool.lease(SIG)
+        first = lease.backend
+        pool.release(lease)
+        again = pool.lease(SIG)
+        assert again.backend is first  # warm backend reused, not rebuilt
+        stats = pool.stats()
+        assert stats["leases"] == 2 and stats["releases"] == 1
+
+    def test_capacity_bounds_builds_and_timeout_is_typed(self):
+        pool = make_pool(capacity=1)
+        pool.lease(SIG)
+        with pytest.raises(Overloaded, match="lease wait"):
+            pool.lease(SIG, wait_s=0.05)
+
+    def test_blocked_lease_wakes_on_release(self):
+        pool = make_pool(capacity=1, lease_wait_s=30.0)
+        lease = pool.lease(SIG)
+        got = []
+        waiter = threading.Thread(
+            target=lambda: got.append(pool.lease(SIG)), daemon=True
+        )
+        waiter.start()
+        time.sleep(0.05)
+        assert not got  # genuinely blocked while the lease is out
+        pool.release(lease)
+        waiter.join(timeout=10.0)
+        assert got and got[0].backend is lease.backend
+
+    def test_discard_retires_the_backend(self):
+        pool = make_pool(capacity=1)
+        lease = pool.lease(SIG)
+        first = lease.backend
+        pool.release(lease, discard=True)
+        assert first.closed
+        rebuilt = pool.lease(SIG)
+        assert rebuilt.backend is not first
+        assert pool.stats()["discards"] == 1
+
+    def test_leased_context_discards_on_exception(self):
+        pool = make_pool(capacity=1)
+        with pool.leased(SIG) as kept:
+            pass
+        with pytest.raises(RuntimeError):
+            with pool.leased(SIG) as doomed:
+                assert doomed is kept  # clean exit returned it idle
+                raise RuntimeError("stage crashed mid-lease")
+        assert doomed.closed  # exception path discarded, not returned
+        assert pool.lease(SIG).backend is not doomed
+
+    def test_distinct_signatures_get_distinct_backends(self):
+        pool = make_pool(capacity=1)
+        other = ("B-s0.5-short", 1, 0)
+        a, b = pool.lease(SIG), pool.lease(other)
+        assert a.backend is not b.backend
+        assert a.backend.signature == SIG
+        assert b.backend.signature == other
+
+
+class TestStallReclaim:
+    def test_stalled_lease_is_reclaimed_to_full_capacity(self):
+        """A holder that never releases (a crashed stage) must not leak
+        the slot: the next lease reclaims it after stall_timeout_s."""
+        pool = make_pool(capacity=1, stall_timeout_s=0.05, lease_wait_s=5.0)
+        stalled = pool.lease(SIG)  # never released
+        time.sleep(0.1)
+        fresh = pool.lease(SIG)  # would deadlock without the reclaim
+        assert fresh.backend is not stalled.backend
+        assert stalled.backend.closed  # no HiGHS model leak
+        assert pool.stats()["reclaims"] == 1
+        # Pool is back to full working capacity.
+        pool.release(fresh)
+        assert pool.stats()["signatures"][f"{SIG[0]}/1/0"]["idle"] == 1
+
+    def test_late_release_of_a_reclaimed_lease_is_harmless(self):
+        pool = make_pool(capacity=1, stall_timeout_s=0.05, lease_wait_s=5.0)
+        stalled = pool.lease(SIG)
+        time.sleep(0.1)
+        fresh = pool.lease(SIG)
+        pool.release(stalled)  # the "dead" holder comes back late
+        assert pool.stats()["late_releases"] == 1
+        # The live lease is untouched: release it and reuse normally.
+        pool.release(fresh)
+        assert pool.lease(SIG).backend is fresh.backend
+
+
+class TestClose:
+    def test_close_retires_everything_and_rejects_leases(self):
+        pool = make_pool()
+        lease = pool.lease(SIG)
+        pool.release(lease)
+        pool.close()
+        assert lease.backend.closed
+        with pytest.raises(Overloaded, match="closed"):
+            pool.lease(SIG)
+
+    def test_builder_failure_frees_the_reserved_slot(self):
+        calls = []
+
+        def flaky(signature):
+            calls.append(signature)
+            if len(calls) == 1:
+                raise RuntimeError("transient build failure")
+            return FakeBackend(signature)
+
+        pool = BackendPool(flaky, capacity=1, lease_wait_s=0.2)
+        with pytest.raises(RuntimeError, match="transient"):
+            pool.lease(SIG)
+        # The placeholder slot was released: the retry can build.
+        assert pool.lease(SIG).backend.signature == SIG

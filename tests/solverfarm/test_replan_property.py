@@ -1,0 +1,154 @@
+"""The correctness anchor for the whole delta path (ISSUE 9 satellite):
+
+    ``replan(prior, drifted_demands)`` produces a plan whose
+    standalone-verifier cost equals planning the drifted instance from
+    scratch (same seed), for small drifts over fig7-reference.
+
+Hypothesis draws per-flow growth factors over the band-A (fig. 7
+family) baseline; the warm replan goes through the full service path
+(drift spec -> leased backend -> LP bound swap -> warm-started
+rollout), while the from-scratch reference builds a *fresh* environment
+on the drifted instance and rolls out the same policy cold.  Both plans
+are then scored by the standalone scipy verifier, which shares no code
+with either path.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rl.agent import greedy_rollout
+from repro.rl.env import PlanningEnv
+from repro.scenarios import verify_plan
+from repro.serve import ReplanRequest
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+from tests.solverfarm.conftest import farm_service
+
+_COST_RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def replan_service(farm_model_dir):
+    """One farm service reused across hypothesis examples (solver-cache
+    state carrying over between examples is part of what is tested)."""
+    with farm_service(farm_model_dir) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def base_plan(replan_service):
+    """The prior plan every replan warm-starts from (baseline demands)."""
+    return replan_service.plan(
+        ReplanRequest(topology=TOPOLOGY, scale=SCALE, seed=0, horizon="short")
+    )
+
+
+def drift_spec(baseline_traffic, factors) -> dict:
+    flows = list(baseline_traffic)
+    return {
+        "flows": [
+            {
+                "src": flow.src,
+                "dst": flow.dst,
+                "cos": flow.cos.name,
+                "demand": round(flow.demand * factor, 6),
+            }
+            for flow, factor in zip(flows, factors)
+        ]
+    }
+
+
+def scratch_rollout(agent, drifted_traffic):
+    """From-scratch reference: fresh env on the drifted instance, cold
+    rollout of the same policy (no farm, no warm start, no retarget)."""
+    instance = replace(agent.instance, traffic=drifted_traffic)
+    env = PlanningEnv(instance, **agent.env.replica_kwargs())
+    return greedy_rollout(env, agent.policy), instance
+
+
+class TestReplanEquivalence:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_warm_replan_cost_equals_from_scratch(
+        self, data, replan_service, base_plan, farm_agent
+    ):
+        baseline = farm_agent.instance.traffic
+        factors = data.draw(
+            st.lists(
+                st.floats(1.0, 1.4, allow_nan=False, allow_infinity=False),
+                min_size=len(list(baseline)),
+                max_size=len(list(baseline)),
+            ),
+            label="per-flow growth factors",
+        )
+        spec = drift_spec(baseline, factors)
+
+        warm = replan_service.replan(
+            ReplanRequest(
+                topology=TOPOLOGY,
+                scale=SCALE,
+                seed=0,
+                horizon="short",
+                demands=spec,
+                prior_plan=base_plan["plan"],
+                no_cache=True,
+            )
+        )
+        from repro.solverfarm import drift_traffic
+
+        scratch, drifted_instance = scratch_rollout(
+            farm_agent, drift_traffic(baseline, spec)
+        )
+
+        # Exact plan equality is the strongest form of the property...
+        assert warm["plan"] == scratch.capacities
+        # ...and the satellite's literal claim: equal standalone-verifier
+        # cost on the drifted instance, both feasible.
+        warm_report = verify_plan(
+            drifted_instance, warm["plan"], method="rl-rollout"
+        )
+        scratch_report = verify_plan(
+            drifted_instance, scratch.capacities, method="rl-rollout"
+        )
+        assert warm_report.feasible, warm_report.problems
+        assert scratch_report.feasible, scratch_report.problems
+        assert warm_report.cost == pytest.approx(
+            scratch_report.cost, rel=_COST_RTOL
+        )
+
+    @settings(max_examples=5, deadline=None)
+    @given(factor=st.floats(0.5, 0.95, allow_nan=False))
+    def test_shrink_drift_cold_path_is_also_exact(
+        self, factor, replan_service, base_plan, farm_agent
+    ):
+        """Non-growth drifts skip the warm start but must still equal
+        the from-scratch plan (cold rollout on the retargeted backend)."""
+        baseline = farm_agent.instance.traffic
+        spec = {"scale": round(factor, 6)}
+        cold = replan_service.replan(
+            ReplanRequest(
+                topology=TOPOLOGY,
+                scale=SCALE,
+                seed=0,
+                horizon="short",
+                demands=spec,
+                prior_plan=base_plan["plan"],
+                no_cache=True,
+            )
+        )
+        assert cold["replan"]["warm_start"] is False
+        from repro.solverfarm import drift_traffic
+
+        scratch, drifted_instance = scratch_rollout(
+            farm_agent, drift_traffic(baseline, spec)
+        )
+        assert cold["plan"] == scratch.capacities
+        report = verify_plan(drifted_instance, cold["plan"], method="rl-rollout")
+        assert report.feasible, report.problems
