@@ -28,6 +28,15 @@ Two replicated-serving profiles ride along (PR 8):
   error cliff: interactive (p0) requests never see a typed rejection,
   normal (p1) traffic falls back to cache-only answers, and only
   background (p2) requests are hard-shed.
+
+The **batched-inference ablation** (ISSUE 10) rides along in a second
+result file (``serving_batched.json``): the same closed-loop load at
+concurrency 8, all clients requesting the same (seed, version) with the
+cache off, with the forward coalescer toggled off and on.  Batching
+must buy >= 2x plan throughput while every plan stays byte-identical to
+the serial reference (checked per response) and standalone-verifier
+feasible.  The replica scaling row is also re-measured with batching
+off and on inside each replica.
 """
 
 import os
@@ -59,14 +68,21 @@ MAX_STEPS = 96
 MAX_UNITS = 2
 SEED_POOL = (0, 1, 2, 3)
 
-# Requests per client thread, by bench profile.
+# Requests per client thread, by bench profile.  ``batch_requests`` is
+# the per-client count for the batching-on/off ablation (fixed
+# concurrency BATCH_CONCURRENCY, single seed).
 PROFILES = {
-    "quick": {"clients": 6, "requests_per_client": 12},
-    "standard": {"clients": 16, "requests_per_client": 48},
-    "full": {"clients": 32, "requests_per_client": 96},
+    "quick": {"clients": 6, "requests_per_client": 12, "batch_requests": 6},
+    "standard": {"clients": 16, "requests_per_client": 48, "batch_requests": 12},
+    "full": {"clients": 32, "requests_per_client": 96, "batch_requests": 24},
 }
 
 REPLICAS = 2
+
+# The batched-inference ablation: ISSUE 10's acceptance criterion is
+# >= 2x throughput at this concurrency with batching on vs off.
+BATCH_CONCURRENCY = 8
+BATCH_SEED = 0
 
 
 def _profile() -> dict:
@@ -168,13 +184,20 @@ def run_scenario(model_dir: str, *, cache: bool, clients: int, requests: int) ->
     }
 
 
-def run_replica_scenario(model_dir: str, *, clients: int, requests: int) -> dict:
+def run_replica_scenario(
+    model_dir: str, *, clients: int, requests: int, batching: bool = True
+) -> dict:
     """The multi-replica saturation profile: identical closed-loop
-    cache-off load, served by REPLICAS crash-only processes."""
+    cache-off load, served by REPLICAS crash-only processes.  With
+    ``batching`` each replica coalesces its own concurrent rollout
+    forwards (plans are bitwise unchanged either way)."""
     supervisor = Supervisor(
         model_dir,
         service_config=ServiceConfig(
-            workers=2, queue_depth=max(16, clients * 2), cache_size=0
+            workers=2,
+            queue_depth=max(16, clients * 2),
+            cache_size=0,
+            batching=batching,
         ),
         config=SupervisorConfig(replicas=REPLICAS, startup_timeout_s=300.0),
     ).start()
@@ -227,8 +250,10 @@ def run_replica_scenario(model_dir: str, *, clients: int, requests: int) -> dict
 
     latencies.sort()
     quantile = lambda q: latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+    suffix = "" if batching else "-batching-off"
     return {
-        "scenario": f"{REPLICAS}-replicas",
+        "scenario": f"{REPLICAS}-replicas{suffix}",
+        "batching": batching,
         "clients": clients,
         "completed": len(latencies),
         "overloads": overloads[0],
@@ -314,7 +339,14 @@ def run_shed_scenario(model_dir: str) -> dict:
         mine = [outcome for p, outcome in outcomes if p == priority]
         return {
             outcome: mine.count(outcome)
-            for outcome in ("full", "cache_only", "skip_ilp", "rejected", "error")
+            for outcome in (
+                "full",
+                "cache_only",
+                "solver_cache_only",
+                "skip_ilp",
+                "rejected",
+                "error",
+            )
             if mine.count(outcome)
         }
 
@@ -330,7 +362,135 @@ def run_shed_scenario(model_dir: str) -> dict:
     }
 
 
-def run_benchmark(tmp_root: str) -> list:
+def _serial_reference(model_dir: str) -> dict:
+    """The ground-truth response: one request, one worker, no batching."""
+    config = ServiceConfig(workers=1, cache_size=0, batching=False)
+    with PlanningService(model_dir, config) as service:
+        return service.plan(
+            PlanRequest(
+                topology=TOPOLOGY, scale=SCALE, seed=BATCH_SEED, no_cache=True
+            )
+        )
+
+
+def run_batched_scenario(
+    model_dir: str,
+    *,
+    batching: bool,
+    requests: int,
+    reference: dict,
+) -> dict:
+    """Closed-loop same-seed load at BATCH_CONCURRENCY with the forward
+    coalescer toggled.  Every response is compared byte-for-byte against
+    the serial ``reference`` plan, so the throughput ratio is only
+    meaningful if batching changed *nothing* about the answers."""
+    clients = BATCH_CONCURRENCY
+    service = PlanningService(
+        model_dir,
+        ServiceConfig(
+            workers=clients,
+            queue_depth=2 * clients,
+            cache_size=0,
+            batching=batching,
+            batch_window_ms=4.0,
+            max_batch=clients,
+        ),
+    )
+    # Warm with one full-concurrency wave: builds the env-pool clones and
+    # runs the one-time fused-gemm audits outside the measured window.
+    with ThreadPoolExecutor(max_workers=clients) as warm:
+        for future in [
+            warm.submit(
+                service.plan,
+                PlanRequest(
+                    topology=TOPOLOGY, scale=SCALE, seed=BATCH_SEED, no_cache=True
+                ),
+            )
+            for _ in range(clients)
+        ]:
+            future.result(timeout=600)
+
+    latencies: list[float] = []
+    mismatches = [0]
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for _ in range(requests):
+            req = PlanRequest(
+                topology=TOPOLOGY, scale=SCALE, seed=BATCH_SEED, no_cache=True
+            )
+            started = time.perf_counter()
+            response = service.plan(req)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if response["plan"] != reference["plan"]:
+                    mismatches[0] += 1
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - begun
+    stats = service.batching_stats()
+    service.close()
+
+    latencies.sort()
+    quantile = lambda q: latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+    row = {
+        "scenario": "batched-on" if batching else "batched-off",
+        "concurrency": clients,
+        "seed": BATCH_SEED,
+        "completed": len(latencies),
+        "seconds": wall,
+        "throughput_rps": len(latencies) / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": quantile(0.99) * 1e3,
+        "plans_match": mismatches[0] == 0,
+        "cpu_count": os.cpu_count(),
+    }
+    if batching and stats.get("enabled") and stats.get("models"):
+        (model_stats,) = stats["models"].values()
+        row["batches"] = model_stats["batches"]
+        row["coalesced_requests"] = model_stats["coalesced_requests"]
+        row["max_batch_size"] = model_stats["max_batch_size"]
+    return row
+
+
+def run_batched_suite(model_dir: str, *, requests: int) -> list:
+    """The full batching ablation: serial reference (standalone-verifier
+    checked), batching-off baseline, batching-on measurement."""
+    from repro.scenarios import verify_plan
+    from repro.topology import generators as _gen
+
+    reference = _serial_reference(model_dir)
+    instance = _gen.make_instance(
+        TOPOLOGY, seed=BATCH_SEED, scale=SCALE, horizon="short"
+    )
+    report = verify_plan(instance, reference["plan"], reference["method"])
+    rows = [
+        {
+            "scenario": "serial-reference",
+            "seed": BATCH_SEED,
+            "cost": reference["cost"],
+            "feasible": reference["feasible"],
+            "verifier_feasible": report.feasible,
+        }
+    ]
+    off = run_batched_scenario(
+        model_dir, batching=False, requests=requests, reference=reference
+    )
+    on = run_batched_scenario(
+        model_dir, batching=True, requests=requests, reference=reference
+    )
+    on["speedup_vs_off"] = on["throughput_rps"] / off["throughput_rps"]
+    rows.extend([off, on])
+    return rows
+
+
+def run_benchmark(tmp_root: str) -> dict:
     profile = _profile()
     model_dir = build_model_store(tmp_root)
     rows = []
@@ -343,38 +503,48 @@ def run_benchmark(tmp_root: str) -> list:
                 requests=profile["requests_per_client"],
             )
         )
-    rows.append(
-        run_replica_scenario(
-            model_dir,
-            clients=profile["clients"],
-            requests=profile["requests_per_client"],
+    for batching in (True, False):
+        rows.append(
+            run_replica_scenario(
+                model_dir,
+                clients=profile["clients"],
+                requests=profile["requests_per_client"],
+                batching=batching,
+            )
         )
-    )
     rows.append(run_shed_scenario(model_dir))
-    return rows
+    batched = run_batched_suite(model_dir, requests=profile["batch_requests"])
+    return {"throughput": rows, "batched": batched}
 
 
 def test_bench_serving_throughput(benchmark, save_rows, tmp_path):
-    rows = benchmark.pedantic(
+    results = benchmark.pedantic(
         run_benchmark, args=(str(tmp_path),), rounds=1, iterations=1
     )
+    rows, batched_rows = results["throughput"], results["batched"]
     save_rows("serving_throughput", rows)
+    save_rows("serving_batched", batched_rows)
     print("\nServing throughput (closed-loop, in-process):")
-    for row in rows:
+    for row in rows + batched_rows:
         if "throughput_rps" in row:
             print(
-                f"  {row['scenario']:>11}: {row['throughput_rps']:8.1f} req/s  "
+                f"  {row['scenario']:>22}: {row['throughput_rps']:8.1f} req/s  "
                 f"p50 {row['p50_ms']:7.2f} ms  p99 {row['p99_ms']:7.2f} ms"
             )
-        else:
+        elif "issued" in row:
             print(
-                f"  {row['scenario']:>11}: {row['issued']} requests over "
+                f"  {row['scenario']:>22}: {row['issued']} requests over "
                 f"{row['capacity']} capacity -> {row['by_priority']}"
             )
 
     by_scenario = {row["scenario"]: row for row in rows}
     on, off = by_scenario["cache-on"], by_scenario["cache-off"]
-    closed_loop = [on, off, by_scenario[f"{REPLICAS}-replicas"]]
+    closed_loop = [
+        on,
+        off,
+        by_scenario[f"{REPLICAS}-replicas"],
+        by_scenario[f"{REPLICAS}-replicas-batching-off"],
+    ]
     # Every request completed; closed-loop clients + a big queue means
     # backpressure should never fire here.
     for row in closed_loop:
@@ -424,3 +594,24 @@ def test_bench_serving_throughput(benchmark, save_rows, tmp_path):
         for name, count in shed["shed_counters"].items()
         if name.startswith("serve.shed.tier")
     ) > 0
+
+    # The batched-inference ablation (ISSUE 10): coalescing concurrent
+    # same-version forwards buys >= 2x plan throughput at concurrency 8
+    # while leaving every plan byte-identical to serial execution, and
+    # the serial reference itself survives the standalone verifier.
+    batched = {row["scenario"]: row for row in batched_rows}
+    serial = batched["serial-reference"]
+    assert serial["verifier_feasible"] is True
+    assert serial["feasible"] is True
+    batch_off, batch_on = batched["batched-off"], batched["batched-on"]
+    for row in (batch_off, batch_on):
+        assert row["plans_match"] is True, row
+        assert row["completed"] == BATCH_CONCURRENCY * _profile()["batch_requests"]
+    assert batch_on["batches"] >= 1
+    assert batch_on["max_batch_size"] >= 2
+    assert batch_on["speedup_vs_off"] >= 2.0, batch_on
+    # Each replica coalesces internally too: batching-on replicas must
+    # not be slower than batching-off ones beyond noise.
+    replicated_off = by_scenario[f"{REPLICAS}-replicas-batching-off"]
+    assert replicated_off["healthy_replicas"] == REPLICAS
+    assert replicated["throughput_rps"] > replicated_off["throughput_rps"] * 0.8

@@ -67,6 +67,21 @@ committed ``results/solverfarm.json``:
 - ``warm_speedup`` and ``hit_speedup`` must additionally stay within
   ``--tolerance`` of the committed summary (same-machine ratios).
 
+With ``--serving`` the gate re-runs the batched-inference ablation from
+``bench_serving_throughput.py`` (serial reference + batching-off +
+batching-on at concurrency 8) and compares against the committed
+``results/serving_batched.json``:
+
+- the batching-on throughput must stay at or above the hard
+  ``MIN_SERVING_SPEEDUP`` floor (2x, the ISSUE 10 acceptance criterion)
+  over the batching-off baseline — absolute, not relative drift;
+- ``plans_match`` must be true on both rows (every batched plan is
+  byte-identical to the serial reference) and the serial reference must
+  stay standalone-verifier feasible — the speedup is never bought with
+  a different plan;
+- the on/off speedup must additionally stay within ``--tolerance`` of
+  the committed ratio (same-machine ratios transfer across runners).
+
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 3.0]
@@ -74,6 +89,7 @@ Usage::
     python benchmarks/check_regression.py --hotpath [--tolerance 3.0]
     python benchmarks/check_regression.py --batched [--tolerance 3.0]
     python benchmarks/check_regression.py --solverfarm [--tolerance 3.0]
+    python benchmarks/check_regression.py --serving [--tolerance 3.0]
 """
 
 from __future__ import annotations
@@ -306,6 +322,69 @@ def compare_solverfarm(
     return problems
 
 
+# Hard acceptance floor for cross-request batched inference: plan
+# throughput with the coalescer on must be at least this multiple of
+# the batching-off baseline at concurrency 8 (ISSUE 10 criterion).
+MIN_SERVING_SPEEDUP = 2.0
+
+
+def run_serving(profile: str) -> list[dict]:
+    import tempfile
+
+    import bench_serving_throughput as bst
+
+    requests = bst.PROFILES[profile]["batch_requests"]
+    with tempfile.TemporaryDirectory() as tmp_root:
+        model_dir = bst.build_model_store(tmp_root)
+        return bst.run_batched_suite(model_dir, requests=requests)
+
+
+def compare_serving(
+    baseline: list[dict], fresh: list[dict], tolerance: float
+) -> list[str]:
+    problems: list[str] = []
+    fresh_by_key = {row["scenario"]: row for row in fresh}
+    base_by_key = {row["scenario"]: row for row in baseline}
+
+    serial = fresh_by_key.get("serial-reference")
+    on = fresh_by_key.get("batched-on")
+    off = fresh_by_key.get("batched-off")
+    if serial is None or on is None or off is None:
+        return [f"fresh run incomplete: {sorted(fresh_by_key)}"]
+
+    if serial["verifier_feasible"] is not True:
+        problems.append(
+            "serial reference plan no longer passes the standalone verifier"
+        )
+    for row in (off, on):
+        if row["plans_match"] is not True:
+            problems.append(
+                f"{row['scenario']}: plans diverged from the serial "
+                f"reference — batching changed an answer"
+            )
+    if on["speedup_vs_off"] < MIN_SERVING_SPEEDUP:
+        problems.append(
+            f"batching-on throughput is {on['speedup_vs_off']:.2f}x the "
+            f"batching-off baseline — below the {MIN_SERVING_SPEEDUP}x "
+            f"acceptance floor"
+        )
+    if on.get("batches", 0) < 1 or on.get("max_batch_size", 0) < 2:
+        problems.append(
+            "the coalescer never formed a real batch (batches="
+            f"{on.get('batches')}, max_batch_size={on.get('max_batch_size')})"
+        )
+    base_on = base_by_key.get("batched-on")
+    if base_on is None:
+        problems.append("committed baseline has no batched-on row")
+    elif on["speedup_vs_off"] * tolerance < base_on["speedup_vs_off"]:
+        problems.append(
+            f"batched speedup {on['speedup_vs_off']:.2f}x fell more than "
+            f"{tolerance}x below the committed "
+            f"{base_on['speedup_vs_off']:.2f}x"
+        )
+    return problems
+
+
 ILP_RTOL = 1e-6  # optimal objectives transfer across machines to float noise
 
 
@@ -417,7 +496,43 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="gate the solver-farm drift benchmark instead of fig7",
     )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="gate the batched-inference serving ablation instead of fig7",
+    )
     args = parser.parse_args(argv)
+
+    if args.serving:
+        baseline_path = RESULTS_DIR / "serving_batched.json"
+        print(
+            f"running batched-inference serving ablation at "
+            f"profile={args.profile} ..."
+        )
+        fresh = run_serving(args.profile)
+        if args.update:
+            baseline_path.write_text(json.dumps(fresh, indent=1) + "\n")
+            print(f"baseline updated: {baseline_path}")
+            return 0
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        problems = compare_serving(
+            json.loads(baseline_path.read_text()), fresh, args.tolerance
+        )
+        if problems:
+            print("serving regression gate FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        on = next(r for r in fresh if r["scenario"] == "batched-on")
+        print(
+            f"serving regression gate passed: batching buys "
+            f"{on['speedup_vs_off']:.2f}x at concurrency "
+            f"{on['concurrency']} (floor {MIN_SERVING_SPEEDUP}x, plans "
+            f"byte-identical to serial)"
+        )
+        return 0
 
     if args.solverfarm:
         baseline_path = RESULTS_DIR / "solverfarm.json"

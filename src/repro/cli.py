@@ -214,6 +214,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solver-farm pool capacity per model signature "
         "(default: the farm's built-in default)",
     )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="max wait for co-batchable rollout steps before a "
+        "coalesced forward runs with whatever is pending (plans stay "
+        "bitwise identical to serial execution)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="M",
+        help="max concurrent rollout steps stacked into one batched "
+        "GNN forward (1 disables cross-request batching)",
+    )
     _add_profile_arg(serve, top_level=False)
 
     scenarios = sub.add_parser(
@@ -456,6 +467,9 @@ def _cmd_serve(args) -> int:
         ilp_time_limit=args.ilp_time_limit,
         pipeline=args.pipeline,
         farm=farm_overrides,
+        batching=args.max_batch > 1,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
     )
     if args.replicas > 0:
         from repro.serve.dispatcher import (

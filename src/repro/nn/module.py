@@ -85,8 +85,16 @@ class Module:
         """Return a flat name -> array mapping of all parameters (copies)."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter values by name; shapes must match exactly."""
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], *, copy: bool = True
+    ) -> None:
+        """Load parameter values by name; shapes must match exactly.
+
+        ``copy=False`` adopts the provided arrays as-is (no private
+        copy): the serving registry uses it to point every worker at the
+        same read-only memory-mapped checkpoint pages.  Callers passing
+        ``copy=False`` must not train the module afterwards.
+        """
         params = dict(self.named_parameters())
         missing = set(params) - set(state)
         unexpected = set(state) - set(params)
@@ -103,4 +111,4 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{values.shape} vs {param.data.shape}"
                 )
-            param.data = values.copy()
+            param.data = values.copy() if copy else values

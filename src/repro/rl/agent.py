@@ -33,6 +33,7 @@ def greedy_rollout(
     policy: ActorCriticPolicy,
     max_steps: "int | None" = None,
     start_capacities: "dict[str, float] | None" = None,
+    act=None,
 ) -> NetworkPlan:
     """Deterministic rollout with mode actions (policy evaluation).
 
@@ -45,6 +46,11 @@ def greedy_rollout(
     demand-independent observations and action masks, a rollout resumed
     from any point on the policy's greedy trajectory continues along the
     exact same path a from-scratch rollout would take.
+
+    ``act`` replaces the per-step ``policy.distribution(...).mode()``
+    call with ``act(observation, mask) -> int``; the serving coalescer
+    uses this seam to stack concurrent rollout steps into one batched
+    forward whose mode actions are bitwise equal to the serial ones.
     """
     if start_capacities is None:
         observation = env.reset()
@@ -56,8 +62,12 @@ def greedy_rollout(
         mask = env.action_mask()
         if not mask.any():
             break
-        distribution = policy.distribution(observation, env.adjacency_norm, mask)
-        step = env.step(distribution.mode())
+        if act is None:
+            distribution = policy.distribution(observation, env.adjacency_norm, mask)
+            action = distribution.mode()
+        else:
+            action = int(act(observation, mask))
+        step = env.step(action)
         observation = step.observation
         steps += 1
     return NetworkPlan(

@@ -167,6 +167,17 @@ def masked_log_probs_rows(
     return shifted - log_norm
 
 
+def mode_actions_rows(logits: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Per-row mode actions, bitwise equal to ``Categorical.mode()`` per slot.
+
+    ``Categorical.mode()`` is ``argmax`` over the masked log-softmax of a
+    single logits row; because :func:`masked_log_probs_rows` is bitwise
+    equal to the serial 1-D computation row for row, the per-row argmax
+    picks the exact same index the serial path would.
+    """
+    return masked_log_probs_rows(logits, masks).argmax(axis=-1)
+
+
 # ----------------------------------------------------------------------
 # Batched environment
 # ----------------------------------------------------------------------

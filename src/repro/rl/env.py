@@ -17,10 +17,12 @@ hitting the step limit without a feasible plan costs an extra -1
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigError, EnvironmentError_
 from repro.evaluator import PlanEvaluator
 from repro.nn.gnn import normalized_adjacency, normalized_adjacency_sparse
@@ -53,6 +55,60 @@ class StepResult:
     done: bool
     feasible: bool
     info: dict
+
+
+class EvaluationMemo:
+    """Shared evaluation verdicts across env clones of one instance.
+
+    The evaluator's verdict (feasible / violated failure / shortfall)
+    is a pure function of the capacity assignment for a fixed instance
+    and demand matrix, so concurrent rollouts replaying the same
+    deterministic trajectory recompute identical feasibility LPs.  A
+    memo keyed by the capacity vector lets the first rollout pay for
+    each state and every concurrent sibling reuse the exact result
+    object -- bitwise-identical verdicts, one LP solve instead of N.
+
+    Only attach one memo to environments that share the instance *and*
+    the demand target; :meth:`PlanningEnv.retarget_demands` clears an
+    attached memo defensively.  The memo is deliberately bounded and
+    meant to be cleared between request cohorts (it shares work across
+    in-flight requests; long-term reuse is the response cache's job).
+    """
+
+    def __init__(self, max_entries: int = 8192):
+        self.max_entries = max_entries
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key):
+        result = self._entries.get(key)
+        with self._lock:
+            if result is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+        if result is not None and telemetry.enabled():
+            telemetry.counter("env.eval_memo.hits")
+        return result
+
+    def put(self, key, result) -> None:
+        with self._lock:
+            if len(self._entries) < self.max_entries:
+                self._entries[key] = result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
 
 
 class PlanningEnv:
@@ -106,6 +162,8 @@ class PlanningEnv:
         # it stays clearly positive -- same verdicts, far fewer solves.
         self._infeasibility_gap = 0.0
         self._last_violated: "str | None" = None
+        # Optional cross-rollout verdict sharing (see EvaluationMemo).
+        self.eval_memo: "EvaluationMemo | None" = None
 
     # ------------------------------------------------------------------
     def _default_reward_scale(self) -> float:
@@ -202,11 +260,24 @@ class PlanningEnv:
             )
         return self._reset_at(merged)
 
+    def _evaluate_memoized(self):
+        """Evaluate the current capacities, sharing verdicts through an
+        attached :class:`EvaluationMemo` when one is present."""
+        memo = self.eval_memo
+        if memo is None:
+            return self.evaluator.evaluate(self._capacities)
+        key = tuple(self._capacities.values())
+        result = memo.get(key)
+        if result is None:
+            result = self.evaluator.evaluate(self._capacities)
+            memo.put(key, result)
+        return result
+
     def _reset_at(self, capacities: dict[str, float]) -> np.ndarray:
         self._capacities = capacities
         self._steps = 0
         self.evaluator.reset()
-        result = self.evaluator.evaluate(self._capacities)
+        result = self._evaluate_memoized()
         self._feasible = result.feasible
         self._done = result.feasible  # nothing to plan
         self._infeasibility_gap = 0.0 if result.feasible else result.shortfall
@@ -227,6 +298,9 @@ class PlanningEnv:
         changed = self.evaluator.retarget_demands(traffic)
         self.instance = self.evaluator.instance
         self._done = True
+        if self.eval_memo is not None:
+            # Verdicts memoized under the old demands are wrong now.
+            self.eval_memo.clear()
         return changed
 
     def observation(self) -> np.ndarray:
@@ -275,7 +349,7 @@ class PlanningEnv:
             violated = self._last_violated
             shortfall = self._infeasibility_gap
         else:
-            result = self.evaluator.evaluate(self._capacities)
+            result = self._evaluate_memoized()
             feasible = result.feasible
             violated = result.violated_failure
             shortfall = result.shortfall

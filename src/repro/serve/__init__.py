@@ -14,15 +14,24 @@ exponential-backoff restarts, a crash-loop circuit breaker) and a
 dispatcher (least-loaded routing, deadline-aware retry of idempotent
 requests, optional tail-latency hedging, tiered load shedding).
 
-Components: :mod:`registry` (model store + policy registry),
-:mod:`service` (request -> response orchestration), :mod:`pool`
-(bounded workers + typed backpressure), :mod:`cache` (LRU response
-cache), :mod:`http` (stdlib JSON transport), :mod:`replica`
-(crash-only worker process), :mod:`supervisor` (process lifecycle),
-:mod:`dispatcher` (replicated-serving front end).
+Concurrent requests for the same model version coalesce: the
+:mod:`coalescer` stacks their per-step GNN forwards into one
+block-diagonal batched forward (bitwise identical plans, measured >=2x
+throughput at concurrency 8), and the registry memory-maps each
+published checkpoint once so every worker and replica shares one
+read-only copy of the weights.
+
+Components: :mod:`registry` (zero-copy model store + policy registry),
+:mod:`service` (request -> response orchestration), :mod:`coalescer`
+(cross-request batched forwards), :mod:`pool` (bounded workers + typed
+backpressure), :mod:`cache` (LRU response cache), :mod:`http` (stdlib
+JSON transport), :mod:`replica` (crash-only worker process),
+:mod:`supervisor` (process lifecycle), :mod:`dispatcher`
+(replicated-serving front end).
 """
 
 from repro.serve.cache import ResponseCache, canonical_key
+from repro.serve.coalescer import CoalescerRegistry, ForwardCoalescer
 from repro.serve.dispatcher import Dispatcher, DispatcherConfig, ShedPolicy
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import (
@@ -41,8 +50,10 @@ from repro.serve.service import (
 from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
+    "CoalescerRegistry",
     "Dispatcher",
     "DispatcherConfig",
+    "ForwardCoalescer",
     "InferenceAgent",
     "ModelKey",
     "ModelRecord",

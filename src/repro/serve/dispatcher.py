@@ -32,6 +32,13 @@ Background traffic degrades first and interactive traffic never gets a
 hard rejection from the shedder itself (a cache-only miss or a full
 replica queue can still surface one), so saturation shows up as a
 graceful quality ramp instead of an error cliff.
+
+Inside the ``cache_only`` tier the replica escalates one more step
+before rejecting: when a solver farm is running, a response-cache miss
+falls through to the farm's solver-layer result cache (baseline rollout
++ feasibility segments) and a hit is served as
+``shed="solver_cache_only"`` -- a tier between ``cache_only`` and
+``skip_ilp`` that recycles already-solved work without queueing any.
 """
 
 from __future__ import annotations

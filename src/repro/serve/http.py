@@ -14,14 +14,18 @@ Endpoints
     plan, answered incrementally by the solver farm (delta LP bound
     push + warm-started rollout for pointwise-growth drifts).
 ``GET /healthz``
-    Liveness + registry/pool/cache state + package version.
+    Liveness + registry/pool/cache/batching state + package version.
 ``GET /metrics``
-    Telemetry registry dump (counters, gauges, timers) plus cache and
-    pool statistics.
+    Telemetry registry dump (counters, gauges, timers) plus cache,
+    pool, and batching statistics (``serve.batch.*`` counters and
+    observations, per-model batch-size histograms, ``serve.store.*``
+    mmap hit counts).
 
 The transport is deliberately thin: every request body becomes a
 :class:`PlanRequest` and every response is the service's plain dict,
 so in-process callers and HTTP clients see identical payloads.
+Concurrent requests batch *behind* this surface (the coalescer stacks
+their rollout forwards); nothing about the wire format changes.
 SIGTERM/SIGINT trigger the graceful drain (stop accepting, finish
 in-flight requests, close evaluator pools).
 """

@@ -19,25 +19,39 @@ alias for the highest published version.  The npz is written before its
 manifest, so a manifest's existence implies a complete checkpoint.
 
 The **registry** turns a store entry into an :class:`InferenceAgent`
-(environment + policy, nothing else) on demand and caches it per
+(environment pool + policy) on demand and caches it per
 ``(key, version, seed)``.  Loading validates the manifest's architecture
 metadata -- feature dimension, action width, key fields -- against the
 environment actually built for the requesting instance and raises a
 typed :class:`~repro.errors.ModelMismatchError` instead of producing
 silently-garbage plans.
+
+Parameter loading is **zero-copy**: :meth:`ModelStore.load_params` maps
+each uncompressed ``.npz`` member with ``np.memmap`` (digest-verified,
+``mmap_mode="r"`` semantics) and the registry builds **one**
+:class:`ActorCriticPolicy` per (key, version, manifest checksum) whose
+parameters alias those read-only pages via
+``load_state_dict(copy=False)``.  Every seed, worker thread, and -- via
+the page cache -- every forkserver replica shares one physical copy of
+the weights.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
 import re
 import threading
+import zipfile
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro import telemetry
 from repro.errors import (
+    CheckpointError,
     ModelMismatchError,
     ModelNotFoundError,
     NNError,
@@ -45,12 +59,14 @@ from repro.errors import (
 )
 from repro.planning.plan import NetworkPlan
 from repro.resilience.checkpoint import (
+    FORMAT_MAGIC,
     TrainingCheckpoint,
+    _digest,
     load_checkpoint,
     save_checkpoint,
 )
 from repro.rl.agent import greedy_rollout
-from repro.rl.env import PlanningEnv
+from repro.rl.env import EvaluationMemo, PlanningEnv
 from repro.rl.policy import ActorCriticPolicy
 from repro.topology import generators
 
@@ -58,6 +74,88 @@ MANIFEST_FORMAT = "neuroplan-model"
 MANIFEST_VERSION = 1
 
 _VERSION_FILE = re.compile(r"^v(\d{4})\.json$")
+
+# Process-wide cache of memory-mapped checkpoint parameters, keyed by
+# (absolute path, size, mtime_ns) so a republished file never aliases a
+# stale mapping.  Shared across every ModelStore/PolicyRegistry in the
+# process: N services over one model_dir map each checkpoint once.
+_PARAM_CACHE: dict[tuple, dict] = {}
+_PARAM_CACHE_LOCK = threading.Lock()
+
+
+def manifest_checksum(manifest: dict) -> str:
+    """Stable content hash of a model manifest (policy-cache guard)."""
+    canonical = json.dumps(manifest, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _mmap_policy_params(path: str) -> dict:
+    """Map every payload member of an uncompressed checkpoint ``.npz``
+    read-only, verify the stored digest, and return the ``policy.*``
+    arrays (prefix stripped).
+
+    ``np.load(mmap_mode="r")`` silently ignores ``mmap_mode`` for zip
+    archives, so this walks the zip directory itself: each member of a
+    published checkpoint is ``ZIP_STORED`` (uncompressed), which makes
+    its ``.npy`` payload a plain byte range that ``np.memmap`` can wrap
+    after parsing the npy header at the member's data offset.
+    """
+    members: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as handle:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ServeError(
+                    f"{info.filename} in {path} is compressed; cannot memory-map"
+                )
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if len(local) != 30 or not local.startswith(b"PK\x03\x04"):
+                raise ServeError(f"bad zip local header for {info.filename} in {path}")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            npy_version = np.lib.format.read_magic(handle)
+            if npy_version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif npy_version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                raise ServeError(
+                    f"unsupported npy format {npy_version} for {info.filename}"
+                )
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            members[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=handle.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    meta_arr = members.pop("__meta__", None)
+    digest_arr = members.pop("__digest__", None)
+    if meta_arr is None or digest_arr is None:
+        raise CheckpointError(f"{path} is not a neuroplan checkpoint")
+    meta_bytes = meta_arr.tobytes()
+    stored_digest = digest_arr.tobytes().decode(errors="replace")
+    if _digest(meta_bytes, members) != stored_digest:
+        raise CheckpointError(f"checksum mismatch in {path}; refusing to serve")
+    try:
+        meta = json.loads(meta_bytes.decode())
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint metadata in {path}") from exc
+    if meta.get("magic") != FORMAT_MAGIC:
+        raise CheckpointError(f"{path} is not a neuroplan checkpoint")
+    params = {
+        name[len("policy.") :]: arr
+        for name, arr in members.items()
+        if name.startswith("policy.")
+    }
+    if not params:
+        raise CheckpointError(f"{path} holds no policy parameters")
+    return params
 
 
 @dataclass(frozen=True)
@@ -244,15 +342,69 @@ class ModelStore:
             manifest=manifest,
         )
 
+    # ------------------------------------------------------------------
+    # Zero-copy parameter loading
+    # ------------------------------------------------------------------
+    def load_params(self, record: ModelRecord) -> dict:
+        """Read-only policy parameter arrays for ``record``'s checkpoint.
+
+        The arrays are ``np.memmap`` views over the published ``.npz``
+        (digest-verified once per file identity), so every worker thread
+        — and every forkserver replica on the box, via the page cache —
+        shares one physical copy instead of materializing a private one.
+        Falls back to an eager :func:`load_checkpoint` when the archive
+        cannot be mapped (e.g. compressed members).
+        """
+        path = os.path.abspath(os.fspath(record.checkpoint_path))
+        try:
+            stat = os.stat(path)
+        except OSError as exc:
+            raise ModelNotFoundError(f"missing checkpoint {path}: {exc}") from exc
+        cache_key = (path, stat.st_size, stat.st_mtime_ns)
+        with _PARAM_CACHE_LOCK:
+            params = _PARAM_CACHE.get(cache_key)
+        if params is not None:
+            telemetry.counter("serve.store.mmap_hits")
+            return params
+        try:
+            params = _mmap_policy_params(path)
+            telemetry.counter("serve.store.mmap_loads")
+        except CheckpointError:
+            raise
+        except Exception:
+            telemetry.counter("serve.store.fallback_loads")
+            ckpt = load_checkpoint(path)
+            params = {}
+            for name, values in ckpt.policy_state.items():
+                arr = np.ascontiguousarray(values)
+                arr.setflags(write=False)
+                params[name] = arr
+        with _PARAM_CACHE_LOCK:
+            params = _PARAM_CACHE.setdefault(cache_key, params)
+        return params
+
 
 class InferenceAgent:
-    """Environment + policy, nothing else: the cheap plan-emission half
+    """Environment pool + shared policy: the cheap plan-emission half
     of the paper's two-stage design.
 
-    The environment is stateful across a rollout, so :meth:`plan` holds
-    a per-agent lock -- concurrent requests for the same (key, version,
-    seed) serialize on it rather than bleeding trajectory state into
-    each other; distinct seeds/models run fully in parallel.
+    The environment is stateful across a rollout, so each :meth:`plan`
+    call checks a free environment out of a pool (cloning a fresh one
+    via :meth:`~repro.rl.env.PlanningEnv.replica_kwargs` when every
+    pooled env is busy) -- concurrent requests for the same (key,
+    version, seed) run fully in parallel on independent trajectories,
+    which is what lets the forward coalescer stack their steps into one
+    batched GNN forward.  The policy itself is read-only and shared.
+
+    Coalesced rollouts additionally share an
+    :class:`~repro.rl.env.EvaluationMemo` across the pool: concurrent
+    same-identity requests replay the same deterministic trajectory, so
+    the first one to reach each capacity state pays for its feasibility
+    LP and the siblings reuse the identical verdict object.  The memo is
+    cleared whenever the pool goes idle -- it shares work among
+    *in-flight* requests, it never caches answers across cohorts (that
+    is the response cache's job, and ``no_cache`` must keep meaning
+    "recompute").
     """
 
     def __init__(self, instance, policy: ActorCriticPolicy, env: PlanningEnv):
@@ -260,21 +412,72 @@ class InferenceAgent:
         self.policy = policy
         self.env = env
         self._lock = threading.Lock()
+        self._free = [env]
+        self._envs = [env]
+        self._eval_memo = EvaluationMemo()
 
-    def plan(self, max_steps: "int | None" = None) -> NetworkPlan:
-        """Deterministic greedy rollout of the registered policy."""
+    def _checkout(self) -> PlanningEnv:
         with self._lock:
-            return greedy_rollout(self.env, self.policy, max_steps)
+            if self._free:
+                return self._free.pop()
+        clone = PlanningEnv(self.instance, **self.env.replica_kwargs())
+        telemetry.counter("serve.agent.env_clones")
+        with self._lock:
+            self._envs.append(clone)
+        return clone
+
+    def _checkin(self, env: PlanningEnv) -> None:
+        with self._lock:
+            self._free.append(env)
+            if len(self._free) == len(self._envs):
+                # Pool idle: the request cohort is over, drop the shared
+                # verdicts so the memo never acts as a response cache.
+                self._eval_memo.clear()
+
+    def memo_stats(self) -> dict:
+        return self._eval_memo.stats()
+
+    def plan(self, max_steps: "int | None" = None, coalescer=None) -> NetworkPlan:
+        """Deterministic greedy rollout of the registered policy.
+
+        With a :class:`~repro.serve.coalescer.ForwardCoalescer`, the
+        per-step forward goes through the coalescer's ``act`` seam so
+        concurrent rollouts batch, and the pool's evaluation memo is
+        attached so they share feasibility verdicts; the resulting plan
+        is bitwise identical either way.
+        """
+        env = self._checkout()
+        try:
+            if coalescer is None:
+                return greedy_rollout(env, self.policy, max_steps)
+            env.eval_memo = self._eval_memo
+            with coalescer.rollout(env) as act:
+                return greedy_rollout(env, self.policy, max_steps, act=act)
+        finally:
+            env.eval_memo = None
+            self._checkin(env)
 
     @property
     def lp_solves(self) -> int:
-        return self.env.evaluator.lp_solves
+        with self._lock:
+            envs = list(self._envs)
+        return sum(env.evaluator.lp_solves for env in envs)
+
+    @property
+    def pool_size(self) -> int:
+        with self._lock:
+            return len(self._envs)
 
     def close(self) -> None:
         """Release evaluator resources (thread pools, if any)."""
-        close = getattr(self.env.evaluator, "close", None)
-        if callable(close):
-            close()
+        with self._lock:
+            envs = list(self._envs)
+            self._envs = []
+            self._free = []
+        for env in envs:
+            close = getattr(env.evaluator, "close", None)
+            if callable(close):
+                close()
 
 
 class PolicyRegistry:
@@ -283,6 +486,7 @@ class PolicyRegistry:
     def __init__(self, store: "ModelStore | str | os.PathLike"):
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
         self._agents: dict[tuple, InferenceAgent] = {}
+        self._policies: dict[tuple, ActorCriticPolicy] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -308,6 +512,26 @@ class PolicyRegistry:
                 agent = self._load(key, seed, record)
                 self._agents[cache_key] = agent
                 telemetry.counter("serve.models_loaded")
+        return agent, record
+
+    def peek(
+        self,
+        key: ModelKey,
+        seed: int = 0,
+        version: "int | str" = "latest",
+    ) -> "tuple[InferenceAgent, ModelRecord] | None":
+        """An already-loaded agent, or ``None`` -- never builds one.
+
+        Shed tiers use this: answering from the solver-layer cache must
+        stay cheap, so a cold agent (env build, policy load) is treated
+        as a miss rather than paid for under overload.
+        """
+        record = self.store.resolve(key, version)
+        cache_key = (key.dirname(), record.version, int(seed))
+        with self._lock:
+            agent = self._agents.get(cache_key)
+        if agent is None:
+            return None
         return agent, record
 
     def _load(self, key: ModelKey, seed: int, record: ModelRecord) -> InferenceAgent:
@@ -344,16 +568,39 @@ class PolicyRegistry:
                 f"is built with max_units_per_step={env.max_units}"
             )
         spec["mlp_hidden"] = tuple(spec.get("mlp_hidden", ()))
+        policy = self._policy_for(record, spec)
+        return InferenceAgent(instance, policy, env)
+
+    def _policy_for(self, record: ModelRecord, spec: dict) -> ActorCriticPolicy:
+        """One constructed policy per (key, version, manifest checksum).
+
+        The GNN policy is size-agnostic and read-only at serve time, so
+        every seed of a band -- and every concurrent worker -- shares
+        the same object; ``load_state_dict(copy=False)`` points its
+        parameters straight at the memory-mapped checkpoint pages.
+        Called with ``self._lock`` held (from :meth:`agent`).
+        """
+        policy_key = (
+            record.key.dirname(),
+            record.version,
+            manifest_checksum(record.manifest),
+        )
+        policy = self._policies.get(policy_key)
+        if policy is not None:
+            telemetry.counter("serve.store.policy_cache_hits")
+            return policy
         policy = ActorCriticPolicy(**spec, rng=0)
-        ckpt = load_checkpoint(record.checkpoint_path)
+        params = self.store.load_params(record)
         try:
-            policy.load_state_dict(ckpt.policy_state)
+            policy.load_state_dict(params, copy=False)
         except NNError as exc:
             raise ModelMismatchError(
                 f"model {record.checkpoint_path} parameters do not fit "
                 f"the manifest architecture: {exc}"
             ) from exc
-        return InferenceAgent(instance, policy, env)
+        self._policies[policy_key] = policy
+        telemetry.counter("serve.store.policies_built")
+        return policy
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -362,10 +609,13 @@ class PolicyRegistry:
                 f"{dirname}@v{version} seed={seed}"
                 for dirname, version, seed in self._agents
             )
+        with self._lock:
+            policies = len(self._policies)
         return {
             "model_dir": self.store.root,
             "keys": self.store.keys(),
             "loaded_agents": loaded,
+            "loaded_policies": policies,
         }
 
     def close(self) -> None:
@@ -373,6 +623,7 @@ class PolicyRegistry:
         with self._lock:
             agents = list(self._agents.values())
             self._agents.clear()
+            self._policies.clear()
         for agent in agents:
             agent.close()
 

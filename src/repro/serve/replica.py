@@ -70,6 +70,7 @@ def replica_stats(service: PlanningService, index: int, generation: int) -> dict
         "cache": service.cache.stats(),
         "models": service.registry.store.inventory(),
         "loaded_agents": service.registry.stats()["loaded_agents"],
+        "batching": service.batching_stats(),
         "counters": telemetry.snapshot()["counters"],
     }
     if service._farm is not None:

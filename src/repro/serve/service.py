@@ -57,9 +57,13 @@ PIPELINES = ("pool", "farm")
 PRIORITIES = (0, 1, 2)
 
 # Load-shedding execution modes, escalating in severity.  ``None`` is
-# full service; ``"cache_only"`` answers from the response cache or
+# full service; ``"cache_only"`` answers from the response cache --
+# falling through to the solver-layer result cache when a farm is
+# running (responses stamped ``shed="solver_cache_only"``) -- or
 # rejects; ``"skip_ilp"`` runs the rollout but skips the second-stage
-# ILP, stamping the response ``degraded``.
+# ILP, stamping the response ``degraded``.  ``solver_cache_only`` is an
+# internal escalation inside the ``cache_only`` tier, not a mode
+# callers pass to ``submit()``.
 SHED_MODES = (None, "cache_only", "skip_ilp")
 
 
@@ -208,6 +212,9 @@ class ServiceConfig:
     rollout_max_steps: "int | None" = None  # None = model's trained horizon
     pipeline: str = "pool"  # see PIPELINES
     farm: dict = field(default_factory=dict)  # FarmConfig overrides
+    batching: bool = True  # coalesce concurrent rollout forwards
+    batch_window_ms: float = 2.0  # max wait for co-batchable steps
+    max_batch: int = 16  # forwards per coalesced batch; 1 disables
     extra: dict = field(default_factory=dict)
 
 
@@ -234,6 +241,14 @@ class PlanningService:
             workers=self.config.workers, queue_depth=self.config.queue_depth
         )
         self.cache = ResponseCache(self.config.cache_size)
+        self._coalescers = None
+        if self.config.batching and int(self.config.max_batch) > 1:
+            from repro.serve.coalescer import CoalescerRegistry
+
+            self._coalescers = CoalescerRegistry(
+                window_s=float(self.config.batch_window_ms) / 1000.0,
+                max_batch=int(self.config.max_batch),
+            )
         self._farm = None
         self._farm_lock = threading.Lock()
         self._closed = False
@@ -338,7 +353,12 @@ class PlanningService:
     # ------------------------------------------------------------------
     def _cache_only(self, request: PlanRequest, admitted_at: float) -> Future:
         """Answer from the cache, bypassing the pool queue entirely --
-        this tier must keep working precisely when the queue is full."""
+        this tier must keep working precisely when the queue is full.
+
+        On a response-cache miss the solver farm's result cache gets one
+        chance (the ``solver_cache_only`` tier): a baseline rollout
+        segment hit is re-assembled into a response without touching the
+        pool, the farm queues, or any LP/ILP work."""
         future: Future = Future()
         record = self.registry.resolve(request.model_key(), request.model_version)
         cached = (
@@ -347,6 +367,10 @@ class PlanningService:
             else self.cache.get(canonical_key(request.identity(record.version)))
         )
         if cached is None:
+            response = self._solver_cache_answer(request, record, admitted_at)
+            if response is not None:
+                future.set_result(response)
+                return future
             telemetry.counter("serve.shed.cache_only_miss")
             future.set_exception(
                 Overloaded(
@@ -367,6 +391,82 @@ class PlanningService:
         telemetry.counter("serve.responses")
         future.set_result(response)
         return future
+
+    def _solver_cache_answer(
+        self, request: PlanRequest, record, admitted_at: float
+    ) -> "dict | None":
+        """The ``solver_cache_only`` tier: answer a shed plan request
+        from the farm's baseline rollout segment, or ``None`` (miss).
+
+        Only consults state that already exists -- a running farm, an
+        already-loaded agent (for the cost model) -- so a miss costs two
+        dict probes.  Replans are never answered here: their identity
+        depends on the demand-drift fingerprint, which is exactly the
+        work a shed tier must not do.  The response is *not* written to
+        the response cache (its identity includes fields, like
+        ``second_stage``, this tier does not honor)."""
+        farm = self._farm
+        if farm is None or isinstance(request, ReplanRequest):
+            return None
+        loaded = self.registry.peek(
+            request.model_key(), seed=request.seed, version=record.version
+        )
+        if loaded is None:
+            return None
+        agent, record = loaded
+        from repro.solverfarm.cache import feasibility_key, rollout_key
+        from repro.solverfarm.replan import BASELINE_FP
+
+        signature = (record.key.dirname(), record.version, int(request.seed))
+        entry = farm.cache.rollout.get(
+            rollout_key(signature, BASELINE_FP, self.config.rollout_max_steps)
+        )
+        if entry is None:
+            telemetry.counter("serve.shed.solver_cache_only_miss")
+            return None
+        capacities = dict(entry["capacities"])
+        feasible = bool(entry["feasible"])
+        verdict = farm.cache.feasibility.get(
+            feasibility_key(signature, BASELINE_FP, capacities)
+        )
+        if verdict is not None:
+            feasible = bool(verdict["feasible"])
+        from repro.planning.plan import NetworkPlan
+
+        metadata = dict(entry.get("metadata") or {})
+        plan = NetworkPlan(
+            instance_name=agent.instance.name,
+            capacities=capacities,
+            method="rl-rollout",
+            metadata=metadata,
+        )
+        ilp_skipped = bool(request.second_stage)
+        telemetry.counter("serve.shed.solver_cache_only")
+        telemetry.counter("serve.responses")
+        response = {
+            "plan": capacities,
+            "cost": plan.cost(agent.instance),
+            "feasible": feasible,
+            "method": plan.method,
+            "degraded": bool(metadata.get("degraded", False)) or ilp_skipped,
+            "degraded_reason": (
+                "load shed: second-stage ILP skipped"
+                if ilp_skipped
+                else metadata.get("degraded_reason")
+            ),
+            "second_stage_status": None,
+            "shed": "solver_cache_only",
+            "lp_solves": 0,
+            "model": {"key": record.key.dirname(), "version": record.version},
+            "timings": {
+                "queue_s": 0.0,
+                "rollout_s": 0.0,
+                "ilp_s": 0.0,
+                "total_s": time.perf_counter() - admitted_at,
+            },
+            "cache_hit": False,
+        }
+        return response
 
     def _execute(
         self, request: PlanRequest, admitted_at: float, shed: "str | None" = None
@@ -398,10 +498,15 @@ class PlanningService:
         agent, record = self.registry.agent(
             request.model_key(), seed=request.seed, version=request.model_version
         )
+        coalescer = None
+        if self._coalescers is not None:
+            coalescer = self._coalescers.get(
+                (record.key.dirname(), record.version), agent.policy
+            )
         lp_before = agent.lp_solves
         with telemetry.timer("serve.rollout"):
             rollout_start = time.perf_counter()
-            plan = agent.plan(self.config.rollout_max_steps)
+            plan = agent.plan(self.config.rollout_max_steps, coalescer=coalescer)
             rollout_s = time.perf_counter() - rollout_start
 
         ilp_s = 0.0
@@ -482,16 +587,24 @@ class PlanningService:
             "registry": self.registry.stats(),
             "pool": pool,
             "cache": self.cache.stats(),
+            "batching": self.batching_stats(),
         }
         if self._farm is not None:
             health["solverfarm"] = self._farm.stats()
         return health
+
+    def batching_stats(self) -> dict:
+        """Coalescer rollup: batch counts, size histogram, fast path."""
+        if self._coalescers is None:
+            return {"enabled": False}
+        return self._coalescers.stats()
 
     def metrics(self) -> dict:
         metrics = {
             "telemetry": telemetry.snapshot(),
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
+            "batching": self.batching_stats(),
         }
         if self._farm is not None:
             metrics["solverfarm"] = self._farm.stats()

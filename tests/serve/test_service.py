@@ -172,6 +172,75 @@ class TestShedModes:
         assert response["shed"] is None
 
 
+class TestSolverCacheOnlyTier:
+    """Satellite: the ``cache_only`` shed tier consults the solver
+    farm's result cache before rejecting."""
+
+    def farm_service(self, model_dir):
+        return PlanningService(
+            str(model_dir),
+            ServiceConfig(workers=2, cache_size=8, pipeline="farm"),
+        )
+
+    def test_solver_cache_answers_a_response_cache_miss(self, model_dir):
+        telemetry.enable()
+        with self.farm_service(model_dir) as service:
+            # Populate the solver-layer rollout segment, but keep the
+            # *response* cache empty for this identity (no_cache).
+            warm = service.plan(request(no_cache=True))
+            answer = service.plan(request(no_cache=True), shed="cache_only")
+        assert answer["shed"] == "solver_cache_only"
+        assert answer["plan"] == warm["plan"]
+        assert answer["cost"] == warm["cost"]
+        assert answer["feasible"] == warm["feasible"]
+        assert answer["cache_hit"] is False
+        assert answer["lp_solves"] == 0
+        counters = telemetry.snapshot()["counters"]
+        assert counters["serve.shed.solver_cache_only"] == 1
+
+    def test_second_stage_shed_answer_is_stamped_degraded(self, model_dir):
+        with self.farm_service(model_dir) as service:
+            service.plan(request(no_cache=True))
+            answer = service.plan(
+                request(no_cache=True, second_stage=True), shed="cache_only"
+            )
+        assert answer["shed"] == "solver_cache_only"
+        assert answer["degraded"] is True
+        assert "ILP skipped" in answer["degraded_reason"]
+
+    def test_response_cache_hit_still_wins(self, model_dir):
+        """The response cache stays the first tier; the solver cache is
+        only consulted on a miss."""
+        with self.farm_service(model_dir) as service:
+            service.plan(request())
+            hit = service.plan(request(), shed="cache_only")
+        assert hit["shed"] == "cache_only"
+        assert hit["cache_hit"] is True
+
+    def test_cold_solver_cache_still_rejects(self, model_dir):
+        from repro.errors import Overloaded
+
+        with self.farm_service(model_dir) as service:
+            with pytest.raises(Overloaded, match="cache"):
+                service.plan(request(seed=7), shed="cache_only")
+
+    def test_pool_pipeline_without_a_farm_rejects_as_before(self, model_dir):
+        from repro.errors import Overloaded
+
+        with small_service(model_dir) as service:
+            service.plan(request(no_cache=True))
+            with pytest.raises(Overloaded, match="cache"):
+                service.plan(request(no_cache=True), shed="cache_only")
+
+    def test_shed_answer_never_poisons_the_response_cache(self, model_dir):
+        with self.farm_service(model_dir) as service:
+            service.plan(request(no_cache=True))
+            service.plan(request(no_cache=True), shed="cache_only")
+            # A normal request for the same identity must miss.
+            full = service.plan(request())
+            assert full["cache_hit"] is False
+
+
 class TestCacheBehavior:
     def test_repeat_request_is_served_from_cache(self, model_dir):
         telemetry.enable()

@@ -1,0 +1,146 @@
+"""Zero-copy model store: memory-mapped parameters, shared policies.
+
+``ModelStore.load_params`` must hand back digest-verified read-only
+views over the published ``.npz`` (one physical copy per file, shared
+process-wide), fall back to an eager load when the archive cannot be
+mapped, and refuse corrupt checkpoints outright.  The registry builds
+one policy per (key, version, manifest checksum) on top of those views.
+"""
+
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import CheckpointError
+from repro.serve import ModelKey, ModelStore, PolicyRegistry
+from repro.serve.registry import _PARAM_CACHE, manifest_checksum
+
+from tests.serve.conftest import SCALE, TOPOLOGY
+
+KEY = ModelKey(topology=TOPOLOGY, scale=SCALE, horizon="short")
+
+
+@pytest.fixture(autouse=True)
+def clean_param_cache():
+    _PARAM_CACHE.clear()
+    yield
+    _PARAM_CACHE.clear()
+
+
+class TestLoadParams:
+    def test_params_are_readonly_memmaps_matching_checkpoint(self, model_dir):
+        store = ModelStore(str(model_dir))
+        record = store.resolve(KEY)
+        params = store.load_params(record)
+        from repro.resilience.checkpoint import load_checkpoint
+
+        eager = load_checkpoint(record.checkpoint_path).policy_state
+        assert set(params) == set(eager)
+        for name, arr in params.items():
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+            assert np.array_equal(arr, eager[name])
+            with pytest.raises((ValueError, OSError)):
+                arr[...] = 0.0
+
+    def test_second_load_hits_the_cache(self, model_dir):
+        telemetry.enable()
+        store = ModelStore(str(model_dir))
+        record = store.resolve(KEY)
+        first = store.load_params(record)
+        second = store.load_params(record)
+        assert first is second
+        assert telemetry.counter_value("serve.store.mmap_loads") == 1
+        assert telemetry.counter_value("serve.store.mmap_hits") == 1
+
+    def test_cache_is_shared_across_store_instances(self, model_dir):
+        record = ModelStore(str(model_dir)).resolve(KEY)
+        params_a = ModelStore(str(model_dir)).load_params(record)
+        params_b = ModelStore(str(model_dir)).load_params(record)
+        assert params_a is params_b
+
+    def test_compressed_archive_falls_back_to_eager_load(
+        self, model_dir, tmp_path
+    ):
+        """A compressed npz cannot be mapped; the eager path serves it
+        with identical (read-only) arrays."""
+        telemetry.enable()
+        store = ModelStore(str(model_dir))
+        record = store.resolve(KEY)
+        with np.load(record.checkpoint_path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        squeezed = tmp_path / "compressed.npz"
+        np.savez_compressed(squeezed, **arrays)
+        record.checkpoint_path = str(squeezed)
+        params = store.load_params(record)
+        assert telemetry.counter_value("serve.store.fallback_loads") == 1
+        for arr in params.values():
+            assert not arr.flags.writeable
+        from repro.resilience.checkpoint import load_checkpoint
+
+        eager = load_checkpoint(squeezed).policy_state
+        for name, arr in params.items():
+            assert np.array_equal(arr, eager[name])
+
+    def test_corrupt_payload_is_refused(self, model_dir, tmp_path):
+        """A flipped payload byte must fail the digest check, never
+        serve garbage weights."""
+        store = ModelStore(str(model_dir))
+        record = store.resolve(KEY)
+        corrupt = tmp_path / "corrupt.npz"
+        data = bytearray(open(record.checkpoint_path, "rb").read())
+        with zipfile.ZipFile(record.checkpoint_path) as archive:
+            info = next(
+                i for i in archive.infolist()
+                if i.filename.startswith("policy.")
+            )
+            # Flip one byte inside the member's payload region.
+            offset = info.header_offset + 30 + len(info.filename) + 128
+        data[offset] ^= 0xFF
+        corrupt.write_bytes(bytes(data))
+        record.checkpoint_path = str(corrupt)
+        with pytest.raises(CheckpointError):
+            store.load_params(record)
+
+
+class TestSharedPolicy:
+    def test_one_policy_serves_every_seed(self, model_dir):
+        """Satellite: the registry builds the policy once per resolved
+        version and shares it across seeds (no per-seed
+        ``load_state_dict`` replay)."""
+        telemetry.enable()
+        registry = PolicyRegistry(str(model_dir))
+        agent0, _ = registry.agent(KEY, seed=0)
+        agent1, _ = registry.agent(KEY, seed=1)
+        agent2, _ = registry.agent(KEY, seed=2)
+        assert agent0.policy is agent1.policy is agent2.policy
+        assert telemetry.counter_value("serve.store.policies_built") == 1
+        assert telemetry.counter_value("serve.store.policy_cache_hits") == 2
+        assert registry.stats()["loaded_policies"] == 1
+        registry.close()
+
+    def test_policy_parameters_alias_the_mmap(self, model_dir):
+        """``load_state_dict(copy=False)`` points parameters straight at
+        the store's read-only pages -- no private copy."""
+        registry = PolicyRegistry(str(model_dir))
+        agent, record = registry.agent(KEY, seed=0)
+        params = registry.store.load_params(record)
+        named = dict(agent.policy.named_parameters())
+        assert set(named) == set(params)
+        for name, param in named.items():
+            assert param.data is params[name] or (
+                param.data.base is not None
+                and param.data.base is params[name]
+            )
+        registry.close()
+
+    def test_manifest_checksum_guards_the_cache(self, model_dir):
+        registry = PolicyRegistry(str(model_dir))
+        record = registry.resolve(KEY)
+        checksum = manifest_checksum(record.manifest)
+        tampered = dict(record.manifest, source={"algo": "other"})
+        assert manifest_checksum(tampered) != checksum
+        assert manifest_checksum(dict(record.manifest)) == checksum
+        registry.close()
